@@ -1,0 +1,228 @@
+// Experiments E12-E15 (the Sec. III/IV "challenge" extensions):
+//   E12 hybrid central guidance — fake links vs convergence rounds [31];
+//   E13 view inconsistency — structure quality vs staleness;
+//   E14 multi-destination DAG maintenance cost;
+//   E15 probabilistic trimming — confidence vs realized degradation;
+//   plus distributed Dijkstra vs Bellman-Ford round accounting, and
+//   temporal small-world metrics across mobility models [15].
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/shortest_paths.hpp"
+#include "core/generators.hpp"
+#include "layering/multi_dag.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/edge_markovian.hpp"
+#include "mobility/mobility_models.hpp"
+#include "mobility/social_contacts.hpp"
+#include "sim/distributed_dijkstra.hpp"
+#include "sim/hybrid_control.hpp"
+#include "sim/stale_views.hpp"
+#include "temporal/smallworld_metrics.hpp"
+#include "trimming/probabilistic.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void hybrid_table() {
+  Table t({"fake_links", "bf_rounds", "avg_stretch", "max_stretch"});
+  const Graph g = grid_graph(16, 16);
+  for (std::size_t k : {0, 1, 2, 4, 8}) {
+    const auto shortcuts = select_shortcuts(g, k);
+    const auto r = hybrid_route_to(g, shortcuts, 0);
+    t.add_row({Table::num(std::uint64_t(shortcuts.size())),
+               Table::num(std::uint64_t(r.rounds)),
+               Table::num(r.average_stretch, 3),
+               Table::num(r.max_stretch, 3)});
+  }
+  t.print(std::cout,
+          "E12: central guidance over distributed routing (16x16 grid) — "
+          "a few fake links slash Bellman-Ford convergence at bounded "
+          "data-plane stretch");
+}
+
+void dijkstra_vs_bf_table() {
+  Table t({"topology", "n", "dd_rounds", "dd_messages", "bf_rounds"});
+  Rng rng(1);
+  auto row = [&](const std::string& name, const Graph& g) {
+    std::vector<double> w(g.edge_count(), 1.0);
+    const auto dd = distributed_dijkstra(g, w, 0);
+    const auto bf = bellman_ford(g, w, 0);
+    t.add_row({name, Table::num(std::uint64_t(g.vertex_count())),
+               Table::num(std::uint64_t(dd.rounds)),
+               Table::num(std::uint64_t(dd.messages)),
+               Table::num(std::uint64_t(bf.rounds))});
+  };
+  row("path(64)", path_graph(64));
+  row("grid(8x8)", grid_graph(8, 8));
+  row("barabasi-albert(64,2)", barabasi_albert(64, 2, rng));
+  t.print(std::cout,
+          "E12: the paper's 'back-and-forth propagation is not "
+          "efficient' — root-coordinated Dijkstra vs Bellman-Ford");
+}
+
+void stale_view_table() {
+  Table t({"staleness", "domination", "cds_connectivity", "mis_independence",
+           "mis_maximality"});
+  Rng rng(2);
+  EdgeMarkovianParams p;
+  p.nodes = 28;
+  p.horizon = 120;
+  p.death_probability = 0.25;
+  p.birth_probability = 0.08;
+  const auto eg = edge_markovian_graph(p, rng);
+  std::vector<double> prio(p.nodes);
+  for (auto& x : prio) x = rng.uniform01();
+  for (TimeUnit delay : {0, 1, 2, 4, 8, 16, 32}) {
+    const auto r = evaluate_stale_structures(eg, delay, prio);
+    t.add_row({Table::num(std::uint64_t(delay)),
+               Table::num(r.domination_rate, 3),
+               Table::num(r.connectivity_rate, 3),
+               Table::num(r.independence_rate, 3),
+               Table::num(r.maximality_rate, 3)});
+  }
+  t.print(std::cout,
+          "E13: view inconsistency — domination survives stale views; "
+          "independence collapses immediately (negative constraints are "
+          "fragile under churn)");
+}
+
+void multi_dag_table() {
+  Table t({"destinations", "avg_node_reversals_per_failure", "avg_dags_touched",
+           "still_valid"});
+  Rng rng(3);
+  for (std::size_t k : {1, 2, 4, 8}) {
+    RunningStats work, touched;
+    bool valid = true;
+    for (int trial = 0; trial < 6; ++trial) {
+      Graph g = grid_graph(7, 7);
+      std::vector<VertexId> dests;
+      for (std::size_t i = 0; i < k; ++i) {
+        dests.push_back(static_cast<VertexId>((i * 48) / k));
+      }
+      MultiDestinationDags dags(g, dests);
+      for (int f = 0; f < 4; ++f) {
+        // Fail random edges while keeping the grid connected enough.
+        const auto& e = dags.graph().edge(
+            static_cast<EdgeId>(rng.index(dags.graph().edge_count())));
+        const auto stats = dags.fail_link(e.u, e.v);
+        if (!stats.converged) break;
+        work.add(static_cast<double>(stats.total_node_reversals));
+        touched.add(static_cast<double>(stats.dags_touched));
+      }
+      valid &= dags.all_valid();
+    }
+    t.add_row({Table::num(std::uint64_t(k)), Table::num(work.mean(), 2),
+               Table::num(touched.mean(), 2), valid ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "E14: maintaining DAGs for multiple destinations — repair work "
+          "grows with the destination count (7x7 grid, random failures)");
+}
+
+void probabilistic_trimming_table() {
+  // Confidence in the probabilistic link rule vs realized degradation of
+  // ignoring the (A, D)-style link when contacts are only probable.
+  Table t({"contact_prob", "P(rule holds)", "degradation_rate"});
+  Rng rng(4);
+  for (double q : {1.0, 0.9, 0.7, 0.5, 0.3}) {
+    // The Fig. 2 core with the replacement path's contacts downgraded to
+    // probability q.
+    ProbabilisticTemporalGraph eg(4, 7);
+    eg.add_contact(0, 1, 1, q);   // (A,B)
+    eg.add_contact(0, 1, 4, q);
+    eg.add_contact(1, 2, 2, q);   // (B,C)
+    eg.add_contact(1, 2, 5, q);
+    eg.add_contact(0, 3, 1, 1.0);  // (A,D)
+    eg.add_contact(0, 3, 3, 1.0);
+    eg.add_contact(1, 3, 0, 1.0);  // (B,D)
+    eg.add_contact(1, 3, 6, 1.0);
+    eg.add_contact(2, 3, 0, 1.0);  // (C,D)
+    eg.add_contact(2, 3, 6, 1.0);
+    const std::vector<double> prio{4, 3, 2, 1};
+    const double rule =
+        ignore_neighbor_probability(eg, 0, 3, prio, 400, rng);
+    const double degradation = trim_degradation(eg, 0, 3, 60, rng);
+    t.add_row({Table::num(q, 2), Table::num(rule, 3),
+               Table::num(degradation, 4)});
+  }
+  t.print(std::cout,
+          "E15: probabilistic trimming — rule confidence tracks contact "
+          "probability; realized damage of ignoring the link grows as "
+          "the replacement path gets flaky");
+}
+
+void temporal_smallworld_table() {
+  Table t({"trace", "temporal_correlation_C", "char_path_length_L",
+           "reachable"});
+  Rng rng(5);
+  auto row = [&](const std::string& name, const TemporalGraph& eg) {
+    const auto l = characteristic_temporal_path_length(eg);
+    t.add_row({name, Table::num(temporal_correlation_coefficient(eg), 3),
+               Table::num(l.characteristic_length, 2),
+               Table::num(l.reachable_fraction, 3)});
+  };
+  RandomWaypointParams rwp;
+  rwp.nodes = 30;
+  rwp.steps = 80;
+  row("random-waypoint", contacts_from_trajectory(random_waypoint(rwp, rng), 0.2));
+  CommunityMobilityParams cm;
+  cm.nodes = 30;
+  cm.steps = 80;
+  cm.communities = 4;
+  row("community", contacts_from_trajectory(community_mobility(cm, rng, nullptr), 0.2));
+  EdgeMarkovianParams em;
+  em.nodes = 30;
+  em.horizon = 80;
+  em.death_probability = 0.5;
+  em.birth_probability = 0.05;
+  row("edge-markovian", edge_markovian_graph(em, rng));
+  SocialTraceParams st;
+  st.people = 30;
+  st.horizon = 80;
+  row("social-feature",
+      social_contact_trace(st, random_profiles(30, st.radices, rng), rng));
+  t.print(std::cout,
+          "E13b: temporal small-world metrics [15] — physical mobility "
+          "carries high temporal correlation; memoryless models do not");
+}
+
+void BM_SelectShortcuts(benchmark::State& state) {
+  const Graph g = grid_graph(16, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_shortcuts(g, 4));
+  }
+}
+BENCHMARK(BM_SelectShortcuts);
+
+void BM_StaleEvaluation(benchmark::State& state) {
+  Rng rng(6);
+  EdgeMarkovianParams p;
+  p.nodes = 24;
+  p.horizon = 40;
+  const auto eg = edge_markovian_graph(p, rng);
+  std::vector<double> prio(p.nodes);
+  for (auto& x : prio) x = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_stale_structures(eg, 4, prio));
+  }
+}
+BENCHMARK(BM_StaleEvaluation);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::hybrid_table();
+  structnet::dijkstra_vs_bf_table();
+  structnet::stale_view_table();
+  structnet::multi_dag_table();
+  structnet::probabilistic_trimming_table();
+  structnet::temporal_smallworld_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E10 (Sec. IV-B): dynamic labeling convergence — Bellman-
+// Ford relaxation rounds (the distributed distance-vector schedule) and
+// PageRank / HITS iterations-to-tolerance, across topologies. The
+// paper's point: dynamic labels converge slowly compared to the
+// static/one-shot labels of E8.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/shortest_paths.hpp"
+#include "algo/traversal.hpp"
+#include "centrality/link_analysis.hpp"
+#include "core/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void bellman_ford_table() {
+  Table t({"topology", "n", "bf_rounds", "eccentricity", "rounds/ecc"});
+  Rng rng(1);
+  auto row = [&](const std::string& name, const Graph& g) {
+    std::vector<double> w(g.edge_count());
+    for (auto& x : w) x = rng.uniform(0.5, 1.5);
+    const auto bf = bellman_ford(g, w, 0);
+    const auto ecc = eccentricity(g, 0);
+    t.add_row({name, Table::num(std::uint64_t(g.vertex_count())),
+               Table::num(std::uint64_t(bf.rounds)),
+               Table::num(std::uint64_t(ecc)),
+               Table::num(double(bf.rounds) / std::max<std::uint32_t>(ecc, 1),
+                          2)});
+  };
+  row("path(256)", path_graph(256));
+  row("cycle(256)", cycle_graph(256));
+  row("grid(16x16)", grid_graph(16, 16));
+  row("hypercube(8)", binary_hypercube(8));
+  row("barabasi-albert(256,3)", barabasi_albert(256, 3, rng));
+  Graph er = erdos_renyi(256, 0.03, rng);
+  for (VertexId v = 0; v + 1 < 256; ++v) er.add_edge_unique(v, v + 1);
+  row("erdos-renyi(256)+path", er);
+  t.print(std::cout,
+          "E10: Bellman-Ford convergence rounds track the network "
+          "eccentricity — slow on paths, fast on expanders/hypercubes");
+}
+
+void pagerank_hits_table() {
+  Table t({"topology", "pr_iterations", "hits_iterations"});
+  Rng rng(2);
+  auto digraph_of = [&](const Graph& g) {
+    Digraph d(g.vertex_count());
+    for (const auto& e : g.edges()) {
+      d.add_arc(e.u, e.v);
+      d.add_arc(e.v, e.u);
+    }
+    return d;
+  };
+  auto row = [&](const std::string& name, const Graph& g) {
+    const auto pr = pagerank(g);
+    const auto h = hits(digraph_of(g));
+    t.add_row({name, Table::num(std::uint64_t(pr.iterations)),
+               Table::num(std::uint64_t(h.iterations))});
+  };
+  row("path(512)", path_graph(512));
+  row("grid(23x23)", grid_graph(23, 23));
+  row("barabasi-albert(512,3)", barabasi_albert(512, 3, rng));
+  row("watts-strogatz(512,4,0.1)", watts_strogatz(512, 4, 0.1, rng));
+  t.print(std::cout,
+          "E10: PageRank / HITS iterations to 1e-10 tolerance "
+          "(dynamic labels re-labeled a non-constant number of times)");
+}
+
+void damping_sweep() {
+  Table t({"damping", "pr_iterations"});
+  Rng rng(3);
+  const Graph g = barabasi_albert(1024, 3, rng);
+  for (double d : {0.5, 0.7, 0.85, 0.95, 0.99}) {
+    const auto pr = pagerank(g, d, 1e-10, 10000);
+    t.add_row({Table::num(d, 2), Table::num(std::uint64_t(pr.iterations))});
+  }
+  t.print(std::cout,
+          "E10: convergence cost grows with damping ~ 1/log(1/d)");
+}
+
+void BM_BellmanFord(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Graph g = erdos_renyi(n, 6.0 / double(n), rng);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge_unique(v, v + 1);
+  std::vector<double> w(g.edge_count(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bellman_ford(g, w, 0));
+  }
+}
+BENCHMARK(BM_BellmanFord)->Range(128, 1024);
+
+void BM_PageRank(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(static_cast<std::size_t>(state.range(0)), 3,
+                                  rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(g));
+  }
+}
+BENCHMARK(BM_PageRank)->Range(256, 4096);
+
+void BM_Hits(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Digraph d(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    d.add_arc_unique(static_cast<VertexId>(rng.index(n)),
+                     static_cast<VertexId>(rng.index(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hits(d));
+  }
+}
+BENCHMARK(BM_Hits)->Range(256, 4096);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::bellman_ford_table();
+  structnet::pagerank_hits_table();
+  structnet::damping_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E2b (Sec. II-B): the two-state edge-Markovian process and
+// its dynamic diameter (flooding time), reproducing the qualitative
+// result of Clementi et al. [6]: denser stationary regimes flood faster;
+// flooding time grows slowly (logarithmically) with n at fixed density.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "mobility/edge_markovian.hpp"
+#include "temporal/journeys.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+double average_flooding_time(std::size_t n, double p, double q,
+                             std::size_t trials, Rng& rng) {
+  RunningStats stats;
+  for (std::size_t i = 0; i < trials; ++i) {
+    EdgeMarkovianParams params;
+    params.nodes = n;
+    params.horizon = 256;
+    params.death_probability = p;
+    params.birth_probability = q;
+    const auto eg = edge_markovian_graph(params, rng);
+    const TimeUnit f = flooding_time(eg, 0);
+    if (f != kNeverTime) stats.add(static_cast<double>(f));
+  }
+  return stats.count() ? stats.mean() : -1.0;
+}
+
+void density_sweep() {
+  Table t({"p(death)", "q(birth)", "stationary_density", "avg_flooding_time"});
+  Rng rng(1);
+  const std::size_t n = 64;
+  for (const auto& [p, q] : std::vector<std::pair<double, double>>{
+           {0.9, 0.001}, {0.9, 0.005}, {0.9, 0.02}, {0.5, 0.02}, {0.2, 0.02}}) {
+    t.add_row({Table::num(p, 3), Table::num(q, 3),
+               Table::num(edge_markovian_stationary_density(p, q), 4),
+               Table::num(average_flooding_time(n, p, q, 10, rng), 2)});
+  }
+  t.print(std::cout,
+          "E2b: flooding time vs stationary density (n = 64; denser -> "
+          "faster flooding)");
+}
+
+void size_sweep() {
+  Table t({"n", "avg_flooding_time", "per_log2(n)"});
+  Rng rng(2);
+  const double p = 0.9, q = 0.002;
+  for (std::size_t n : {32, 64, 128, 256, 512}) {
+    const double f = average_flooding_time(n, p, q, 6, rng);
+    t.add_row({Table::num(std::uint64_t(n)), Table::num(f, 2),
+               Table::num(f / std::log2(double(n)), 2)});
+  }
+  t.print(std::cout,
+          "E2b: flooding time vs n at fixed (p, q) — near-logarithmic "
+          "growth (flat right column = log shape, the [6] result)");
+}
+
+void BM_EdgeMarkovianGenerate(benchmark::State& state) {
+  Rng rng(3);
+  EdgeMarkovianParams params;
+  params.nodes = static_cast<std::size_t>(state.range(0));
+  params.horizon = 128;
+  params.death_probability = 0.7;
+  params.birth_probability = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_markovian_graph(params, rng));
+  }
+}
+BENCHMARK(BM_EdgeMarkovianGenerate)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FloodingTime(benchmark::State& state) {
+  Rng rng(4);
+  EdgeMarkovianParams params;
+  params.nodes = static_cast<std::size_t>(state.range(0));
+  params.horizon = 128;
+  params.death_probability = 0.7;
+  params.birth_probability = 0.01;
+  const auto eg = edge_markovian_graph(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flooding_time(eg, 0));
+  }
+}
+BENCHMARK(BM_FloodingTime)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::density_sweep();
+  structnet::size_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Experiment E6 (Fig. 6, Sec. III-C): remapping the routing domain from
+// the mobile contact space (M-space) to the static feature space
+// (F-space, a generalized hypercube). Synthetic feature-driven traces
+// stand in for INFOCOM'06 / MIT Reality Mining (see DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <set>
+
+#include "mobility/social_contacts.hpp"
+#include "remapping/feature_space.hpp"
+#include "sim/dtn_routing.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void frequency_law_table() {
+  // The uncovered structure itself: contact frequency vs feature
+  // distance (the [21] observation our generator reproduces).
+  Rng rng(1);
+  SocialTraceParams p;
+  p.people = 60;
+  p.horizon = 1500;
+  p.base_rate = 0.2;
+  p.decay = 0.35;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  const auto freq = contact_frequency_by_distance(trace, profiles);
+  Table t({"feature_distance", "contacts_per_unit", "ratio_to_prev"});
+  for (std::size_t d = 0; d < freq.size(); ++d) {
+    t.add_row({Table::num(std::uint64_t(d)), Table::num(freq[d], 4),
+               d == 0 ? "-" : Table::num(freq[d] / freq[d - 1], 3)});
+  }
+  t.print(std::cout,
+          "E6: contact frequency decays with feature distance "
+          "(ratio column ~ decay parameter 0.35)");
+}
+
+void routing_comparison() {
+  Table t({"strategy", "delivery_ratio", "avg_delay", "avg_copies",
+           "avg_transmissions"});
+  Rng rng(2);
+  struct Acc {
+    RunningStats delay, copies, tx;
+    std::size_t delivered = 0, total = 0;
+  };
+  std::vector<std::pair<std::string, Acc>> rows{
+      {"direct", {}}, {"epidemic", {}}, {"spray&wait(L=6)", {}},
+      {"F-space greedy", {}}};
+  for (int workload = 0; workload < 4; ++workload) {
+    SocialTraceParams p;
+    p.people = 50;
+    p.horizon = 500;
+    p.base_rate = 0.15;
+    p.decay = 0.25;
+    const auto profiles = random_profiles(p.people, p.radices, rng);
+    const auto trace = social_contact_trace(p, profiles, rng);
+    Rng pick(workload + 10);
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(p.people));
+      const auto d = static_cast<VertexId>(pick.index(p.people));
+      if (s == d) continue;
+      std::vector<double> metric(p.people);
+      for (VertexId v = 0; v < p.people; ++v) {
+        metric[v] =
+            static_cast<double>(feature_distance(profiles[v], profiles[d]));
+      }
+      const Strategy strategies[4] = {direct_strategy(), epidemic_strategy(),
+                                      spray_and_wait_strategy(),
+                                      greedy_metric_strategy(metric)};
+      const std::size_t copies[4] = {1, 0, 6, 1};
+      for (int i = 0; i < 4; ++i) {
+        const auto r =
+            simulate_routing(trace, s, d, 0, strategies[i], copies[i]);
+        auto& acc = rows[i].second;
+        ++acc.total;
+        if (r.delivered) {
+          ++acc.delivered;
+          acc.delay.add(static_cast<double>(r.delivery_time));
+          acc.copies.add(static_cast<double>(r.copies));
+          acc.tx.add(static_cast<double>(r.transmissions));
+        }
+      }
+    }
+  }
+  for (auto& [name, acc] : rows) {
+    t.add_row({name, Table::num(double(acc.delivered) / double(acc.total), 3),
+               Table::num(acc.delay.mean(), 1),
+               Table::num(acc.copies.mean(), 1),
+               Table::num(acc.tx.mean(), 1)});
+  }
+  t.print(std::cout,
+          "E6: M-space routing guided by F-space (single-copy F-space "
+          "greedy approaches epidemic delay at a fraction of the copies)");
+}
+
+void multipath_table() {
+  // Fig. 6's other benefit: node-disjoint multipath in the GH.
+  const FeatureSpace fs({2, 2, 3});
+  Table t({"src_profile", "dst_profile", "distance", "disjoint_paths",
+           "all_disjoint"});
+  const std::vector<std::pair<SocialProfile, SocialProfile>> pairs{
+      {{0, 0, 0}, {1, 1, 2}},
+      {{0, 0, 0}, {1, 0, 1}},
+      {{0, 1, 2}, {1, 0, 0}},
+  };
+  for (const auto& [a, b] : pairs) {
+    const auto paths = fs.disjoint_paths(a, b);
+    bool ok = true;
+    std::set<std::size_t> seen;
+    for (const auto& path : paths) {
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        ok &= seen.insert(fs.node_of(path[i])).second;
+      }
+    }
+    auto fmt = [](const SocialProfile& p) {
+      std::string s;
+      for (auto d : p) s += std::to_string(d);
+      return s;
+    };
+    t.add_row({fmt(a), fmt(b),
+               Table::num(std::uint64_t(fs.distance(a, b))),
+               Table::num(std::uint64_t(paths.size())), ok ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "E6: node-disjoint multipath in the Fig. 6 GH(2,2,3) cube");
+}
+
+void decay_sensitivity() {
+  // How strongly must social structure shape contacts before F-space
+  // routing pays off? Sweep the decay (1.0 = no structure).
+  Table t({"decay", "fspace_delay", "direct_delay", "speedup"});
+  Rng rng(3);
+  for (double decay : {1.0, 0.6, 0.35, 0.2}) {
+    SocialTraceParams p;
+    p.people = 50;
+    p.horizon = 600;
+    p.base_rate = 0.12;
+    p.decay = decay;
+    const auto profiles = random_profiles(p.people, p.radices, rng);
+    const auto trace = social_contact_trace(p, profiles, rng);
+    RunningStats fd, dd;
+    Rng pick(11);
+    for (int trial = 0; trial < 80; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(p.people));
+      const auto d = static_cast<VertexId>(pick.index(p.people));
+      if (s == d) continue;
+      std::vector<double> metric(p.people);
+      for (VertexId v = 0; v < p.people; ++v) {
+        metric[v] =
+            static_cast<double>(feature_distance(profiles[v], profiles[d]));
+      }
+      const auto rf =
+          simulate_routing(trace, s, d, 0, greedy_metric_strategy(metric));
+      const auto rd = simulate_routing(trace, s, d, 0, direct_strategy());
+      if (rf.delivered && rd.delivered) {
+        fd.add(static_cast<double>(rf.delivery_time));
+        dd.add(static_cast<double>(rd.delivery_time));
+      }
+    }
+    t.add_row({Table::num(decay, 2), Table::num(fd.mean(), 1),
+               Table::num(dd.mean(), 1),
+               Table::num(dd.mean() / std::max(fd.mean(), 1e-9), 2)});
+  }
+  t.print(std::cout,
+          "E6: ablation — F-space routing only wins when contacts are "
+          "socially structured (small decay); at decay=1.0 there is no "
+          "structure to exploit");
+}
+
+void BM_FspaceGreedyRouting(benchmark::State& state) {
+  Rng rng(4);
+  SocialTraceParams p;
+  p.people = 50;
+  p.horizon = 500;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  std::vector<double> metric(p.people);
+  for (VertexId v = 0; v < p.people; ++v) {
+    metric[v] = static_cast<double>(feature_distance(profiles[v], profiles[0]));
+  }
+  VertexId s = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_routing(trace, s, 0, 0, greedy_metric_strategy(metric)));
+    s = static_cast<VertexId>(1 + (s % (p.people - 1)));
+  }
+}
+BENCHMARK(BM_FspaceGreedyRouting);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::frequency_law_table();
+  structnet::routing_comparison();
+  structnet::multipath_table();
+  structnet::decay_sensitivity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

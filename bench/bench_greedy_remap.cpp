@@ -1,0 +1,162 @@
+// Experiment E5 (Fig. 5, Sec. III-C): remapping representation.
+// Euclidean greedy routing gets stuck at non-convex holes; greedy on
+// remapped (spanning-tree virtual) coordinates always delivers. The
+// tree embedding stands in for the hyperbolic/Ricci-flow embeddings of
+// [19]/[20] (see DESIGN.md substitutions).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/components.hpp"
+#include "algo/traversal.hpp"
+#include "core/generators.hpp"
+#include "remapping/geo_routing.hpp"
+#include "remapping/tree_embedding.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+struct Field {
+  Graph graph;
+  std::vector<Point2D> positions;
+};
+
+Field make_field(std::size_t n, double radius, bool with_hole, Rng& rng) {
+  Field f;
+  if (with_hole) {
+    const auto holes = u_shaped_hole();
+    Graph g = random_geometric_with_holes(n, radius, holes, rng, &f.positions);
+    const auto mask = largest_component_mask(g);
+    std::vector<VertexId> map;
+    f.graph = g.induced_subgraph(mask, &map);
+    std::vector<Point2D> pts;
+    for (std::size_t v = 0; v < f.positions.size(); ++v) {
+      if (mask[v]) pts.push_back(f.positions[v]);
+    }
+    f.positions = std::move(pts);
+  } else {
+    Graph g = random_geometric(n, radius, rng, &f.positions);
+    const auto mask = largest_component_mask(g);
+    std::vector<VertexId> map;
+    f.graph = g.induced_subgraph(mask, &map);
+    std::vector<Point2D> pts;
+    for (std::size_t v = 0; v < f.positions.size(); ++v) {
+      if (mask[v]) pts.push_back(f.positions[v]);
+    }
+    f.positions = std::move(pts);
+  }
+  return f;
+}
+
+void delivery_table() {
+  Table t({"field", "n", "euclid_success", "remap_success", "euclid_stretch",
+           "remap_stretch"});
+  Rng rng(1);
+  for (const bool with_hole : {false, true}) {
+    const auto f = make_field(600, 0.07, with_hole, rng);
+    const TreeEmbedding emb(f.graph, 0);
+    Rng pick(2);
+    std::size_t e_ok = 0, r_ok = 0, total = 0;
+    RunningStats e_stretch, r_stretch;
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(f.graph.vertex_count()));
+      const auto d = static_cast<VertexId>(pick.index(f.graph.vertex_count()));
+      if (s == d) continue;
+      ++total;
+      const auto hops = bfs_distances(f.graph, s)[d];
+      const auto re = greedy_route_euclidean(f.graph, f.positions, s, d);
+      const auto rv = emb.greedy_route(f.graph, s, d);
+      if (re.delivered) {
+        ++e_ok;
+        e_stretch.add(double(re.path.size() - 1) / double(hops));
+      }
+      if (rv.delivered) {
+        ++r_ok;
+        r_stretch.add(double(rv.path.size() - 1) / double(hops));
+      }
+    }
+    t.add_row({with_hole ? "U-hole (Fig. 5a)" : "open field",
+               Table::num(std::uint64_t(f.graph.vertex_count())),
+               Table::num(double(e_ok) / double(total), 3),
+               Table::num(double(r_ok) / double(total), 3),
+               Table::num(e_stretch.mean(), 2),
+               Table::num(r_stretch.mean(), 2)});
+  }
+  t.print(std::cout,
+          "E5: Fig. 5 — Euclidean greedy fails at non-convex holes; "
+          "remapped greedy always delivers (remap success must be 1.0)");
+}
+
+void density_sweep() {
+  Table t({"radius", "euclid_success", "remap_success"});
+  Rng rng(3);
+  for (double radius : {0.055, 0.07, 0.09, 0.12}) {
+    const auto f = make_field(600, radius, true, rng);
+    const TreeEmbedding emb(f.graph, 0);
+    Rng pick(4);
+    std::size_t e_ok = 0, r_ok = 0, total = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(f.graph.vertex_count()));
+      const auto d = static_cast<VertexId>(pick.index(f.graph.vertex_count()));
+      if (s == d) continue;
+      ++total;
+      e_ok += greedy_route_euclidean(f.graph, f.positions, s, d).delivered;
+      r_ok += emb.greedy_route(f.graph, s, d).delivered;
+    }
+    t.add_row({Table::num(radius, 3), Table::num(double(e_ok) / total, 3),
+               Table::num(double(r_ok) / total, 3)});
+  }
+  t.print(std::cout,
+          "E5: radio-range sweep around the hole (denser graphs ease "
+          "Euclidean greedy; remapping stays at 1.0)");
+}
+
+void BM_EuclideanGreedy(benchmark::State& state) {
+  Rng rng(5);
+  const auto f = make_field(static_cast<std::size_t>(state.range(0)), 0.08,
+                            false, rng);
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_route_euclidean(
+        f.graph, f.positions, s,
+        static_cast<VertexId>(f.graph.vertex_count() - 1 - s)));
+    s = static_cast<VertexId>((s + 1) % (f.graph.vertex_count() / 2));
+  }
+}
+BENCHMARK(BM_EuclideanGreedy)->Arg(256)->Arg(1024);
+
+void BM_TreeEmbeddingBuild(benchmark::State& state) {
+  Rng rng(6);
+  const auto f = make_field(static_cast<std::size_t>(state.range(0)), 0.08,
+                            false, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeEmbedding(f.graph, 0));
+  }
+}
+BENCHMARK(BM_TreeEmbeddingBuild)->Arg(256)->Arg(1024);
+
+void BM_TreeGreedyRoute(benchmark::State& state) {
+  Rng rng(7);
+  const auto f = make_field(1024, 0.08, true, rng);
+  const TreeEmbedding emb(f.graph, 0);
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emb.greedy_route(
+        f.graph, s, static_cast<VertexId>(f.graph.vertex_count() - 1 - s)));
+    s = static_cast<VertexId>((s + 1) % (f.graph.vertex_count() / 2));
+  }
+}
+BENCHMARK(BM_TreeGreedyRoute);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::delivery_table();
+  structnet::density_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

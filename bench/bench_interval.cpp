@@ -1,0 +1,125 @@
+// Experiment E1 / E1b (Fig. 1, Sec. II-A): interval graphs of online
+// sessions and the interval-hypergraph cardinality distribution.
+//
+// Emits:
+//   * the Fig. 1 example graph facts;
+//   * interval-graph construction scaling (google-benchmark);
+//   * hyperedge cardinality distributions vs session density (the
+//     paper's open question: "what type of distribution of hyperedge
+//     cardinality will follow?").
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/chordal.hpp"
+#include "intersection/interval_graph.hpp"
+#include "intersection/interval_hypergraph.hpp"
+#include "intersection/sessions.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void BM_IntervalGraphBuild(benchmark::State& state) {
+  Rng rng(1);
+  SessionModel model;
+  model.users = static_cast<std::size_t>(state.range(0));
+  model.sessions_per_user = 1;
+  model.horizon = 1000.0;
+  model.mean_duration = 10.0;
+  const auto flat = flatten_sessions(generate_sessions(model, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interval_graph(flat));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalGraphBuild)->Range(64, 4096)->Complexity();
+
+void BM_HyperedgeExtraction(benchmark::State& state) {
+  Rng rng(2);
+  SessionModel model;
+  model.users = static_cast<std::size_t>(state.range(0));
+  model.sessions_per_user = 2;
+  const auto flat = flatten_sessions(generate_sessions(model, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interval_hyperedges(flat));
+  }
+}
+BENCHMARK(BM_HyperedgeExtraction)->Range(64, 2048);
+
+void fig1_table() {
+  const std::vector<Interval> iv{
+      {0.0, 4.0}, {7.0, 9.0}, {3.0, 8.0}, {2.0, 5.0}};
+  const Graph g = interval_graph(iv);
+  Table t({"fact", "value"});
+  t.add_row({"vertices (users A-D)", Table::num(std::uint64_t(g.vertex_count()))});
+  t.add_row({"edges", Table::num(std::uint64_t(g.edge_count()))});
+  t.add_row({"chordal (must be)", is_chordal(g) ? "yes" : "NO"});
+  const auto hyper = interval_hyperedges(iv);
+  t.add_row({"maximal hyperedges", Table::num(std::uint64_t(hyper.size()))});
+  std::size_t triple = 0;
+  for (const auto& h : hyper) triple += h.size() == 3;
+  t.add_row({"triple hyperedge {A,C,D}", triple ? "present" : "MISSING"});
+  t.print(std::cout, "E1: Fig. 1 interval graph of an online social network");
+}
+
+void cardinality_table() {
+  Table t({"sessions/user", "mean_card", "max_card", "P(card=1)", "P(card>=3)",
+           "hyperedges"});
+  Rng rng(3);
+  for (std::size_t spu : {1, 2, 4, 8}) {
+    SessionModel model;
+    model.users = 400;
+    model.sessions_per_user = spu;
+    model.horizon = 2000.0;
+    model.mean_duration = 10.0;
+    const auto flat = flatten_sessions(generate_sessions(model, rng));
+    const auto hyper = interval_hyperedges(flat);
+    const auto hist = hyperedge_cardinality_distribution(hyper);
+    t.add_row({Table::num(std::uint64_t(spu)), Table::num(hist.mean(), 2),
+               Table::num(hist.max_value()), Table::num(hist.fraction(1), 3),
+               Table::num(hist.ccdf(3), 3),
+               Table::num(std::uint64_t(hyper.size()))});
+  }
+  t.print(std::cout,
+          "E1b: hyperedge cardinality vs session density "
+          "(denser presence -> heavier hyperedge tail)");
+}
+
+void chordality_table() {
+  // Every single-interval graph is chordal; multiple-interval graphs
+  // escape (the structural boundary the paper highlights).
+  Table t({"model", "chordal_fraction", "trials"});
+  Rng rng(4);
+  int single_ok = 0, multi_chordal = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    SessionModel model;
+    model.users = 60;
+    model.sessions_per_user = 1;
+    single_ok += is_chordal(interval_graph(
+        flatten_sessions(generate_sessions(model, rng))));
+    model.sessions_per_user = 3;
+    multi_chordal +=
+        is_chordal(multiple_interval_graph(generate_sessions(model, rng)));
+  }
+  t.add_row({"single-interval", Table::num(single_ok / double(trials), 2),
+             Table::num(std::uint64_t(trials))});
+  t.add_row({"multiple-interval", Table::num(multi_chordal / double(trials), 2),
+             Table::num(std::uint64_t(trials))});
+  t.print(std::cout,
+          "E1: chordality boundary (interval graphs are always chordal; "
+          "multi-interval graphs are not)");
+}
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::fig1_table();
+  structnet::cardinality_table();
+  structnet::chordality_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Experiment E2 (Fig. 2, Sec. II-B): the three journey-optimization
+// problems — earliest completion time, minimum hop, fastest — on the
+// reconstructed Fig. 2 VANET and on random-waypoint contact traces.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "temporal/fig2_example.hpp"
+#include "temporal/journeys.hpp"
+#include "temporal/weighted.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void fig2_table() {
+  const auto eg = fig2::build_core();
+  Table t({"metric", "A->C journey", "value"});
+  const auto ec = earliest_completion_journey(eg, fig2::A, fig2::C, 0);
+  const auto mh = minimum_hop_journey(eg, fig2::A, fig2::C, 0);
+  const auto fp = fastest_journey(eg, fig2::A, fig2::C, 0);
+  auto fmt = [](const Journey& j) {
+    std::string s;
+    for (const auto& hop : j.hops) {
+      s += std::to_string(hop.from) + "-" + std::to_string(hop.t) + "->";
+    }
+    if (!j.hops.empty()) s += std::to_string(j.hops.back().to);
+    return s;
+  };
+  t.add_row({"earliest completion", fmt(*ec), Table::num(std::uint64_t(ec->completion()))});
+  t.add_row({"minimum hop", fmt(*mh), Table::num(std::uint64_t(mh->hop_count()))});
+  t.add_row({"fastest (span)", fmt(*fp), Table::num(std::uint64_t(fp->span()))});
+  t.print(std::cout, "E2: Fig. 2 reconstructed VANET (A,B,C,D = 0,1,2,3)");
+
+  Table conn({"start_time", "A connected to C"});
+  for (TimeUnit s = 0; s < eg.horizon(); ++s) {
+    conn.add_row({Table::num(std::uint64_t(s)),
+                  is_connected_at(eg, fig2::A, fig2::C, s) ? "yes" : "no"});
+  }
+  conn.print(std::cout,
+             "E2: 'A is connected to C at starting time units 0..4'");
+}
+
+void rwp_journey_table() {
+  // On RWP traces, the three criteria trade off: earliest completion
+  // minimizes arrival, min-hop uses fewer hops but arrives later,
+  // fastest minimizes span by departing late.
+  Table t({"radius", "pairs", "avg_arrival(EC)", "avg_hops(EC)",
+           "avg_hops(MH)", "avg_arrival(MH)", "avg_span(EC)",
+           "avg_span(Fastest)"});
+  Rng rng(7);
+  for (double radius : {0.15, 0.25, 0.35}) {
+    RandomWaypointParams p;
+    p.nodes = 30;
+    p.steps = 60;
+    const auto traj = random_waypoint(p, rng);
+    const auto eg = contacts_from_trajectory(traj, radius);
+    RunningStats arr_ec, hop_ec, hop_mh, arr_mh, span_ec, span_fp;
+    Rng pick(1);
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(p.nodes));
+      const auto d = static_cast<VertexId>(pick.index(p.nodes));
+      if (s == d) continue;
+      const auto ec = earliest_completion_journey(eg, s, d, 0);
+      if (!ec) continue;
+      const auto mh = minimum_hop_journey(eg, s, d, 0);
+      const auto fp = fastest_journey(eg, s, d, 0);
+      arr_ec.add(ec->completion());
+      hop_ec.add(static_cast<double>(ec->hop_count()));
+      hop_mh.add(static_cast<double>(mh->hop_count()));
+      arr_mh.add(mh->completion());
+      span_ec.add(ec->span());
+      span_fp.add(fp->span());
+    }
+    t.add_row({Table::num(radius, 2), Table::num(std::uint64_t(arr_ec.count())),
+               Table::num(arr_ec.mean(), 2), Table::num(hop_ec.mean(), 2),
+               Table::num(hop_mh.mean(), 2), Table::num(arr_mh.mean(), 2),
+               Table::num(span_ec.mean(), 2), Table::num(span_fp.mean(), 2)});
+  }
+  t.print(std::cout,
+          "E2: journey criteria on random-waypoint traces "
+          "(min-hop <= EC hops; fastest span <= EC span; EC arrival <= MH "
+          "arrival)");
+}
+
+void weighted_journey_table() {
+  // E2w (Sec. II-B): "a weight can be the bandwidth, transmission
+  // delay, or reliability" — the three objectives optimize different
+  // journeys over the same weighted trace.
+  Rng rng(23);
+  RandomWaypointParams p;
+  p.nodes = 24;
+  p.steps = 50;
+  const auto base = contacts_from_trajectory(random_waypoint(p, rng), 0.25);
+  WeightedTemporalGraph eg(base.vertex_count(), base.horizon());
+  for (const Contact& c : base.contacts()) {
+    eg.add_contact(c.u, c.v, c.t, rng.uniform(0.1, 1.0));
+  }
+  RunningStats delay_cost, rel_ec, rel_opt, bw_ec, bw_opt;
+  Rng pick(3);
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(p.nodes));
+    const auto d = static_cast<VertexId>(pick.index(p.nodes));
+    if (s == d) continue;
+    const auto md = min_delay_journey(eg, s, d, 0);
+    if (!md) continue;
+    const auto mr = max_reliability_journey(eg, s, d, 0);
+    const auto mb = max_bandwidth_journey(eg, s, d, 0);
+    // Compare against the unweighted earliest-completion journey's
+    // aggregate values (what a weight-oblivious router would get).
+    const auto ec = earliest_completion_journey(base, s, d, 0);
+    double ec_rel = 1.0, ec_bw = 1e9;
+    for (const auto& hop : ec->hops) {
+      const double w = *eg.weight_of(hop.from, hop.to, hop.t);
+      ec_rel *= w;
+      ec_bw = std::min(ec_bw, w);
+    }
+    delay_cost.add(md->value);
+    rel_ec.add(ec_rel);
+    rel_opt.add(mr->value);
+    bw_ec.add(ec_bw);
+    bw_opt.add(mb->value);
+  }
+  Table t({"objective", "weight-aware", "weight-oblivious (EC journey)"});
+  t.add_row({"min total delay", Table::num(delay_cost.mean(), 3), "-"});
+  t.add_row({"max reliability", Table::num(rel_opt.mean(), 3),
+             Table::num(rel_ec.mean(), 3)});
+  t.add_row({"max bottleneck bandwidth", Table::num(bw_opt.mean(), 3),
+             Table::num(bw_ec.mean(), 3)});
+  t.print(std::cout,
+          "E2w: weighted journeys — optimizing the right objective "
+          "dominates the weight-oblivious earliest-completion route");
+}
+
+void pareto_frontier_table() {
+  // E2w: the cost/completion trade-off — pay more to arrive earlier.
+  Rng rng(31);
+  RandomWaypointParams p;
+  p.nodes = 20;
+  p.steps = 60;
+  const auto base = contacts_from_trajectory(random_waypoint(p, rng), 0.2);
+  WeightedTemporalGraph eg(base.vertex_count(), base.horizon());
+  for (const Contact& c : base.contacts()) {
+    eg.add_contact(c.u, c.v, c.t, rng.uniform(0.1, 1.0));
+  }
+  RunningStats points, cost_spread, time_spread;
+  Rng pick(32);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(p.nodes));
+    const auto d = static_cast<VertexId>(pick.index(p.nodes));
+    if (s == d) continue;
+    const auto frontier = cost_completion_frontier(eg, s, d, 0);
+    if (frontier.size() < 1) continue;
+    points.add(static_cast<double>(frontier.size()));
+    cost_spread.add(frontier.front().cost - frontier.back().cost);
+    time_spread.add(static_cast<double>(frontier.back().completion -
+                                        frontier.front().completion));
+  }
+  Table t({"metric", "value"});
+  t.add_row({"avg Pareto points per pair", Table::num(points.mean(), 2)});
+  t.add_row({"avg cost saved by waiting", Table::num(cost_spread.mean(), 2)});
+  t.add_row({"avg extra wait (units)", Table::num(time_spread.mean(), 2)});
+  t.print(std::cout,
+          "E2w: cost/completion Pareto frontier on weighted RWP traces");
+}
+
+void BM_EarliestArrival(benchmark::State& state) {
+  Rng rng(11);
+  RandomWaypointParams p;
+  p.nodes = static_cast<std::size_t>(state.range(0));
+  p.steps = 100;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.2);
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(earliest_arrival(eg, s, 0));
+    s = static_cast<VertexId>((s + 1) % p.nodes);
+  }
+}
+BENCHMARK(BM_EarliestArrival)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MinimumHopJourney(benchmark::State& state) {
+  Rng rng(13);
+  RandomWaypointParams p;
+  p.nodes = static_cast<std::size_t>(state.range(0));
+  p.steps = 100;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.2);
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        minimum_hop_journey(eg, s, static_cast<VertexId>(p.nodes - 1 - s), 0));
+    s = static_cast<VertexId>((s + 1) % (p.nodes / 2));
+  }
+}
+BENCHMARK(BM_MinimumHopJourney)->Arg(32)->Arg(64);
+
+void BM_FastestJourney(benchmark::State& state) {
+  Rng rng(17);
+  RandomWaypointParams p;
+  p.nodes = 48;
+  p.steps = static_cast<std::size_t>(state.range(0));
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.2);
+  VertexId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fastest_journey(eg, s, static_cast<VertexId>(47 - s), 0));
+    s = static_cast<VertexId>((s + 1) % 24);
+  }
+}
+BENCHMARK(BM_FastestJourney)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::fig2_table();
+  structnet::rwp_journey_table();
+  structnet::weighted_journey_table();
+  structnet::pareto_frontier_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

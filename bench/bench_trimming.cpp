@@ -1,0 +1,247 @@
+// Experiment E3b (Sec. III-A): static trimming of time-evolving graphs
+// — how much of the EG the node/link/label rules remove while provably
+// preserving earliest completion times — plus UDG topology control.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "algo/components.hpp"
+#include "core/generators.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "temporal/fig2_example.hpp"
+#include "temporal/temporal_centrality.hpp"
+#include "trimming/eg_trimming.hpp"
+#include "trimming/spanner.hpp"
+#include "trimming/topology_control.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+void fig2_trimming_table() {
+  const auto eg = fig2::build();
+  const std::vector<double> prio{6, 5, 4, 3, 2, 1};
+  Table t({"claim", "holds"});
+  t.add_row({"A can ignore neighbor D (link rule)",
+             can_ignore_neighbor(eg, fig2::A, fig2::D, prio) ? "yes" : "NO"});
+  t.add_row({"D cannot ignore A",
+             !can_ignore_neighbor(eg, fig2::D, fig2::A, prio) ? "yes" : "NO"});
+  t.add_row({"node D not trimmable (B-0->D-0->C unprotected)",
+             !can_trim_node(eg, fig2::D, prio) ? "yes" : "NO"});
+  t.print(std::cout, "E3b: Fig. 2 trimming claims");
+}
+
+void trimming_sweep() {
+  Table t({"radius", "nodes", "labels", "nodes_trimmed", "links_trimmed",
+           "labels_trimmed", "completion_preserved"});
+  Rng rng(1);
+  for (double radius : {0.3, 0.4, 0.5}) {
+    RandomWaypointParams p;
+    p.nodes = 12;
+    p.steps = 16;
+    const auto traj = random_waypoint(p, rng);
+    const auto eg = contacts_from_trajectory(traj, radius);
+    std::size_t labels = 0;
+    for (const auto& e : eg.edges()) labels += e.labels.size();
+    std::vector<double> prio(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) {
+      prio[v] = static_cast<double>(p.nodes - v);
+    }
+    const auto nodes = trim_nodes(eg, prio);
+    const auto links = trim_links(eg, prio);
+    const auto lbls = trim_labels(eg);
+    std::vector<bool> alive(p.nodes, true);
+    for (VertexId v : nodes.removed_nodes) alive[v] = false;
+    // Nodes & labels preserve exact completion; links preserve
+    // reachability (endpoint arrivals may slip — see EXPERIMENTS.md).
+    const bool ok_nodes = preserves_reachability(eg, nodes.trimmed, alive, true);
+    const std::vector<bool> all(p.nodes, true);
+    const bool ok_links = preserves_reachability(eg, links.trimmed, all, false);
+    const bool ok_labels = preserves_reachability(eg, lbls.trimmed, all, true);
+    t.add_row({Table::num(radius, 2), Table::num(std::uint64_t(p.nodes)),
+               Table::num(std::uint64_t(labels)),
+               Table::num(std::uint64_t(nodes.removed_nodes.size())),
+               Table::num(std::uint64_t(links.removed_links.size())),
+               Table::num(std::uint64_t(lbls.removed_labels)),
+               (ok_nodes && ok_links && ok_labels) ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "E3b: trimming yield on RWP traces (denser traces carry more "
+          "removable redundancy; preservation always holds)");
+}
+
+void topology_control_table() {
+  Table t({"n", "udg_edges", "gabriel_edges", "rng_edges", "gg_stretch_avg",
+           "rng_stretch_avg", "all_connected"});
+  Rng rng(2);
+  for (std::size_t n : {100, 200, 400}) {
+    std::vector<Point2D> pts;
+    Graph g = random_geometric(n, 0.3, rng, &pts);
+    const auto mask = largest_component_mask(g);
+    std::vector<VertexId> map;
+    const Graph comp = g.induced_subgraph(mask, &map);
+    std::vector<Point2D> cpts;
+    for (std::size_t v = 0; v < pts.size(); ++v) {
+      if (mask[v]) cpts.push_back(pts[v]);
+    }
+    const Graph gg = gabriel_graph(comp, cpts);
+    const Graph rg = relative_neighborhood_graph(comp, cpts);
+    const auto s1 = hop_stretch(comp, gg);
+    const auto s2 = hop_stretch(comp, rg);
+    const bool connected = is_connected(gg) && is_connected(rg);
+    t.add_row({Table::num(std::uint64_t(comp.vertex_count())),
+               Table::num(std::uint64_t(comp.edge_count())),
+               Table::num(std::uint64_t(gg.edge_count())),
+               Table::num(std::uint64_t(rg.edge_count())),
+               Table::num(s1.average, 3), Table::num(s2.average, 3),
+               connected ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "E3b: UDG topology control — sparser structures, bounded hop "
+          "stretch, connectivity preserved");
+}
+
+void priority_ablation() {
+  // Sec. III-A: "We can also assign priority, say using node degree or
+  // node betweenness, based on the strategic importance of the node."
+  // Which priority ordering lets the node rule trim the most?
+  Table t({"priority", "avg_nodes_trimmed", "avg_links_trimmed"});
+  struct Acc {
+    double nodes = 0.0, links = 0.0;
+  };
+  Acc by_id, by_degree, by_betweenness;
+  Rng rng(7);
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 12;
+    p.steps = 14;
+    const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.4);
+    auto jitter = [&](std::vector<double> base) {
+      for (std::size_t v = 0; v < base.size(); ++v) {
+        base[v] += 1e-6 * static_cast<double>(v);  // make distinct
+      }
+      return base;
+    };
+    std::vector<double> id(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) id[v] = double(p.nodes - v);
+    const auto deg = jitter(temporal_degree(eg));
+    const auto btw = jitter(temporal_betweenness(eg));
+    auto run = [&](const std::vector<double>& prio, Acc& acc) {
+      acc.nodes += static_cast<double>(trim_nodes(eg, prio).removed_nodes.size());
+      acc.links += static_cast<double>(trim_links(eg, prio).removed_links.size());
+    };
+    run(id, by_id);
+    run(deg, by_degree);
+    run(btw, by_betweenness);
+  }
+  auto row = [&](const std::string& name, const Acc& acc) {
+    t.add_row({name, Table::num(acc.nodes / trials, 2),
+               Table::num(acc.links / trials, 2)});
+  };
+  row("node id (paper default)", by_id);
+  row("temporal degree", by_degree);
+  row("temporal betweenness", by_betweenness);
+  t.print(std::cout,
+          "E3b ablation: trimming yield by priority signal — protecting "
+          "high-betweenness relays lets more of the rest go");
+}
+
+void khop_horizon_table() {
+  // "The price of being near-sighted" [27]: how much trimming does a
+  // k-hop information horizon buy compared to global knowledge?
+  Table t({"k (hops of local info)", "links_ignorable", "of_global"});
+  Rng rng(9);
+  RandomWaypointParams p;
+  p.nodes = 16;
+  p.steps = 14;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.3);
+  std::vector<double> prio(p.nodes);
+  for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+  // Count directional ignore decisions across all adjacent pairs.
+  auto count_khop = [&](std::uint32_t k) {
+    std::size_t ignorable = 0;
+    for (const auto& edge : eg.edges()) {
+      ignorable += can_ignore_neighbor_khop(eg, edge.u, edge.v, prio, k);
+      ignorable += can_ignore_neighbor_khop(eg, edge.v, edge.u, prio, k);
+    }
+    return ignorable;
+  };
+  std::size_t global = 0;
+  for (const auto& edge : eg.edges()) {
+    global += can_ignore_neighbor(eg, edge.u, edge.v, prio);
+    global += can_ignore_neighbor(eg, edge.v, edge.u, prio);
+  }
+  for (std::uint32_t k : {1, 2, 3, 5}) {
+    const auto c = count_khop(k);
+    t.add_row({Table::num(std::uint64_t(k)), Table::num(std::uint64_t(c)),
+               Table::num(global ? double(c) / double(global) : 1.0, 3)});
+  }
+  t.add_row({"global", Table::num(std::uint64_t(global)), "1.000"});
+  t.print(std::cout,
+          "E3b: the price of being near-sighted [27] — trimming power vs "
+          "information horizon (2-hop already captures most of it)");
+}
+
+void spanner_table() {
+  // Sec. III-A's distance-preservation flavor of trimming [8].
+  Table t({"stretch", "kept_edges", "of_total", "spanner_property"});
+  Rng rng(8);
+  std::vector<Point2D> pts;
+  Graph g = random_geometric(120, 0.25, rng, &pts);
+  std::vector<double> w;
+  for (const auto& e : g.edges()) w.push_back(distance(pts[e.u], pts[e.v]));
+  for (double stretch : {1.2, 1.5, 2.0, 3.0, 5.0}) {
+    const auto kept = greedy_spanner(g, w, stretch);
+    const Graph sub = subgraph_of_edges(g, kept);
+    std::vector<double> sw;
+    for (EdgeId e : kept) sw.push_back(w[e]);
+    t.add_row({Table::num(stretch, 1), Table::num(std::uint64_t(kept.size())),
+               Table::num(double(kept.size()) / double(g.edge_count()), 3),
+               is_spanner(g, w, sub, sw, stretch) ? "holds" : "VIOLATED"});
+  }
+  t.print(std::cout,
+          "E3b: greedy t-spanners of a UDG — distance-preserving "
+          "trimming; larger stretch budgets buy sparser backbones");
+}
+
+void BM_TrimNodes(benchmark::State& state) {
+  Rng rng(3);
+  RandomWaypointParams p;
+  p.nodes = static_cast<std::size_t>(state.range(0));
+  p.steps = 16;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.35);
+  std::vector<double> prio(p.nodes);
+  for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trim_nodes(eg, prio));
+  }
+}
+BENCHMARK(BM_TrimNodes)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GabrielGraph(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric(static_cast<std::size_t>(state.range(0)),
+                                   0.15, rng, &pts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gabriel_graph(g, pts));
+  }
+}
+BENCHMARK(BM_GabrielGraph)->Range(128, 2048);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::fig2_trimming_table();
+  structnet::trimming_sweep();
+  structnet::priority_ablation();
+  structnet::khop_horizon_table();
+  structnet::topology_control_table();
+  structnet::spanner_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fault-tolerant hypercube routing with safety levels (Sec. IV-C,
+// Wu '95): label a faulty 6-cube in <= 5 rounds, then unicast and
+// broadcast around the faults without routing tables.
+#include <iostream>
+
+#include "labeling/safety_levels.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace structnet;
+  Rng rng(3);
+
+  const std::size_t dims = 6;
+  std::vector<std::size_t> faulty;
+  for (auto f : rng.sample_without_replacement(1u << dims, 7)) {
+    faulty.push_back(f);
+  }
+  const SafetyLevelCube cube(dims, faulty);
+
+  std::cout << dims << "-cube with " << faulty.size() << " faulty nodes; "
+            << "safety labeling stabilized in " << cube.rounds_used()
+            << " rounds (bound: " << dims - 1 << ")\n\n";
+
+  Table hist({"safety_level", "nodes"});
+  std::vector<std::size_t> count(dims + 1, 0);
+  for (std::size_t v = 0; v < cube.node_count(); ++v) ++count[cube.level(v)];
+  for (std::size_t l = 0; l <= dims; ++l) {
+    hist.add_row({Table::num(std::uint64_t(l)),
+                  Table::num(std::uint64_t(count[l]))});
+  }
+  hist.print(std::cout, "Safety level histogram (level n = safe)");
+
+  // Unicast demos.
+  Table t({"source", "dest", "hamming", "path_length", "optimal"});
+  int shown = 0;
+  for (std::size_t s = 0; s < cube.node_count() && shown < 6; s += 11) {
+    const std::size_t d = (s * 29 + 17) % cube.node_count();
+    if (cube.is_faulty(s) || cube.is_faulty(d) || s == d) continue;
+    const auto path = cube.route(s, d);
+    if (!path) continue;
+    ++shown;
+    const auto h = SafetyLevelCube::hamming(s, d);
+    t.add_row({Table::num(std::uint64_t(s)), Table::num(std::uint64_t(d)),
+               Table::num(std::uint64_t(h)),
+               Table::num(std::uint64_t(path->size() - 1)),
+               path->size() - 1 == h ? "yes" : "detour"});
+  }
+  t.print(std::cout, "Self-guided unicast (no routing tables)");
+
+  // Broadcast from a safe node.
+  for (std::size_t s = 0; s < cube.node_count(); ++s) {
+    if (cube.level(s) == dims) {
+      const auto b = cube.broadcast(s);
+      std::size_t reached = 0, alive = 0;
+      for (std::size_t v = 0; v < cube.node_count(); ++v) {
+        if (!cube.is_faulty(v)) {
+          ++alive;
+          reached += b.reached[v];
+        }
+      }
+      std::cout << "\nBroadcast from safe node " << s << ": reached "
+                << reached << "/" << alive << " non-faulty nodes with "
+                << b.messages << " messages\n";
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Small-world navigation (the paper's introductory success story,
+// Kleinberg [2]): a localized algorithm — every node knows only its own
+// links — finds short paths when long-range links follow the
+// inverse-square law.
+#include <iostream>
+
+#include "remapping/small_world.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace structnet;
+  Rng rng(2026);
+  const std::size_t side = 30;
+
+  Table t({"long-range exponent r", "avg greedy hops", "sample route len"});
+  for (double r : {0.0, 1.0, 2.0, 3.0}) {
+    const SmallWorldLattice lattice(side, r, rng);
+    Rng pick(5);
+    const double avg = average_greedy_hops(lattice, 500, pick);
+    const std::size_t sample = lattice.greedy_route_hops(0, side * side / 2);
+    t.add_row({Table::num(r, 1), Table::num(avg, 2),
+               Table::num(std::uint64_t(sample))});
+  }
+  t.print(std::cout,
+          "Greedy navigation on a 30x30 small-world torus (1 long link "
+          "per node)");
+
+  // Show one route's distance profile: each greedy step strictly
+  // approaches the target; long links produce the big drops.
+  const SmallWorldLattice lattice(side, 2.0, rng);
+  // Farthest point from vertex 0 on the torus: the antipode
+  // (side/2, side/2).
+  const VertexId target =
+      static_cast<VertexId>((side / 2) * side + side / 2);
+  VertexId cur = 0;
+  std::cout << "\nOne r=2 route, lattice distance to target per hop:\n  ";
+  while (cur != target) {
+    std::cout << lattice.lattice_distance(cur, target) << " ";
+    cur = lattice.greedy_next_hop(cur, target);
+  }
+  std::cout << "0\nEvery hop is chosen from the node's OWN links only — a "
+               "localized solution exploiting a global structural law.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Social feature routing (the paper's Fig. 6 narrative, end to end):
+//
+//   1. A population with feature profiles (gender, occupation,
+//      nationality) meets according to feature distance.
+//   2. The F-space — a generalized hypercube over the profiles — is the
+//      static structure "uncovered" from the mobile contact process.
+//   3. Messages are routed in M-space by greedy descent on F-space
+//      distance and compared against direct delivery.
+#include <iostream>
+
+#include "mobility/social_contacts.hpp"
+#include "remapping/feature_space.hpp"
+#include "sim/dtn_routing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace structnet;
+  Rng rng(7);
+
+  SocialTraceParams params;
+  params.people = 60;
+  params.horizon = 800;
+  params.radices = {2, 2, 3};  // Fig. 6's cube
+  params.base_rate = 0.15;
+  params.decay = 0.3;
+  const auto profiles = random_profiles(params.people, params.radices, rng);
+  const auto trace = social_contact_trace(params, profiles, rng);
+
+  // Uncover the structure: frequency by feature distance.
+  const auto freq = contact_frequency_by_distance(trace, profiles);
+  Table law({"feature_distance", "contacts_per_unit"});
+  for (std::size_t d = 0; d < freq.size(); ++d) {
+    law.add_row({Table::num(std::uint64_t(d)), Table::num(freq[d], 4)});
+  }
+  law.print(std::cout, "Uncovered law: contact frequency vs feature distance");
+
+  const FeatureSpace fs(params.radices);
+  std::cout << "\nF-space: generalized hypercube with " << fs.node_count()
+            << " community nodes (people per community share all features)\n\n";
+
+  // Route 50 messages: F-space greedy vs direct.
+  Table t({"pair", "F-space delay", "direct delay", "F-space hops"});
+  Rng pick(99);
+  int shown = 0;
+  double f_total = 0, d_total = 0;
+  int both = 0;
+  for (int trial = 0; trial < 200 && shown < 8; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(params.people));
+    const auto d = static_cast<VertexId>(pick.index(params.people));
+    if (s == d || feature_distance(profiles[s], profiles[d]) < 2) continue;
+    std::vector<double> metric(params.people);
+    for (VertexId v = 0; v < params.people; ++v) {
+      metric[v] =
+          static_cast<double>(feature_distance(profiles[v], profiles[d]));
+    }
+    const auto rf =
+        simulate_routing(trace, s, d, 0, greedy_metric_strategy(metric));
+    const auto rd = simulate_routing(trace, s, d, 0, direct_strategy());
+    if (!rf.delivered || !rd.delivered) continue;
+    ++both;
+    f_total += rf.delivery_time;
+    d_total += rd.delivery_time;
+    ++shown;
+    t.add_row({std::to_string(s) + "->" + std::to_string(d),
+               Table::num(std::uint64_t(rf.delivery_time)),
+               Table::num(std::uint64_t(rd.delivery_time)),
+               Table::num(std::uint64_t(rf.hops))});
+  }
+  t.print(std::cout, "Sample deliveries (single copy both ways)");
+  std::cout << "\nAverage delay over " << both
+            << " pairs: F-space greedy = " << f_total / both
+            << ", direct = " << d_total / both << "\n";
+  return 0;
+}

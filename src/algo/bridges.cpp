@@ -1,0 +1,103 @@
+#include "algo/bridges.hpp"
+
+#include <algorithm>
+
+namespace structnet {
+
+CutStructure find_cut_structure(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  // Incident edge ids per vertex so the entry edge (not the parent
+  // vertex) can be skipped — robust even though Graph forbids parallels.
+  std::vector<std::vector<EdgeId>> incident(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    incident[g.edge(e).u].push_back(e);
+    incident[g.edge(e).v].push_back(e);
+  }
+  auto other = [&](EdgeId e, VertexId v) {
+    const auto& edge = g.edge(e);
+    return edge.u == v ? edge.v : edge.u;
+  };
+
+  // Pass 1: iterative DFS forest. `order` lists non-root vertices with
+  // every parent before its children; parent_edge[v] is the tree edge
+  // into v.
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> seen(n, false);
+  std::vector<bool> is_articulation(n, false);
+  struct Frame {
+    VertexId v;
+    EdgeId via;
+    std::size_t child;
+  };
+  for (VertexId root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    seen[root] = true;
+    std::size_t root_children = 0;
+    std::vector<Frame> stack{Frame{root, kInvalidEdge, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.child >= incident[f.v].size()) {
+        stack.pop_back();
+        continue;
+      }
+      const EdgeId e = incident[f.v][f.child++];
+      if (e == f.via) continue;
+      const VertexId w = other(e, f.v);
+      if (seen[w]) continue;
+      seen[w] = true;
+      parent_edge[w] = e;
+      if (f.v == root) ++root_children;
+      order.push_back(w);
+      stack.push_back(Frame{w, e, 0});
+    }
+    if (root_children >= 2) is_articulation[root] = true;
+  }
+
+  // Discovery stamps consistent with the forest: parents before
+  // children (roots first, then visitation order).
+  std::vector<std::uint32_t> disc(n, 0);
+  std::uint32_t timer = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (parent_edge[v] == kInvalidEdge) disc[v] = timer++;
+  }
+  for (VertexId v : order) disc[v] = timer++;
+
+  // Pass 2: low-links bottom-up (children close before parents in
+  // reverse order).
+  std::vector<std::uint32_t> low(n);
+  for (VertexId v = 0; v < n; ++v) low[v] = disc[v];
+  CutStructure out;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    for (const EdgeId e : incident[v]) {
+      if (e == parent_edge[v]) continue;
+      const VertexId w = other(e, v);
+      if (parent_edge[w] == e) {
+        low[v] = std::min(low[v], low[w]);   // tree child of v
+      } else {
+        low[v] = std::min(low[v], disc[w]);  // back/cross edge
+      }
+    }
+    const VertexId p = other(parent_edge[v], v);
+    if (low[v] > disc[p]) out.bridges.push_back(parent_edge[v]);
+    // Non-root parent with a child that cannot climb above it.
+    if (parent_edge[p] != kInvalidEdge && low[v] >= disc[p]) {
+      is_articulation[p] = true;
+    }
+  }
+  std::sort(out.bridges.begin(), out.bridges.end());
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_articulation[v]) out.articulation_points.push_back(v);
+  }
+  return out;
+}
+
+std::vector<bool> bridge_mask(const Graph& g) {
+  std::vector<bool> mask(g.edge_count(), false);
+  for (EdgeId e : find_cut_structure(g).bridges) mask[e] = true;
+  return mask;
+}
+
+}  // namespace structnet

@@ -1,0 +1,24 @@
+// Bridges and articulation points (Tarjan low-link): the structurally
+// irreplaceable elements of a graph. Trimming can never remove a bridge
+// without disconnecting something — these are the fast negative oracle
+// for any link-removal rule.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+struct CutStructure {
+  std::vector<EdgeId> bridges;              // edge ids, ascending
+  std::vector<VertexId> articulation_points;  // ascending
+};
+
+/// Computes all bridges and articulation points (iterative DFS, O(n+m)).
+CutStructure find_cut_structure(const Graph& g);
+
+/// Convenience: mask of bridge edges.
+std::vector<bool> bridge_mask(const Graph& g);
+
+}  // namespace structnet

@@ -1,0 +1,176 @@
+#include "algo/chordal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "algo/components.hpp"
+
+namespace structnet {
+
+std::vector<VertexId> lex_bfs_order(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  // Simple O(n^2) partition-free variant: each unvisited vertex carries a
+  // label (list of visit positions of its visited neighbors, descending);
+  // repeatedly pick the unvisited vertex with the lexicographically
+  // largest label.
+  std::vector<std::vector<std::uint32_t>> label(n);
+  std::vector<bool> visited(n, false);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    VertexId best = kInvalidVertex;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      if (best == kInvalidVertex || label[v] > label[best]) {
+        best = static_cast<VertexId>(v);
+      }
+    }
+    visited[best] = true;
+    order.push_back(best);
+    const auto pos = static_cast<std::uint32_t>(n - step);  // descending
+    for (VertexId w : g.neighbors(best)) {
+      if (!visited[w]) label[w].push_back(pos);
+    }
+  }
+  return order;
+}
+
+bool is_perfect_elimination_ordering(const Graph& g,
+                                     const std::vector<VertexId>& order) {
+  const std::size_t n = g.vertex_count();
+  assert(order.size() == n);
+  std::vector<std::uint32_t> pos(n);
+  for (std::uint32_t i = 0; i < n; ++i) pos[order[i]] = i;
+  // For each v, let S = later neighbors; it suffices to check that the
+  // earliest member u of S is adjacent to every other member of S
+  // (classic PEO verification).
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    VertexId u = kInvalidVertex;
+    std::uint32_t best_pos = 0;
+    std::vector<VertexId> later;
+    for (VertexId w : g.neighbors(v)) {
+      if (pos[w] > i) {
+        later.push_back(w);
+        if (u == kInvalidVertex || pos[w] < best_pos) {
+          u = w;
+          best_pos = pos[w];
+        }
+      }
+    }
+    for (VertexId w : later) {
+      if (w != u && !g.has_edge(u, w)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_chordal(const Graph& g) {
+  auto order = lex_bfs_order(g);
+  std::reverse(order.begin(), order.end());
+  return is_perfect_elimination_ordering(g, order);
+}
+
+std::vector<std::vector<VertexId>> chordal_maximal_cliques(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  auto order = lex_bfs_order(g);
+  std::reverse(order.begin(), order.end());  // PEO
+  assert(is_perfect_elimination_ordering(g, order));
+  std::vector<std::uint32_t> pos(n);
+  for (std::uint32_t i = 0; i < n; ++i) pos[order[i]] = i;
+
+  // Candidate cliques: {v} + later neighbors of v, for each v in PEO.
+  std::vector<std::vector<VertexId>> candidates;
+  candidates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    std::vector<VertexId> clique{v};
+    for (VertexId w : g.neighbors(v)) {
+      if (pos[w] > i) clique.push_back(w);
+    }
+    std::sort(clique.begin(), clique.end());
+    candidates.push_back(std::move(clique));
+  }
+  // Keep only the maximal ones (a candidate is non-maximal iff it is a
+  // subset of another candidate).
+  auto subset_of = [](const std::vector<VertexId>& a,
+                      const std::vector<VertexId>& b) {
+    return a.size() <= b.size() &&
+           std::includes(b.begin(), b.end(), a.begin(), a.end());
+  };
+  std::vector<std::vector<VertexId>> maximal;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (subset_of(candidates[i], candidates[j]) &&
+          (candidates[i].size() < candidates[j].size() || i > j)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) maximal.push_back(candidates[i]);
+  }
+  return maximal;
+}
+
+std::optional<bool> is_interval_graph(const Graph& g,
+                                      std::size_t max_cliques) {
+  if (!is_chordal(g)) return false;
+  const auto cliques = chordal_maximal_cliques(g);
+  const std::size_t k = cliques.size();
+  if (k <= 2) return true;
+  if (k > max_cliques || k > 24) return std::nullopt;
+
+  // membership[v] = bitmask of cliques containing v.
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> membership(n, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (VertexId v : cliques[c]) {
+      membership[v] |= (1u << c);
+    }
+  }
+
+  // DP over (placed subset, last clique): a state is feasible iff some
+  // consecutive-so-far arrangement places exactly `subset` ending in
+  // `last`. Transition subset+C is legal iff every vertex shared between C
+  // and the subset is also in `last` (otherwise its run restarts).
+  const std::size_t full = (std::size_t{1} << k) - 1;
+  // shared_ok[c][d] : precomputed mask of vertices in both c and d is not
+  // needed; we need, per candidate next clique c and state (S, last):
+  //   (union_of_members(S) & members(c)) ⊆ members(last)
+  // Track per-state nothing extra: union over S of membership is
+  // determined by S. Precompute member masks per clique over vertices?
+  // Vertices can be many; instead precompute for each pair (c, d) the set
+  // of vertices in both, and for each clique c the set of vertices, and
+  // test via: for every vertex v in c, (membership[v] & S) != 0 implies
+  // (membership[v] >> last) & 1.
+  std::vector<std::vector<char>> reachable(
+      full + 1, std::vector<char>(k, 0));
+  for (std::size_t c = 0; c < k; ++c) {
+    reachable[std::size_t{1} << c][c] = 1;
+  }
+  for (std::size_t s = 1; s <= full; ++s) {
+    for (std::size_t last = 0; last < k; ++last) {
+      if (!reachable[s][last]) continue;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (s & (std::size_t{1} << c)) continue;
+        bool ok = true;
+        for (VertexId v : cliques[c]) {
+          const std::uint32_t m = membership[v];
+          if ((m & s) != 0 && ((m >> last) & 1u) == 0) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) reachable[s | (std::size_t{1} << c)][c] = 1;
+      }
+    }
+  }
+  for (std::size_t last = 0; last < k; ++last) {
+    if (reachable[full][last]) return true;
+  }
+  return false;
+}
+
+}  // namespace structnet

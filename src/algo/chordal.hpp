@@ -1,0 +1,47 @@
+// Chordal-graph machinery: Lex-BFS, perfect elimination orderings, maximal
+// cliques of chordal graphs, and exact interval-graph recognition.
+//
+// The paper (Sec. II-A) leans on the fact that every interval graph is
+// chordal ("time is linear, not circular"): a C4 or larger chordless cycle
+// certifies that a graph cannot be an interval graph. These routines make
+// that reasoning executable and are exercised in the E1 experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Lexicographic BFS order of all vertices (ties broken by smallest id).
+/// For chordal graphs, the *reverse* of this order is a perfect
+/// elimination ordering.
+std::vector<VertexId> lex_bfs_order(const Graph& g);
+
+/// True iff `order` (a permutation of all vertices) is a perfect
+/// elimination ordering of g: eliminating vertices in order, each vertex's
+/// not-yet-eliminated neighbors form a clique.
+bool is_perfect_elimination_ordering(const Graph& g,
+                                     const std::vector<VertexId>& order);
+
+/// True iff g is chordal (every cycle of length >= 4 has a chord).
+bool is_chordal(const Graph& g);
+
+/// Maximal cliques of a *chordal* graph, derived from a perfect
+/// elimination ordering. Precondition: is_chordal(g). Each clique is
+/// sorted ascending; at most n cliques.
+std::vector<std::vector<VertexId>> chordal_maximal_cliques(const Graph& g);
+
+/// Exact interval-graph recognition via the clique-consecutiveness
+/// characterization: g is interval iff it is chordal and its maximal
+/// cliques admit a linear order where, for every vertex, the cliques
+/// containing it are consecutive.
+///
+/// The consecutive-arrangement search is a subset DP that is exponential
+/// in the number of maximal cliques; std::nullopt is returned when that
+/// number exceeds `max_cliques` (default 18) instead of running forever.
+std::optional<bool> is_interval_graph(const Graph& g,
+                                      std::size_t max_cliques = 18);
+
+}  // namespace structnet

@@ -1,0 +1,145 @@
+#include "algo/components.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace structnet {
+
+namespace {
+constexpr std::uint32_t kNoLabel = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> label(g.vertex_count(), kNoLabel);
+  std::uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (std::size_t s = 0; s < g.vertex_count(); ++s) {
+    if (label[s] != kNoLabel) continue;
+    stack.push_back(static_cast<VertexId>(s));
+    label[s] = next;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : g.neighbors(u)) {
+        if (label[v] == kNoLabel) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t component_count(const Graph& g) {
+  const auto label = connected_components(g);
+  std::uint32_t max_label = 0;
+  bool any = false;
+  for (std::uint32_t l : label) {
+    max_label = std::max(max_label, l);
+    any = true;
+  }
+  return any ? max_label + 1 : 0;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+std::vector<bool> largest_component_mask(const Graph& g) {
+  const auto label = connected_components(g);
+  std::vector<std::size_t> size;
+  for (std::uint32_t l : label) {
+    if (l >= size.size()) size.resize(l + 1, 0);
+    ++size[l];
+  }
+  std::uint32_t best = 0;
+  for (std::uint32_t l = 0; l < size.size(); ++l) {
+    if (size[l] > size[best]) best = l;
+  }
+  std::vector<bool> mask(g.vertex_count(), false);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    mask[v] = !size.empty() && label[v] == best;
+  }
+  return mask;
+}
+
+std::vector<std::uint32_t> strongly_connected_components(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> scc(n, kNoLabel);
+  std::vector<std::uint32_t> index(n, kNoLabel);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;          // Tarjan stack
+  std::uint32_t next_index = 0;
+  std::uint32_t next_scc = 0;
+
+  // Iterative DFS: frame = (vertex, next out-neighbor position).
+  struct Frame {
+    VertexId v;
+    std::size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (index[s] != kNoLabel) continue;
+    frames.push_back(Frame{static_cast<VertexId>(s), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const VertexId v = f.v;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto outs = g.out_neighbors(v);
+      bool descended = false;
+      while (f.child < outs.size()) {
+        const VertexId w = outs[f.child++];
+        if (index[w] == kNoLabel) {
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // All children done: close v.
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const VertexId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc[w] = next_scc;
+          if (w == v) break;
+        }
+        ++next_scc;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const VertexId parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return scc;
+}
+
+std::vector<bool> largest_scc_mask(const Digraph& g) {
+  const auto label = strongly_connected_components(g);
+  std::vector<std::size_t> size;
+  for (std::uint32_t l : label) {
+    if (l >= size.size()) size.resize(l + 1, 0);
+    ++size[l];
+  }
+  std::uint32_t best = 0;
+  for (std::uint32_t l = 0; l < size.size(); ++l) {
+    if (size[l] > size[best]) best = l;
+  }
+  std::vector<bool> mask(g.vertex_count(), false);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    mask[v] = !size.empty() && label[v] == best;
+  }
+  return mask;
+}
+
+}  // namespace structnet

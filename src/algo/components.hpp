@@ -1,0 +1,32 @@
+// Connected components (undirected) and strongly connected components
+// (directed, Tarjan).
+#pragma once
+
+#include <vector>
+
+#include "core/digraph.hpp"
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Component label per vertex (labels are dense, 0-based, in order of
+/// first discovery).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::size_t component_count(const Graph& g);
+
+/// True iff g is connected (the empty graph counts as connected).
+bool is_connected(const Graph& g);
+
+/// Mask selecting the vertices of the largest connected component.
+std::vector<bool> largest_component_mask(const Graph& g);
+
+/// Strongly connected component label per vertex (Tarjan, iterative).
+/// Labels are dense and in reverse topological order of the condensation.
+std::vector<std::uint32_t> strongly_connected_components(const Digraph& g);
+
+/// Mask selecting the vertices of the largest SCC.
+std::vector<bool> largest_scc_mask(const Digraph& g);
+
+}  // namespace structnet

@@ -1,0 +1,267 @@
+#include "algo/maxflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace structnet {
+
+namespace {
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+constexpr std::int64_t kInfFlow = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+std::size_t FlowNetwork::add_arc(VertexId u, VertexId v,
+                                 std::int64_t capacity) {
+  assert(u < vertex_count() && v < vertex_count());
+  assert(capacity >= 0);
+  const std::size_t id = arcs_.size();
+  arcs_.push_back(Arc{v, capacity, capacity});
+  arcs_.push_back(Arc{u, 0, 0});
+  head_[u].push_back(id);
+  head_[v].push_back(id + 1);
+  return id;
+}
+
+std::int64_t FlowNetwork::flow_on(std::size_t arc) const {
+  assert(arc % 2 == 0 && arc < arcs_.size());
+  return arcs_[arc].cap0 - arcs_[arc].residual;
+}
+
+void FlowNetwork::reset_flow() {
+  for (std::size_t i = 0; i < arcs_.size(); i += 2) {
+    arcs_[i].residual = arcs_[i].cap0;
+    arcs_[i + 1].residual = 0;
+  }
+}
+
+bool FlowNetwork::bfs_levels(VertexId source, VertexId sink) {
+  level_.assign(vertex_count(), kUnreached);
+  std::deque<VertexId> queue{source};
+  level_[source] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (std::size_t a : head_[u]) {
+      const Arc& arc = arcs_[a];
+      if (arc.residual > 0 && level_[arc.to] == kUnreached) {
+        level_[arc.to] = level_[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[sink] != kUnreached;
+}
+
+std::int64_t FlowNetwork::dinic_dfs(VertexId v, VertexId sink,
+                                    std::int64_t pushed) {
+  if (v == sink || pushed == 0) return pushed;
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    const std::size_t a = head_[v][i];
+    Arc& arc = arcs_[a];
+    if (arc.residual <= 0 || level_[arc.to] != level_[v] + 1) continue;
+    const std::int64_t got =
+        dinic_dfs(arc.to, sink, std::min(pushed, arc.residual));
+    if (got > 0) {
+      arc.residual -= got;
+      arcs_[a ^ 1].residual += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow_dinic(VertexId source, VertexId sink) {
+  assert(source != sink);
+  std::int64_t flow = 0;
+  phases_ = 0;
+  while (bfs_levels(source, sink)) {
+    ++phases_;
+    iter_.assign(vertex_count(), 0);
+    while (const std::int64_t pushed = dinic_dfs(source, sink, kInfFlow)) {
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::int64_t FlowNetwork::run_mpm_phase(VertexId source, VertexId sink) {
+  const std::size_t n = vertex_count();
+  // An arc u -> v is "layered" iff it has residual capacity and advances
+  // exactly one BFS level. The layered network is a destination-oriented
+  // DAG with BFS levels as node heights.
+  auto layered = [&](std::size_t a, VertexId from) {
+    const Arc& arc = arcs_[a];
+    return arc.residual > 0 && level_[from] != kUnreached &&
+           level_[arc.to] != kUnreached && level_[arc.to] == level_[from] + 1;
+  };
+
+  std::vector<bool> alive(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    alive[v] = level_[v] != kUnreached && level_[v] <= level_[sink];
+  }
+  std::vector<std::int64_t> in_pot(n, 0), out_pot(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!alive[u]) continue;
+    for (std::size_t a : head_[u]) {
+      if (layered(a, u) && alive[arcs_[a].to]) {
+        out_pot[u] += arcs_[a].residual;
+        in_pot[arcs_[a].to] += arcs_[a].residual;
+      }
+    }
+  }
+  in_pot[source] = kInfFlow;
+  out_pot[sink] = kInfFlow;
+  auto potential = [&](VertexId v) { return std::min(in_pot[v], out_pot[v]); };
+
+  // Vertices bucketed by level for ordered forward/backward sweeps.
+  const std::uint32_t sink_level = level_[sink];
+  std::vector<std::vector<VertexId>> by_level(sink_level + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) by_level[level_[v]].push_back(v);
+  }
+
+  std::vector<std::int64_t> excess(n, 0);
+  std::int64_t phase_flow = 0;
+  for (;;) {
+    VertexId r = kInvalidVertex;
+    std::int64_t best = kInfFlow + 1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && potential(v) < best) {
+        best = potential(v);
+        r = v;
+      }
+    }
+    if (r == kInvalidVertex) break;
+
+    if (best == 0) {
+      // Delete r and retract its residual contributions from neighbors.
+      alive[r] = false;
+      for (std::size_t a : head_[r]) {
+        if (layered(a, r) && alive[arcs_[a].to]) {
+          in_pot[arcs_[a].to] -= arcs_[a].residual;
+        }
+        // The twin arc a^1 stores the direction (arcs_[a].to) -> r.
+        const VertexId from = arcs_[a].to;
+        if (alive[from] && layered(a ^ 1, from)) {
+          out_pot[from] -= arcs_[a ^ 1].residual;
+        }
+      }
+      if (r == source || r == sink) break;
+      continue;
+    }
+
+    // Route exactly p = potential(r) units: forward r -> sink by
+    // increasing level, then backward r -> source by decreasing level.
+    const std::int64_t p = best;
+    auto push_arc = [&](std::size_t a, VertexId from, std::int64_t amount) {
+      Arc& arc = arcs_[a];
+      arc.residual -= amount;
+      arcs_[a ^ 1].residual += amount;
+      out_pot[from] -= amount;
+      in_pot[arc.to] -= amount;
+      excess[from] -= amount;
+      excess[arc.to] += amount;
+    };
+
+    excess[r] = p;
+    for (std::uint32_t lvl = level_[r]; lvl < sink_level; ++lvl) {
+      for (VertexId u : by_level[lvl]) {
+        if (!alive[u] || excess[u] <= 0) continue;
+        for (std::size_t a : head_[u]) {
+          if (excess[u] <= 0) break;
+          if (!layered(a, u) || !alive[arcs_[a].to]) continue;
+          push_arc(a, u, std::min(excess[u], arcs_[a].residual));
+        }
+        assert(excess[u] == 0 && "potential invariant violated (forward)");
+      }
+    }
+    assert(excess[sink] == p);
+    excess[sink] = 0;
+
+    // Backward: excess[] now holds *demand* that must be pulled from the
+    // source side; pulling over from -> u satisfies demand at u and moves
+    // it to `from`.
+    auto pull_arc = [&](std::size_t fa, VertexId from, VertexId u,
+                        std::int64_t amount) {
+      Arc& arc = arcs_[fa];  // from -> u
+      arc.residual -= amount;
+      arcs_[fa ^ 1].residual += amount;
+      out_pot[from] -= amount;
+      in_pot[u] -= amount;
+      excess[u] -= amount;
+      excess[from] += amount;
+    };
+    excess[r] = p;
+    for (std::uint32_t lvl = level_[r]; lvl > 0; --lvl) {
+      for (VertexId u : by_level[lvl]) {
+        if (!alive[u] || excess[u] <= 0) continue;
+        for (std::size_t a : head_[u]) {
+          if (excess[u] <= 0) break;
+          // Incoming layered arc (arcs_[a].to) -> u is stored at a^1.
+          const VertexId from = arcs_[a].to;
+          if (!alive[from] || !layered(a ^ 1, from)) continue;
+          const std::int64_t amount =
+              std::min(excess[u], arcs_[a ^ 1].residual);
+          if (amount > 0) pull_arc(a ^ 1, from, u, amount);
+        }
+        assert(excess[u] == 0 && "potential invariant violated (backward)");
+      }
+    }
+    assert(excess[source] == p);
+    excess[source] = 0;
+
+    phase_flow += p;
+  }
+  return phase_flow;
+}
+
+std::int64_t FlowNetwork::max_flow_mpm(VertexId source, VertexId sink) {
+  assert(source != sink);
+  std::int64_t flow = 0;
+  phases_ = 0;
+  while (bfs_levels(source, sink)) {
+    ++phases_;
+    flow += run_mpm_phase(source, sink);
+  }
+  return flow;
+}
+
+std::vector<bool> FlowNetwork::min_cut_source_side(VertexId source) const {
+  std::vector<bool> side(vertex_count(), false);
+  std::deque<VertexId> queue{source};
+  side[source] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (std::size_t a : head_[u]) {
+      const Arc& arc = arcs_[a];
+      if (arc.residual > 0 && !side[arc.to]) {
+        side[arc.to] = true;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<std::uint32_t> FlowNetwork::residual_levels(VertexId source) const {
+  std::vector<std::uint32_t> level(vertex_count(), kUnreached);
+  std::deque<VertexId> queue{source};
+  level[source] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (std::size_t a : head_[u]) {
+      const Arc& arc = arcs_[a];
+      if (arc.residual > 0 && level[arc.to] == kUnreached) {
+        level[arc.to] = level[u] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace structnet

@@ -1,0 +1,89 @@
+#include "algo/mst.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace structnet {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+std::vector<EdgeId> kruskal_mst(const Graph& g,
+                                std::span<const double> weights) {
+  assert(weights.size() == g.edge_count());
+  std::vector<EdgeId> order(g.edge_count());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return weights[a] < weights[b]; });
+  UnionFind uf(g.vertex_count());
+  std::vector<EdgeId> tree;
+  for (EdgeId e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+std::vector<EdgeId> prim_mst(const Graph& g, std::span<const double> weights,
+                             VertexId root) {
+  assert(weights.size() == g.edge_count());
+  assert(root < g.vertex_count());
+  // incident edge ids per vertex
+  std::vector<std::vector<EdgeId>> incident(g.vertex_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    incident[g.edge(e).u].push_back(e);
+    incident[g.edge(e).v].push_back(e);
+  }
+  std::vector<bool> in_tree(g.vertex_count(), false);
+  using Item = std::pair<double, EdgeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  auto absorb = [&](VertexId v) {
+    in_tree[v] = true;
+    for (EdgeId e : incident[v]) pq.emplace(weights[e], e);
+  };
+  absorb(root);
+  std::vector<EdgeId> tree;
+  while (!pq.empty()) {
+    const auto [w, e] = pq.top();
+    pq.pop();
+    (void)w;
+    const auto& edge = g.edge(e);
+    const bool iu = in_tree[edge.u];
+    const bool iv = in_tree[edge.v];
+    if (iu && iv) continue;
+    tree.push_back(e);
+    absorb(iu ? edge.v : edge.u);
+  }
+  return tree;
+}
+
+double total_weight(std::span<const EdgeId> edges,
+                    std::span<const double> weights) {
+  double sum = 0.0;
+  for (EdgeId e : edges) sum += weights[e];
+  return sum;
+}
+
+}  // namespace structnet

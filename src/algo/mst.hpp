@@ -1,0 +1,45 @@
+// Minimum spanning trees (Kruskal and Prim) plus the union-find helper.
+//
+// Structural trimming (Sec. III-A) lists "inclusion of a minimum spanning
+// tree" as a basic property a trimmed subgraph may be required to keep;
+// the verifiers in src/trimming use these.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Disjoint-set union with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Returns true when the two sets were merged (false if already same).
+  bool unite(std::size_t a, std::size_t b);
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_count() const { return sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+/// Edge ids of a minimum spanning forest (Kruskal). One tree per
+/// connected component; |result| = n - #components.
+std::vector<EdgeId> kruskal_mst(const Graph& g, std::span<const double> weights);
+
+/// Edge ids of the minimum spanning tree of the component containing
+/// `root` (Prim with a binary heap).
+std::vector<EdgeId> prim_mst(const Graph& g, std::span<const double> weights,
+                             VertexId root);
+
+/// Total weight of the given edge set.
+double total_weight(std::span<const EdgeId> edges,
+                    std::span<const double> weights);
+
+}  // namespace structnet

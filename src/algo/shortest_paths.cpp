@@ -1,0 +1,122 @@
+#include "algo/shortest_paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "algo/traversal.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// (neighbor, weight) adjacency built from the edge list.
+std::vector<std::vector<std::pair<VertexId, double>>> weighted_adjacency(
+    const Graph& g, std::span<const double> weights) {
+  assert(weights.size() == g.edge_count());
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(g.vertex_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    adj[edge.u].emplace_back(edge.v, weights[e]);
+    adj[edge.v].emplace_back(edge.u, weights[e]);
+  }
+  return adj;
+}
+
+}  // namespace
+
+ShortestPaths dijkstra(const Graph& g, std::span<const double> weights,
+                       VertexId source) {
+  assert(source < g.vertex_count());
+  for (double w : weights) {
+    assert(w >= 0.0 && "dijkstra requires non-negative weights");
+    (void)w;
+  }
+  const auto adj = weighted_adjacency(g, weights);
+  ShortestPaths out;
+  out.distance.assign(g.vertex_count(), kInfDistance);
+  out.parent.assign(g.vertex_count(), kInvalidVertex);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  out.distance[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > out.distance[u]) continue;  // stale entry
+    for (const auto& [v, w] : adj[u]) {
+      const double nd = d + w;
+      if (nd < out.distance[v]) {
+        out.distance[v] = nd;
+        out.parent[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return out;
+}
+
+ShortestPaths unweighted_shortest_paths(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  const auto parent = bfs_tree(g, source);
+  ShortestPaths out;
+  out.distance.resize(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    out.distance[v] = dist[v] == std::numeric_limits<std::uint32_t>::max()
+                          ? kInfDistance
+                          : static_cast<double>(dist[v]);
+  }
+  out.parent = parent;
+  return out;
+}
+
+BellmanFordResult bellman_ford(const Graph& g, std::span<const double> weights,
+                               VertexId source) {
+  assert(source < g.vertex_count());
+  const auto adj = weighted_adjacency(g, weights);
+  BellmanFordResult r;
+  r.paths.distance.assign(g.vertex_count(), kInfDistance);
+  r.paths.parent.assign(g.vertex_count(), kInvalidVertex);
+  r.paths.distance[source] = 0.0;
+
+  const std::size_t n = g.vertex_count();
+  std::vector<double> prev;
+  for (std::size_t round = 0; round < n; ++round) {
+    prev = r.paths.distance;
+    bool changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      for (const auto& [u, w] : adj[v]) {
+        if (prev[u] == kInfDistance) continue;
+        const double nd = prev[u] + w;
+        if (nd < r.paths.distance[v]) {
+          r.paths.distance[v] = nd;
+          r.paths.parent[v] = u;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    ++r.rounds;
+    if (round + 1 == n) {
+      // Still changing after n-1 productive rounds => negative cycle.
+      r.negative_cycle = true;
+    }
+  }
+  return r;
+}
+
+std::vector<VertexId> extract_path(std::span<const VertexId> parent,
+                                   VertexId source, VertexId target) {
+  std::vector<VertexId> path;
+  VertexId cur = target;
+  while (cur != kInvalidVertex) {
+    path.push_back(cur);
+    if (cur == source) break;
+    cur = parent[cur];
+  }
+  if (path.empty() || path.back() != source) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace structnet

@@ -1,0 +1,54 @@
+// Weighted shortest paths: Dijkstra (non-negative weights) and
+// Bellman-Ford with explicit round counting.
+//
+// The paper (Sec. IV) repeatedly uses Bellman-Ford as the canonical
+// dynamic-labeling / distributed-routing example, so the Bellman-Ford here
+// reports the number of relaxation rounds until a fixpoint — that count is
+// the "convergence time" metric benched in E10.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPaths {
+  std::vector<double> distance;   // kInfDistance when unreachable
+  std::vector<VertexId> parent;   // kInvalidVertex for source/unreachable
+};
+
+/// Dijkstra over an undirected graph with one non-negative weight per
+/// edge (indexed by EdgeId, so weights.size() == g.edge_count()).
+ShortestPaths dijkstra(const Graph& g, std::span<const double> weights,
+                       VertexId source);
+
+/// Unweighted shortest paths (all weights 1) via BFS, in the same result
+/// shape as dijkstra for interchangeability.
+ShortestPaths unweighted_shortest_paths(const Graph& g, VertexId source);
+
+/// Bellman-Ford result including convergence diagnostics.
+struct BellmanFordResult {
+  ShortestPaths paths;
+  std::uint32_t rounds = 0;       // synchronous rounds until no change
+  bool negative_cycle = false;
+};
+
+/// Synchronous Bellman-Ford: in each round every vertex relaxes using its
+/// neighbors' previous-round estimates (exactly the distributed
+/// distance-vector schedule). Supports negative edge weights; detects
+/// reachable negative cycles.
+BellmanFordResult bellman_ford(const Graph& g, std::span<const double> weights,
+                               VertexId source);
+
+/// Reconstructs the path source -> target from a parent array; empty when
+/// unreachable. The returned path includes both endpoints.
+std::vector<VertexId> extract_path(std::span<const VertexId> parent,
+                                   VertexId source, VertexId target);
+
+}  // namespace structnet

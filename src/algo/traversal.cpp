@@ -1,0 +1,123 @@
+#include "algo/traversal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "algo/components.hpp"
+
+namespace structnet {
+
+namespace {
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source) {
+  assert(source < g.vertex_count());
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreached);
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> bfs_tree(const Graph& g, VertexId source) {
+  assert(source < g.vertex_count());
+  std::vector<VertexId> parent(g.vertex_count(), kInvalidVertex);
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::deque<VertexId> queue{source};
+  seen[source] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<VertexId> bfs_order(const Graph& g, VertexId source) {
+  assert(source < g.vertex_count());
+  std::vector<VertexId> order;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::deque<VertexId> queue{source};
+  seen[source] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> dfs_preorder(const Graph& g, VertexId source) {
+  assert(source < g.vertex_count());
+  std::vector<VertexId> order;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::vector<VertexId> stack{source};
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    if (seen[u]) continue;
+    seen[u] = true;
+    order.push_back(u);
+    // Push in reverse so the first neighbor is visited first.
+    const auto nbrs = g.neighbors(u);
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!seen[*it]) stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> k_hop_neighborhood(const Graph& g, VertexId center,
+                                         std::uint32_t k) {
+  const auto dist = bfs_distances(g, center);
+  std::vector<VertexId> out;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] <= k) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+std::uint32_t eccentricity(const Graph& g, VertexId v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreached) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  if (g.vertex_count() == 0) return 0;
+  const auto keep = largest_component_mask(g);
+  std::uint32_t best = 0;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (keep[v]) best = std::max(best, eccentricity(g, static_cast<VertexId>(v)));
+  }
+  return best;
+}
+
+}  // namespace structnet

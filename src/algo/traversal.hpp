@@ -1,0 +1,40 @@
+// Breadth/depth-first traversal and k-hop neighborhood extraction.
+//
+// k-hop neighborhoods are the "local horizon" every localized algorithm
+// in the paper assumes (Sec. IV): a node knows the topology within k hops
+// for a small constant k.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// BFS hop distances from `source`; unreachable vertices get kNeverTime
+/// cast to distance (std::numeric_limits<std::uint32_t>::max()).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// BFS predecessor tree from `source`; kInvalidVertex for the source and
+/// unreachable vertices.
+std::vector<VertexId> bfs_tree(const Graph& g, VertexId source);
+
+/// Vertices in BFS visit order from `source` (only the reachable ones).
+std::vector<VertexId> bfs_order(const Graph& g, VertexId source);
+
+/// Vertices in iterative DFS preorder from `source`.
+std::vector<VertexId> dfs_preorder(const Graph& g, VertexId source);
+
+/// All vertices within `k` hops of `center` (including the center),
+/// sorted ascending.
+std::vector<VertexId> k_hop_neighborhood(const Graph& g, VertexId center,
+                                         std::uint32_t k);
+
+/// Eccentricity of `v` (max BFS distance to any reachable vertex).
+std::uint32_t eccentricity(const Graph& g, VertexId v);
+
+/// Exact diameter over the largest connected component (0 for empty).
+/// O(n * m); intended for the moderate sizes used in experiments.
+std::uint32_t diameter(const Graph& g);
+
+}  // namespace structnet

@@ -1,0 +1,42 @@
+// Classical node centralities surveyed in Sec. III of the paper: degree,
+// closeness, betweenness (Brandes), and eigenvector centrality.
+//
+// The paper's point is that centrality measures a *single node's*
+// importance; the structures built elsewhere in structnet (trimming,
+// layering, remapping) span the whole network. These functions supply the
+// node-level signals those structures consume (e.g. degree/betweenness as
+// trimming priorities).
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Degree centrality (raw neighbor counts).
+std::vector<double> degree_centrality(const Graph& g);
+
+/// Closeness: (n_reachable - 1) / sum of BFS distances to reachable
+/// vertices; 0 for isolated vertices. Uses the standard component-local
+/// normalization so disconnected graphs are handled.
+std::vector<double> closeness_centrality(const Graph& g);
+
+/// Betweenness via Brandes' algorithm (unweighted). Each pair (s, t) is
+/// counted once; values are NOT normalized.
+std::vector<double> betweenness_centrality(const Graph& g);
+
+/// Eigenvector centrality via power iteration on the adjacency matrix,
+/// L2-normalized, `iterations` steps (sufficient for experiment scale).
+std::vector<double> eigenvector_centrality(const Graph& g,
+                                           std::size_t iterations = 100);
+
+/// Local clustering coefficient per vertex: closed neighbor pairs /
+/// neighbor pairs (0 for degree < 2). The static counterpart of the
+/// temporal correlation coefficient in temporal/smallworld_metrics.hpp.
+std::vector<double> clustering_coefficients(const Graph& g);
+
+/// Mean of the local clustering coefficients (Watts-Strogatz "C").
+double average_clustering_coefficient(const Graph& g);
+
+}  // namespace structnet

@@ -1,0 +1,119 @@
+#include "centrality/link_analysis.hpp"
+
+#include <cmath>
+
+namespace structnet {
+
+namespace {
+
+PageRankResult pagerank_impl(std::size_t n,
+                             const std::vector<Digraph::Arc>& arcs,
+                             const std::vector<std::size_t>& out_degree,
+                             double damping, double tolerance,
+                             std::size_t max_iterations) {
+  PageRankResult r;
+  if (n == 0) {
+    r.converged = true;
+    return r;
+  }
+  r.score.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (out_degree[v] == 0) dangling += r.score[v];
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (const auto& a : arcs) {
+      next[a.to] +=
+          damping * r.score[a.from] / static_cast<double>(out_degree[a.from]);
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) delta += std::abs(next[v] - r.score[v]);
+    r.score.swap(next);
+    ++r.iterations;
+    if (delta < tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+PageRankResult pagerank(const Digraph& g, double damping, double tolerance,
+                        std::size_t max_iterations) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> out_degree(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out_degree[v] = g.out_degree(static_cast<VertexId>(v));
+  }
+  std::vector<Digraph::Arc> arcs(g.arcs().begin(), g.arcs().end());
+  return pagerank_impl(n, arcs, out_degree, damping, tolerance,
+                       max_iterations);
+}
+
+PageRankResult pagerank(const Graph& g, double damping, double tolerance,
+                        std::size_t max_iterations) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> out_degree(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out_degree[v] = g.degree(static_cast<VertexId>(v));
+  }
+  std::vector<Digraph::Arc> arcs;
+  arcs.reserve(2 * g.edge_count());
+  for (const Graph::Edge& e : g.edges()) {
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+  return pagerank_impl(n, arcs, out_degree, damping, tolerance,
+                       max_iterations);
+}
+
+HitsResult hits(const Digraph& g, double tolerance,
+                std::size_t max_iterations) {
+  const std::size_t n = g.vertex_count();
+  HitsResult r;
+  if (n == 0) {
+    r.converged = true;
+    return r;
+  }
+  r.hub.assign(n, 1.0);
+  r.authority.assign(n, 1.0);
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& x : v) x /= norm;
+    }
+  };
+  std::vector<double> prev_hub = r.hub;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    // authority(v) = sum of hub over in-neighbors; hub(v) = sum of
+    // authority over out-neighbors.
+    std::fill(r.authority.begin(), r.authority.end(), 0.0);
+    for (const auto& a : g.arcs()) r.authority[a.to] += r.hub[a.from];
+    normalize(r.authority);
+    std::fill(r.hub.begin(), r.hub.end(), 0.0);
+    for (const auto& a : g.arcs()) r.hub[a.from] += r.authority[a.to];
+    normalize(r.hub);
+    ++r.iterations;
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      delta += std::abs(r.hub[v] - prev_hub[v]);
+    }
+    prev_hub = r.hub;
+    if (delta < tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace structnet

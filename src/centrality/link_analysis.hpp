@@ -1,0 +1,42 @@
+// PageRank and HITS ("hubs and authorities"), the paper's Sec. IV-B
+// examples of *dynamic labeling*: node scores repeatedly re-labeled until
+// a fixpoint. Both report iterations-to-tolerance so experiment E10 can
+// treat iteration count as convergence time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/digraph.hpp"
+#include "core/graph.hpp"
+
+namespace structnet {
+
+struct PageRankResult {
+  std::vector<double> score;      // sums to 1
+  std::size_t iterations = 0;     // iterations executed
+  bool converged = false;         // L1 delta fell below tolerance
+};
+
+/// PageRank with damping d: dangling mass redistributed uniformly.
+PageRankResult pagerank(const Digraph& g, double damping = 0.85,
+                        double tolerance = 1e-10,
+                        std::size_t max_iterations = 200);
+
+/// PageRank on an undirected graph (each edge as two arcs).
+PageRankResult pagerank(const Graph& g, double damping = 0.85,
+                        double tolerance = 1e-10,
+                        std::size_t max_iterations = 200);
+
+struct HitsResult {
+  std::vector<double> hub;        // L2-normalized
+  std::vector<double> authority;  // L2-normalized
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Kleinberg's HITS on a digraph.
+HitsResult hits(const Digraph& g, double tolerance = 1e-10,
+                std::size_t max_iterations = 200);
+
+}  // namespace structnet

@@ -1,0 +1,64 @@
+#include "centrality/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace structnet {
+
+PowerLawFit fit_power_law(std::span<const std::size_t> values,
+                          std::size_t k_min) {
+  PowerLawFit fit;
+  fit.k_min = std::max<std::size_t>(k_min, 1);
+  std::vector<double> xs;
+  for (std::size_t v : values) {
+    if (v >= fit.k_min) xs.push_back(static_cast<double>(v));
+  }
+  fit.samples = xs.size();
+  if (xs.size() < 2) return fit;
+
+  // Discrete MLE approximation (CSN eq. 3.7).
+  const double shift = static_cast<double>(fit.k_min) - 0.5;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x / shift);
+  if (log_sum <= 0.0) return fit;
+  fit.alpha = 1.0 + static_cast<double>(xs.size()) / log_sum;
+
+  // KS distance: empirical CCDF vs model CCDF (x/shift)^(1-alpha).
+  std::sort(xs.begin(), xs.end());
+  double ks = 0.0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Empirical CCDF just above xs[i]: fraction of samples > xs[i].
+    std::size_t j = i;
+    while (j + 1 < xs.size() && xs[j + 1] == xs[i]) ++j;
+    const double emp = static_cast<double>(xs.size() - j - 1) / n;
+    const double model = std::pow(xs[i] / shift, 1.0 - fit.alpha);
+    ks = std::max(ks, std::abs(emp - model));
+    i = j;
+  }
+  fit.ks = ks;
+  return fit;
+}
+
+PowerLawFit fit_degree_power_law(const Graph& g, std::size_t k_min) {
+  const auto deg = g.degrees();
+  return fit_power_law(deg, k_min);
+}
+
+PowerLawFit fit_power_law_auto_kmin(std::span<const std::size_t> values,
+                                    std::size_t max_kmin) {
+  PowerLawFit best;
+  bool any = false;
+  for (std::size_t k = 1; k <= max_kmin; ++k) {
+    const PowerLawFit fit = fit_power_law(values, k);
+    if (fit.samples < 8 || fit.alpha <= 1.0) continue;
+    if (!any || fit.ks < best.ks) {
+      best = fit;
+      any = true;
+    }
+  }
+  if (!any) best = fit_power_law(values, 1);
+  return best;
+}
+
+}  // namespace structnet

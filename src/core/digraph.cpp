@@ -1,0 +1,54 @@
+#include "core/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+VertexId Digraph::add_vertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<VertexId>(out_.size() - 1);
+}
+
+EdgeId Digraph::add_arc(VertexId from, VertexId to) {
+  assert(from < vertex_count() && to < vertex_count());
+  assert(from != to && "self-loops are not supported");
+  assert(!has_arc(from, to) && "parallel arcs are not supported");
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  arcs_.push_back(Arc{from, to});
+  return static_cast<EdgeId>(arcs_.size() - 1);
+}
+
+EdgeId Digraph::add_arc_unique(VertexId from, VertexId to) {
+  if (from == to) return kInvalidEdge;
+  assert(from < vertex_count() && to < vertex_count());
+  if (has_arc(from, to)) return kInvalidEdge;
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  arcs_.push_back(Arc{from, to});
+  return static_cast<EdgeId>(arcs_.size() - 1);
+}
+
+bool Digraph::has_arc(VertexId from, VertexId to) const {
+  assert(from < vertex_count() && to < vertex_count());
+  const auto& o = out_[from];
+  return std::find(o.begin(), o.end(), to) != o.end();
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(vertex_count());
+  for (const Arc& a : arcs_) r.add_arc(a.to, a.from);
+  return r;
+}
+
+Graph Digraph::to_undirected() const {
+  Graph g(vertex_count());
+  for (const Arc& a : arcs_) g.add_edge_unique(a.from, a.to);
+  return g;
+}
+
+}  // namespace structnet

@@ -1,0 +1,301 @@
+#include "core/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace structnet {
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+    }
+    return g;
+  }
+  // Geometric skipping: O(m) expected instead of O(n^2).
+  const double log_q = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t u = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = 1.0 - rng.uniform01();
+    u += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log_q));
+    while (u >= v && v < nn) {
+      u -= v;
+      ++v;
+    }
+    if (v < nn) {
+      g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng) {
+  assert(m >= 1 && n >= m + 1);
+  Graph g(n);
+  // `targets` holds one entry per edge endpoint: sampling uniformly from
+  // it is sampling proportional to degree.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(2 * n * m);
+  // Seed: clique on the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u) {
+    for (VertexId v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<VertexId> chosen;
+  for (VertexId v = static_cast<VertexId>(m + 1); v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      const VertexId t = endpoint_pool[rng.index(endpoint_pool.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng) {
+  assert(k >= 1 && 2 * k < n);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      const auto v = static_cast<VertexId>((u + j) % n);
+      g.add_edge_unique(u, v);
+    }
+  }
+  // Rewire each original lattice edge's far endpoint with probability beta.
+  // We rebuild into a fresh graph to keep the edge list consistent.
+  Graph rewired(n);
+  for (const Graph::Edge& e : g.edges()) {
+    VertexId u = e.u;
+    VertexId v = e.v;
+    if (rng.bernoulli(beta)) {
+      // Try a handful of random endpoints; fall back to the original.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto w = static_cast<VertexId>(rng.index(n));
+        if (w != u && !rewired.has_edge(u, w)) {
+          v = w;
+          break;
+        }
+      }
+    }
+    rewired.add_edge_unique(u, v);
+  }
+  return rewired;
+}
+
+Graph configuration_model(const std::vector<std::size_t>& degree_sequence,
+                          Rng& rng) {
+  std::vector<VertexId> stubs;
+  for (std::size_t v = 0; v < degree_sequence.size(); ++v) {
+    for (std::size_t i = 0; i < degree_sequence[v]; ++i) {
+      stubs.push_back(static_cast<VertexId>(v));
+    }
+  }
+  assert(stubs.size() % 2 == 0 && "degree sum must be even");
+  rng.shuffle(stubs);
+  Graph g(degree_sequence.size());
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    g.add_edge_unique(stubs[i], stubs[i + 1]);
+  }
+  return g;
+}
+
+std::vector<std::size_t> power_law_degree_sequence(std::size_t n, double alpha,
+                                                   std::size_t k_min,
+                                                   std::size_t k_max,
+                                                   Rng& rng) {
+  assert(k_min >= 1 && k_max >= k_min && alpha > 1.0);
+  std::vector<std::size_t> deg(n);
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.pareto(static_cast<double>(k_min), alpha);
+    deg[i] = std::min<std::size_t>(static_cast<std::size_t>(x), k_max);
+    sum += deg[i];
+  }
+  if (sum % 2 != 0) {
+    ++deg[0];
+  }
+  return deg;
+}
+
+std::vector<Point2D> random_points(std::size_t n, Rng& rng) {
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform01();
+    p.y = rng.uniform01();
+  }
+  return pts;
+}
+
+Graph unit_disk_graph(const std::vector<Point2D>& positions, double radius) {
+  const std::size_t n = positions.size();
+  Graph g(n);
+  const double r2 = radius * radius;
+  // Grid bucketing: expected O(n) for points in the unit square.
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  const double cell = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<VertexId>> bucket(cells * cells);
+  auto cell_of = [&](const Point2D& p) {
+    auto cx = std::min<std::size_t>(cells - 1,
+                                    static_cast<std::size_t>(p.x / cell));
+    auto cy = std::min<std::size_t>(cells - 1,
+                                    static_cast<std::size_t>(p.y / cell));
+    return cy * cells + cx;
+  };
+  for (VertexId v = 0; v < n; ++v) bucket[cell_of(positions[v])].push_back(v);
+  for (VertexId u = 0; u < n; ++u) {
+    const auto cu = cell_of(positions[u]);
+    const auto cx = static_cast<std::int64_t>(cu % cells);
+    const auto cy = static_cast<std::int64_t>(cu / cells);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx;
+        const std::int64_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(cells) ||
+            ny >= static_cast<std::int64_t>(cells)) {
+          continue;
+        }
+        for (VertexId v : bucket[static_cast<std::size_t>(ny) * cells +
+                                 static_cast<std::size_t>(nx)]) {
+          if (v > u && squared_distance(positions[u], positions[v]) <= r2) {
+            g.add_edge(u, v);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                       std::vector<Point2D>* positions) {
+  auto pts = random_points(n, rng);
+  Graph g = unit_disk_graph(pts, radius);
+  if (positions != nullptr) *positions = std::move(pts);
+  return g;
+}
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  assert(n >= 3);
+  Graph g = path_graph(n);
+  g.add_edge(static_cast<VertexId>(n - 1), 0);
+  return g;
+}
+
+Graph star_graph(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph binary_hypercube(std::size_t dimensions) {
+  assert(dimensions < 24);
+  const std::size_t n = std::size_t{1} << dimensions;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t d = 0; d < dimensions; ++d) {
+      const std::size_t w = v ^ (std::size_t{1} << d);
+      if (w > v) g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return g;
+}
+
+std::size_t gh_vertex_count(const std::vector<std::size_t>& radices) {
+  std::size_t n = 1;
+  for (std::size_t r : radices) {
+    assert(r >= 1);
+    n *= r;
+  }
+  return n;
+}
+
+std::vector<std::size_t> gh_address(std::size_t v,
+                                    const std::vector<std::size_t>& radices) {
+  std::vector<std::size_t> addr(radices.size());
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    addr[i] = v % radices[i];
+    v /= radices[i];
+  }
+  return addr;
+}
+
+std::size_t gh_vertex(const std::vector<std::size_t>& address,
+                      const std::vector<std::size_t>& radices) {
+  assert(address.size() == radices.size());
+  std::size_t v = 0;
+  std::size_t mult = 1;
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    assert(address[i] < radices[i]);
+    v += address[i] * mult;
+    mult *= radices[i];
+  }
+  return v;
+}
+
+Graph generalized_hypercube(const std::vector<std::size_t>& radices) {
+  const std::size_t n = gh_vertex_count(radices);
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto addr = gh_address(v, radices);
+    std::size_t mult = 1;
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+      const std::size_t base = v - addr[i] * mult;  // digit i zeroed out
+      for (std::size_t digit = 0; digit < radices[i]; ++digit) {
+        if (digit == addr[i]) continue;
+        const std::size_t w = base + digit * mult;
+        if (w > v) {
+          g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+        }
+      }
+      mult *= radices[i];
+    }
+  }
+  return g;
+}
+
+}  // namespace structnet

@@ -1,0 +1,85 @@
+// Graph generators: classic random families, deterministic families, and
+// geometric graphs. All stochastic generators take an explicit Rng so
+// results are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+// ---------------------------------------------------------------- random
+
+/// Erdős–Rényi G(n, p): each of the n(n-1)/2 edges present independently
+/// with probability p.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// m0 = m vertices, each new vertex attaches to m distinct existing
+/// vertices chosen proportionally to degree. Produces a scale-free graph
+/// with power-law exponent ~3.
+Graph barabasi_albert(std::size_t n, std::size_t m, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta (avoiding duplicates/loops).
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta, Rng& rng);
+
+/// Configuration model with the given degree sequence (sum must be even).
+/// Self-loops and parallel edges produced by the stub matching are
+/// discarded, so realized degrees can be slightly below the target —
+/// standard practice for the "erased" configuration model.
+Graph configuration_model(const std::vector<std::size_t>& degree_sequence,
+                          Rng& rng);
+
+/// Degree sequence of length n drawn from a discrete power law
+/// P(k) ~ k^-alpha on [k_min, k_max]; the sum is made even by
+/// incrementing one entry if needed.
+std::vector<std::size_t> power_law_degree_sequence(std::size_t n, double alpha,
+                                                   std::size_t k_min,
+                                                   std::size_t k_max, Rng& rng);
+
+// ------------------------------------------------------------- geometric
+
+/// n points uniform in the unit square.
+std::vector<Point2D> random_points(std::size_t n, Rng& rng);
+
+/// Unit-disk graph over given positions: edge iff distance <= radius.
+Graph unit_disk_graph(const std::vector<Point2D>& positions, double radius);
+
+/// Random geometric graph: positions uniform in unit square + UDG edges.
+/// Out-param positions (if non-null) receives the coordinates.
+Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                       std::vector<Point2D>* positions = nullptr);
+
+// --------------------------------------------------------- deterministic
+
+Graph path_graph(std::size_t n);
+Graph cycle_graph(std::size_t n);
+/// Star: vertex 0 is the center with `leaves` leaves.
+Graph star_graph(std::size_t leaves);
+Graph complete_graph(std::size_t n);
+/// rows x cols 4-connected grid.
+Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// n-dimensional binary hypercube: 2^n vertices, edge iff addresses
+/// differ in exactly one bit.
+Graph binary_hypercube(std::size_t dimensions);
+
+/// Generalized hypercube GH(radix_0, ..., radix_{k-1}): one vertex per
+/// mixed-radix address; edge iff addresses differ in exactly one
+/// coordinate (in that coordinate, all radix values are mutually
+/// adjacent). The paper's Fig. 6 F-space is GH over feature alphabets.
+Graph generalized_hypercube(const std::vector<std::size_t>& radices);
+
+/// Mixed-radix address helpers for generalized hypercubes.
+std::size_t gh_vertex_count(const std::vector<std::size_t>& radices);
+std::vector<std::size_t> gh_address(std::size_t v,
+                                    const std::vector<std::size_t>& radices);
+std::size_t gh_vertex(const std::vector<std::size_t>& address,
+                      const std::vector<std::size_t>& radices);
+
+}  // namespace structnet

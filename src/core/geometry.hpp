@@ -1,0 +1,31 @@
+// 2-D geometry primitives for unit-disk graphs, mobility models, and
+// geographic routing.
+#pragma once
+
+#include <cmath>
+
+namespace structnet {
+
+/// A point in the Euclidean plane.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+inline double squared_distance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+inline Point2D midpoint(const Point2D& a, const Point2D& b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+}  // namespace structnet

@@ -1,0 +1,64 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace structnet {
+
+VertexId Graph::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v) {
+  assert(u < vertex_count() && v < vertex_count());
+  assert(u != v && "self-loops are not supported");
+  assert(!has_edge(u, v) && "parallel edges are not supported");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.push_back(Edge{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId Graph::add_edge_unique(VertexId u, VertexId v) {
+  if (u == v) return kInvalidEdge;
+  assert(u < vertex_count() && v < vertex_count());
+  if (has_edge(u, v)) return kInvalidEdge;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.push_back(Edge{u, v});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  assert(u < vertex_count() && v < vertex_count());
+  const auto& a = adjacency_[u].size() <= adjacency_[v].size()
+                      ? adjacency_[u]
+                      : adjacency_[v];
+  const VertexId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+std::vector<std::size_t> Graph::degrees() const {
+  std::vector<std::size_t> d(vertex_count());
+  for (std::size_t v = 0; v < vertex_count(); ++v) d[v] = adjacency_[v].size();
+  return d;
+}
+
+Graph Graph::induced_subgraph(const std::vector<bool>& keep,
+                              std::vector<VertexId>* old_to_new) const {
+  assert(keep.size() == vertex_count());
+  std::vector<VertexId> map(vertex_count(), kInvalidVertex);
+  VertexId next = 0;
+  for (std::size_t v = 0; v < vertex_count(); ++v) {
+    if (keep[v]) map[v] = next++;
+  }
+  Graph sub(next);
+  for (const Edge& e : edges_) {
+    if (keep[e.u] && keep[e.v]) sub.add_edge(map[e.u], map[e.v]);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return sub;
+}
+
+}  // namespace structnet

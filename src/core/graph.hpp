@@ -1,0 +1,78 @@
+// Undirected simple graph with a stable edge list and adjacency lists.
+//
+// This is the base container for every static-graph algorithm in
+// structnet. It is a value type: copy/move behave as expected and no
+// hidden sharing occurs. Vertices are dense 0..n-1; parallel edges and
+// self-loops are rejected in debug builds and ignored by `add_edge_unique`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace structnet {
+
+/// An undirected simple graph.
+class Graph {
+ public:
+  /// An undirected edge; `u < v` is NOT enforced, order is as inserted.
+  struct Edge {
+    VertexId u = kInvalidVertex;
+    VertexId v = kInvalidVertex;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  Graph() = default;
+  /// Creates a graph with `n` isolated vertices.
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Appends an isolated vertex; returns its id.
+  VertexId add_vertex();
+
+  /// Adds undirected edge (u, v). Requires u != v, both in range, and the
+  /// edge not already present (checked in debug builds). Returns its id.
+  EdgeId add_edge(VertexId u, VertexId v);
+
+  /// Adds (u, v) only if absent and u != v. Returns the edge id, or
+  /// kInvalidEdge when skipped. O(min degree).
+  EdgeId add_edge_unique(VertexId u, VertexId v);
+
+  /// True iff (u, v) is an edge. O(min degree).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Neighbors of `v` in insertion order.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  std::size_t degree(VertexId v) const { return adjacency_[v].size(); }
+
+  /// All edges in insertion order.
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Degree sequence (index = vertex).
+  std::vector<std::size_t> degrees() const;
+
+  /// Builds the subgraph induced by vertices where keep[v] is true.
+  /// Kept vertices are renumbered densely preserving relative order;
+  /// `old_to_new` (if non-null) receives the mapping (kInvalidVertex for
+  /// dropped vertices).
+  Graph induced_subgraph(const std::vector<bool>& keep,
+                         std::vector<VertexId>* old_to_new = nullptr) const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace structnet

@@ -1,0 +1,75 @@
+#include "core/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace structnet {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (const Graph::Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+}
+
+std::optional<Graph> read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  if (!(is >> n >> m)) return std::nullopt;
+  Graph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    if (!(is >> u >> v)) return std::nullopt;
+    if (u >= n || v >= n || u == v || g.has_edge(u, v)) return std::nullopt;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+void write_arc_list(std::ostream& os, const Digraph& g) {
+  os << g.vertex_count() << ' ' << g.arc_count() << '\n';
+  for (const Digraph::Arc& a : g.arcs()) {
+    os << a.from << ' ' << a.to << '\n';
+  }
+}
+
+std::optional<Digraph> read_arc_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  if (!(is >> n >> m)) return std::nullopt;
+  Digraph g(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    if (!(is >> u >> v)) return std::nullopt;
+    if (u >= n || v >= n || u == v || g.has_arc(u, v)) return std::nullopt;
+    g.add_arc(u, v);
+  }
+  return g;
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    os << "  " << v << ";\n";
+  }
+  for (const Graph::Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Digraph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    os << "  " << v << ";\n";
+  }
+  for (const Digraph::Arc& a : g.arcs()) {
+    os << "  " << a.from << " -> " << a.to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace structnet

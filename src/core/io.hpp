@@ -1,0 +1,29 @@
+// Plain-text graph serialization: whitespace-separated edge lists with a
+// leading vertex count, plus Graphviz DOT export for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/digraph.hpp"
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Writes `n m` on the first line then one `u v` pair per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the format produced by write_edge_list. Returns std::nullopt on
+/// malformed input (bad counts, out-of-range vertices, duplicate edges).
+std::optional<Graph> read_edge_list(std::istream& is);
+
+/// Same format for digraphs (`u v` means arc u -> v).
+void write_arc_list(std::ostream& os, const Digraph& g);
+std::optional<Digraph> read_arc_list(std::istream& is);
+
+/// Graphviz DOT text (undirected) for debugging / visual inspection.
+std::string to_dot(const Graph& g, const std::string& name = "G");
+std::string to_dot(const Digraph& g, const std::string& name = "G");
+
+}  // namespace structnet

@@ -1,0 +1,28 @@
+// Fundamental identifier types shared by every structnet graph container.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace structnet {
+
+/// Dense vertex identifier: vertices of an n-vertex graph are 0..n-1.
+using VertexId = std::uint32_t;
+
+/// Dense edge identifier into a graph's edge list.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no vertex" (e.g. unreachable predecessor).
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Discrete time unit used by temporal graphs and contact traces.
+using TimeUnit = std::uint32_t;
+
+/// Sentinel for "never" / unreachable in time.
+inline constexpr TimeUnit kNeverTime = std::numeric_limits<TimeUnit>::max();
+
+}  // namespace structnet

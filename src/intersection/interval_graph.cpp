@@ -1,0 +1,93 @@
+#include "intersection/interval_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace structnet {
+
+Graph interval_graph(std::span<const Interval> intervals) {
+  const std::size_t n = intervals.size();
+  Graph g(n);
+  // Sweep by start point: an interval only intersects intervals whose
+  // start precedes its end. Sorting keeps this O(n log n + m).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return intervals[a].start < intervals[b].start;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a = order[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t b = order[j];
+      if (intervals[b].start > intervals[a].end) break;
+      g.add_edge(static_cast<VertexId>(std::min(a, b)),
+                 static_cast<VertexId>(std::max(a, b)));
+    }
+  }
+  return g;
+}
+
+Graph multiple_interval_graph(
+    std::span<const std::vector<Interval>> interval_sets) {
+  const std::size_t n = interval_sets.size();
+  Graph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      bool hit = false;
+      for (const Interval& ia : interval_sets[a]) {
+        for (const Interval& ib : interval_sets[b]) {
+          if (ia.intersects(ib)) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+      if (hit) g.add_edge(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    }
+  }
+  return g;
+}
+
+bool is_interval_representation(const Graph& g,
+                                std::span<const Interval> intervals) {
+  if (intervals.size() != g.vertex_count()) return false;
+  for (std::size_t a = 0; a < intervals.size(); ++a) {
+    for (std::size_t b = a + 1; b < intervals.size(); ++b) {
+      const bool want = g.has_edge(static_cast<VertexId>(a),
+                                   static_cast<VertexId>(b));
+      if (want != intervals[a].intersects(intervals[b])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Interval> representation_from_clique_order(
+    const Graph& g, std::span<const std::vector<VertexId>> ordered_cliques) {
+  std::vector<Interval> rep(g.vertex_count(),
+                            Interval{std::numeric_limits<double>::quiet_NaN(),
+                                     std::numeric_limits<double>::quiet_NaN()});
+  for (std::size_t c = 0; c < ordered_cliques.size(); ++c) {
+    for (VertexId v : ordered_cliques[c]) {
+      const double pos = static_cast<double>(c);
+      if (std::isnan(rep[v].start)) {
+        rep[v] = Interval{pos, pos};
+      } else {
+        rep[v].end = pos;
+      }
+    }
+  }
+  // Isolated vertices (in no clique) get disjoint unit slots far right.
+  double slot = static_cast<double>(ordered_cliques.size()) + 1.0;
+  for (auto& iv : rep) {
+    if (std::isnan(iv.start)) {
+      iv = Interval{slot, slot};
+      slot += 2.0;
+    }
+  }
+  return rep;
+}
+
+}  // namespace structnet

@@ -1,0 +1,49 @@
+// Interval graphs and multiple-interval graphs (Sec. II-A).
+//
+// A line interval models one online session of a user; two users are
+// linked when they were online simultaneously (Fig. 1 (a)/(b)). A user
+// who is online several times carries several intervals: the
+// multiple-interval graph of those sets models the full online social
+// network.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// A closed interval [start, end] on the real line; start <= end.
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  bool intersects(const Interval& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Intersection graph of one interval per vertex.
+Graph interval_graph(std::span<const Interval> intervals);
+
+/// Intersection graph of one interval *set* per vertex (edge iff any two
+/// member intervals intersect). Vertices with empty sets are isolated.
+Graph multiple_interval_graph(
+    std::span<const std::vector<Interval>> interval_sets);
+
+/// True iff `intervals` is an interval representation of g: the
+/// intersection graph of `intervals` equals g edge-for-edge.
+bool is_interval_representation(const Graph& g,
+                                std::span<const Interval> intervals);
+
+/// Builds an interval representation of an interval graph from a clique
+/// order (for testing round-trips): given the graph's maximal cliques in a
+/// consecutive arrangement, vertex v is assigned [first clique index,
+/// last clique index]. Precondition: the arrangement is consecutive.
+std::vector<Interval> representation_from_clique_order(
+    const Graph& g, std::span<const std::vector<VertexId>> ordered_cliques);
+
+}  // namespace structnet

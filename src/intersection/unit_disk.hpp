@@ -1,0 +1,29 @@
+// Unit-disk graph helpers beyond construction (which lives in
+// core/generators.hpp): realization verification and the paper's star
+// non-example.
+//
+// Sec. II-A: "A star graph with one center node and six or more leaves"
+// is not a unit disk graph — six mutually non-adjacent unit disks cannot
+// all touch a seventh. This module provides the predicate used by the
+// tests that certify that fact on candidate realizations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// True iff the positions + radius realize exactly the edges of g.
+bool is_unit_disk_realization(const Graph& g,
+                              std::span<const Point2D> positions,
+                              double radius);
+
+/// Counts, for a UDG realization, the maximum number of mutually
+/// non-adjacent neighbors any vertex has (in a UDG this is at most 5;
+/// the bound underlies "no MIS exceeds 5x minimum CDS" in Sec. IV-A).
+std::size_t max_independent_neighbors(const Graph& g);
+
+}  // namespace structnet

@@ -1,0 +1,134 @@
+#include "labeling/dynamic_mis.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace structnet {
+
+DynamicMis::DynamicMis(const Graph& g, Rng& rng)
+    : DynamicMis(g, [&] {
+        std::vector<double> p(g.vertex_count());
+        for (double& x : p) x = rng.uniform01();
+        return p;
+      }()) {}
+
+DynamicMis::DynamicMis(const Graph& g, std::vector<double> priority)
+    : priority_(std::move(priority)) {
+  assert(priority_.size() == g.vertex_count());
+  adjacency_.resize(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  in_mis_.assign(g.vertex_count(), false);
+  removed_.assign(g.vertex_count(), false);
+  // Initial greedy pass in descending priority order.
+  std::vector<VertexId> order(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return priority_[a] > priority_[b];
+  });
+  for (VertexId v : order) in_mis_[v] = greedy_status(v);
+}
+
+bool DynamicMis::greedy_status(VertexId v) const {
+  if (removed_[v]) return false;
+  for (VertexId w : adjacency_[v]) {
+    if (!removed_[w] && priority_[w] > priority_[v] && in_mis_[w]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DynamicMis::repair(std::vector<VertexId> seeds) {
+  // Max-heap on priority: a vertex's status depends only on
+  // higher-priority vertices, so processing in descending priority order
+  // recomputes each affected vertex at most once per enqueueing.
+  auto cmp = [&](VertexId a, VertexId b) {
+    return priority_[a] < priority_[b];
+  };
+  std::priority_queue<VertexId, std::vector<VertexId>, decltype(cmp)> queue(
+      cmp, std::move(seeds));
+  std::size_t work = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.top();
+    queue.pop();
+    ++work;
+    const bool status = greedy_status(v);
+    if (status == in_mis_[v]) continue;
+    in_mis_[v] = status;
+    for (VertexId w : adjacency_[v]) {
+      if (!removed_[w] && priority_[w] < priority_[v]) queue.push(w);
+    }
+  }
+  return work;
+}
+
+std::size_t DynamicMis::add_edge(VertexId u, VertexId v) {
+  assert(u < vertex_count() && v < vertex_count() && u != v);
+  assert(!removed_[u] && !removed_[v]);
+  if (has_edge(u, v)) return 0;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  const VertexId lower = priority_[u] < priority_[v] ? u : v;
+  return repair({lower});
+}
+
+std::size_t DynamicMis::remove_edge(VertexId u, VertexId v) {
+  assert(u < vertex_count() && v < vertex_count());
+  auto erase_from = [](std::vector<VertexId>& list, VertexId x) {
+    const auto it = std::find(list.begin(), list.end(), x);
+    if (it == list.end()) return false;
+    list.erase(it);
+    return true;
+  };
+  if (!erase_from(adjacency_[u], v)) return 0;
+  erase_from(adjacency_[v], u);
+  const VertexId lower = priority_[u] < priority_[v] ? u : v;
+  return repair({lower});
+}
+
+VertexId DynamicMis::add_vertex(Rng& rng) {
+  adjacency_.emplace_back();
+  priority_.push_back(rng.uniform01());
+  removed_.push_back(false);
+  in_mis_.push_back(true);  // isolated vertex joins the MIS
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+std::size_t DynamicMis::remove_vertex(VertexId v) {
+  assert(v < vertex_count() && !removed_[v]);
+  std::vector<VertexId> neighbors = adjacency_[v];
+  for (VertexId w : neighbors) {
+    auto& list = adjacency_[w];
+    list.erase(std::find(list.begin(), list.end(), v));
+  }
+  adjacency_[v].clear();
+  removed_[v] = true;
+  in_mis_[v] = false;
+  std::vector<VertexId> seeds;
+  for (VertexId w : neighbors) {
+    if (!removed_[w]) seeds.push_back(w);
+  }
+  return repair(std::move(seeds));
+}
+
+bool DynamicMis::has_edge(VertexId u, VertexId v) const {
+  const auto& list = adjacency_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+bool DynamicMis::verify() const {
+  for (VertexId v = 0; v < vertex_count(); ++v) {
+    if (removed_[v]) {
+      if (in_mis_[v]) return false;
+      continue;
+    }
+    if (in_mis_[v] != greedy_status(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace structnet

@@ -1,0 +1,59 @@
+// Dynamic MIS maintenance under topology changes (Sec. IV-C, citing
+// Censor-Hillel et al. [30]): when the MIS is the greedy one induced by
+// uniformly random node priorities, an edge/node insertion or deletion
+// costs O(1) adjustments in expectation, versus a full recomputation.
+//
+// The maintained set is the lexicographically-first MIS: v is in the MIS
+// iff no higher-priority neighbor is. Repairs propagate only to vertices
+// whose status actually flips, processed in priority order; the number of
+// status recomputations is the "adjustment work" reported per update.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+class DynamicMis {
+ public:
+  /// Starts from g with independently drawn uniform priorities.
+  DynamicMis(const Graph& g, Rng& rng);
+
+  /// Starts from g with the supplied priorities (must be distinct).
+  DynamicMis(const Graph& g, std::vector<double> priority);
+
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  bool in_mis(VertexId v) const { return in_mis_[v]; }
+  const std::vector<bool>& mis() const { return in_mis_; }
+  double priority(VertexId v) const { return priority_[v]; }
+
+  /// Each mutator returns the number of status recomputations the repair
+  /// performed (the update cost the paper's discussion is about).
+  std::size_t add_edge(VertexId u, VertexId v);
+  std::size_t remove_edge(VertexId u, VertexId v);
+  /// Adds an isolated vertex with a fresh random priority; returns its id.
+  VertexId add_vertex(Rng& rng);
+  /// Removes all edges of v and forces v out of consideration (status
+  /// false, priority kept). Returns the repair cost.
+  std::size_t remove_vertex(VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Invariant check: the current set is the greedy MIS of the current
+  /// graph restricted to live vertices.
+  bool verify() const;
+
+ private:
+  bool greedy_status(VertexId v) const;
+  std::size_t repair(std::vector<VertexId> seeds);
+
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<double> priority_;
+  std::vector<bool> in_mis_;
+  std::vector<bool> removed_;
+};
+
+}  // namespace structnet

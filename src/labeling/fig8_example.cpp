@@ -1,0 +1,20 @@
+#include "labeling/fig8_example.hpp"
+
+namespace structnet::fig8 {
+
+Graph build() {
+  Graph g(6);
+  g.add_edge(A, D);
+  g.add_edge(A, F);
+  g.add_edge(B, C);
+  g.add_edge(B, D);
+  g.add_edge(B, F);
+  g.add_edge(C, D);
+  g.add_edge(C, E);
+  g.add_edge(D, E);
+  g.add_edge(D, F);
+  g.add_edge(E, F);
+  return g;
+}
+
+}  // namespace structnet::fig8

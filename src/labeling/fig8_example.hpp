@@ -1,0 +1,31 @@
+// The paper's Fig. 8 static-labeling example, reconstructed.
+//
+// The figure is not recoverable from the text; the graph below is
+// reconstructed to satisfy every statement made about it (with the
+// paper's priority convention p(A) > p(B) > ... > p(F)):
+//
+//   * marking process: "all nodes except A are labeled black";
+//   * CDS trimming: "B, C, and D are three black nodes remained";
+//   * 3-color MIS: "A and B are colored black" in round 1 and "the final
+//     MIS ... is A, B, and E";
+//   * neighbor-designated DS: "A, B, and C are selected as DS (but not a
+//     CDS or an IS)".
+//
+// Vertices A..F = 0..5; edges:
+//   A-D, A-F, B-C, B-D, B-F, C-D, C-E, D-E, D-F, E-F.
+#pragma once
+
+#include "core/graph.hpp"
+
+namespace structnet::fig8 {
+
+inline constexpr VertexId A = 0;
+inline constexpr VertexId B = 1;
+inline constexpr VertexId C = 2;
+inline constexpr VertexId D = 3;
+inline constexpr VertexId E = 4;
+inline constexpr VertexId F = 5;
+
+Graph build();
+
+}  // namespace structnet::fig8

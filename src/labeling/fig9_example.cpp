@@ -1,0 +1,7 @@
+#include "labeling/fig9_example.hpp"
+
+namespace structnet::fig9 {
+
+std::vector<std::size_t> faulty_nodes() { return {0b1001, 0b1100, 0b0000}; }
+
+}  // namespace structnet::fig9

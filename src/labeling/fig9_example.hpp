@@ -1,0 +1,26 @@
+// The paper's Fig. 9 safety-level example, reconstructed.
+//
+// Fig. 9 shows a 4-D cube with three faulty (black) nodes in which, en
+// route from 1101 to 0001, node 1101 selects neighbor 0101 — whose
+// safety level is 2 — over its other preferred neighbor 1001. The fault
+// set below reproduces those facts exactly:
+//
+//   faults = { 1001, 1100, 0000 }
+//
+// With it: 1001 is faulty (level 0); 0001, 1101, 0100 and 1000 have at
+// least two faulty neighbors each (level 1); 0101's sorted neighbor levels are
+// (1, 1, 1, *) so its level is 2; and greedy safety routing 1101 -> 0001
+// goes 1101 -> 0101 -> 0001, a shortest path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace structnet::fig9 {
+
+inline constexpr std::size_t kDimensions = 4;
+
+/// The three faulty addresses {0b1001, 0b1100, 0b0000}.
+std::vector<std::size_t> faulty_nodes();
+
+}  // namespace structnet::fig9

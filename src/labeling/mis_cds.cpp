@@ -1,0 +1,88 @@
+#include "labeling/mis_cds.hpp"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace structnet {
+
+MisCdsResult cds_from_mis(const Graph& g, const std::vector<bool>& mis) {
+  assert(mis.size() == g.vertex_count());
+  MisCdsResult result;
+  result.cds = mis;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return result;
+
+  // Grow one connected "blob" of selected vertices: repeatedly BFS from
+  // the blob through unselected vertices to the nearest selected vertex
+  // outside it, then select the connecting path's interior (gateways).
+  VertexId seed = kInvalidVertex;
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.cds[v]) {
+      seed = v;
+      break;
+    }
+  }
+  if (seed == kInvalidVertex) return result;  // empty MIS: nothing to do
+
+  std::vector<bool> in_blob(n, false);
+  // The blob = connected component of selected vertices containing seed
+  // (recomputed incrementally below).
+  auto absorb_component = [&](VertexId from) {
+    std::deque<VertexId> queue{from};
+    in_blob[from] = true;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(u)) {
+        if (result.cds[w] && !in_blob[w]) {
+          in_blob[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  };
+  absorb_component(seed);
+
+  for (;;) {
+    // BFS from the blob to the nearest selected-but-unblobbed vertex.
+    constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> dist(n, kUnreached);
+    std::vector<VertexId> parent(n, kInvalidVertex);
+    std::deque<VertexId> queue;
+    for (VertexId v = 0; v < n; ++v) {
+      if (in_blob[v]) {
+        dist[v] = 0;
+        queue.push_back(v);
+      }
+    }
+    VertexId target = kInvalidVertex;
+    while (!queue.empty() && target == kInvalidVertex) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(u)) {
+        if (dist[w] != kUnreached) continue;
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        if (result.cds[w] && !in_blob[w]) {
+          target = w;
+          break;
+        }
+        queue.push_back(w);
+      }
+    }
+    if (target == kInvalidVertex) break;  // MIS fully connected
+    // Select the path's interior vertices as gateways.
+    for (VertexId v = parent[target]; v != kInvalidVertex && !in_blob[v];
+         v = parent[v]) {
+      if (!result.cds[v]) {
+        result.cds[v] = true;
+        ++result.gateways;
+      }
+    }
+    absorb_component(target);
+  }
+  return result;
+}
+
+}  // namespace structnet

@@ -1,0 +1,203 @@
+#include "labeling/safety_levels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace structnet {
+
+SafetyLevelCube::SafetyLevelCube(std::size_t dimensions,
+                                 const std::vector<std::size_t>& faulty)
+    : n_(dimensions) {
+  assert(dimensions >= 1 && dimensions < 24);
+  faulty_.assign(node_count(), false);
+  for (std::size_t f : faulty) {
+    assert(f < node_count());
+    faulty_[f] = true;
+  }
+  stabilize();
+}
+
+std::size_t SafetyLevelCube::hamming(std::size_t a, std::size_t b) {
+  return static_cast<std::size_t>(std::popcount(a ^ b));
+}
+
+void SafetyLevelCube::stabilize() {
+  const std::size_t count = node_count();
+  level_.assign(count, static_cast<std::uint32_t>(n_));
+  decided_.assign(count, 0);
+  for (std::size_t v = 0; v < count; ++v) {
+    if (faulty_[v]) level_[v] = 0;
+  }
+  // Synchronous rounds; levels are monotonically non-increasing, so a
+  // fixpoint is reached within n rounds (a level-i node decides in round
+  // i, per the paper).
+  std::vector<std::uint32_t> next(count);
+  for (std::size_t round = 1; round <= n_; ++round) {
+    next = level_;
+    bool changed = false;
+    for (std::size_t v = 0; v < count; ++v) {
+      if (faulty_[v]) continue;
+      std::vector<std::uint32_t> nbr(n_);
+      for (std::size_t d = 0; d < n_; ++d) {
+        nbr[d] = level_[v ^ (std::size_t{1} << d)];
+      }
+      std::sort(nbr.begin(), nbr.end());
+      // Smallest k with l_k < k (then l_k = k - 1 holds automatically for
+      // a sorted sequence); no such k => level n.
+      std::uint32_t lvl = static_cast<std::uint32_t>(n_);
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (nbr[k] < k) {
+          lvl = static_cast<std::uint32_t>(k);
+          break;
+        }
+      }
+      if (lvl != level_[v]) {
+        next[v] = lvl;
+        decided_[v] = round;
+        changed = true;
+      }
+    }
+    level_.swap(next);
+    if (!changed) break;
+    rounds_ = round;
+  }
+}
+
+std::size_t SafetyLevelCube::add_fault(std::size_t v) {
+  assert(v < node_count());
+  if (faulty_[v]) return 0;
+  faulty_[v] = true;
+  std::size_t changed = level_[v] != 0 ? 1 : 0;
+  level_[v] = 0;
+  decided_[v] = 0;
+  // Levels can only drop. Propagate recomputation from v's neighbors
+  // outwards; a node whose recomputed level is unchanged stops the wave.
+  std::vector<std::size_t> frontier;
+  for (std::size_t d = 0; d < n_; ++d) {
+    frontier.push_back(v ^ (std::size_t{1} << d));
+  }
+  std::vector<std::uint32_t> nbr(n_);
+  std::size_t guard = 0;
+  while (!frontier.empty() && guard++ <= node_count() * n_) {
+    std::vector<std::size_t> next;
+    for (std::size_t u : frontier) {
+      if (faulty_[u]) continue;
+      for (std::size_t d = 0; d < n_; ++d) {
+        nbr[d] = level_[u ^ (std::size_t{1} << d)];
+      }
+      std::sort(nbr.begin(), nbr.end());
+      std::uint32_t lvl = static_cast<std::uint32_t>(n_);
+      for (std::size_t k = 0; k < n_; ++k) {
+        if (nbr[k] < k) {
+          lvl = static_cast<std::uint32_t>(k);
+          break;
+        }
+      }
+      if (lvl < level_[u]) {
+        level_[u] = lvl;
+        ++changed;
+        for (std::size_t d = 0; d < n_; ++d) {
+          next.push_back(u ^ (std::size_t{1} << d));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return changed;
+}
+
+std::optional<std::vector<std::size_t>> SafetyLevelCube::route(
+    std::size_t from, std::size_t to) const {
+  assert(from < node_count() && to < node_count());
+  if (faulty_[from] || faulty_[to]) return std::nullopt;
+  std::vector<std::size_t> path{from};
+  std::size_t cur = from;
+  while (cur != to) {
+    // Neighbors one bit closer to the destination ("preferred").
+    std::size_t best = node_count();  // invalid
+    std::uint32_t best_level = 0;
+    std::size_t diff = cur ^ to;
+    while (diff != 0) {
+      const std::size_t bit = diff & (~diff + 1);
+      diff ^= bit;
+      const std::size_t w = cur ^ bit;
+      if (faulty_[w]) continue;
+      if (best == node_count() || level_[w] > best_level ||
+          (level_[w] == best_level && w < best)) {
+        best = w;
+        best_level = level_[w];
+      }
+    }
+    if (best == node_count()) return std::nullopt;  // all preferred faulty
+    cur = best;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+SafetyLevelCube::BroadcastResult SafetyLevelCube::broadcast(
+    std::size_t from) const {
+  assert(from < node_count());
+  BroadcastResult result;
+  result.reached.assign(node_count(), false);
+  if (faulty_[from]) return result;
+  result.reached[from] = true;
+
+  // Binomial-tree broadcast: a node holding dimension set S forwards
+  // along each dimension of S, handing the child the strictly-later
+  // dimensions; the order is chosen per node with the highest-safety
+  // child first so low-safety children receive small subtrees.
+  struct Item {
+    std::size_t node;
+    std::vector<std::size_t> dims;
+  };
+  std::vector<std::size_t> all_dims(n_);
+  for (std::size_t d = 0; d < n_; ++d) all_dims[d] = d;
+  std::vector<Item> stack{Item{from, all_dims}};
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    // Order this node's dimensions by child safety, descending, so that
+    // low-safety (and faulty) children receive the smallest subtrees.
+    std::sort(item.dims.begin(), item.dims.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::size_t ca = item.node ^ (std::size_t{1} << a);
+                const std::size_t cb = item.node ^ (std::size_t{1} << b);
+                if (level_[ca] != level_[cb]) return level_[ca] > level_[cb];
+                return a < b;
+              });
+    for (std::size_t i = 0; i < item.dims.size(); ++i) {
+      const std::size_t child = item.node ^ (std::size_t{1} << item.dims[i]);
+      ++result.messages;
+      if (faulty_[child] || result.reached[child]) continue;
+      result.reached[child] = true;
+      stack.push_back(
+          Item{child, std::vector<std::size_t>(item.dims.begin() + i + 1,
+                                               item.dims.end())});
+    }
+  }
+
+  // Recovery sweep: subtrees assigned to a faulty child are stranded;
+  // reached nodes flood any unreached non-faulty neighbor until closure
+  // (this is the retransmission phase of fault-tolerant broadcast; with
+  // safety-ordered subtrees it only fires near faults).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 0; v < node_count(); ++v) {
+      if (!result.reached[v]) continue;
+      for (std::size_t d = 0; d < n_; ++d) {
+        const std::size_t w = v ^ (std::size_t{1} << d);
+        if (!faulty_[w] && !result.reached[w]) {
+          result.reached[w] = true;
+          ++result.messages;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace structnet

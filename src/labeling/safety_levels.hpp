@@ -1,0 +1,80 @@
+// Safety levels in a faulty n-dimensional binary hypercube (Wu '95 [32],
+// Sec. IV-C): the paper's flagship hybrid distributed-and-localized
+// labeling scheme.
+//
+// The safety level of a faulty node is 0. For a non-faulty node u with
+// non-decreasing neighbor-level sequence (l_0, ..., l_{n-1}):
+//   if (l_0, ..., l_{n-1}) >= (0, 1, ..., n-1), then l(u) = n;
+//   otherwise l(u) = k for the k with
+//   (l_0, ..., l_{k-1}) >= (0, ..., k-1) and l_k = k - 1.
+// A node with level n is *safe*: it reaches every node via a shortest
+// path. A node with level l reaches any node within l hops via a
+// shortest path. Levels stabilize in at most n - 1 rounds; a level-i
+// node is decided exactly in round i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace structnet {
+
+/// A faulty n-cube with safety levels.
+class SafetyLevelCube {
+ public:
+  /// addresses are 0 .. 2^dimensions - 1; `faulty` lists faulty addresses.
+  SafetyLevelCube(std::size_t dimensions, const std::vector<std::size_t>& faulty);
+
+  std::size_t dimensions() const { return n_; }
+  std::size_t node_count() const { return std::size_t{1} << n_; }
+  bool is_faulty(std::size_t v) const { return faulty_[v]; }
+
+  /// The stabilized safety level of a node (0 for faulty, n for safe).
+  std::uint32_t level(std::size_t v) const { return level_[v]; }
+
+  /// Number of synchronous rounds the iterative labeling used (<= n - 1
+  /// per the paper).
+  std::size_t rounds_used() const { return rounds_; }
+
+  /// The round in which v's level was decided (level-i nodes decide in
+  /// round i; level-n/safe nodes hold their initial value, reported as
+  /// round 0).
+  std::size_t decided_round(std::size_t v) const { return decided_[v]; }
+
+  /// Safety-level-guided unicast: from each intermediate node, hop to the
+  /// highest-level neighbor among those on a shortest path to `to`
+  /// (addresses one bit closer). Returns the path (including endpoints)
+  /// or std::nullopt when the greedy process hits only faulty options.
+  /// Guaranteed to succeed when level(from) >= hamming(from, to).
+  std::optional<std::vector<std::size_t>> route(std::size_t from,
+                                                std::size_t to) const;
+
+  /// Fault-tolerant broadcast from `from` using a binomial tree whose
+  /// dimension order at each node prefers high-safety children. Returns
+  /// the set of reached nodes and counts one message per tree edge.
+  struct BroadcastResult {
+    std::vector<bool> reached;
+    std::size_t messages = 0;
+  };
+  BroadcastResult broadcast(std::size_t from) const;
+
+  static std::size_t hamming(std::size_t a, std::size_t b);
+
+  /// Dynamic fault injection: marks `v` faulty and restabilizes. Safety
+  /// levels are monotone non-increasing under new faults, so the
+  /// incremental recomputation touches only affected nodes; returns how
+  /// many levels changed (v included). No-op returning 0 when v was
+  /// already faulty.
+  std::size_t add_fault(std::size_t v);
+
+ private:
+  void stabilize();
+
+  std::size_t n_;
+  std::vector<bool> faulty_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::size_t> decided_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace structnet

@@ -1,0 +1,226 @@
+#include "labeling/static_labels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace structnet {
+
+std::vector<bool> marking_process(const Graph& g) {
+  std::vector<bool> black(g.vertex_count(), false);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size() && !black[v]; ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (!g.has_edge(nbrs[i], nbrs[j])) {
+          black[v] = true;
+          break;
+        }
+      }
+    }
+  }
+  return black;
+}
+
+namespace {
+
+/// True iff `candidates` (a subset of u's neighborhood) contains a
+/// connected subset covering N(u). Because adding candidates never hurts
+/// coverage and the connected component of the candidate-induced graph
+/// that covers must be a single component, it suffices to check whether
+/// some connected component of the candidate set covers N(u).
+bool coverage_by_connected_subset(const Graph& g, VertexId u,
+                                  const std::vector<VertexId>& candidates) {
+  if (candidates.empty()) return false;
+  // Components of the induced candidate subgraph.
+  std::vector<int> comp(candidates.size(), -1);
+  int next = 0;
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    std::deque<std::size_t> queue{s};
+    while (!queue.empty()) {
+      const std::size_t x = queue.front();
+      queue.pop_front();
+      for (std::size_t y = 0; y < candidates.size(); ++y) {
+        if (comp[y] == -1 && g.has_edge(candidates[x], candidates[y])) {
+          comp[y] = next;
+          queue.push_back(y);
+        }
+      }
+    }
+    ++next;
+  }
+  // Does some component cover all of N(u)?
+  for (int c = 0; c < next; ++c) {
+    bool covers = true;
+    for (VertexId w : g.neighbors(u)) {
+      bool covered = false;
+      for (std::size_t i = 0; i < candidates.size() && !covered; ++i) {
+        if (comp[i] != c) continue;
+        covered = candidates[i] == w || g.has_edge(candidates[i], w);
+      }
+      if (!covered) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<bool> trim_cds(const Graph& g, const std::vector<bool>& black,
+                           std::span<const double> priority) {
+  assert(black.size() == g.vertex_count());
+  assert(priority.size() == g.vertex_count());
+  std::vector<bool> out = black;
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    if (!black[u]) continue;
+    std::vector<VertexId> candidates;
+    for (VertexId w : g.neighbors(u)) {
+      if (black[w] && priority[w] > priority[u]) candidates.push_back(w);
+    }
+    if (coverage_by_connected_subset(g, u, candidates)) out[u] = false;
+  }
+  return out;
+}
+
+MisResult distributed_mis(const Graph& g, std::span<const double> priority) {
+  assert(priority.size() == g.vertex_count());
+  enum class Color { kWhite, kBlack, kGray };
+  std::vector<Color> color(g.vertex_count(), Color::kWhite);
+  MisResult result;
+  result.in_mis.assign(g.vertex_count(), false);
+
+  auto any_white = [&] {
+    return std::any_of(color.begin(), color.end(),
+                       [](Color c) { return c == Color::kWhite; });
+  };
+  while (any_white()) {
+    ++result.rounds;
+    // Phase 1: white 1-hop priority maxima turn black (simultaneously).
+    std::vector<VertexId> winners;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (color[v] != Color::kWhite) continue;
+      bool is_max = true;
+      for (VertexId w : g.neighbors(v)) {
+        if (color[w] == Color::kWhite && priority[w] > priority[v]) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) winners.push_back(v);
+    }
+    assert(!winners.empty() && "a global white maximum always exists");
+    for (VertexId v : winners) {
+      color[v] = Color::kBlack;
+      result.in_mis[v] = true;
+    }
+    // Phase 2: white nodes adjacent to a black node leave the competition.
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (color[v] != Color::kWhite) continue;
+      for (VertexId w : g.neighbors(v)) {
+        if (color[w] == Color::kBlack) {
+          color[v] = Color::kGray;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<bool> neighbor_designated_ds(const Graph& g,
+                                         std::span<const double> priority) {
+  assert(priority.size() == g.vertex_count());
+  std::vector<bool> selected(g.vertex_count(), false);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    VertexId winner = v;
+    for (VertexId w : g.neighbors(v)) {
+      if (priority[w] > priority[winner]) winner = w;
+    }
+    selected[winner] = true;
+  }
+  return selected;
+}
+
+bool is_dominating_set(const Graph& g, const std::vector<bool>& ds) {
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (ds[v]) continue;
+    bool dominated = false;
+    for (VertexId w : g.neighbors(v)) {
+      if (ds[w]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_connected_dominating_set(const Graph& g, const std::vector<bool>& ds) {
+  if (!is_dominating_set(g, ds)) return false;
+  // Connectivity of the induced subgraph G[ds].
+  VertexId start = kInvalidVertex;
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (ds[v]) {
+      start = v;
+      ++total;
+    }
+  }
+  if (total <= 1) return true;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::deque<VertexId> queue{start};
+  seen[start] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : g.neighbors(v)) {
+      if (ds[w] && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached == total;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<bool>& is) {
+  for (const Graph::Edge& e : g.edges()) {
+    if (is[e.u] && is[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& is) {
+  if (!is_independent_set(g, is)) return false;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (is[v]) continue;
+    bool blocked = false;
+    for (VertexId w : g.neighbors(v)) {
+      if (is[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // v could be added: not maximal
+  }
+  return true;
+}
+
+std::vector<double> id_priorities(std::size_t n) {
+  std::vector<double> p(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    p[v] = static_cast<double>(n - v);
+  }
+  return p;
+}
+
+}  // namespace structnet

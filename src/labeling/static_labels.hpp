@@ -1,0 +1,64 @@
+// Static labeling schemes of Sec. IV-A: each node is labeled a small
+// number of times for a given topology.
+//
+//   * Marking process (Wu-Dai [22]): a node colors itself black when it
+//     has two unconnected neighbors; all black nodes form a CDS.
+//   * CDS trimming: a black node reverts to white when its neighborhood
+//     is covered by a connected set of higher-priority black nodes.
+//   * Distributed MIS (3 colors, log n rounds expected): a white node
+//     that is the 1-hop priority maximum among white nodes turns black;
+//     white nodes with a black neighbor turn gray; repeat.
+//   * Neighbor-designated DS (1 round): every node selects the highest
+//     priority node of its closed neighborhood; selected nodes form a DS.
+//
+// Priorities are supplied explicitly (higher value = higher priority); the
+// paper's examples use p(A) > p(B) > ... which corresponds to
+// priority[v] = n - v.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Self-determined marking: black iff the node has two neighbors that are
+/// not connected to each other. Returns the black mask (the CDS).
+std::vector<bool> marking_process(const Graph& g);
+
+/// CDS trimming rule: black node u reverts to white when the set of its
+/// *higher-priority black* neighbors contains a connected subset that
+/// covers N(u). All reverts are evaluated against the input black set
+/// simultaneously (the standard Wu-Dai Rule-k schedule); priority order
+/// makes simultaneous application safe.
+std::vector<bool> trim_cds(const Graph& g, const std::vector<bool>& black,
+                           std::span<const double> priority);
+
+/// Result of the 3-color distributed MIS computation.
+struct MisResult {
+  std::vector<bool> in_mis;  // black nodes
+  std::size_t rounds = 0;
+};
+
+/// Synchronous 3-color MIS: expected O(log n) rounds under random
+/// priorities; deterministic given the supplied priorities.
+MisResult distributed_mis(const Graph& g, std::span<const double> priority);
+
+/// Neighbor-designated dominating set: one round; every node nominates
+/// the highest-priority member of its closed neighborhood.
+std::vector<bool> neighbor_designated_ds(const Graph& g,
+                                         std::span<const double> priority);
+
+// ------------------------------------------------------------ verifiers
+
+bool is_dominating_set(const Graph& g, const std::vector<bool>& ds);
+bool is_connected_dominating_set(const Graph& g, const std::vector<bool>& ds);
+bool is_independent_set(const Graph& g, const std::vector<bool>& is);
+bool is_maximal_independent_set(const Graph& g, const std::vector<bool>& is);
+
+/// Convenience: priority[v] = n - v, the paper's "p(A) > p(B) > ..." by
+/// node id.
+std::vector<double> id_priorities(std::size_t n);
+
+}  // namespace structnet

@@ -1,0 +1,24 @@
+#include "layering/fig4_example.hpp"
+
+namespace structnet::fig4 {
+
+Graph broken_graph() {
+  Graph g(4);
+  g.add_edge(A, B);
+  g.add_edge(B, C);
+  g.add_edge(C, D);
+  return g;
+}
+
+Graph initial_graph() {
+  Graph g(4);
+  g.add_edge(A, D);
+  g.add_edge(A, B);
+  g.add_edge(B, C);
+  g.add_edge(C, D);
+  return g;
+}
+
+std::vector<double> initial_heights() { return {1.0, 2.0, 3.0, 0.0}; }
+
+}  // namespace structnet::fig4

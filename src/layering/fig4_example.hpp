@@ -1,0 +1,40 @@
+// The paper's Fig. 4 full-link-reversal example, reconstructed.
+//
+// The figure (not recoverable from the text) shows a destination-oriented
+// DAG with destination D, the link (A, D) breaking, and a full
+// link-reversal cascade through snapshots (a)-(e) in which node A
+// reverses more than once. The reconstruction below reproduces exactly
+// that behavior:
+//
+//   vertices  A, B, C, D (D = destination)
+//   edges     (A,D) [breaks], (A,B), (B,C), (C,D)
+//   heights   D = 0, A = 1, B = 2, C = 3
+//
+// After (A, D) breaks: A is a sink and reverses (height 3); B becomes a
+// sink and reverses (height 4); A becomes a sink again and reverses
+// (height 5); the orientation is destination-oriented once more. Four
+// snapshots of change + the initial one = the figure's (a)-(e), with A
+// reversing twice ("each node may be involved in multiple rounds of
+// reversals, like node A in Fig. 4").
+#pragma once
+
+#include "core/graph.hpp"
+#include "layering/link_reversal.hpp"
+
+namespace structnet::fig4 {
+
+inline constexpr VertexId A = 0;
+inline constexpr VertexId B = 1;
+inline constexpr VertexId C = 2;
+inline constexpr VertexId D = 3;
+
+/// The graph *after* the (A, D) link has broken.
+Graph broken_graph();
+
+/// The graph before the break (includes (A, D)).
+Graph initial_graph();
+
+/// Initial heights (D = 0, A = 1, B = 2, C = 3).
+std::vector<double> initial_heights();
+
+}  // namespace structnet::fig4

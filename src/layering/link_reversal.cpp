@@ -1,0 +1,207 @@
+#include "layering/link_reversal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "algo/traversal.hpp"
+
+namespace structnet {
+
+std::vector<std::size_t> out_degrees(const Graph& g, const Orientation& o) {
+  std::vector<std::size_t> out(g.vertex_count(), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    ++out[o.towards_v[e] ? edge.u : edge.v];
+  }
+  return out;
+}
+
+bool is_destination_oriented_dag(const Graph& g, const Orientation& o,
+                                 VertexId destination) {
+  const std::size_t n = g.vertex_count();
+  auto out = out_degrees(g, o);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == destination) continue;
+    if (g.degree(static_cast<VertexId>(v)) > 0 && out[v] == 0) return false;
+  }
+  if (g.degree(destination) > 0 && out[destination] != 0) return false;
+  // Acyclicity via Kahn's algorithm on the oriented arcs.
+  std::vector<std::size_t> in(n, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    ++in[o.towards_v[e] ? edge.v : edge.u];
+  }
+  std::deque<VertexId> zero;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (in[v] == 0) zero.push_back(static_cast<VertexId>(v));
+  }
+  std::size_t seen = 0;
+  // Arc adjacency on demand.
+  std::vector<std::vector<VertexId>> succ(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    if (o.towards_v[e]) {
+      succ[edge.u].push_back(edge.v);
+    } else {
+      succ[edge.v].push_back(edge.u);
+    }
+  }
+  while (!zero.empty()) {
+    const VertexId v = zero.front();
+    zero.pop_front();
+    ++seen;
+    for (VertexId w : succ[v]) {
+      if (--in[w] == 0) zero.push_back(w);
+    }
+  }
+  return seen == n;
+}
+
+Orientation make_destination_oriented_dag(const Graph& g,
+                                          VertexId destination) {
+  const auto dist = bfs_distances(g, destination);
+  Orientation o;
+  o.towards_v.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const auto key = [&](VertexId v) {
+      return std::pair<std::uint64_t, VertexId>(dist[v], v);
+    };
+    o.towards_v[e] = key(edge.u) > key(edge.v);  // higher points to lower
+  }
+  return o;
+}
+
+Orientation orientation_from_heights(const Graph& g,
+                                     const std::vector<double>& heights) {
+  assert(heights.size() == g.vertex_count());
+  Orientation o;
+  o.towards_v.resize(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const auto key = [&](VertexId v) {
+      return std::pair<double, VertexId>(heights[v], v);
+    };
+    o.towards_v[e] = key(edge.u) > key(edge.v);
+  }
+  return o;
+}
+
+namespace {
+
+std::vector<VertexId> bad_sinks(const Graph& g, const Orientation& o,
+                                VertexId destination) {
+  const auto out = out_degrees(g, o);
+  std::vector<VertexId> sinks;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (v != destination && g.degree(static_cast<VertexId>(v)) > 0 &&
+        out[v] == 0) {
+      sinks.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return sinks;
+}
+
+std::size_t default_round_bound(const Graph& g, std::size_t max_rounds) {
+  if (max_rounds != 0) return max_rounds;
+  return 4 * g.vertex_count() * g.vertex_count() + 16;
+}
+
+}  // namespace
+
+ReversalStats full_reversal_by_heights(const Graph& g,
+                                       std::vector<double>& heights,
+                                       VertexId destination,
+                                       Orientation& orientation,
+                                       std::size_t max_rounds) {
+  assert(heights.size() == g.vertex_count());
+  ReversalStats stats;
+  stats.reversals_of.assign(g.vertex_count(), 0);
+  const std::size_t bound = default_round_bound(g, max_rounds);
+  for (std::size_t round = 0; round < bound; ++round) {
+    const auto sinks = bad_sinks(g, orientation, destination);
+    if (sinks.empty()) {
+      stats.converged = true;
+      break;
+    }
+    ++stats.rounds;
+    for (VertexId s : sinks) {
+      double highest = -std::numeric_limits<double>::infinity();
+      for (VertexId w : g.neighbors(s)) highest = std::max(highest, heights[w]);
+      heights[s] = highest + 1.0;
+      ++stats.node_reversals;
+      ++stats.reversals_of[s];
+      stats.link_reversals += g.degree(s);
+    }
+    orientation = orientation_from_heights(g, heights);
+  }
+  return stats;
+}
+
+BinaryLinkReversal::BinaryLinkReversal(const Graph& g, Orientation orientation,
+                                       VertexId destination, ReversalMode mode)
+    : graph_(g),
+      orientation_(std::move(orientation)),
+      label_(g.edge_count(), mode == ReversalMode::kFull),
+      destination_(destination),
+      incident_(g.vertex_count()) {
+  assert(orientation_.towards_v.size() == g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    incident_[g.edge(e).u].push_back(e);
+    incident_[g.edge(e).v].push_back(e);
+  }
+}
+
+bool BinaryLinkReversal::done() const {
+  return bad_sinks(graph_, orientation_, destination_).empty();
+}
+
+std::size_t BinaryLinkReversal::step() {
+  std::size_t links_flipped = 0;
+  const auto sinks = bad_sinks(graph_, orientation_, destination_);
+  // Adjacent vertices cannot both be sinks (their shared link leaves one
+  // of them), so simultaneous application is race-free.
+  for (VertexId s : sinks) {
+    bool any_zero = false;
+    for (EdgeId e : incident_[s]) any_zero |= !label_[e];
+    if (any_zero) {
+      // Rule 1: reverse links labeled 0; flip every incident label.
+      for (EdgeId e : incident_[s]) {
+        if (!label_[e]) {
+          orientation_.towards_v[e] = !orientation_.towards_v[e];
+          ++links_flipped;
+        }
+        label_[e] = !label_[e];
+      }
+    } else {
+      // Rule 2: reverse all incident links; labels unchanged.
+      for (EdgeId e : incident_[s]) {
+        orientation_.towards_v[e] = !orientation_.towards_v[e];
+        ++links_flipped;
+      }
+    }
+  }
+  return links_flipped;
+}
+
+ReversalStats BinaryLinkReversal::run(std::size_t max_rounds) {
+  ReversalStats stats;
+  stats.reversals_of.assign(graph_.vertex_count(), 0);
+  const std::size_t bound = default_round_bound(graph_, max_rounds);
+  for (std::size_t round = 0; round < bound; ++round) {
+    const auto sinks = bad_sinks(graph_, orientation_, destination_);
+    if (sinks.empty()) {
+      stats.converged = true;
+      break;
+    }
+    ++stats.rounds;
+    for (VertexId s : sinks) ++stats.reversals_of[s];
+    stats.node_reversals += sinks.size();
+    stats.link_reversals += step();
+  }
+  return stats;
+}
+
+}  // namespace structnet

@@ -1,0 +1,109 @@
+// Man-made layering: destination-oriented DAGs maintained by link
+// reversal (Sec. III-B and IV-B).
+//
+// Three algorithms are provided on a shared oriented-graph state:
+//   * full link reversal (Gafni-Bertsekas [16], height formulation):
+//     a non-destination sink raises its height above its highest
+//     neighbor, reversing every incident link;
+//   * partial link reversal [16]: reverses only the links not reversed
+//     since the node's last reversal;
+//   * binary-label link reversal (Charron-Bost et al. [24]): each link
+//     carries a bit; Rule 1 / Rule 2 as described in the paper. All
+//     labels 1 = full reversal; all labels 0 = partial reversal.
+// The binary-label machine is the single implementation; full/partial
+// are initializations of it, exactly as the paper observes. An
+// independent height-based full-reversal engine is kept for
+// cross-checking and for replaying Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Orientation of an undirected graph: for edge e = (u, v) of g,
+/// towards_v[e] == true means the link points u -> v.
+struct Orientation {
+  std::vector<bool> towards_v;
+
+  bool points_from(const Graph& g, EdgeId e, VertexId from) const {
+    return g.edge(e).u == from ? towards_v[e] : !towards_v[e];
+  }
+};
+
+/// Out-degree of every vertex under an orientation.
+std::vector<std::size_t> out_degrees(const Graph& g, const Orientation& o);
+
+/// True iff the orientation is a destination-oriented DAG: acyclic and
+/// the destination is the unique sink among vertices that have any edges
+/// (in a DAG this implies every non-isolated vertex can reach the
+/// destination).
+bool is_destination_oriented_dag(const Graph& g, const Orientation& o,
+                                 VertexId destination);
+
+/// Builds an initial destination-oriented DAG by orienting every edge
+/// from the endpoint with the larger (BFS distance to destination, id)
+/// pair to the smaller. Requires the graph to be connected.
+Orientation make_destination_oriented_dag(const Graph& g,
+                                          VertexId destination);
+
+/// Builds the orientation induced by explicit heights (higher points to
+/// lower; ties broken by id). Heights need not be distinct.
+Orientation orientation_from_heights(const Graph& g,
+                                     const std::vector<double>& heights);
+
+/// Statistics of one link-reversal run.
+struct ReversalStats {
+  std::size_t rounds = 0;           // synchronous rounds until DAG restored
+  std::size_t node_reversals = 0;   // total reversal events
+  std::size_t link_reversals = 0;   // total links flipped
+  std::vector<std::size_t> reversals_of;  // events per node
+  bool converged = false;
+};
+
+/// Height-based full link reversal: runs synchronous rounds (every
+/// current non-destination sink reverses simultaneously) until the
+/// orientation is destination-oriented again. `heights` is updated in
+/// place; the returned orientation is the final one. Gives up after
+/// `max_rounds` (0 = 4 * n^2 default bound) with converged == false.
+ReversalStats full_reversal_by_heights(const Graph& g,
+                                       std::vector<double>& heights,
+                                       VertexId destination,
+                                       Orientation& orientation,
+                                       std::size_t max_rounds = 0);
+
+enum class ReversalMode : std::uint8_t {
+  kFull,     // all link labels initialized to 1
+  kPartial,  // all link labels initialized to 0
+};
+
+/// Binary-label link-reversal machine.
+class BinaryLinkReversal {
+ public:
+  BinaryLinkReversal(const Graph& g, Orientation orientation,
+                     VertexId destination, ReversalMode mode);
+
+  /// Executes one synchronous round: every non-destination sink applies
+  /// Rule 1 or Rule 2. Returns the number of links reversed.
+  std::size_t step();
+
+  /// Runs rounds until the DAG is destination-oriented (or max_rounds,
+  /// 0 = 4 * n^2 default).
+  ReversalStats run(std::size_t max_rounds = 0);
+
+  const Orientation& orientation() const { return orientation_; }
+  const std::vector<bool>& labels() const { return label_; }
+  bool done() const;
+
+ private:
+  const Graph& graph_;
+  Orientation orientation_;
+  std::vector<bool> label_;  // per edge id
+  VertexId destination_;
+  std::vector<std::vector<EdgeId>> incident_;  // edge ids per vertex
+};
+
+}  // namespace structnet

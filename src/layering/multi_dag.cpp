@@ -1,0 +1,72 @@
+#include "layering/multi_dag.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace structnet {
+
+MultiDestinationDags::MultiDestinationDags(Graph g,
+                                           std::vector<VertexId> destinations)
+    : graph_(std::move(g)), destinations_(std::move(destinations)) {
+  orientations_.reserve(destinations_.size());
+  for (VertexId d : destinations_) {
+    orientations_.push_back(make_destination_oriented_dag(graph_, d));
+  }
+}
+
+bool MultiDestinationDags::all_valid() const {
+  for (std::size_t i = 0; i < destinations_.size(); ++i) {
+    if (!is_destination_oriented_dag(graph_, orientations_[i],
+                                     destinations_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MultiDestinationDags::RepairStats MultiDestinationDags::fail_link(VertexId u,
+                                                                  VertexId v) {
+  // Rebuild the graph without (u, v), carrying each orientation across
+  // by edge endpoints (edge ids shift after removal).
+  Graph next(graph_.vertex_count());
+  std::vector<Orientation> next_orient(destinations_.size());
+  for (auto& o : next_orient) {
+    o.towards_v.reserve(graph_.edge_count());
+  }
+  bool removed = false;
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    const auto& edge = graph_.edge(e);
+    if (!removed && ((edge.u == u && edge.v == v) ||
+                     (edge.u == v && edge.v == u))) {
+      removed = true;
+      continue;
+    }
+    next.add_edge(edge.u, edge.v);
+    for (std::size_t i = 0; i < destinations_.size(); ++i) {
+      next_orient[i].towards_v.push_back(orientations_[i].towards_v[e]);
+    }
+  }
+  assert(removed && "fail_link requires an existing edge");
+  graph_ = std::move(next);
+  orientations_ = std::move(next_orient);
+
+  RepairStats stats;
+  for (std::size_t i = 0; i < destinations_.size(); ++i) {
+    if (is_destination_oriented_dag(graph_, orientations_[i],
+                                    destinations_[i])) {
+      continue;  // this DAG survived the failure untouched
+    }
+    ++stats.dags_touched;
+    BinaryLinkReversal machine(graph_, orientations_[i], destinations_[i],
+                               ReversalMode::kFull);
+    const auto r = machine.run();
+    orientations_[i] = machine.orientation();
+    stats.total_node_reversals += r.node_reversals;
+    stats.total_link_reversals += r.link_reversals;
+    stats.max_rounds = std::max(stats.max_rounds, r.rounds);
+    stats.converged &= r.converged;
+  }
+  return stats;
+}
+
+}  // namespace structnet

@@ -1,0 +1,56 @@
+// Simultaneous destination-oriented DAGs for multiple destinations
+// (Sec. III-B: "A related challenge is finding an efficient way of
+// maintaining DAGs simultaneously for multiple destinations").
+//
+// One height function per destination over a shared topology; a link
+// failure triggers per-destination link-reversal repairs. The class
+// reports the repair work so experiments can show how maintenance cost
+// scales with the number of destinations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "layering/link_reversal.hpp"
+
+namespace structnet {
+
+class MultiDestinationDags {
+ public:
+  /// Builds one BFS-based destination-oriented DAG per destination.
+  /// Requires g connected.
+  MultiDestinationDags(Graph g, std::vector<VertexId> destinations);
+
+  const Graph& graph() const { return graph_; }
+  std::size_t destination_count() const { return destinations_.size(); }
+  VertexId destination(std::size_t i) const { return destinations_[i]; }
+  const Orientation& orientation(std::size_t i) const {
+    return orientations_[i];
+  }
+
+  /// True iff every maintained orientation is destination-oriented.
+  bool all_valid() const;
+
+  struct RepairStats {
+    std::size_t total_node_reversals = 0;
+    std::size_t total_link_reversals = 0;
+    std::size_t max_rounds = 0;       // slowest destination's repair
+    std::size_t dags_touched = 0;     // destinations that needed any work
+    bool converged = true;
+  };
+
+  /// Removes edge (u, v) from the shared topology and repairs every
+  /// destination's DAG with full link reversal (binary-label machine,
+  /// all-1 labels). Returns aggregate repair work. The edge must exist
+  /// and the graph must stay connected (otherwise repairs for
+  /// partitioned destinations cannot converge and `converged` is false).
+  RepairStats fail_link(VertexId u, VertexId v);
+
+ private:
+  Graph graph_;
+  std::vector<VertexId> destinations_;
+  std::vector<Orientation> orientations_;
+};
+
+}  // namespace structnet

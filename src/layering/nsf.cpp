@@ -1,0 +1,152 @@
+#include "layering/nsf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/stats.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Adjusted degree: number of alive neighbors.
+std::vector<std::size_t> alive_degrees(const Graph& g,
+                                       const std::vector<bool>& alive) {
+  std::vector<std::size_t> deg(g.vertex_count(), 0);
+  for (const Graph::Edge& e : g.edges()) {
+    if (alive[e.u] && alive[e.v]) {
+      ++deg[e.u];
+      ++deg[e.v];
+    }
+  }
+  return deg;
+}
+
+/// Lexicographic (degree, id) local-minimum test among alive neighbors.
+bool is_local_minimum(const Graph& g, const std::vector<bool>& alive,
+                      const std::vector<std::size_t>& deg, VertexId v) {
+  for (VertexId w : g.neighbors(v)) {
+    if (!alive[w]) continue;
+    if (deg[w] < deg[v] || (deg[w] == deg[v] && w < v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<bool> peel_local_minimum_degree(const Graph& g,
+                                            const std::vector<bool>& alive) {
+  assert(alive.size() == g.vertex_count());
+  const auto deg = alive_degrees(g, alive);
+  std::vector<bool> next = alive;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (alive[v] && is_local_minimum(g, alive, deg, static_cast<VertexId>(v))) {
+      next[v] = false;
+    }
+  }
+  return next;
+}
+
+std::vector<std::vector<bool>> peel_sequence(const Graph& g,
+                                             double stop_fraction) {
+  std::vector<std::vector<bool>> rounds;
+  std::vector<bool> alive(g.vertex_count(), true);
+  const auto target = static_cast<std::size_t>(
+      stop_fraction * static_cast<double>(g.vertex_count()));
+  std::size_t count = g.vertex_count();
+  while (count > target && count > 0) {
+    auto next = peel_local_minimum_degree(g, alive);
+    const auto next_count =
+        static_cast<std::size_t>(std::count(next.begin(), next.end(), true));
+    if (next_count == count || next_count == 0) break;  // no progress / empty
+    alive = std::move(next);
+    count = next_count;
+    rounds.push_back(alive);
+  }
+  return rounds;
+}
+
+std::vector<VertexId> LevelLabeling::top_nodes() const {
+  std::vector<VertexId> tops;
+  for (std::size_t v = 0; v < level.size(); ++v) {
+    if (level[v] == rounds) tops.push_back(static_cast<VertexId>(v));
+  }
+  return tops;
+}
+
+LevelLabeling nsf_level_labels(const Graph& g) {
+  LevelLabeling out;
+  out.level.assign(g.vertex_count(), 0);
+  std::vector<bool> unassigned(g.vertex_count(), true);
+  std::size_t remaining = g.vertex_count();
+  std::uint32_t level = 0;
+  while (remaining > 0) {
+    ++level;
+    const auto deg = alive_degrees(g, unassigned);
+    std::vector<VertexId> assign_now;
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      if (unassigned[v] &&
+          is_local_minimum(g, unassigned, deg, static_cast<VertexId>(v))) {
+        assign_now.push_back(static_cast<VertexId>(v));
+      }
+    }
+    assert(!assign_now.empty() && "(degree, id) order guarantees progress");
+    for (VertexId v : assign_now) {
+      out.level[v] = level;
+      unassigned[v] = false;
+    }
+    remaining -= assign_now.size();
+  }
+  out.rounds = level;
+  return out;
+}
+
+std::vector<std::uint32_t> degree_rank_labels(const Graph& g) {
+  std::vector<std::size_t> distinct = g.degrees();
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::vector<std::uint32_t> label(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto it = std::lower_bound(distinct.begin(), distinct.end(),
+                                     g.degree(static_cast<VertexId>(v)));
+    label[v] = static_cast<std::uint32_t>(it - distinct.begin()) + 1;
+  }
+  return label;
+}
+
+NsfReport nsf_report(const Graph& g, double stop_fraction,
+                     double ks_threshold) {
+  NsfReport report;
+  auto fit_masked = [&](const std::vector<bool>& alive) {
+    const auto deg = [&] {
+      std::vector<std::size_t> d;
+      const auto all = alive_degrees(g, alive);
+      for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+        if (alive[v]) d.push_back(all[v]);
+      }
+      return d;
+    }();
+    report.sizes.push_back(deg.size());
+    report.fits.push_back(fit_power_law_auto_kmin(deg));
+  };
+
+  std::vector<bool> all(g.vertex_count(), true);
+  fit_masked(all);
+  for (const auto& alive : peel_sequence(g, stop_fraction)) {
+    fit_masked(alive);
+  }
+
+  RunningStats alpha_stats;
+  report.all_scale_free = true;
+  for (const PowerLawFit& fit : report.fits) {
+    alpha_stats.add(fit.alpha);
+    if (fit.ks > ks_threshold || fit.alpha <= 1.0) {
+      report.all_scale_free = false;
+    }
+  }
+  report.exponent_stddev = alpha_stats.stddev();
+  return report;
+}
+
+}  // namespace structnet

@@ -1,0 +1,59 @@
+#include "layering/pubsub.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace structnet {
+
+HierarchicalPubSub::HierarchicalPubSub(const Graph& g,
+                                       std::vector<std::uint32_t> level)
+    : graph_(g), level_(std::move(level)) {
+  assert(level_.size() == g.vertex_count());
+}
+
+std::vector<VertexId> HierarchicalPubSub::upward_path(VertexId v) const {
+  std::vector<VertexId> path{v};
+  VertexId cur = v;
+  for (;;) {
+    VertexId best = kInvalidVertex;
+    auto key = [&](VertexId x) {
+      return std::tuple(level_[x], graph_.degree(x), x);
+    };
+    for (VertexId w : graph_.neighbors(cur)) {
+      if (level_[w] <= level_[cur]) continue;
+      if (best == kInvalidVertex || key(w) > key(best)) best = w;
+    }
+    if (best == kInvalidVertex) break;
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+HierarchicalPubSub::Delivery HierarchicalPubSub::deliver(
+    VertexId publisher, VertexId subscriber) const {
+  Delivery d;
+  const auto push = upward_path(publisher);
+  const auto pull = upward_path(subscriber);
+  // Lowest meeting node: the earliest node of the push path that appears
+  // anywhere on the pull path (brokers cache subscriptions on the way up).
+  for (std::size_t i = 0; i < push.size(); ++i) {
+    const auto it = std::find(pull.begin(), pull.end(), push[i]);
+    if (it != pull.end()) {
+      d.delivered = true;
+      d.meeting_node = push[i];
+      d.hops = i + static_cast<std::size_t>(it - pull.begin());
+      return d;
+    }
+  }
+  // Distinct local tops: join through the virtual external server (one
+  // hop up from each top, per the paper's NSF assumption).
+  d.delivered = true;
+  d.used_external_server = true;
+  d.meeting_node = kInvalidVertex;
+  d.hops = (push.size() - 1) + (pull.size() - 1) + 2;
+  return d;
+}
+
+}  // namespace structnet

@@ -1,0 +1,46 @@
+// Publish/subscribe over an NSF hierarchy (Sec. III-B): publications are
+// *pushed up* the layered structure and subscriptions are *pulled down*;
+// a publication meets a subscription at the lowest common node of their
+// upward paths. Multiple unconnected top-level nodes are joined through a
+// virtual external server, exactly as the paper assumes for NSF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Broker overlay built from a graph and its level labels.
+class HierarchicalPubSub {
+ public:
+  /// `level[v]` as produced by nsf_level_labels (higher = more central).
+  HierarchicalPubSub(const Graph& g, std::vector<std::uint32_t> level);
+
+  /// The strictly-upward path from v to its local top node: each hop
+  /// moves to the incident neighbor with the highest (level, degree, id)
+  /// key that is strictly higher-level than the current node.
+  std::vector<VertexId> upward_path(VertexId v) const;
+
+  /// Result of routing one publication to one subscriber.
+  struct Delivery {
+    bool delivered = false;
+    std::size_t hops = 0;          // push hops + pull hops
+    VertexId meeting_node = kInvalidVertex;
+    bool used_external_server = false;  // tops joined via virtual root
+  };
+
+  /// Routes publisher -> subscriber along push/pull paths.
+  Delivery deliver(VertexId publisher, VertexId subscriber) const;
+
+  /// Messages a flooding broadcast would need (baseline: every edge once).
+  std::size_t flooding_cost() const { return graph_.edge_count(); }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::uint32_t> level_;
+};
+
+}  // namespace structnet

@@ -1,0 +1,44 @@
+#include "mobility/contact_trace.hpp"
+
+#include <cassert>
+
+#include "core/generators.hpp"
+
+namespace structnet {
+
+TemporalGraph contacts_from_trajectory(const Trajectory& trajectory,
+                                       double radius) {
+  if (trajectory.empty()) return {};
+  const std::size_t n = trajectory[0].size();
+  TemporalGraph eg(n, static_cast<TimeUnit>(trajectory.size()));
+  for (TimeUnit t = 0; t < trajectory.size(); ++t) {
+    assert(trajectory[t].size() == n);
+    const Graph snap = unit_disk_graph(trajectory[t], radius);
+    for (const Graph::Edge& e : snap.edges()) {
+      eg.add_contact(e.u, e.v, t);
+    }
+  }
+  return eg;
+}
+
+ContactStatistics contact_statistics(const TemporalGraph& eg) {
+  ContactStatistics stats;
+  for (const auto& edge : eg.edges()) {
+    if (edge.labels.empty()) continue;
+    ++stats.pair_count;
+    std::size_t run = 1;
+    for (std::size_t i = 1; i < edge.labels.size(); ++i) {
+      if (edge.labels[i] == edge.labels[i - 1] + 1) {
+        ++run;
+      } else {
+        stats.contact_duration.add(run);
+        stats.inter_contact_time.add(edge.labels[i] - edge.labels[i - 1] - 1);
+        run = 1;
+      }
+    }
+    stats.contact_duration.add(run);
+  }
+  return stats;
+}
+
+}  // namespace structnet

@@ -1,0 +1,31 @@
+// Contact extraction from trajectories, and the two macro-level measures
+// Sec. II-B highlights: contact duration distribution and inter-contact
+// time distribution.
+#pragma once
+
+#include <vector>
+
+#include "mobility/mobility_models.hpp"
+#include "temporal/temporal_graph.hpp"
+#include "util/histogram.hpp"
+
+namespace structnet {
+
+/// Builds the time-evolving graph of a trajectory: (u, v) active during
+/// time unit t iff the nodes are within `radius` at step t.
+TemporalGraph contacts_from_trajectory(const Trajectory& trajectory,
+                                       double radius);
+
+/// Duration / inter-contact statistics extracted from an EG.
+struct ContactStatistics {
+  CountHistogram contact_duration;   // lengths of maximal active runs
+  CountHistogram inter_contact_time; // gaps between consecutive runs
+  std::size_t pair_count = 0;        // pairs that ever met
+};
+
+/// Scans every edge's label set for maximal runs of consecutive time
+/// units (contact durations) and the gaps between runs (inter-contact
+/// times).
+ContactStatistics contact_statistics(const TemporalGraph& eg);
+
+}  // namespace structnet

@@ -1,0 +1,41 @@
+#include "mobility/edge_markovian.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace structnet {
+
+double edge_markovian_stationary_density(double p, double q) {
+  if (p + q <= 0.0) return 0.0;
+  return q / (p + q);
+}
+
+TemporalGraph edge_markovian_graph(const EdgeMarkovianParams& params,
+                                   Rng& rng) {
+  const std::size_t n = params.nodes;
+  const double p = params.death_probability;
+  const double q = params.birth_probability;
+  assert(p >= 0.0 && p <= 1.0 && q >= 0.0 && q <= 1.0);
+  const double initial = params.initial_density < 0.0
+                             ? edge_markovian_stationary_density(p, q)
+                             : params.initial_density;
+
+  TemporalGraph eg(n, params.horizon);
+  // One Markov chain per vertex pair.
+  std::vector<bool> alive(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    alive[i] = rng.bernoulli(initial);
+  }
+  for (TimeUnit t = 0; t < params.horizon; ++t) {
+    std::size_t idx = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v, ++idx) {
+        if (alive[idx]) eg.add_contact(u, v, t);
+        alive[idx] = alive[idx] ? !rng.bernoulli(p) : rng.bernoulli(q);
+      }
+    }
+  }
+  return eg;
+}
+
+}  // namespace structnet

@@ -1,0 +1,32 @@
+// The two-state edge-Markovian dynamic graph process of Sec. II-B: if an
+// edge exists at time i it dies at i+1 with probability p; if absent it
+// appears with probability q. The process has stationary edge density
+// q / (p + q) and was used by Clementi et al. [6] to bound the dynamic
+// diameter (flooding time); experiment E2b reproduces that shape.
+#pragma once
+
+#include <cstddef>
+
+#include "temporal/temporal_graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+struct EdgeMarkovianParams {
+  std::size_t nodes = 64;
+  TimeUnit horizon = 128;
+  double death_probability = 0.5;   // p
+  double birth_probability = 0.05;  // q
+  /// Initial edge density; a negative value means "start at the
+  /// stationary density q / (p + q)".
+  double initial_density = -1.0;
+};
+
+/// Samples a time-evolving graph from the edge-Markovian process.
+TemporalGraph edge_markovian_graph(const EdgeMarkovianParams& params,
+                                   Rng& rng);
+
+/// The process's stationary edge density q / (p + q).
+double edge_markovian_stationary_density(double p, double q);
+
+}  // namespace structnet

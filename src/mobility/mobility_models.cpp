@@ -1,0 +1,123 @@
+#include "mobility/mobility_models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace structnet {
+
+namespace {
+
+/// Per-node waypoint walker shared by RWP and community mobility.
+struct Walker {
+  Point2D pos;
+  Point2D target;
+  double speed = 0.0;
+  std::size_t pause_left = 0;
+
+  void step(auto&& next_target, Rng& rng, double min_speed, double max_speed,
+            std::size_t max_pause) {
+    if (pause_left > 0) {
+      --pause_left;
+      return;
+    }
+    const double d = distance(pos, target);
+    if (d <= speed) {
+      pos = target;
+      target = next_target();
+      speed = rng.uniform(min_speed, max_speed);
+      pause_left = max_pause == 0 ? 0 : rng.index(max_pause + 1);
+      return;
+    }
+    pos.x += (target.x - pos.x) / d * speed;
+    pos.y += (target.y - pos.y) / d * speed;
+  }
+};
+
+}  // namespace
+
+Trajectory random_waypoint(const RandomWaypointParams& params, Rng& rng) {
+  assert(params.min_speed > 0.0 && params.max_speed >= params.min_speed);
+  std::vector<Walker> walkers(params.nodes);
+  auto anywhere = [&rng] { return Point2D{rng.uniform01(), rng.uniform01()}; };
+  for (auto& w : walkers) {
+    w.pos = anywhere();
+    w.target = anywhere();
+    w.speed = rng.uniform(params.min_speed, params.max_speed);
+  }
+  Trajectory traj(params.steps, std::vector<Point2D>(params.nodes));
+  for (std::size_t t = 0; t < params.steps; ++t) {
+    for (std::size_t i = 0; i < params.nodes; ++i) {
+      traj[t][i] = walkers[i].pos;
+      walkers[i].step(anywhere, rng, params.min_speed, params.max_speed,
+                      params.max_pause);
+    }
+  }
+  return traj;
+}
+
+Trajectory random_walk(const RandomWalkParams& params, Rng& rng) {
+  std::vector<Point2D> pos(params.nodes);
+  for (auto& p : pos) p = {rng.uniform01(), rng.uniform01()};
+  Trajectory traj(params.steps, std::vector<Point2D>(params.nodes));
+  constexpr double kTau = 6.283185307179586;
+  for (std::size_t t = 0; t < params.steps; ++t) {
+    for (std::size_t i = 0; i < params.nodes; ++i) {
+      traj[t][i] = pos[i];
+      const double angle = rng.uniform(0.0, kTau);
+      double x = pos[i].x + params.step_length * std::cos(angle);
+      double y = pos[i].y + params.step_length * std::sin(angle);
+      // Reflecting boundaries.
+      if (x < 0.0) x = -x;
+      if (x > 1.0) x = 2.0 - x;
+      if (y < 0.0) y = -y;
+      if (y > 1.0) y = 2.0 - y;
+      pos[i] = {std::clamp(x, 0.0, 1.0), std::clamp(y, 0.0, 1.0)};
+    }
+  }
+  return traj;
+}
+
+Trajectory community_mobility(const CommunityMobilityParams& params, Rng& rng,
+                              std::vector<std::size_t>* home_of) {
+  assert(params.communities >= 1);
+  // Home cells: a ceil(sqrt(c)) x ceil(sqrt(c)) grid of squares.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(params.communities))));
+  const double cell = 1.0 / static_cast<double>(side);
+  auto cell_point = [&](std::size_t community) {
+    const std::size_t cx = community % side;
+    const std::size_t cy = community / side;
+    return Point2D{
+        (static_cast<double>(cx) + rng.uniform01()) * cell,
+        (static_cast<double>(cy) + rng.uniform01()) * cell,
+    };
+  };
+
+  std::vector<std::size_t> home(params.nodes);
+  for (auto& h : home) h = rng.index(params.communities);
+  if (home_of != nullptr) *home_of = home;
+
+  std::vector<Walker> walkers(params.nodes);
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    walkers[i].pos = cell_point(home[i]);
+    walkers[i].target = cell_point(home[i]);
+    walkers[i].speed = params.speed;
+  }
+  Trajectory traj(params.steps, std::vector<Point2D>(params.nodes));
+  for (std::size_t t = 0; t < params.steps; ++t) {
+    for (std::size_t i = 0; i < params.nodes; ++i) {
+      traj[t][i] = walkers[i].pos;
+      auto next_target = [&] {
+        if (rng.bernoulli(params.roam_probability)) {
+          return Point2D{rng.uniform01(), rng.uniform01()};
+        }
+        return cell_point(home[i]);
+      };
+      walkers[i].step(next_target, rng, params.speed, params.speed, 0);
+    }
+  }
+  return traj;
+}
+
+}  // namespace structnet

@@ -1,0 +1,54 @@
+// Synthetic mobility models (survey [5] in the paper): random waypoint,
+// random walk, and a community-based model. Each produces a discrete
+// trajectory (positions per time step per node) inside the unit square;
+// contact extraction into a TemporalGraph lives in contact_trace.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+/// positions[t][node] for t in [0, steps).
+using Trajectory = std::vector<std::vector<Point2D>>;
+
+struct RandomWaypointParams {
+  std::size_t nodes = 50;
+  std::size_t steps = 200;
+  double min_speed = 0.005;  // distance per step
+  double max_speed = 0.02;
+  std::size_t max_pause = 5;  // steps paused at each waypoint
+};
+
+/// Classic random waypoint in the unit square: pick a waypoint uniformly,
+/// move toward it at a uniform speed, pause, repeat.
+Trajectory random_waypoint(const RandomWaypointParams& params, Rng& rng);
+
+struct RandomWalkParams {
+  std::size_t nodes = 50;
+  std::size_t steps = 200;
+  double step_length = 0.02;  // per-step displacement; direction uniform
+};
+
+/// Random walk with reflecting boundaries.
+Trajectory random_walk(const RandomWalkParams& params, Rng& rng);
+
+struct CommunityMobilityParams {
+  std::size_t nodes = 50;
+  std::size_t steps = 200;
+  std::size_t communities = 4;    // home cells arranged on a grid
+  double roam_probability = 0.1;  // chance per waypoint of leaving home
+  double speed = 0.02;
+};
+
+/// Community-based mobility: each node has a home cell; waypoints are
+/// drawn inside the home cell except with roam_probability, when the
+/// waypoint is drawn anywhere. Produces the socially-clustered contact
+/// patterns the paper's Sec. III-C assumes.
+Trajectory community_mobility(const CommunityMobilityParams& params, Rng& rng,
+                              std::vector<std::size_t>* home_of = nullptr);
+
+}  // namespace structnet

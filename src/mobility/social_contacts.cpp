@@ -1,0 +1,78 @@
+#include "mobility/social_contacts.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace structnet {
+
+std::size_t feature_distance(const SocialProfile& a, const SocialProfile& b) {
+  assert(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+std::vector<SocialProfile> random_profiles(
+    std::size_t people, const std::vector<std::size_t>& radices, Rng& rng) {
+  std::vector<SocialProfile> profiles(people, SocialProfile(radices.size()));
+  for (auto& profile : profiles) {
+    for (std::size_t f = 0; f < radices.size(); ++f) {
+      profile[f] = rng.index(radices[f]);
+    }
+  }
+  return profiles;
+}
+
+TemporalGraph social_contact_trace(const SocialTraceParams& params,
+                                   const std::vector<SocialProfile>& profiles,
+                                   Rng& rng) {
+  const std::size_t n = profiles.size();
+  assert(params.decay > 0.0 && params.decay <= 1.0);
+  TemporalGraph eg(n, params.horizon);
+  // Precompute pair probabilities, then sample runs of misses with the
+  // geometric distribution so sparse pairs cost O(#contacts), not O(T).
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const std::size_t d = feature_distance(profiles[u], profiles[v]);
+      const double p = params.base_rate *
+                       std::pow(params.decay, static_cast<double>(d));
+      if (p <= 0.0) continue;
+      std::uint64_t t = rng.geometric(p);
+      while (t < params.horizon) {
+        eg.add_contact(u, v, static_cast<TimeUnit>(t));
+        t += 1 + rng.geometric(p);
+      }
+    }
+  }
+  return eg;
+}
+
+std::vector<double> contact_frequency_by_distance(
+    const TemporalGraph& trace, const std::vector<SocialProfile>& profiles) {
+  const std::size_t n = profiles.size();
+  const std::size_t features = profiles.empty() ? 0 : profiles[0].size();
+  std::vector<double> contact_sum(features + 1, 0.0);
+  std::vector<double> pair_count(features + 1, 0.0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const std::size_t d = feature_distance(profiles[u], profiles[v]);
+      pair_count[d] += 1.0;
+      const EdgeId e = trace.find_edge(u, v);
+      if (e != kInvalidEdge) {
+        contact_sum[d] += static_cast<double>(trace.edge(e).labels.size());
+      }
+    }
+  }
+  std::vector<double> freq(features + 1, 0.0);
+  const double horizon = static_cast<double>(trace.horizon());
+  for (std::size_t d = 0; d <= features; ++d) {
+    if (pair_count[d] > 0.0 && horizon > 0.0) {
+      freq[d] = contact_sum[d] / pair_count[d] / horizon;
+    }
+  }
+  return freq;
+}
+
+}  // namespace structnet

@@ -1,0 +1,61 @@
+#include "remapping/feature_space.hpp"
+
+#include <cassert>
+
+namespace structnet {
+
+FeatureSpace::FeatureSpace(std::vector<std::size_t> radices)
+    : radices_(std::move(radices)) {
+  node_count_ = gh_vertex_count(radices_);
+}
+
+std::size_t FeatureSpace::node_of(const SocialProfile& profile) const {
+  return gh_vertex(profile, radices_);
+}
+
+SocialProfile FeatureSpace::profile_of(std::size_t node) const {
+  return gh_address(node, radices_);
+}
+
+std::vector<SocialProfile> FeatureSpace::shortest_path(
+    const SocialProfile& a, const SocialProfile& b) const {
+  assert(a.size() == dimension() && b.size() == dimension());
+  std::vector<SocialProfile> path{a};
+  SocialProfile cur = a;
+  for (std::size_t f = 0; f < dimension(); ++f) {
+    if (cur[f] != b[f]) {
+      cur[f] = b[f];
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+std::vector<std::vector<SocialProfile>> FeatureSpace::disjoint_paths(
+    const SocialProfile& a, const SocialProfile& b) const {
+  assert(a.size() == dimension() && b.size() == dimension());
+  std::vector<std::size_t> differing;
+  for (std::size_t f = 0; f < dimension(); ++f) {
+    if (a[f] != b[f]) differing.push_back(f);
+  }
+  const std::size_t d = differing.size();
+  std::vector<std::vector<SocialProfile>> paths;
+  paths.reserve(d);
+  // Path k corrects coordinates in the rotation starting at position k.
+  // Intermediate nodes of path k agree with b exactly on a rotation
+  // prefix and with a on the rest; distinct rotations produce distinct
+  // "corrected sets", so no intermediate node repeats across paths.
+  for (std::size_t k = 0; k < d; ++k) {
+    std::vector<SocialProfile> path{a};
+    SocialProfile cur = a;
+    for (std::size_t step = 0; step < d; ++step) {
+      const std::size_t f = differing[(k + step) % d];
+      cur[f] = b[f];
+      path.push_back(cur);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace structnet

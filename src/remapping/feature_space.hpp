@@ -1,0 +1,61 @@
+// Remapping domain: the social feature space (Sec. III-C, Fig. 6).
+//
+// Grouping all individuals with identical feature profiles into one node
+// and connecting nodes differing in exactly one feature yields a
+// generalized hypercube — a *static, structured* F-space in which the
+// routing problem of the *mobile, unstructured* contact space (M-space)
+// becomes shortest-path routing. Links of the hypercube correspond to
+// strong social links (one feature apart, most frequent contacts).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "core/graph.hpp"
+#include "mobility/social_contacts.hpp"
+
+namespace structnet {
+
+/// The feature space over the given alphabets.
+class FeatureSpace {
+ public:
+  explicit FeatureSpace(std::vector<std::size_t> radices);
+
+  const std::vector<std::size_t>& radices() const { return radices_; }
+  std::size_t dimension() const { return radices_.size(); }
+  std::size_t node_count() const { return node_count_; }
+
+  /// F-space node of a profile (mixed-radix address).
+  std::size_t node_of(const SocialProfile& profile) const;
+  SocialProfile profile_of(std::size_t node) const;
+
+  /// The generalized hypercube itself (Fig. 6 is GH over {2, 2, 3}).
+  Graph hypercube() const { return generalized_hypercube(radices_); }
+
+  /// Hamming distance between two F-space nodes (= shortest-path length
+  /// in the generalized hypercube).
+  std::size_t distance(const SocialProfile& a, const SocialProfile& b) const {
+    return feature_distance(a, b);
+  }
+
+  /// One shortest path a -> b: corrects the differing coordinates in
+  /// ascending coordinate order. Path includes both endpoints.
+  std::vector<SocialProfile> shortest_path(const SocialProfile& a,
+                                           const SocialProfile& b) const;
+
+  /// d node-disjoint shortest paths between profiles at distance d,
+  /// obtained by rotating the coordinate-correction order (the classic
+  /// hypercube construction; the paper cites node-disjoint multipath as
+  /// an F-space benefit). Intermediate nodes of distinct paths never
+  /// coincide.
+  std::vector<std::vector<SocialProfile>> disjoint_paths(
+      const SocialProfile& a, const SocialProfile& b) const;
+
+ private:
+  std::vector<std::size_t> radices_;
+  std::size_t node_count_ = 1;
+};
+
+}  // namespace structnet

@@ -1,0 +1,76 @@
+#include "remapping/geo_routing.hpp"
+
+#include <cassert>
+
+#include "core/generators.hpp"
+
+namespace structnet {
+
+GreedyRouteResult greedy_route_euclidean(const Graph& g,
+                                         std::span<const Point2D> positions,
+                                         VertexId source, VertexId target) {
+  assert(positions.size() == g.vertex_count());
+  GreedyRouteResult result;
+  VertexId cur = source;
+  result.path.push_back(cur);
+  // A strictly decreasing distance cannot revisit a node, so the loop is
+  // bounded by n anyway; the explicit bound guards degenerate input.
+  for (std::size_t step = 0; step <= g.vertex_count(); ++step) {
+    if (cur == target) {
+      result.delivered = true;
+      return result;
+    }
+    const double here = squared_distance(positions[cur], positions[target]);
+    VertexId best = kInvalidVertex;
+    double best_d = here;
+    for (VertexId w : g.neighbors(cur)) {
+      const double d = squared_distance(positions[w], positions[target]);
+      if (d < best_d) {
+        best_d = d;
+        best = w;
+      }
+    }
+    if (best == kInvalidVertex) {
+      result.stuck_at = cur;  // local minimum: the non-convex hole bites
+      return result;
+    }
+    cur = best;
+    result.path.push_back(cur);
+  }
+  result.stuck_at = cur;
+  return result;
+}
+
+std::vector<Hole> u_shaped_hole(double cx, double cy, double size,
+                                double thickness) {
+  const double h = size / 2.0;
+  // Left wall + top and bottom arms; the pocket opens to the right.
+  return {
+      Hole{cx - h, cy - h, cx - h + thickness, cy + h},        // left wall
+      Hole{cx - h, cy + h - thickness, cx + h, cy + h},        // top arm
+      Hole{cx - h, cy - h, cx + h, cy - h + thickness},        // bottom arm
+  };
+}
+
+Graph random_geometric_with_holes(std::size_t n, double radius,
+                                  std::span<const Hole> holes, Rng& rng,
+                                  std::vector<Point2D>* positions) {
+  std::vector<Point2D> pts;
+  pts.reserve(n);
+  while (pts.size() < n) {
+    const Point2D p{rng.uniform01(), rng.uniform01()};
+    bool blocked = false;
+    for (const Hole& hole : holes) {
+      if (hole.contains(p)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) pts.push_back(p);
+  }
+  Graph g = unit_disk_graph(pts, radius);
+  if (positions != nullptr) *positions = std::move(pts);
+  return g;
+}
+
+}  // namespace structnet

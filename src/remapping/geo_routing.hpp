@@ -1,0 +1,47 @@
+// Greedy geographic routing in the Euclidean plane (Sec. III-C) and
+// workloads with non-convex holes where it gets stuck (Fig. 5 (a)).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+/// Result of a greedy routing attempt.
+struct GreedyRouteResult {
+  bool delivered = false;
+  std::vector<VertexId> path;        // visited nodes, source first
+  VertexId stuck_at = kInvalidVertex;  // local minimum when !delivered
+};
+
+/// Euclidean greedy: repeatedly forward to the neighbor strictly closer
+/// to the destination; fails at a local minimum (no closer neighbor).
+GreedyRouteResult greedy_route_euclidean(const Graph& g,
+                                         std::span<const Point2D> positions,
+                                         VertexId source, VertexId target);
+
+/// An axis-aligned rectangular hole (no nodes inside).
+struct Hole {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+  bool contains(const Point2D& p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+};
+
+/// A standard non-convex obstacle: a U-shape opening to the right,
+/// centered in the unit square (three rectangles). Greedy traffic moving
+/// left across the square falls into the pocket.
+std::vector<Hole> u_shaped_hole(double cx = 0.5, double cy = 0.5,
+                                double size = 0.35, double thickness = 0.08);
+
+/// Random geometric graph whose nodes avoid the given holes.
+Graph random_geometric_with_holes(std::size_t n, double radius,
+                                  std::span<const Hole> holes, Rng& rng,
+                                  std::vector<Point2D>* positions);
+
+}  // namespace structnet

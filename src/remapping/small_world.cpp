@@ -1,0 +1,117 @@
+#include "remapping/small_world.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace structnet {
+
+SmallWorldLattice::SmallWorldLattice(std::size_t side, double exponent,
+                                     Rng& rng)
+    : side_(side), long_link_(side * side) {
+  assert(side >= 2);
+  // Sample each node's long-range link by inverse-CDF over all other
+  // nodes; O(n^2) construction, fine at experiment scale.
+  const std::size_t n = node_count();
+  std::vector<double> weight(n);
+  for (VertexId v = 0; v < n; ++v) {
+    double total = 0.0;
+    for (VertexId w = 0; w < n; ++w) {
+      if (w == v) {
+        weight[w] = 0.0;
+        continue;
+      }
+      const auto d = static_cast<double>(lattice_distance(v, w));
+      weight[w] = std::pow(d, -exponent);
+      total += weight[w];
+    }
+    double pick = rng.uniform(0.0, total);
+    VertexId chosen = v == 0 ? 1 : 0;
+    for (VertexId w = 0; w < n; ++w) {
+      pick -= weight[w];
+      if (pick <= 0.0 && w != v) {
+        chosen = w;
+        break;
+      }
+    }
+    long_link_[v] = chosen;
+  }
+}
+
+VertexId SmallWorldLattice::wrap(std::int64_t x, std::int64_t y) const {
+  const auto s = static_cast<std::int64_t>(side_);
+  x = ((x % s) + s) % s;
+  y = ((y % s) + s) % s;
+  return static_cast<VertexId>(y * s + x);
+}
+
+std::size_t SmallWorldLattice::lattice_distance(VertexId a, VertexId b) const {
+  const auto s = static_cast<std::int64_t>(side_);
+  const std::int64_t ax = a % s, ay = a / s;
+  const std::int64_t bx = b % s, by = b / s;
+  const std::int64_t dx = std::abs(ax - bx);
+  const std::int64_t dy = std::abs(ay - by);
+  return static_cast<std::size_t>(std::min(dx, s - dx) +
+                                  std::min(dy, s - dy));
+}
+
+VertexId SmallWorldLattice::greedy_next_hop(VertexId current,
+                                            VertexId target) const {
+  const auto s = static_cast<std::int64_t>(side_);
+  const std::int64_t x = current % s, y = current / s;
+  const VertexId candidates[5] = {
+      wrap(x + 1, y), wrap(x - 1, y), wrap(x, y + 1), wrap(x, y - 1),
+      long_link_[current]};
+  VertexId best = candidates[0];
+  std::size_t best_d = lattice_distance(best, target);
+  for (const VertexId c : candidates) {
+    const std::size_t d = lattice_distance(c, target);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t SmallWorldLattice::greedy_route_hops(VertexId source,
+                                                 VertexId target) const {
+  VertexId cur = source;
+  std::size_t hops = 0;
+  while (cur != target) {
+    const VertexId next = greedy_next_hop(cur, target);
+    // A lattice neighbor always strictly decreases Manhattan distance,
+    // so progress is guaranteed.
+    assert(lattice_distance(next, target) < lattice_distance(cur, target));
+    cur = next;
+    ++hops;
+  }
+  return hops;
+}
+
+Graph SmallWorldLattice::graph() const {
+  const auto s = static_cast<std::int64_t>(side_);
+  Graph g(node_count());
+  for (VertexId v = 0; v < node_count(); ++v) {
+    const std::int64_t x = v % s, y = v / s;
+    g.add_edge_unique(v, wrap(x + 1, y));
+    g.add_edge_unique(v, wrap(x, y + 1));
+    g.add_edge_unique(v, long_link_[v]);
+  }
+  return g;
+}
+
+double average_greedy_hops(const SmallWorldLattice& lattice,
+                           std::size_t trials, Rng& rng) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto s = static_cast<VertexId>(rng.index(lattice.node_count()));
+    const auto t = static_cast<VertexId>(rng.index(lattice.node_count()));
+    if (s == t) continue;
+    total += static_cast<double>(lattice.greedy_route_hops(s, t));
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace structnet

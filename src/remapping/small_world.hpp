@@ -1,0 +1,58 @@
+// Kleinberg's small-world lattice (paper introduction, citing [2]):
+// an n x n grid where every node gets one long-range link to a node
+// chosen with probability proportional to (lattice distance)^-r. When
+// r = 2 (the inverse-square distribution), purely *localized* greedy
+// routing — each node knows only its own links — finds polylogarithmic
+// paths; for any other exponent greedy slows to a polynomial crawl.
+// This is the paper's flagship example of a structural property enabling
+// a localized solution, reproduced as experiment E0.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+/// A sampled small-world lattice instance.
+class SmallWorldLattice {
+ public:
+  /// Builds a side x side torus grid plus one long-range link per node
+  /// drawn with P(link to w) ~ d(v, w)^-exponent.
+  SmallWorldLattice(std::size_t side, double exponent, Rng& rng);
+
+  std::size_t side() const { return side_; }
+  std::size_t node_count() const { return side_ * side_; }
+
+  /// Manhattan distance on the torus.
+  std::size_t lattice_distance(VertexId a, VertexId b) const;
+
+  /// The long-range contact of v.
+  VertexId long_link(VertexId v) const { return long_link_[v]; }
+
+  /// One greedy decision: the neighbor (4 lattice neighbors + own long
+  /// link) closest to the target in lattice distance.
+  VertexId greedy_next_hop(VertexId current, VertexId target) const;
+
+  /// Decentralized greedy routing: forward to the neighbor (4 lattice
+  /// neighbors + own long link) closest to the target in lattice
+  /// distance. Always delivers on a torus; returns the hop count.
+  std::size_t greedy_route_hops(VertexId source, VertexId target) const;
+
+  /// The underlying graph (lattice + long links) for structural queries.
+  Graph graph() const;
+
+ private:
+  VertexId wrap(std::int64_t x, std::int64_t y) const;
+
+  std::size_t side_;
+  std::vector<VertexId> long_link_;
+};
+
+/// Average greedy hops over `trials` uniform source/target pairs.
+double average_greedy_hops(const SmallWorldLattice& lattice,
+                           std::size_t trials, Rng& rng);
+
+}  // namespace structnet

@@ -1,0 +1,88 @@
+#include "remapping/tree_embedding.hpp"
+
+#include <cassert>
+
+#include "algo/traversal.hpp"
+
+namespace structnet {
+
+TreeEmbedding::TreeEmbedding(const Graph& g, VertexId root) : root_(root) {
+  const std::size_t n = g.vertex_count();
+  parent_ = bfs_tree(g, root);
+  depth_.assign(n, 0);
+  in_.assign(n, 0);
+  out_.assign(n, 0);
+
+  // Children lists of the BFS tree.
+  std::vector<std::vector<VertexId>> children(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] != kInvalidVertex) {
+      children[parent_[v]].push_back(static_cast<VertexId>(v));
+      assert(v != root);
+    }
+  }
+  // Iterative DFS for in/out intervals and depth.
+  std::uint32_t clock = 0;
+  struct Frame {
+    VertexId v;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> stack{Frame{root}};
+  in_[root] = clock++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.child < children[f.v].size()) {
+      const VertexId c = children[f.v][f.child++];
+      depth_[c] = depth_[f.v] + 1;
+      in_[c] = clock++;
+      stack.push_back(Frame{c});
+    } else {
+      out_[f.v] = clock++;
+      stack.pop_back();
+    }
+  }
+}
+
+std::uint32_t TreeEmbedding::tree_distance(VertexId x, VertexId target) const {
+  // Walk x's ancestor chain (the label stack a node stores) to the
+  // deepest ancestor of x that is also an ancestor-or-self of target.
+  VertexId a = x;
+  while (!is_ancestor(a, target)) {
+    a = parent_[a];
+    assert(a != kInvalidVertex && "embedding covers a connected graph");
+  }
+  return (depth_[x] - depth_[a]) + (depth_[target] - depth_[a]);
+}
+
+GreedyRouteResult TreeEmbedding::greedy_route(const Graph& g, VertexId source,
+                                              VertexId target) const {
+  GreedyRouteResult result;
+  VertexId cur = source;
+  result.path.push_back(cur);
+  for (std::size_t step = 0; step <= 2 * g.vertex_count(); ++step) {
+    if (cur == target) {
+      result.delivered = true;
+      return result;
+    }
+    const std::uint32_t here = tree_distance(cur, target);
+    VertexId best = kInvalidVertex;
+    std::uint32_t best_d = here;
+    for (VertexId w : g.neighbors(cur)) {
+      const std::uint32_t d = tree_distance(w, target);
+      if (d < best_d) {
+        best_d = d;
+        best = w;
+      }
+    }
+    if (best == kInvalidVertex) {
+      result.stuck_at = cur;
+      return result;
+    }
+    cur = best;
+    result.path.push_back(cur);
+  }
+  result.stuck_at = cur;
+  return result;
+}
+
+}  // namespace structnet

@@ -1,0 +1,57 @@
+// Remapping representation: virtual coordinates with guaranteed-delivery
+// greedy routing (Sec. III-C).
+//
+// The paper's examples — hyperbolic embeddings [19] and Ricci-flow
+// conformal mapping [20] — assign every node a *virtual* coordinate under
+// which plain greedy forwarding always succeeds, rescuing it from the
+// non-convex holes that defeat Euclidean greedy (Fig. 5). We implement
+// the same idea with a laptop-scale construction: a spanning-tree
+// embedding. Each node's virtual coordinate is the label stack of its
+// tree ancestors (DFS intervals + depth); the greedy metric is the exact
+// tree distance, which any node can evaluate towards any target from its
+// own label stack plus the target's (interval, depth) pair. Moving to
+// the tree parent/child towards the target always decreases the metric,
+// so greedy over *all* graph neighbors (tree edges + chords) strictly
+// descends and always delivers, while chords provide shortcuts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "remapping/geo_routing.hpp"
+
+namespace structnet {
+
+/// Virtual coordinates from a BFS spanning tree of a connected graph.
+class TreeEmbedding {
+ public:
+  /// Builds the embedding rooted at `root`. Requires g connected.
+  TreeEmbedding(const Graph& g, VertexId root);
+
+  /// Exact tree distance between x and the target, computed the way a
+  /// node would: from x's own ancestor label stack and t's label only.
+  std::uint32_t tree_distance(VertexId x, VertexId target) const;
+
+  std::uint32_t depth(VertexId v) const { return depth_[v]; }
+  VertexId parent(VertexId v) const { return parent_[v]; }
+  VertexId root() const { return root_; }
+
+  /// Greedy routing on the virtual coordinates over all graph neighbors.
+  /// Always delivers on the graph the embedding was built from.
+  GreedyRouteResult greedy_route(const Graph& g, VertexId source,
+                                 VertexId target) const;
+
+ private:
+  bool is_ancestor(VertexId a, VertexId x) const {
+    return in_[a] <= in_[x] && out_[x] <= out_[a];
+  }
+
+  VertexId root_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> in_;   // DFS entry index
+  std::vector<std::uint32_t> out_;  // DFS exit index
+};
+
+}  // namespace structnet

@@ -1,0 +1,73 @@
+#include "sim/distributed_dijkstra.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "algo/shortest_paths.hpp"
+
+namespace structnet {
+
+DistributedDijkstraResult distributed_dijkstra(const Graph& g,
+                                               std::span<const double> weights,
+                                               VertexId root) {
+  assert(weights.size() == g.edge_count());
+  assert(root < g.vertex_count());
+  const std::size_t n = g.vertex_count();
+
+  // (neighbor, weight) adjacency.
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    assert(weights[e] >= 0.0);
+    adj[g.edge(e).u].emplace_back(g.edge(e).v, weights[e]);
+    adj[g.edge(e).v].emplace_back(g.edge(e).u, weights[e]);
+  }
+
+  DistributedDijkstraResult r;
+  r.distance.assign(n, kInfDistance);
+  r.parent.assign(n, kInvalidVertex);
+  std::vector<bool> in_tree(n, false);
+  std::vector<std::uint32_t> depth(n, 0);
+  r.distance[root] = 0.0;
+  in_tree[root] = true;
+  std::size_t tree_size = 1;
+  std::uint32_t tree_depth = 0;
+
+  for (;;) {
+    // Select the cheapest frontier vertex (the root's decision after the
+    // convergecast delivered every subtree's best candidate).
+    VertexId best = kInvalidVertex;
+    VertexId best_parent = kInvalidVertex;
+    double best_dist = kInfDistance;
+    for (VertexId u = 0; u < n; ++u) {
+      if (!in_tree[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        if (in_tree[v]) continue;
+        if (r.distance[u] + w < best_dist) {
+          best_dist = r.distance[u] + w;
+          best = v;
+          best_parent = u;
+        }
+      }
+    }
+    if (best == kInvalidVertex) break;  // frontier exhausted
+
+    // Cost of this step: convergecast up the current tree, then a
+    // unicast down to the chosen attachment point.
+    r.rounds += tree_depth;           // reports bubble up level by level
+    r.messages += tree_size - 1;      // one report per tree edge
+    r.rounds += depth[best_parent] + 1;  // decision travels down + attach
+    r.messages += depth[best_parent] + 1;
+
+    r.distance[best] = best_dist;
+    r.parent[best] = best_parent;
+    in_tree[best] = true;
+    depth[best] = depth[best_parent] + 1;
+    tree_depth = std::max(tree_depth, depth[best]);
+    ++tree_size;
+    ++r.expansions;
+  }
+  return r;
+}
+
+}  // namespace structnet

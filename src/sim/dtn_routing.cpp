@@ -1,0 +1,233 @@
+#include "sim/dtn_routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace structnet {
+
+RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
+                                VertexId destination, TimeUnit t0,
+                                const Strategy& strategy,
+                                std::size_t initial_copies,
+                                const SimulationFaults& faults) {
+  assert(source < trace.vertex_count() && destination < trace.vertex_count());
+  RoutingOutcome outcome;
+  if (source == destination) {
+    outcome.delivered = true;
+    outcome.delivery_time = t0;
+    return outcome;
+  }
+  Rng loss_rng(faults.loss_seed);
+  const TimeUnit deadline =
+      faults.ttl == kNeverTime || t0 > kNeverTime - faults.ttl
+          ? kNeverTime
+          : t0 + faults.ttl;
+  const std::size_t n = trace.vertex_count();
+  std::vector<bool> has(n, false);
+  // budget semantics: 0 = unbounded (epidemic), otherwise spray budget.
+  std::vector<std::size_t> budget(n, 0);
+  std::vector<std::size_t> hops(n, 0);
+  has[source] = true;
+  budget[source] = initial_copies;
+
+  // Contacts bucketed by time unit.
+  std::vector<std::vector<Contact>> bucket(trace.horizon());
+  for (const Contact& c : trace.contacts()) bucket[c.t].push_back(c);
+
+  for (TimeUnit t = t0; t < trace.horizon(); ++t) {
+    if (deadline != kNeverTime && t >= deadline) break;  // message expired
+    const auto& unit = bucket[t];
+    // Instantaneous transmission: re-scan the unit's contacts until no
+    // transfer fires (bounded: each pass moves/copies at least once).
+    bool progressed = true;
+    std::size_t passes = 0;
+    while (progressed && passes <= unit.size() + 1) {
+      progressed = false;
+      ++passes;
+      for (const Contact& c : unit) {
+        const std::pair<VertexId, VertexId> directions[] = {
+            {c.u, c.v}, {c.v, c.u}};
+        for (const auto& [holder, other] : directions) {
+          if (!has[holder] || has[other]) continue;
+          if (faults.loss_probability > 0.0 &&
+              loss_rng.bernoulli(faults.loss_probability)) {
+            continue;  // the radio handover failed; copy stays put
+          }
+          if (other == destination) {
+            outcome.delivered = true;
+            outcome.delivery_time = t;
+            outcome.hops = hops[holder] + 1;
+            ++outcome.transmissions;
+            return outcome;
+          }
+          const ForwardDecision d =
+              strategy(holder, other, t, budget[holder]);
+          switch (d) {
+            case ForwardDecision::kSkip:
+              break;
+            case ForwardDecision::kCopy: {
+              if (budget[holder] == 0) {  // unbounded replication
+                has[other] = true;
+                budget[other] = 0;
+                hops[other] = hops[holder] + 1;
+                ++outcome.copies;
+                ++outcome.transmissions;
+                progressed = true;
+              } else if (budget[holder] > 1) {  // binary spray
+                const std::size_t give = budget[holder] / 2;
+                budget[holder] -= give;
+                has[other] = true;
+                budget[other] = give;
+                hops[other] = hops[holder] + 1;
+                ++outcome.copies;
+                ++outcome.transmissions;
+                progressed = true;
+              }
+              break;
+            }
+            case ForwardDecision::kMove: {
+              has[holder] = false;
+              has[other] = true;
+              budget[other] = budget[holder];
+              hops[other] = hops[holder] + 1;
+              ++outcome.transmissions;
+              progressed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+Strategy direct_strategy() {
+  return [](VertexId, VertexId, TimeUnit, std::size_t) {
+    return ForwardDecision::kSkip;
+  };
+}
+
+Strategy epidemic_strategy() {
+  return [](VertexId, VertexId, TimeUnit, std::size_t) {
+    return ForwardDecision::kCopy;
+  };
+}
+
+Strategy spray_and_wait_strategy() {
+  return [](VertexId, VertexId, TimeUnit, std::size_t copies_held) {
+    return copies_held > 1 ? ForwardDecision::kCopy : ForwardDecision::kSkip;
+  };
+}
+
+Strategy greedy_metric_strategy(std::vector<double> metric) {
+  return [metric = std::move(metric)](VertexId holder, VertexId contact,
+                                      TimeUnit, std::size_t) {
+    return metric[contact] < metric[holder] ? ForwardDecision::kMove
+                                            : ForwardDecision::kSkip;
+  };
+}
+
+Strategy forwarding_set_strategy(
+    std::function<bool(VertexId, VertexId, TimeUnit)> in_set) {
+  return [in_set = std::move(in_set)](VertexId holder, VertexId contact,
+                                      TimeUnit t, std::size_t) {
+    return in_set(holder, contact, t) ? ForwardDecision::kMove
+                                      : ForwardDecision::kSkip;
+  };
+}
+
+Strategy copy_varying_strategy(std::vector<double> metric,
+                               double slack_per_copy) {
+  return [metric = std::move(metric), slack_per_copy](
+             VertexId holder, VertexId contact, TimeUnit,
+             std::size_t copies_held) {
+    if (copies_held <= 1) {
+      // Last copy: hold for the destination (wait phase).
+      return ForwardDecision::kSkip;
+    }
+    const double slack =
+        slack_per_copy * static_cast<double>(copies_held - 1);
+    return metric[contact] < metric[holder] + slack ? ForwardDecision::kCopy
+                                                    : ForwardDecision::kSkip;
+  };
+}
+
+UtilityForwarding::UtilityForwarding(std::vector<double> meet_probability,
+                                     std::size_t n, VertexId destination,
+                                     double u0, double decay_rate,
+                                     TimeUnit horizon)
+    : n_(n),
+      destination_(destination),
+      u0_(u0),
+      decay_(decay_rate),
+      horizon_(horizon),
+      meet_(std::move(meet_probability)) {
+  assert(meet_.size() == n_ * n_);
+  // Backward induction with one-step lookahead; meetings within one unit
+  // are treated as independent and relay gains add (a standard
+  // approximation for sparse contact processes).
+  value_.assign((static_cast<std::size_t>(horizon_) + 1) * n_, 0.0);
+  auto v = [&](VertexId x, TimeUnit t) -> double& {
+    return value_[static_cast<std::size_t>(t) * n_ + x];
+  };
+  for (TimeUnit tt = horizon_; tt-- > 0;) {
+    const double u_now = utility_at(tt);
+    v(destination_, tt) = u_now;
+    for (VertexId x = 0; x < n_; ++x) {
+      if (x == destination_) continue;
+      const double p_xd = meet_[x * n_ + destination_];
+      const double cont = v(x, tt + 1);
+      double gain = 0.0;
+      for (VertexId c = 0; c < n_; ++c) {
+        if (c == x || c == destination_) continue;
+        const double improvement = v(c, tt + 1) - cont;
+        if (improvement > 0.0) gain += meet_[x * n_ + c] * improvement;
+      }
+      v(x, tt) = p_xd * u_now + (1.0 - p_xd) * std::min(cont + gain, u_now);
+    }
+  }
+}
+
+double UtilityForwarding::utility_at(TimeUnit t) const {
+  return std::max(u0_ - decay_ * static_cast<double>(t), 0.0);
+}
+
+double UtilityForwarding::value(VertexId x, TimeUnit t) const {
+  if (t > horizon_) t = horizon_;
+  return value_[static_cast<std::size_t>(t) * n_ + x];
+}
+
+std::vector<VertexId> UtilityForwarding::forwarding_set(VertexId u,
+                                                        TimeUnit t) const {
+  std::vector<VertexId> set;
+  const double mine = value(u, t);
+  for (VertexId c = 0; c < n_; ++c) {
+    if (c != u && value(c, t) > mine) set.push_back(c);
+  }
+  return set;
+}
+
+Strategy UtilityForwarding::strategy() const {
+  return [this](VertexId holder, VertexId contact, TimeUnit t, std::size_t) {
+    return value(contact, t) > value(holder, t) ? ForwardDecision::kMove
+                                                : ForwardDecision::kSkip;
+  };
+}
+
+std::vector<double> estimate_meet_probabilities(const TemporalGraph& trace) {
+  const std::size_t n = trace.vertex_count();
+  std::vector<double> p(n * n, 0.0);
+  const double horizon = static_cast<double>(trace.horizon());
+  if (horizon == 0.0) return p;
+  for (const auto& edge : trace.edges()) {
+    const double freq = static_cast<double>(edge.labels.size()) / horizon;
+    p[edge.u * n + edge.v] = freq;
+    p[edge.v * n + edge.u] = freq;
+  }
+  return p;
+}
+
+}  // namespace structnet

@@ -1,0 +1,105 @@
+#include "sim/hybrid_control.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "algo/shortest_paths.hpp"
+#include "algo/traversal.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Farthest vertex from `from` by BFS (ties: smallest id).
+VertexId farthest_from(const Graph& g, VertexId from) {
+  const auto dist = bfs_distances(g, from);
+  VertexId best = from;
+  std::uint32_t best_d = 0;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] != std::numeric_limits<std::uint32_t>::max() &&
+        dist[v] > best_d) {
+      best_d = dist[v];
+      best = static_cast<VertexId>(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Shortcut> select_shortcuts(const Graph& g, std::size_t count) {
+  std::vector<Shortcut> shortcuts;
+  Graph augmented = g;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Double sweep on the *current* augmented topology: the next
+    // shortcut attacks the worst remaining region.
+    const VertexId a = farthest_from(augmented, 0);
+    const VertexId b = farthest_from(augmented, a);
+    if (a == b || augmented.has_edge(a, b)) break;  // nothing left to fix
+    Shortcut sc;
+    sc.u = a;
+    sc.v = b;
+    // The tunnel rides the real topology.
+    const auto parent = bfs_tree(g, a);
+    sc.real_path = extract_path(parent, a, b);
+    assert(!sc.real_path.empty() && "graph must be connected");
+    augmented.add_edge(a, b);
+    shortcuts.push_back(std::move(sc));
+  }
+  return shortcuts;
+}
+
+Graph augment(const Graph& g, const std::vector<Shortcut>& shortcuts) {
+  Graph out = g;
+  for (const Shortcut& sc : shortcuts) out.add_edge_unique(sc.u, sc.v);
+  return out;
+}
+
+HybridRoutingResult hybrid_route_to(const Graph& g,
+                                    const std::vector<Shortcut>& shortcuts,
+                                    VertexId destination) {
+  const Graph aug = augment(g, shortcuts);
+  const std::vector<double> weights(aug.edge_count(), 1.0);
+  const auto bf = bellman_ford(aug, weights, destination);
+
+  HybridRoutingResult result;
+  result.rounds = bf.rounds;
+
+  // Expand each node's control-plane route into real hops.
+  auto tunnel_length = [&](VertexId x, VertexId y) -> std::size_t {
+    for (const Shortcut& sc : shortcuts) {
+      if ((sc.u == x && sc.v == y) || (sc.u == y && sc.v == x)) {
+        return sc.real_path.size() - 1;
+      }
+    }
+    return 1;  // a real link
+  };
+  const auto true_dist = bfs_distances(g, destination);
+  double total_stretch = 0.0;
+  std::size_t counted = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (v == destination || bf.paths.parent[v] == kInvalidVertex) continue;
+    std::size_t real_hops = 0;
+    VertexId cur = v;
+    while (cur != destination) {
+      const VertexId next = bf.paths.parent[cur];
+      real_hops += g.has_edge(cur, next) ? 1 : tunnel_length(cur, next);
+      cur = next;
+    }
+    if (true_dist[v] == 0 ||
+        true_dist[v] == std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
+    const double stretch =
+        static_cast<double>(real_hops) / static_cast<double>(true_dist[v]);
+    total_stretch += stretch;
+    result.max_stretch = std::max(result.max_stretch, stretch);
+    ++counted;
+  }
+  result.average_stretch =
+      counted ? total_stretch / static_cast<double>(counted) : 1.0;
+  return result;
+}
+
+}  // namespace structnet

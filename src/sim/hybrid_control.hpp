@@ -1,0 +1,53 @@
+// Hybrid centralized-and-distributed routing (Sec. IV-C, citing
+// Fibbing-style central control over distributed routing [31]): a
+// central controller "inserts fake nodes and links to create an
+// augmented topology for a distributed solution."
+//
+// Concrete instantiation: distributed Bellman-Ford converges in
+// eccentricity-many rounds; the controller computes a handful of
+// shortcut ("fake") links that slash the effective diameter, the
+// distributed protocol runs on the augmented topology, and data-plane
+// routes expand each fake link back into the real path it tunnels over.
+// The experiment: convergence rounds and route stretch vs number of
+// shortcuts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// One controller-installed shortcut: a "fake" link (u, v) tunneling
+/// over a concrete real path.
+struct Shortcut {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  std::vector<VertexId> real_path;  // u ... v in the real topology
+};
+
+/// Centralized shortcut selection: greedily connects the current
+/// farthest pair (by BFS) `count` times — each shortcut halves the
+/// stretch of the worst region. Requires g connected.
+std::vector<Shortcut> select_shortcuts(const Graph& g, std::size_t count);
+
+/// The augmented topology: g plus one edge per shortcut.
+Graph augment(const Graph& g, const std::vector<Shortcut>& shortcuts);
+
+/// Result of running the distributed protocol on the augmented graph.
+struct HybridRoutingResult {
+  std::size_t rounds = 0;        // Bellman-Ford rounds to converge
+  double average_stretch = 1.0;  // expanded-route hops / true hops
+  double max_stretch = 1.0;
+};
+
+/// Runs synchronous Bellman-Ford toward `destination` on the augmented
+/// topology (unit weight per link — fake links cost 1 in the control
+/// plane), then expands every node's route into real hops and compares
+/// with true shortest paths in g.
+HybridRoutingResult hybrid_route_to(const Graph& g,
+                                    const std::vector<Shortcut>& shortcuts,
+                                    VertexId destination);
+
+}  // namespace structnet

@@ -1,0 +1,191 @@
+#include "sim/local_protocols.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/round_engine.hpp"
+
+namespace structnet {
+
+LocalProtocolResult distributed_marking(const Graph& g) {
+  struct NodeState {
+    bool sent = false;
+    bool black = false;
+    std::vector<std::pair<VertexId, std::vector<VertexId>>> heard;
+  };
+  using Msg = std::vector<VertexId>;  // the sender's neighbor list
+  SyncNetwork<NodeState, Msg> net(g, std::vector<NodeState>(g.vertex_count()));
+
+  // Round 1: everyone broadcasts its neighbor list. Round 2: decide.
+  const auto handler =
+      [&](VertexId self, NodeState& s,
+          std::span<const SyncNetwork<NodeState, Msg>::Envelope> inbox,
+          const std::function<void(VertexId, Msg)>& send) {
+        for (const auto& env : inbox) {
+          s.heard.emplace_back(env.from,
+                               std::vector<VertexId>(env.payload.begin(),
+                                                     env.payload.end()));
+        }
+        if (!s.sent) {
+          s.sent = true;
+          const auto nbrs = net.graph().neighbors(self);
+          Msg list(nbrs.begin(), nbrs.end());
+          for (VertexId w : nbrs) send(w, list);
+        } else if (!s.heard.empty() && !s.black) {
+          // 2-hop info is in: mark iff two neighbors are unconnected.
+          for (std::size_t i = 0; i < s.heard.size() && !s.black; ++i) {
+            for (std::size_t j = i + 1; j < s.heard.size(); ++j) {
+              const VertexId b = s.heard[j].first;
+              const auto& list_a = s.heard[i].second;
+              if (std::find(list_a.begin(), list_a.end(), b) ==
+                  list_a.end()) {
+                s.black = true;
+                break;
+              }
+            }
+          }
+        }
+      };
+  net.run_until(
+      handler,
+      [](const SyncNetwork<NodeState, Msg>& n) { return n.idle(); },
+      4);
+
+  LocalProtocolResult result;
+  result.selected.resize(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    result.selected[v] = net.state(v).black;
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages();
+  return result;
+}
+
+LocalProtocolResult distributed_mis_protocol(
+    const Graph& g, std::span<const double> priority) {
+  assert(priority.size() == g.vertex_count());
+  enum class Color : std::uint8_t { kWhite, kBlack, kGray };
+
+  // Each "super-round" is two engine rounds: (1) whites that are local
+  // priority maxima among white neighbors color themselves black and
+  // announce; (2) whites hearing a black neighbor turn gray. A node
+  // learns neighbors' whiteness implicitly: a neighbor is white until it
+  // announced black (grays never block anyone).
+  //
+  // To decide local maximality a node must know which neighbors are
+  // still white; we track that via announcements of both black AND gray
+  // transitions.
+  struct Msg2 {
+    bool black = false;  // false = "I turned gray"
+  };
+  struct NodeState2 {
+    Color color = Color::kWhite;
+    std::vector<bool> neighbor_white;  // indexed by position in adjacency
+    bool pending_black = false;
+  };
+  std::vector<NodeState2> init(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    init[v].neighbor_white.assign(g.degree(v), true);
+  }
+  SyncNetwork<NodeState2, Msg2> net2(g, std::move(init));
+
+  auto neighbor_index = [&](VertexId self, VertexId w) {
+    const auto nbrs = g.neighbors(self);
+    return static_cast<std::size_t>(
+        std::find(nbrs.begin(), nbrs.end(), w) - nbrs.begin());
+  };
+
+  bool done = false;
+  std::size_t super_rounds = 0;
+  while (!done && super_rounds < g.vertex_count() + 2) {
+    ++super_rounds;
+    // Phase 1: competition.
+    net2.step([&](VertexId self, NodeState2& s,
+                  std::span<const SyncNetwork<NodeState2, Msg2>::Envelope>
+                      inbox,
+                  const std::function<void(VertexId, Msg2)>& send) {
+      for (const auto& env : inbox) {
+        s.neighbor_white[neighbor_index(self, env.from)] = false;
+        if (env.payload.black && s.color == Color::kWhite) {
+          s.color = Color::kGray;
+          // Announce grayness next phase (handled below by checking
+          // color changes); simplest: send immediately here.
+          for (VertexId w : g.neighbors(self)) send(w, Msg2{false});
+        }
+      }
+      if (s.color != Color::kWhite) return;
+      bool is_max = true;
+      const auto nbrs = g.neighbors(self);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (s.neighbor_white[i] && priority[nbrs[i]] > priority[self]) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        s.color = Color::kBlack;
+        for (VertexId w : nbrs) send(w, Msg2{true});
+      }
+    });
+    // Termination: no white nodes remain.
+    done = true;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (net2.state(v).color == Color::kWhite) {
+        done = false;
+        break;
+      }
+    }
+  }
+  // Drain in-flight messages so gray transitions settle (no-op handler
+  // effectively; the loop above already consumed them each step).
+
+  LocalProtocolResult result;
+  result.selected.resize(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    result.selected[v] = net2.state(v).color == Color::kBlack;
+  }
+  result.rounds = net2.rounds();
+  result.messages = net2.messages();
+  return result;
+}
+
+LocalProtocolResult neighbor_designated_protocol(
+    const Graph& g, std::span<const double> priority) {
+  assert(priority.size() == g.vertex_count());
+  struct NodeState {
+    bool nominated = false;
+    bool voted = false;
+  };
+  struct Msg {};  // "you are my winner"
+  SyncNetwork<NodeState, Msg> net(g, std::vector<NodeState>(g.vertex_count()));
+  const auto handler =
+      [&](VertexId self, NodeState& s,
+          std::span<const SyncNetwork<NodeState, Msg>::Envelope> inbox,
+          const std::function<void(VertexId, Msg)>& send) {
+        if (!inbox.empty()) s.nominated = true;
+        if (s.voted) return;
+        s.voted = true;
+        VertexId winner = self;
+        for (VertexId w : net.graph().neighbors(self)) {
+          if (priority[w] > priority[winner]) winner = w;
+        }
+        if (winner == self) {
+          s.nominated = true;  // self-nomination needs no message
+        } else {
+          send(winner, Msg{});
+        }
+      };
+  net.run_until(
+      handler, [](const SyncNetwork<NodeState, Msg>& n) { return n.idle(); },
+      3);
+  LocalProtocolResult result;
+  result.selected.resize(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    result.selected[v] = net.state(v).nominated;
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages();
+  return result;
+}
+
+}  // namespace structnet

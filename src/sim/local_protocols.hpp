@@ -1,0 +1,44 @@
+// Localized labeling protocols executed as real message-passing programs
+// on the synchronous round engine (Sec. IV: "A centralized solution can
+// be converted to a distributed solution"; localized solutions exchange
+// only k-hop information).
+//
+// Each protocol reports its round and message cost alongside the labels,
+// and is validated in the tests against the centralized implementations
+// in labeling/static_labels.hpp:
+//   * marking CDS — 1 round of neighbor-list exchange (2-hop info),
+//     then a local decision;
+//   * 3-color MIS — repeated 1-hop priority competition;
+//   * neighbor-designated DS — 1 round of nomination messages.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+struct LocalProtocolResult {
+  std::vector<bool> selected;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+};
+
+/// Wu-Dai marking via the engine: every node broadcasts its neighbor
+/// list; each node then marks itself iff two of its neighbors are not
+/// adjacent. Exactly matches marking_process().
+LocalProtocolResult distributed_marking(const Graph& g);
+
+/// 3-color MIS via the engine with explicit WHITE/BLACK/GRAY messages.
+/// Exactly matches distributed_mis() given the same priorities.
+LocalProtocolResult distributed_mis_protocol(const Graph& g,
+                                             std::span<const double> priority);
+
+/// Neighbor-designated DS via the engine: one round of nominations.
+/// Exactly matches neighbor_designated_ds().
+LocalProtocolResult neighbor_designated_protocol(
+    const Graph& g, std::span<const double> priority);
+
+}  // namespace structnet

@@ -1,0 +1,128 @@
+#include "sim/multi_message.hpp"
+
+#include <cassert>
+
+namespace structnet {
+
+WorkloadOutcome simulate_workload(const TemporalGraph& trace,
+                                  const std::vector<MessageSpec>& messages,
+                                  const Strategy& strategy,
+                                  std::size_t initial_copies,
+                                  std::size_t buffer_capacity) {
+  const std::size_t n = trace.vertex_count();
+  const std::size_t k = messages.size();
+  WorkloadOutcome outcome;
+  outcome.total = k;
+  outcome.message_delivered.assign(k, false);
+
+  // has[m][v]: node v holds a copy of message m. budget[m][v]: its spray
+  // budget. load[v]: copies buffered at v (delivered/expired excluded).
+  std::vector<std::vector<bool>> has(k, std::vector<bool>(n, false));
+  std::vector<std::vector<std::size_t>> budget(
+      k, std::vector<std::size_t>(n, 0));
+  std::vector<std::size_t> load(n, 0);
+  std::vector<TimeUnit> delivered_at(k, kNeverTime);
+
+  std::vector<std::vector<Contact>> bucket(trace.horizon());
+  for (const Contact& c : trace.contacts()) bucket[c.t].push_back(c);
+
+  auto try_store = [&](std::size_t m, VertexId v, std::size_t b,
+                       bool forced) -> bool {
+    if (!forced && buffer_capacity != 0 && load[v] >= buffer_capacity) {
+      ++outcome.drops;
+      return false;
+    }
+    has[m][v] = true;
+    budget[m][v] = b;
+    ++load[v];
+    return true;
+  };
+
+  for (TimeUnit t = 0; t < trace.horizon(); ++t) {
+    // Message creation (a node always buffers its own message).
+    for (std::size_t m = 0; m < k; ++m) {
+      if (messages[m].created == t &&
+          messages[m].source != messages[m].destination) {
+        try_store(m, messages[m].source, initial_copies, /*forced=*/true);
+      }
+    }
+    bool progressed = true;
+    std::size_t passes = 0;
+    while (progressed && passes <= bucket[t].size() + 1) {
+      progressed = false;
+      ++passes;
+      for (const Contact& c : bucket[t]) {
+        const std::pair<VertexId, VertexId> directions[] = {
+            {c.u, c.v}, {c.v, c.u}};
+        for (const auto& [holder, other] : directions) {
+          for (std::size_t m = 0; m < k; ++m) {
+            if (delivered_at[m] != kNeverTime) continue;
+            if (!has[m][holder] || has[m][other]) continue;
+            if (other == messages[m].destination) {
+              delivered_at[m] = t;
+              ++outcome.transmissions;
+              // The destination consumes the message; release buffers.
+              for (VertexId v = 0; v < n; ++v) {
+                if (has[m][v]) {
+                  has[m][v] = false;
+                  --load[v];
+                }
+              }
+              progressed = true;
+              continue;
+            }
+            switch (strategy(holder, other, t, budget[m][holder])) {
+              case ForwardDecision::kSkip:
+                break;
+              case ForwardDecision::kCopy: {
+                std::size_t give = 0;
+                bool can = false;
+                if (budget[m][holder] == 0) {  // unbounded replication
+                  can = true;
+                } else if (budget[m][holder] > 1) {
+                  give = budget[m][holder] / 2;
+                  can = true;
+                }
+                if (can && try_store(m, other, give, false)) {
+                  if (budget[m][holder] > 1) budget[m][holder] -= give;
+                  ++outcome.transmissions;
+                  progressed = true;
+                }
+                break;
+              }
+              case ForwardDecision::kMove: {
+                if (try_store(m, other, budget[m][holder], false)) {
+                  has[m][holder] = false;
+                  --load[holder];
+                  ++outcome.transmissions;
+                  progressed = true;
+                }
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  double delay_sum = 0.0;
+  for (std::size_t m = 0; m < k; ++m) {
+    if (messages[m].source == messages[m].destination) {
+      outcome.message_delivered[m] = true;
+      ++outcome.delivered;
+      continue;
+    }
+    if (delivered_at[m] != kNeverTime) {
+      outcome.message_delivered[m] = true;
+      ++outcome.delivered;
+      delay_sum += static_cast<double>(delivered_at[m] - messages[m].created);
+    }
+  }
+  outcome.average_delay =
+      outcome.delivered ? delay_sum / static_cast<double>(outcome.delivered)
+                        : 0.0;
+  return outcome;
+}
+
+}  // namespace structnet

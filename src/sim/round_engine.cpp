@@ -1,0 +1,54 @@
+#include "sim/round_engine.hpp"
+
+#include <limits>
+
+namespace structnet {
+
+DistributedBfsResult distributed_bfs(const Graph& g, VertexId root) {
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  struct NodeState {
+    std::uint32_t dist = kUnreached;
+    bool announced = false;
+  };
+  std::vector<NodeState> init(g.vertex_count());
+  init[root].dist = 0;
+
+  SyncNetwork<NodeState, std::uint32_t> net(g, std::move(init));
+  const auto handler = [](VertexId, NodeState& s,
+                          std::span<const SyncNetwork<NodeState,
+                                                      std::uint32_t>::Envelope>
+                              inbox,
+                          const std::function<void(VertexId, std::uint32_t)>&) {
+    for (const auto& env : inbox) {
+      if (env.payload + 1 < s.dist) s.dist = env.payload + 1;
+    }
+  };
+  // Separate announcement phase folded into one handler: announce once
+  // when a distance is known.
+  const auto full_handler =
+      [&](VertexId self, NodeState& s,
+          std::span<const SyncNetwork<NodeState, std::uint32_t>::Envelope>
+              inbox,
+          const std::function<void(VertexId, std::uint32_t)>& send) {
+        handler(self, s, inbox, send);
+        if (s.dist != kUnreached && !s.announced) {
+          s.announced = true;
+          for (VertexId w : net.graph().neighbors(self)) send(w, s.dist);
+        }
+      };
+  net.run_until(
+      full_handler,
+      [](const SyncNetwork<NodeState, std::uint32_t>& n) { return n.idle(); },
+      g.vertex_count() + 2);
+
+  DistributedBfsResult result;
+  result.distance.resize(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    result.distance[v] = net.state(v).dist;
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages();
+  return result;
+}
+
+}  // namespace structnet

@@ -1,0 +1,62 @@
+#include "sim/stale_views.hpp"
+
+#include <cassert>
+
+#include "labeling/static_labels.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Fraction of non-set vertices with a set neighbor in g (isolated
+/// vertices count as dominated — there is nothing to cover them with).
+double domination_fraction(const Graph& g, const std::vector<bool>& set) {
+  std::size_t covered = 0, total = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (set[v] || g.degree(v) == 0) continue;
+    ++total;
+    for (VertexId w : g.neighbors(v)) {
+      if (set[w]) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace
+
+StaleViewReport evaluate_stale_structures(const TemporalGraph& dynamic_graph,
+                                          TimeUnit delay,
+                                          std::span<const double> priority) {
+  assert(priority.size() == dynamic_graph.vertex_count());
+  StaleViewReport report;
+  double dom = 0.0;
+  std::size_t conn = 0, indep = 0, maximal = 0;
+  for (TimeUnit t = delay; t < dynamic_graph.horizon(); ++t) {
+    const Graph stale = dynamic_graph.snapshot(t - delay);
+    const Graph now = dynamic_graph.snapshot(t);
+    // The deployed structure is the *trimmed* CDS — the small backbone a
+    // system would actually run on (the raw marking set is so large that
+    // staleness barely dents it).
+    const auto cds = trim_cds(stale, marking_process(stale), priority);
+    const auto mis = distributed_mis(stale, priority).in_mis;
+    dom += domination_fraction(now, cds);
+    conn += is_connected_dominating_set(now, cds);
+    indep += is_independent_set(now, mis);
+    maximal += is_maximal_independent_set(now, mis);
+    ++report.evaluations;
+  }
+  if (report.evaluations > 0) {
+    const auto n = static_cast<double>(report.evaluations);
+    report.domination_rate = dom / n;
+    report.connectivity_rate = static_cast<double>(conn) / n;
+    report.independence_rate = static_cast<double>(indep) / n;
+    report.maximality_rate = static_cast<double>(maximal) / n;
+  }
+  return report;
+}
+
+}  // namespace structnet

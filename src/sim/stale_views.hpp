@@ -1,0 +1,37 @@
+// View inconsistency under mobility (Sec. IV-C): "both neighborhood
+// information exchanges and asynchronous Hello message exchanges cause
+// delays, which will generate inconsistent neighborhood and location
+// information."
+//
+// We quantify the damage: structures (marking CDS, MIS) are computed
+// from a snapshot `delay` time units old and then evaluated against the
+// current snapshot of a dynamic graph. The report aggregates, over all
+// evaluation times, how often the stale structure still dominates /
+// stays independent / stays connected.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+struct StaleViewReport {
+  double domination_rate = 0.0;   // avg fraction of vertices still dominated
+  double connectivity_rate = 0.0; // fraction of times the CDS stayed connected
+  double independence_rate = 0.0; // fraction of times the MIS stayed independent
+  double maximality_rate = 0.0;   // fraction of times the MIS stayed maximal
+  std::size_t evaluations = 0;
+};
+
+/// For every time t in [delay, horizon): compute the trimmed marking CDS
+/// and the 3-color MIS (with the given priorities) on snapshot(t - delay)
+/// and evaluate them on snapshot(t).
+StaleViewReport evaluate_stale_structures(const TemporalGraph& dynamic_graph,
+                                          TimeUnit delay,
+                                          std::span<const double> priority);
+
+}  // namespace structnet

@@ -1,0 +1,36 @@
+#include "temporal/fig2_example.hpp"
+
+#include <array>
+
+namespace structnet::fig2 {
+
+namespace {
+
+void add_core_edges(TemporalGraph& eg) {
+  const std::array<TimeUnit, 2> ab{1, 4};
+  const std::array<TimeUnit, 2> bc{2, 5};
+  const std::array<TimeUnit, 2> ad{1, 3};
+  const std::array<TimeUnit, 2> bd{0, 6};
+  const std::array<TimeUnit, 2> cd{0, 6};
+  eg.add_edge_labels(A, B, ab);
+  eg.add_edge_labels(B, C, bc);
+  eg.add_edge_labels(A, D, ad);
+  eg.add_edge_labels(B, D, bd);
+  eg.add_edge_labels(C, D, cd);
+}
+
+}  // namespace
+
+TemporalGraph build() {
+  TemporalGraph eg(6, 7);
+  add_core_edges(eg);
+  return eg;
+}
+
+TemporalGraph build_core() {
+  TemporalGraph eg(4, 7);
+  add_core_edges(eg);
+  return eg;
+}
+
+}  // namespace structnet::fig2

@@ -1,0 +1,227 @@
+#include "temporal/journeys.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace structnet {
+
+namespace {
+
+/// Contacts bucketed by time unit: bucket[t] lists edge ids active at t.
+std::vector<std::vector<EdgeId>> bucket_by_time(const TemporalGraph& eg) {
+  std::vector<std::vector<EdgeId>> bucket(eg.horizon());
+  for (EdgeId e = 0; e < eg.edge_count(); ++e) {
+    for (TimeUnit t : eg.edge(e).labels) bucket[t].push_back(e);
+  }
+  return bucket;
+}
+
+Journey journey_from_via(const EarliestArrival& ea, VertexId source,
+                         VertexId target) {
+  Journey j;
+  VertexId cur = target;
+  while (cur != source) {
+    const JourneyHop& hop = ea.via[cur];
+    assert(hop.from != kInvalidVertex);
+    j.hops.push_back(hop);
+    cur = hop.from;
+  }
+  std::reverse(j.hops.begin(), j.hops.end());
+  return j;
+}
+
+}  // namespace
+
+bool Journey::valid_for(const TemporalGraph& eg) const {
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const JourneyHop& h = hops[i];
+    if (!eg.has_contact(h.from, h.to, h.t)) return false;
+    if (i > 0 && (hops[i - 1].to != h.from || hops[i - 1].t > h.t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+EarliestArrival earliest_arrival(const TemporalGraph& eg, VertexId source,
+                                 TimeUnit t_start) {
+  assert(source < eg.vertex_count());
+  EarliestArrival ea;
+  ea.completion.assign(eg.vertex_count(), kNeverTime);
+  ea.via.assign(eg.vertex_count(), JourneyHop{});
+  ea.completion[source] = t_start;
+
+  const auto bucket = bucket_by_time(eg);
+  std::vector<bool> have(eg.vertex_count(), false);
+  have[source] = true;
+
+  for (TimeUnit t = t_start; t < eg.horizon(); ++t) {
+    // Within one time unit transmission is instantaneous, so take the
+    // closure over the snapshot's active edges.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (EdgeId e : bucket[t]) {
+        const auto& edge = eg.edge(e);
+        if (have[edge.u] && !have[edge.v]) {
+          have[edge.v] = true;
+          ea.completion[edge.v] = t;
+          ea.via[edge.v] = JourneyHop{edge.u, edge.v, t};
+          changed = true;
+        } else if (have[edge.v] && !have[edge.u]) {
+          have[edge.u] = true;
+          ea.completion[edge.u] = t;
+          ea.via[edge.u] = JourneyHop{edge.v, edge.u, t};
+          changed = true;
+        }
+      }
+    }
+  }
+  return ea;
+}
+
+std::optional<Journey> earliest_completion_journey(const TemporalGraph& eg,
+                                                   VertexId source,
+                                                   VertexId target,
+                                                   TimeUnit t_start) {
+  const auto ea = earliest_arrival(eg, source, t_start);
+  if (ea.completion[target] == kNeverTime) return std::nullopt;
+  return journey_from_via(ea, source, target);
+}
+
+std::optional<Journey> minimum_hop_journey(const TemporalGraph& eg,
+                                           VertexId source, VertexId target,
+                                           TimeUnit t_start) {
+  assert(source < eg.vertex_count() && target < eg.vertex_count());
+  if (source == target) return Journey{};
+  const std::size_t n = eg.vertex_count();
+  // ready[v]: minimal label-bound such that some journey with exactly h
+  // hops leaves v able to take any next contact with label >= ready[v].
+  std::vector<TimeUnit> ready(n, kNeverTime);
+  std::vector<TimeUnit> next_ready(n);
+  // Per-layer predecessor hops for reconstruction.
+  std::vector<std::vector<JourneyHop>> via_layer;
+  ready[source] = t_start;
+
+  for (std::size_t h = 0; h + 1 < n + 1; ++h) {
+    next_ready = ready;
+    std::vector<JourneyHop> via(n, JourneyHop{});
+    bool improved = false;
+    for (EdgeId e = 0; e < eg.edge_count(); ++e) {
+      const auto& edge = eg.edge(e);
+      auto relax = [&](VertexId from, VertexId to) {
+        if (ready[from] == kNeverTime) return;
+        const auto& labels = edge.labels;
+        const auto it =
+            std::lower_bound(labels.begin(), labels.end(), ready[from]);
+        if (it == labels.end()) return;
+        if (*it < next_ready[to]) {
+          next_ready[to] = *it;
+          via[to] = JourneyHop{from, to, *it};
+          improved = true;
+        }
+      };
+      relax(edge.u, edge.v);
+      relax(edge.v, edge.u);
+    }
+    via_layer.push_back(std::move(via));
+    const bool target_hit =
+        next_ready[target] != kNeverTime && ready[target] == kNeverTime;
+    ready.swap(next_ready);
+    if (target_hit) {
+      // Reconstruct backwards through the layers.
+      Journey j;
+      VertexId cur = target;
+      for (std::size_t layer = via_layer.size(); layer-- > 0;) {
+        if (cur == source) break;
+        const JourneyHop& hop = via_layer[layer][cur];
+        if (hop.from == kInvalidVertex) continue;  // reached earlier layer
+        j.hops.push_back(hop);
+        cur = hop.from;
+      }
+      assert(cur == source);
+      std::reverse(j.hops.begin(), j.hops.end());
+      return j;
+    }
+    if (!improved) break;
+  }
+  return std::nullopt;
+}
+
+std::optional<Journey> fastest_journey(const TemporalGraph& eg,
+                                       VertexId source, VertexId target,
+                                       TimeUnit t_start) {
+  assert(source < eg.vertex_count() && target < eg.vertex_count());
+  if (source == target) return Journey{};
+  // Candidate departure times: labels of source-incident edges >= t_start.
+  std::vector<TimeUnit> candidates;
+  for (EdgeId e : eg.incident_edges(source)) {
+    for (TimeUnit t : eg.edge(e).labels) {
+      if (t >= t_start) candidates.push_back(t);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::optional<Journey> best;
+  TimeUnit best_span = kNeverTime;
+  for (TimeUnit s : candidates) {
+    const auto ea = earliest_arrival(eg, source, s);
+    if (ea.completion[target] == kNeverTime) continue;
+    Journey j = journey_from_via(ea, source, target);
+    const TimeUnit span = j.span();
+    if (span < best_span) {
+      best_span = span;
+      best = std::move(j);
+      if (best_span == 0) break;
+    }
+  }
+  return best;
+}
+
+bool is_connected_at(const TemporalGraph& eg, VertexId u, VertexId v,
+                     TimeUnit t) {
+  if (u == v) return true;
+  const auto ea = earliest_arrival(eg, u, t);
+  return ea.completion[v] != kNeverTime;
+}
+
+bool is_time_connected(const TemporalGraph& eg, TimeUnit t) {
+  for (VertexId u = 0; u < eg.vertex_count(); ++u) {
+    const auto ea = earliest_arrival(eg, u, t);
+    for (VertexId v = 0; v < eg.vertex_count(); ++v) {
+      if (ea.completion[v] == kNeverTime) return false;
+    }
+  }
+  return true;
+}
+
+TimeUnit flooding_time(const TemporalGraph& eg, VertexId source) {
+  const auto ea = earliest_arrival(eg, source, 0);
+  TimeUnit worst = 0;
+  for (TimeUnit c : ea.completion) {
+    if (c == kNeverTime) return kNeverTime;
+    worst = std::max(worst, c);
+  }
+  return worst;
+}
+
+TimeUnit dynamic_diameter(const TemporalGraph& eg) {
+  TimeUnit worst = 0;
+  for (VertexId v = 0; v < eg.vertex_count(); ++v) {
+    const TimeUnit f = flooding_time(eg, v);
+    if (f == kNeverTime) return kNeverTime;
+    worst = std::max(worst, f);
+  }
+  return worst;
+}
+
+std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
+                                         VertexId source, TimeUnit t_start) {
+  return earliest_arrival(eg, source, t_start).completion;
+}
+
+}  // namespace structnet

@@ -1,0 +1,96 @@
+// Journeys (paths over time) and the three path-optimization problems of
+// Sec. II-B: earliest completion time, minimum hop, and fastest path.
+//
+// A journey u -> v is an alternating sequence of vertices and contacts
+// with non-decreasing edge labels; transmission over a contact is
+// instantaneous and every vertex can store a message indefinitely
+// (carry-store-forward).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// One hop of a journey.
+struct JourneyHop {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  TimeUnit t = 0;
+};
+
+/// A realized journey with its quality measures.
+struct Journey {
+  std::vector<JourneyHop> hops;
+
+  bool empty() const { return hops.empty(); }
+  std::size_t hop_count() const { return hops.size(); }
+  /// Label of the first contact (departure); 0 for empty journeys.
+  TimeUnit departure() const { return hops.empty() ? 0 : hops.front().t; }
+  /// Label of the last contact (completion); 0 for empty journeys.
+  TimeUnit completion() const { return hops.empty() ? 0 : hops.back().t; }
+  /// Elapsed time between first and last contact (the "span").
+  TimeUnit span() const {
+    return hops.empty() ? 0 : hops.back().t - hops.front().t;
+  }
+  /// True iff hops chain correctly with non-decreasing labels.
+  bool valid_for(const TemporalGraph& eg) const;
+};
+
+/// Earliest completion times from `source` for messages created at time
+/// `t_start`: completion[v] is the smallest last-contact label of any
+/// journey source -> v departing at or after t_start (kNeverTime when
+/// unreachable; completion[source] = t_start by convention).
+struct EarliestArrival {
+  std::vector<TimeUnit> completion;
+  /// Contact used to reach each vertex (from, to, t); kInvalidVertex
+  /// `from` when unreached or source.
+  std::vector<JourneyHop> via;
+};
+EarliestArrival earliest_arrival(const TemporalGraph& eg, VertexId source,
+                                 TimeUnit t_start = 0);
+
+/// The earliest-completion-time journey source -> target departing at or
+/// after t_start; std::nullopt when no journey exists.
+std::optional<Journey> earliest_completion_journey(const TemporalGraph& eg,
+                                                   VertexId source,
+                                                   VertexId target,
+                                                   TimeUnit t_start = 0);
+
+/// Minimum-hop journey source -> target departing at or after t_start.
+std::optional<Journey> minimum_hop_journey(const TemporalGraph& eg,
+                                           VertexId source, VertexId target,
+                                           TimeUnit t_start = 0);
+
+/// Fastest journey (minimum span between first and last contact) from
+/// source to target departing at or after t_start.
+std::optional<Journey> fastest_journey(const TemporalGraph& eg,
+                                       VertexId source, VertexId target,
+                                       TimeUnit t_start = 0);
+
+/// True iff `u` is connected to `v` at time unit `t` (a journey u -> v
+/// exists whose first label is >= t). u is always connected to itself.
+bool is_connected_at(const TemporalGraph& eg, VertexId u, VertexId v,
+                     TimeUnit t);
+
+/// True iff the network is time-t-connected: every ordered pair (u, v) is
+/// connected at time t.
+bool is_time_connected(const TemporalGraph& eg, TimeUnit t);
+
+/// Flooding time from `source` starting at time 0: the completion label
+/// by which every vertex has the message; kNeverTime if some vertex is
+/// never reached.
+TimeUnit flooding_time(const TemporalGraph& eg, VertexId source);
+
+/// Dynamic diameter: max flooding time over all sources (kNeverTime if
+/// any vertex cannot flood everywhere).
+TimeUnit dynamic_diameter(const TemporalGraph& eg);
+
+/// Temporal distance matrix row: earliest completion from source at
+/// t_start for all targets (convenience wrapper).
+std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
+                                         VertexId source, TimeUnit t_start = 0);
+
+}  // namespace structnet

@@ -1,0 +1,67 @@
+#include "temporal/smallworld_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "temporal/journeys.hpp"
+
+namespace structnet {
+
+double temporal_correlation_coefficient(const TemporalGraph& eg) {
+  if (eg.horizon() < 2 || eg.vertex_count() == 0) return 0.0;
+  const std::size_t n = eg.vertex_count();
+  // Neighbor sets per snapshot.
+  std::vector<std::set<VertexId>> prev(n), cur(n);
+  auto fill = [&](TimeUnit t, std::vector<std::set<VertexId>>& out) {
+    for (auto& s : out) s.clear();
+    const Graph snap = eg.snapshot(t);
+    for (const Graph::Edge& e : snap.edges()) {
+      out[e.u].insert(e.v);
+      out[e.v].insert(e.u);
+    }
+  };
+  fill(0, prev);
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (TimeUnit t = 1; t < eg.horizon(); ++t) {
+    fill(t, cur);
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t a = prev[v].size();
+      const std::size_t b = cur[v].size();
+      if (a == 0 && b == 0) continue;  // inactive in both: skip
+      ++samples;
+      if (a == 0 || b == 0) continue;  // contributes 0
+      std::size_t common = 0;
+      for (VertexId w : prev[v]) common += cur[v].count(w);
+      total += static_cast<double>(common) /
+               std::sqrt(static_cast<double>(a) * static_cast<double>(b));
+    }
+    prev.swap(cur);
+  }
+  return samples ? total / static_cast<double>(samples) : 0.0;
+}
+
+TemporalPathLength characteristic_temporal_path_length(
+    const TemporalGraph& eg) {
+  TemporalPathLength out;
+  const std::size_t n = eg.vertex_count();
+  if (n < 2) return out;
+  double delay = 0.0;
+  std::size_t reachable = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    const auto ea = earliest_arrival(eg, s, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == s || ea.completion[v] == kNeverTime) continue;
+      delay += static_cast<double>(ea.completion[v]);
+      ++reachable;
+    }
+  }
+  const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+  out.reachable_fraction = static_cast<double>(reachable) / pairs;
+  out.characteristic_length =
+      reachable ? delay / static_cast<double>(reachable) : 0.0;
+  return out;
+}
+
+}  // namespace structnet

@@ -1,0 +1,33 @@
+// Small-world behavior in time-varying graphs (Sec. III-B, citing Tang
+// et al. [15]): temporal analogues of the clustering coefficient and the
+// characteristic path length.
+//
+//   * temporal correlation coefficient C — how much a node's
+//     neighborhood persists between consecutive snapshots (the temporal
+//     "clustering" signal);
+//   * characteristic temporal path length L — the mean earliest-arrival
+//     delay over reachable ordered pairs.
+// Socially-clustered mobility shows high C at moderate L — the
+// time-and-space layered structure the paper suggests exploring.
+#pragma once
+
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// Average over nodes and consecutive snapshot pairs of the topological
+/// overlap  |N_t(v) ∩ N_{t+1}(v)| / sqrt(|N_t(v)| * |N_{t+1}(v)|).
+/// Node/time pairs where either neighborhood is empty contribute 0 when
+/// exactly one side is empty and are skipped when both are (per [15]).
+double temporal_correlation_coefficient(const TemporalGraph& eg);
+
+/// Mean earliest completion delay (completion - start, start = 0) over
+/// all ordered reachable pairs; also reports reachability.
+struct TemporalPathLength {
+  double characteristic_length = 0.0;  // mean delay over reachable pairs
+  double reachable_fraction = 0.0;     // reachable ordered pairs / all
+};
+TemporalPathLength characteristic_temporal_path_length(
+    const TemporalGraph& eg);
+
+}  // namespace structnet

@@ -1,0 +1,52 @@
+#include "temporal/temporal_centrality.hpp"
+
+#include "temporal/journeys.hpp"
+
+namespace structnet {
+
+std::vector<double> temporal_closeness(const TemporalGraph& eg) {
+  const std::size_t n = eg.vertex_count();
+  std::vector<double> closeness(n, 0.0);
+  if (n < 2) return closeness;
+  for (VertexId s = 0; s < n; ++s) {
+    const auto ea = earliest_arrival(eg, s, 0);
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == s || ea.completion[v] == kNeverTime) continue;
+      sum += 1.0 / (1.0 + static_cast<double>(ea.completion[v]));
+    }
+    closeness[s] = sum / static_cast<double>(n - 1);
+  }
+  return closeness;
+}
+
+std::vector<double> temporal_betweenness(const TemporalGraph& eg) {
+  const std::size_t n = eg.vertex_count();
+  std::vector<double> betweenness(n, 0.0);
+  for (VertexId s = 0; s < n; ++s) {
+    const auto ea = earliest_arrival(eg, s, 0);
+    for (VertexId d = 0; d < n; ++d) {
+      if (d == s || ea.completion[d] == kNeverTime) continue;
+      // Credit interior vertices of the canonical journey s -> d.
+      VertexId cur = d;
+      while (true) {
+        const VertexId prev = ea.via[cur].from;
+        if (prev == kInvalidVertex || prev == s) break;
+        betweenness[prev] += 1.0;
+        cur = prev;
+      }
+    }
+  }
+  return betweenness;
+}
+
+std::vector<double> temporal_degree(const TemporalGraph& eg) {
+  std::vector<double> degree(eg.vertex_count(), 0.0);
+  for (const auto& edge : eg.edges()) {
+    degree[edge.u] += static_cast<double>(edge.labels.size());
+    degree[edge.v] += static_cast<double>(edge.labels.size());
+  }
+  return degree;
+}
+
+}  // namespace structnet

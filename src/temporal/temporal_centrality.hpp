@@ -1,0 +1,31 @@
+// Temporal centralities: journey-based analogues of closeness and
+// betweenness. Sec. III-A suggests assigning trimming priorities "using
+// node degree or node betweenness, based on the strategic importance of
+// the node in the network topology" — these are the temporal versions
+// that plug directly into the trimming rules as priorities.
+#pragma once
+
+#include <vector>
+
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// Temporal closeness: for each vertex, the mean of
+/// 1 / (1 + earliest completion) over all other vertices starting at
+/// time 0 (unreachable contributes 0). Higher = reaches others sooner.
+std::vector<double> temporal_closeness(const TemporalGraph& eg);
+
+/// Temporal betweenness: how often a vertex relays on the canonical
+/// earliest-arrival journey trees. For every source, the earliest-
+/// arrival tree (via-chains) is walked from every reachable destination;
+/// interior vertices are credited once per (source, destination) pair.
+/// This is the journey analogue of shortest-path betweenness restricted
+/// to one canonical journey per pair (exact Brandes-style counting over
+/// all optimal journeys is #P-hard in temporal graphs).
+std::vector<double> temporal_betweenness(const TemporalGraph& eg);
+
+/// Temporal degree: number of contacts a vertex participates in.
+std::vector<double> temporal_degree(const TemporalGraph& eg);
+
+}  // namespace structnet

@@ -1,0 +1,32 @@
+#include "temporal/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace structnet {
+
+void write_contact_trace(std::ostream& os, const TemporalGraph& eg) {
+  std::size_t m = 0;
+  for (const auto& edge : eg.edges()) m += edge.labels.size();
+  os << eg.vertex_count() << ' ' << eg.horizon() << ' ' << m << '\n';
+  for (const Contact& c : eg.contacts()) {
+    os << c.u << ' ' << c.v << ' ' << c.t << '\n';
+  }
+}
+
+std::optional<TemporalGraph> read_contact_trace(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  TimeUnit horizon = 0;
+  if (!(is >> n >> horizon >> m)) return std::nullopt;
+  TemporalGraph eg(n, horizon);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    TimeUnit t = 0;
+    if (!(is >> u >> v >> t)) return std::nullopt;
+    if (u >= n || v >= n || u == v || t >= horizon) return std::nullopt;
+    eg.add_contact(u, v, t);
+  }
+  return eg;
+}
+
+}  // namespace structnet

@@ -1,0 +1,22 @@
+// Contact-trace serialization: the bridge between structnet and real
+// trace datasets (INFOCOM/Reality-Mining-style contact lists).
+//
+// Format: a header line `n horizon m` followed by m lines `u v t`
+// (whitespace separated, one contact per line, duplicates tolerated).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// Writes the trace as a contact list.
+void write_contact_trace(std::ostream& os, const TemporalGraph& eg);
+
+/// Parses a contact list; std::nullopt on malformed input (bad counts,
+/// out-of-range vertices or times, self-contacts).
+std::optional<TemporalGraph> read_contact_trace(std::istream& is);
+
+}  // namespace structnet

@@ -1,0 +1,184 @@
+#include "temporal/weighted.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace structnet {
+
+std::uint64_t WeightedTemporalGraph::key(VertexId u, VertexId v, TimeUnit t) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 44) |
+         (static_cast<std::uint64_t>(v) << 24) | static_cast<std::uint64_t>(t);
+}
+
+void WeightedTemporalGraph::add_contact(VertexId u, VertexId v, TimeUnit t,
+                                        double weight) {
+  base_.add_contact(u, v, t);
+  const std::uint64_t k = key(u, v, t);
+  const auto it = std::lower_bound(
+      weights_.begin(), weights_.end(), k,
+      [](const auto& entry, std::uint64_t kk) { return entry.first < kk; });
+  if (it != weights_.end() && it->first == k) {
+    it->second = weight;
+  } else {
+    weights_.insert(it, {k, weight});
+  }
+}
+
+std::optional<double> WeightedTemporalGraph::weight_of(VertexId u, VertexId v,
+                                                       TimeUnit t) const {
+  const std::uint64_t k = key(u, v, t);
+  const auto it = std::lower_bound(
+      weights_.begin(), weights_.end(), k,
+      [](const auto& entry, std::uint64_t kk) { return entry.first < kk; });
+  if (it != weights_.end() && it->first == k) return it->second;
+  return std::nullopt;
+}
+
+std::vector<WeightedContact> WeightedTemporalGraph::contacts() const {
+  std::vector<WeightedContact> out;
+  for (const Contact& c : base_.contacts()) {
+    out.push_back(WeightedContact{c.u, c.v, c.t, *weight_of(c.u, c.v, c.t)});
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared label-respecting DP over time-ordered contacts. `better(a, b)`
+/// is true when value a strictly improves on b; `combine(val, w)` is the
+/// new value after taking a contact of weight w.
+///
+/// Journeys are reconstructed through persistent backpointer records so a
+/// later improvement at a relay cannot corrupt an already-used prefix.
+template <typename Better, typename Combine>
+std::optional<WeightedJourney> optimal_journey(const WeightedTemporalGraph& eg,
+                                               VertexId source,
+                                               VertexId target,
+                                               TimeUnit t_start, double init,
+                                               double worst, Better better,
+                                               Combine combine) {
+  const std::size_t n = eg.vertex_count();
+  assert(source < n && target < n);
+  if (source == target) return WeightedJourney{Journey{}, init};
+
+  struct Record {
+    JourneyHop hop;
+    std::int64_t prev;  // index into records, -1 for source
+  };
+  std::vector<Record> records;
+  std::vector<double> value(n, worst);
+  std::vector<std::int64_t> rec_of(n, -1);
+  value[source] = init;
+
+  // Bucket contacts by time unit.
+  std::vector<std::vector<WeightedContact>> bucket(eg.horizon());
+  for (const WeightedContact& c : eg.contacts()) bucket[c.t].push_back(c);
+
+  for (TimeUnit t = t_start; t < eg.horizon(); ++t) {
+    bool changed = true;
+    while (changed) {  // intra-unit closure (instantaneous transmission)
+      changed = false;
+      for (const WeightedContact& c : bucket[t]) {
+        auto relax = [&](VertexId from, VertexId to) {
+          if (value[from] == worst) return;
+          const double cand = combine(value[from], c.weight);
+          if (better(cand, value[to])) {
+            value[to] = cand;
+            records.push_back(Record{JourneyHop{from, to, t}, rec_of[from]});
+            rec_of[to] = static_cast<std::int64_t>(records.size()) - 1;
+            changed = true;
+          }
+        };
+        relax(c.u, c.v);
+        relax(c.v, c.u);
+      }
+    }
+  }
+  if (value[target] == worst) return std::nullopt;
+  WeightedJourney out;
+  out.value = value[target];
+  for (std::int64_t r = rec_of[target]; r >= 0; r = records[r].prev) {
+    out.journey.hops.push_back(records[r].hop);
+  }
+  std::reverse(out.journey.hops.begin(), out.journey.hops.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<WeightedJourney> min_delay_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return optimal_journey(
+      eg, source, target, t_start, /*init=*/0.0, /*worst=*/kInf,
+      [](double a, double b) { return a < b; },
+      [](double v, double w) { return v + w; });
+}
+
+std::optional<WeightedJourney> max_reliability_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start) {
+  return optimal_journey(
+      eg, source, target, t_start, /*init=*/1.0, /*worst=*/-1.0,
+      [](double a, double b) { return a > b; },
+      [](double v, double w) { return v * w; });
+}
+
+std::optional<WeightedJourney> max_bandwidth_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return optimal_journey(
+      eg, source, target, t_start, /*init=*/kInf, /*worst=*/-1.0,
+      [](double a, double b) { return a > b; },
+      [](double v, double w) { return std::min(v, w); });
+}
+
+std::vector<ParetoPoint> cost_completion_frontier(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start) {
+  // Key fact: after the min-delay DP has processed all contacts with
+  // label <= T, value[target] is exactly the minimum cost over journeys
+  // completing by T. Recording every strict improvement as T advances
+  // therefore yields the whole Pareto frontier in one pass.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = eg.vertex_count();
+  assert(source < n && target < n);
+  if (source == target) return {ParetoPoint{0.0, t_start}};
+
+  std::vector<double> value(n, kInf);
+  value[source] = 0.0;
+  std::vector<std::vector<WeightedContact>> bucket(eg.horizon());
+  for (const WeightedContact& c : eg.contacts()) bucket[c.t].push_back(c);
+
+  std::vector<ParetoPoint> frontier;
+  double best = kInf;
+  for (TimeUnit t = t_start; t < eg.horizon(); ++t) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const WeightedContact& c : bucket[t]) {
+        auto relax = [&](VertexId from, VertexId to) {
+          if (value[from] == kInf) return;
+          const double cand = value[from] + c.weight;
+          if (cand < value[to]) {
+            value[to] = cand;
+            changed = true;
+          }
+        };
+        relax(c.u, c.v);
+        relax(c.v, c.u);
+      }
+    }
+    if (value[target] < best) {
+      best = value[target];
+      frontier.push_back(ParetoPoint{best, t});
+    }
+  }
+  return frontier;
+}
+
+}  // namespace structnet

@@ -1,0 +1,107 @@
+// Weighted time-evolving graphs (Sec. II-B): "each edge at time unit i
+// is associated with a weight w_i, which [has] different interpretations
+// based on the application. For example, a weight can be the bandwidth,
+// transmission delay, or reliability."
+//
+// Three journey-optimization problems, one per interpretation:
+//   * delay      — minimize the SUM of contact weights along a journey
+//                  (per-contact transmission cost);
+//   * reliability— maximize the PRODUCT of contact weights in (0, 1]
+//                  (per-contact success probability);
+//   * bandwidth  — maximize the MINIMUM contact weight (bottleneck).
+// All respect the non-decreasing-label journey semantics of
+// temporal/journeys.hpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "temporal/journeys.hpp"
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// A contact with an application weight.
+struct WeightedContact {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  TimeUnit t = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const WeightedContact&,
+                         const WeightedContact&) = default;
+};
+
+/// A TemporalGraph whose contacts carry weights.
+class WeightedTemporalGraph {
+ public:
+  WeightedTemporalGraph() = default;
+  WeightedTemporalGraph(std::size_t n, TimeUnit horizon)
+      : base_(n, horizon) {}
+
+  std::size_t vertex_count() const { return base_.vertex_count(); }
+  TimeUnit horizon() const { return base_.horizon(); }
+
+  /// Adds (or overwrites) the weighted contact (u, v, t).
+  void add_contact(VertexId u, VertexId v, TimeUnit t, double weight);
+
+  /// The unweighted view (label structure only).
+  const TemporalGraph& unweighted() const { return base_; }
+
+  /// Weight of contact (u, v, t); nullopt when the contact is absent.
+  std::optional<double> weight_of(VertexId u, VertexId v, TimeUnit t) const;
+
+  /// All weighted contacts sorted by time.
+  std::vector<WeightedContact> contacts() const;
+
+ private:
+  static std::uint64_t key(VertexId u, VertexId v, TimeUnit t);
+
+  TemporalGraph base_;
+  // (min(u,v), max(u,v), t) -> weight
+  std::vector<std::pair<std::uint64_t, double>> weights_;  // sorted by key
+};
+
+/// A journey together with its aggregate weight under some objective.
+struct WeightedJourney {
+  Journey journey;
+  double value = 0.0;
+};
+
+/// Minimum total-delay journey source -> target departing at or after
+/// t_start: minimizes the sum of contact weights (all weights must be
+/// >= 0). Ties broken toward earlier completion.
+std::optional<WeightedJourney> min_delay_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start = 0);
+
+/// Maximum-reliability journey: maximizes the product of contact weights
+/// (all weights in (0, 1]).
+std::optional<WeightedJourney> max_reliability_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start = 0);
+
+/// Maximum-bottleneck (bandwidth) journey: maximizes the minimum contact
+/// weight along the journey.
+std::optional<WeightedJourney> max_bandwidth_journey(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start = 0);
+
+/// One point on the cost/completion Pareto frontier.
+struct ParetoPoint {
+  double cost = 0.0;          // total contact weight (delay objective)
+  TimeUnit completion = 0;    // last contact label
+
+  friend bool operator==(const ParetoPoint&, const ParetoPoint&) = default;
+};
+
+/// The full Pareto frontier of (total cost, completion time) for
+/// journeys source -> target departing at or after t_start: every
+/// non-dominated trade-off between paying more to arrive earlier and
+/// paying less to arrive later. Sorted by ascending completion (and thus
+/// descending cost); empty when unreachable.
+std::vector<ParetoPoint> cost_completion_frontier(
+    const WeightedTemporalGraph& eg, VertexId source, VertexId target,
+    TimeUnit t_start = 0);
+
+}  // namespace structnet

@@ -1,0 +1,335 @@
+#include "trimming/eg_trimming.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "algo/traversal.hpp"
+#include "temporal/journeys.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Earliest completion of a journey w -> v that departs at or after
+/// t_start, never touches `banned`, and relays only through vertices of
+/// priority strictly greater than priority[banned] (and inside
+/// `horizon_mask` when given — the k-hop information horizon). Returns
+/// kNeverTime when no such journey exists.
+TimeUnit constrained_completion(const TemporalGraph& eg, VertexId w,
+                                VertexId v, VertexId banned, TimeUnit t_start,
+                                std::span<const double> priority,
+                                const std::vector<bool>* horizon_mask =
+                                    nullptr) {
+  const double floor_priority = priority[banned];
+  std::vector<bool> have(eg.vertex_count(), false);
+  have[w] = true;
+  // Bucket edge ids by label once.
+  std::vector<std::vector<EdgeId>> bucket(eg.horizon());
+  for (EdgeId e = 0; e < eg.edge_count(); ++e) {
+    for (TimeUnit t : eg.edge(e).labels) bucket[t].push_back(e);
+  }
+  auto can_relay = [&](VertexId x) {
+    if (x == w) return true;
+    if (priority[x] <= floor_priority) return false;
+    return horizon_mask == nullptr || (*horizon_mask)[x];
+  };
+  for (TimeUnit t = t_start; t < eg.horizon(); ++t) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (EdgeId e : bucket[t]) {
+        const auto& edge = eg.edge(e);
+        if (edge.u == banned || edge.v == banned) continue;
+        auto relax = [&](VertexId from, VertexId to) {
+          if (have[from] && !have[to] && can_relay(from)) {
+            have[to] = true;
+            changed = true;
+            return to == v;
+          }
+          return false;
+        };
+        if (relax(edge.u, edge.v) || relax(edge.v, edge.u)) return t;
+      }
+    }
+  }
+  return kNeverTime;
+}
+
+/// Minimum-hop variant: direct contact or a single allowed intermediate.
+bool short_replacement_exists(const TemporalGraph& eg, VertexId w,
+                              VertexId banned, VertexId v, TimeUnit i,
+                              TimeUnit j, std::span<const double> priority) {
+  // Direct w -> v with a label in [i, j].
+  const EdgeId direct = eg.find_edge(w, v);
+  if (direct != kInvalidEdge) {
+    const auto& labels = eg.edge(direct).labels;
+    const auto it = std::lower_bound(labels.begin(), labels.end(), i);
+    if (it != labels.end() && *it <= j) return true;
+  }
+  // Two hops w -l1-> x -l2-> v with i <= l1 <= l2 <= j and x allowed.
+  for (EdgeId e1 : eg.incident_edges(w)) {
+    const VertexId x = eg.other_endpoint(e1, w);
+    if (x == banned || x == v || priority[x] <= priority[banned]) continue;
+    const auto& l1s = eg.edge(e1).labels;
+    const auto it1 = std::lower_bound(l1s.begin(), l1s.end(), i);
+    if (it1 == l1s.end() || *it1 > j) continue;
+    const TimeUnit l1 = *it1;  // smallest feasible first label widens [l1,j]
+    const EdgeId e2 = eg.find_edge(x, v);
+    if (e2 == kInvalidEdge) continue;
+    const auto& l2s = eg.edge(e2).labels;
+    const auto it2 = std::lower_bound(l2s.begin(), l2s.end(), l1);
+    if (it2 != l2s.end() && *it2 <= j) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool replacement_exists(const TemporalGraph& eg, VertexId w, VertexId banned,
+                        VertexId v, TimeUnit i, TimeUnit j,
+                        std::span<const double> priority,
+                        TrimVariant variant) {
+  assert(priority.size() == eg.vertex_count());
+  if (variant == TrimVariant::kMinimumHopPreserving) {
+    return short_replacement_exists(eg, w, banned, v, i, j, priority);
+  }
+  const TimeUnit completion =
+      constrained_completion(eg, w, v, banned, i, priority);
+  return completion != kNeverTime && completion <= j;
+}
+
+namespace {
+
+/// Shared engine for the link and node rules: checks every 2-hop path
+/// w -i-> u -j-> v for a fixed (w, u) against the replacement predicate.
+/// With a horizon mask, relays are confined to it (k-hop local rule).
+bool all_paths_replaceable(const TemporalGraph& eg, VertexId w, VertexId u,
+                           std::span<const double> priority,
+                           TrimVariant variant,
+                           const std::vector<bool>* horizon_mask = nullptr) {
+  const EdgeId wu = eg.find_edge(w, u);
+  if (wu == kInvalidEdge) return true;
+  const auto& in_labels = eg.edge(wu).labels;
+  for (EdgeId e : eg.incident_edges(u)) {
+    const VertexId v = eg.other_endpoint(e, u);
+    if (v == w) continue;
+    const auto& out_labels = eg.edge(e).labels;
+    for (TimeUnit i : in_labels) {
+      // Only the tightest j (smallest label >= i) must be checked: a
+      // replacement with last label <= j_min also serves every j > j_min.
+      const auto it =
+          std::lower_bound(out_labels.begin(), out_labels.end(), i);
+      if (it == out_labels.end()) continue;
+      if (variant == TrimVariant::kMinimumHopPreserving) {
+        if (!replacement_exists(eg, w, u, v, i, *it, priority, variant)) {
+          return false;
+        }
+        continue;
+      }
+      const TimeUnit completion = constrained_completion(
+          eg, w, v, u, i, priority, horizon_mask);
+      if (completion == kNeverTime || completion > *it) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool can_ignore_neighbor_khop(const TemporalGraph& eg, VertexId w, VertexId u,
+                              std::span<const double> priority,
+                              std::uint32_t k, TrimVariant variant) {
+  const Graph footprint = eg.footprint();
+  const auto nearby = k_hop_neighborhood(footprint, w, k);
+  std::vector<bool> mask(eg.vertex_count(), false);
+  for (VertexId x : nearby) mask[x] = true;
+  return all_paths_replaceable(eg, w, u, priority, variant, &mask);
+}
+
+bool can_ignore_neighbor(const TemporalGraph& eg, VertexId w, VertexId u,
+                         std::span<const double> priority,
+                         TrimVariant variant) {
+  return all_paths_replaceable(eg, w, u, priority, variant);
+}
+
+bool can_trim_node(const TemporalGraph& eg, VertexId u,
+                   std::span<const double> priority, TrimVariant variant) {
+  for (EdgeId e : eg.incident_edges(u)) {
+    const VertexId w = eg.other_endpoint(e, u);
+    if (!all_paths_replaceable(eg, w, u, priority, variant)) return false;
+  }
+  return true;
+}
+
+bool label_is_redundant(const TemporalGraph& eg, VertexId u, VertexId v,
+                        TimeUnit t) {
+  if (!eg.has_contact(u, v, t)) return false;
+  const TemporalGraph pruned = eg.without_label(u, v, t);
+  for (VertexId s = 0; s < eg.vertex_count(); ++s) {
+    for (TimeUnit t0 = 0; t0 <= t; ++t0) {
+      const auto before = earliest_arrival(eg, s, t0);
+      const auto after = earliest_arrival(pruned, s, t0);
+      if (before.completion != after.completion) return false;
+    }
+  }
+  return true;
+}
+
+TrimResult trim_nodes(const TemporalGraph& eg,
+                      std::span<const double> priority, TrimVariant variant) {
+  assert(priority.size() == eg.vertex_count());
+  TrimResult result;
+  result.trimmed = eg;
+  // Lowest-priority vertices are candidates first (they may be replaced
+  // by anything above them).
+  std::vector<VertexId> order(eg.vertex_count());
+  for (VertexId v = 0; v < eg.vertex_count(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return priority[a] < priority[b];
+  });
+  for (VertexId u : order) {
+    if (result.trimmed.incident_edges(u).empty()) continue;
+    if (can_trim_node(result.trimmed, u, priority, variant)) {
+      result.trimmed = result.trimmed.without_vertex(u);
+      result.removed_nodes.push_back(u);
+    }
+  }
+  return result;
+}
+
+TrimResult trim_links(const TemporalGraph& eg,
+                      std::span<const double> priority, TrimVariant variant) {
+  assert(priority.size() == eg.vertex_count());
+  TrimResult result;
+  result.trimmed = eg;
+  // Deterministic scan over the original edge list; each removal is
+  // re-validated against the current (already-trimmed) graph.
+  //
+  // The replacement rule protects every journey that uses the link as an
+  // intermediate segment. Journeys that START or END on the link itself
+  // are protected by the additional endpoint guard: after removal, the
+  // two endpoints must still reach each other at every start time they
+  // could before (their completion may degrade, but never connectivity;
+  // this also rejects the degenerate pendant case where the rule holds
+  // vacuously).
+  for (const auto& edge : eg.edges()) {
+    const VertexId w = edge.u;
+    const VertexId u = edge.v;
+    if (result.trimmed.find_edge(w, u) == kInvalidEdge) continue;
+    if (!can_ignore_neighbor(result.trimmed, w, u, priority, variant) ||
+        !can_ignore_neighbor(result.trimmed, u, w, priority, variant)) {
+      continue;
+    }
+    const TemporalGraph candidate = result.trimmed.without_edge(w, u);
+    bool endpoints_ok = true;
+    for (TimeUnit t = 0; t < eg.horizon() && endpoints_ok; ++t) {
+      if (is_connected_at(result.trimmed, w, u, t) &&
+          !is_connected_at(candidate, w, u, t)) {
+        endpoints_ok = false;
+      }
+      if (is_connected_at(result.trimmed, u, w, t) &&
+          !is_connected_at(candidate, u, w, t)) {
+        endpoints_ok = false;
+      }
+    }
+    if (!endpoints_ok) continue;
+    result.trimmed = candidate;
+    result.removed_links.emplace_back(w, u);
+  }
+  return result;
+}
+
+TrimResult trim_labels(const TemporalGraph& eg) {
+  TrimResult result;
+  result.trimmed = eg;
+  TemporalGraph& g = result.trimmed;
+  // Local criterion: the label t on (u, v) is redundant when u and v are
+  // already joined at time t through other edges of the same snapshot
+  // (transmission is instantaneous within a unit, so the detour costs
+  // nothing and every journey through the removed contact still works).
+  //
+  // Per-time-unit edge buckets keep each redundancy check to a BFS over
+  // the edges active in that one unit; removals update the bucket in
+  // place, so the whole pass is near-linear in the number of contacts.
+  std::vector<std::vector<EdgeId>> bucket(g.horizon());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (TimeUnit t : g.edge(e).labels) bucket[t].push_back(e);
+  }
+  // Connectivity of u..v within one bucket, excluding edge `skip`.
+  const auto connected_without = [&](TimeUnit t, EdgeId skip, VertexId u,
+                                     VertexId v) {
+    std::vector<VertexId> stack{u};
+    std::vector<bool> seen(g.vertex_count(), false);
+    seen[u] = true;
+    while (!stack.empty()) {
+      const VertexId x = stack.back();
+      stack.pop_back();
+      for (EdgeId e : bucket[t]) {
+        if (e == skip) continue;
+        const auto& edge = g.edge(e);
+        VertexId y = kInvalidVertex;
+        if (edge.u == x) {
+          y = edge.v;
+        } else if (edge.v == x) {
+          y = edge.u;
+        } else {
+          continue;
+        }
+        if (y == v) return true;
+        if (!seen[y]) {
+          seen[y] = true;
+          stack.push_back(y);
+        }
+      }
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (TimeUnit t = 0; t < g.horizon(); ++t) {
+      for (std::size_t i = 0; i < bucket[t].size(); ++i) {
+        const EdgeId e = bucket[t][i];
+        const auto& edge = g.edge(e);
+        if (connected_without(t, e, edge.u, edge.v)) {
+          g.remove_label(edge.u, edge.v, t);
+          bucket[t].erase(bucket[t].begin() +
+                          static_cast<std::ptrdiff_t>(i));
+          --i;
+          ++result.removed_labels;
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool preserves_reachability(const TemporalGraph& original,
+                            const TemporalGraph& trimmed,
+                            const std::vector<bool>& alive,
+                            bool check_completion) {
+  assert(original.vertex_count() == trimmed.vertex_count());
+  assert(alive.size() == original.vertex_count());
+  for (VertexId s = 0; s < original.vertex_count(); ++s) {
+    if (!alive[s]) continue;
+    for (TimeUnit t0 = 0; t0 < original.horizon(); ++t0) {
+      const auto before = earliest_arrival(original, s, t0);
+      const auto after = earliest_arrival(trimmed, s, t0);
+      for (VertexId v = 0; v < original.vertex_count(); ++v) {
+        if (!alive[v]) continue;
+        if (check_completion) {
+          if (before.completion[v] != after.completion[v]) return false;
+        } else {
+          const bool was = before.completion[v] != kNeverTime;
+          const bool is = after.completion[v] != kNeverTime;
+          if (was && !is) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace structnet

@@ -1,0 +1,61 @@
+// Probabilistic trimming (Sec. III-A): "In situations where link labels
+// are not deterministically, but rather, probabilistically, known, it
+// would be interesting to explore different probabilistic versions of
+// the trimming rule."
+//
+// Model: every contact (u, v, t) exists independently with a known
+// probability. The probabilistic link rule declares that w may ignore
+// neighbor u at confidence level c when, over the distribution of
+// realizations, the deterministic rule holds with probability >= c.
+// Probabilities are estimated by Monte Carlo over sampled realizations
+// (exact enumeration is exponential in the number of contacts).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "temporal/temporal_graph.hpp"
+#include "temporal/weighted.hpp"
+#include "trimming/eg_trimming.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+/// Contacts with existence probabilities: a WeightedTemporalGraph whose
+/// weights are interpreted as P(contact exists).
+using ProbabilisticTemporalGraph = WeightedTemporalGraph;
+
+/// Samples one realization: each contact kept independently with its
+/// probability.
+TemporalGraph sample_realization(const ProbabilisticTemporalGraph& eg,
+                                 Rng& rng);
+
+/// Monte Carlo estimate of P(the deterministic link rule holds), i.e.
+/// the probability that every realized 2-hop path w -> u -> v has a
+/// realized replacement.
+double ignore_neighbor_probability(const ProbabilisticTemporalGraph& eg,
+                                   VertexId w, VertexId u,
+                                   std::span<const double> priority,
+                                   std::size_t samples, Rng& rng,
+                                   TrimVariant variant =
+                                       TrimVariant::kCompletionTimePreserving);
+
+/// Probabilistic link rule: true iff the estimated probability is at
+/// least `confidence`.
+bool can_ignore_neighbor_probabilistic(
+    const ProbabilisticTemporalGraph& eg, VertexId w, VertexId u,
+    std::span<const double> priority, double confidence, std::size_t samples,
+    Rng& rng,
+    TrimVariant variant = TrimVariant::kCompletionTimePreserving);
+
+/// Reachability degradation report for a probabilistic trim decision:
+/// over sampled realizations, compares earliest completion between the
+/// realization and the realization without the (w, u) link, over all
+/// sources/start times. Returns the fraction of (realization, pair,
+/// start) triples whose completion time got worse — the empirical "cost"
+/// of ignoring the link.
+double trim_degradation(const ProbabilisticTemporalGraph& eg, VertexId w,
+                        VertexId u, std::size_t samples, Rng& rng);
+
+}  // namespace structnet

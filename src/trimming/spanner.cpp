@@ -1,0 +1,58 @@
+#include "trimming/spanner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "algo/shortest_paths.hpp"
+
+namespace structnet {
+
+std::vector<EdgeId> greedy_spanner(const Graph& g,
+                                   std::span<const double> weights,
+                                   double stretch) {
+  assert(weights.size() == g.edge_count());
+  assert(stretch > 1.0);
+  std::vector<EdgeId> order(g.edge_count());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return weights[a] < weights[b]; });
+
+  Graph spanner(g.vertex_count());
+  std::vector<double> kept_weights;
+  std::vector<EdgeId> kept;
+  for (EdgeId e : order) {
+    const auto& edge = g.edge(e);
+    // Distance between the endpoints in the spanner built so far.
+    const auto sp = dijkstra(spanner, kept_weights, edge.u);
+    if (sp.distance[edge.v] > stretch * weights[e]) {
+      spanner.add_edge(edge.u, edge.v);
+      kept_weights.push_back(weights[e]);
+      kept.push_back(e);
+    }
+  }
+  return kept;
+}
+
+Graph subgraph_of_edges(const Graph& g, std::span<const EdgeId> edges) {
+  Graph sub(g.vertex_count());
+  for (EdgeId e : edges) sub.add_edge(g.edge(e).u, g.edge(e).v);
+  return sub;
+}
+
+bool is_spanner(const Graph& g, std::span<const double> weights,
+                const Graph& sub, std::span<const double> sub_weights,
+                double stretch) {
+  assert(g.vertex_count() == sub.vertex_count());
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    const auto dg = dijkstra(g, weights, s);
+    const auto ds = dijkstra(sub, sub_weights, s);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      if (dg.distance[v] == kInfDistance) continue;
+      if (ds.distance[v] > stretch * dg.distance[v] + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace structnet

@@ -1,0 +1,32 @@
+// Graph spanners (Sec. III-A: "subgraph distances closely resemble the
+// distances in the original graph for designing the approximation
+// algorithms for the graph problems" [8]).
+//
+// The classic greedy t-spanner: scan edges by increasing weight and keep
+// an edge only when the spanner's current distance between its endpoints
+// exceeds t times its weight. The result is a t-spanner: for every pair,
+// d_spanner <= t * d_graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Edge ids of a greedy t-spanner (stretch > 1). O(m * (n log n + m)).
+std::vector<EdgeId> greedy_spanner(const Graph& g,
+                                   std::span<const double> weights,
+                                   double stretch);
+
+/// Builds the subgraph containing exactly the given edges of g.
+Graph subgraph_of_edges(const Graph& g, std::span<const EdgeId> edges);
+
+/// Verifies the spanner property: for every vertex pair,
+/// d_sub(u, v) <= stretch * d_g(u, v) (weighted). O(n * m log n).
+bool is_spanner(const Graph& g, std::span<const double> weights,
+                const Graph& sub, std::span<const double> sub_weights,
+                double stretch);
+
+}  // namespace structnet

@@ -1,0 +1,81 @@
+#include "trimming/topology_control.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "algo/traversal.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Keeps the edges of g that pass `keep_edge(u, v)`.
+template <typename Pred>
+Graph filter_edges(const Graph& g, Pred&& keep_edge) {
+  Graph out(g.vertex_count());
+  for (const Graph::Edge& e : g.edges()) {
+    if (keep_edge(e.u, e.v)) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph gabriel_graph(const Graph& g, std::span<const Point2D> positions) {
+  assert(positions.size() == g.vertex_count());
+  return filter_edges(g, [&](VertexId u, VertexId v) {
+    const Point2D mid = midpoint(positions[u], positions[v]);
+    const double r2 = squared_distance(positions[u], positions[v]) / 4.0;
+    for (VertexId w : g.neighbors(u)) {
+      if (w == v) continue;
+      if (!g.has_edge(w, v)) continue;  // localized: only common neighbors
+      if (squared_distance(positions[w], mid) < r2 - 1e-12) return false;
+    }
+    return true;
+  });
+}
+
+Graph relative_neighborhood_graph(const Graph& g,
+                                  std::span<const Point2D> positions) {
+  assert(positions.size() == g.vertex_count());
+  return filter_edges(g, [&](VertexId u, VertexId v) {
+    const double duv = squared_distance(positions[u], positions[v]);
+    for (VertexId w : g.neighbors(u)) {
+      if (w == v) continue;
+      if (!g.has_edge(w, v)) continue;
+      if (squared_distance(positions[w], positions[u]) < duv - 1e-12 &&
+          squared_distance(positions[w], positions[v]) < duv - 1e-12) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+StretchReport hop_stretch(const Graph& dense, const Graph& sparse) {
+  assert(dense.vertex_count() == sparse.vertex_count());
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  StretchReport report;
+  report.average = 0.0;
+  double sum = 0.0;
+  for (VertexId s = 0; s < dense.vertex_count(); ++s) {
+    const auto d0 = bfs_distances(dense, s);
+    const auto d1 = bfs_distances(sparse, s);
+    for (VertexId v = s + 1; v < dense.vertex_count(); ++v) {
+      if (d0[v] == kUnreached || d0[v] == 0) continue;
+      // Connectivity-preserving trimming keeps the pair reachable; guard
+      // anyway so the report is usable on arbitrary subgraphs.
+      if (d1[v] == kUnreached) continue;
+      const double stretch =
+          static_cast<double>(d1[v]) / static_cast<double>(d0[v]);
+      sum += stretch;
+      report.maximum = std::max(report.maximum, stretch);
+      ++report.pairs;
+    }
+  }
+  report.average = report.pairs ? sum / static_cast<double>(report.pairs) : 1.0;
+  return report;
+}
+
+}  // namespace structnet

@@ -1,0 +1,40 @@
+// Static trimming by localized topology control on unit-disk graphs
+// (Sec. III-A, citing Santi's survey [10]).
+//
+// Both structures below are computable by each node from 1-hop position
+// information, remove edges only (never nodes), and preserve connectivity
+// of the underlying UDG:
+//   * Gabriel graph: keep (u, v) iff no witness w lies strictly inside
+//     the disk with diameter uv;
+//   * Relative neighborhood graph (RNG): keep (u, v) iff no witness w is
+//     strictly closer to both u and v than they are to each other.
+// RNG is a subgraph of the Gabriel graph; both contain every MST.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/graph.hpp"
+
+namespace structnet {
+
+/// Gabriel subgraph of a UDG given node positions. Witnesses are
+/// restricted to common neighbors in g (the information a localized node
+/// actually has).
+Graph gabriel_graph(const Graph& g, std::span<const Point2D> positions);
+
+/// Relative neighborhood subgraph of a UDG given node positions.
+Graph relative_neighborhood_graph(const Graph& g,
+                                  std::span<const Point2D> positions);
+
+/// Average and maximum hop stretch of `sparse` w.r.t. `dense` over all
+/// connected pairs (how much longer BFS paths get after trimming).
+struct StretchReport {
+  double average = 1.0;
+  double maximum = 1.0;
+  std::size_t pairs = 0;
+};
+StretchReport hop_stretch(const Graph& dense, const Graph& sparse);
+
+}  // namespace structnet

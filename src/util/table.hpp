@@ -1,0 +1,35 @@
+// Plain-text table printer used by bench binaries so that every
+// experiment emits aligned, greppable rows (the "figure data").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace structnet {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Usage:
+///   Table t({"n", "algo", "rounds"});
+///   t.add_row({"64", "full", "123"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os, const std::string& title = "") const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace structnet

@@ -1,0 +1,337 @@
+// Tests for src/algo: traversal, components, shortest paths, MST,
+// max-flow (Dinic vs MPM cross-check), chordality and interval
+// recognition.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "algo/chordal.hpp"
+#include "algo/components.hpp"
+#include "algo/maxflow.hpp"
+#include "algo/mst.hpp"
+#include "algo/shortest_paths.hpp"
+#include "algo/traversal.hpp"
+#include "core/generators.hpp"
+
+namespace structnet {
+namespace {
+
+constexpr auto kU32Max = std::numeric_limits<std::uint32_t>::max();
+
+TEST(Traversal, BfsDistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Traversal, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kU32Max);
+}
+
+TEST(Traversal, BfsTreeParents) {
+  const Graph g = path_graph(4);
+  const auto p = bfs_tree(g, 0);
+  EXPECT_EQ(p[0], kInvalidVertex);
+  EXPECT_EQ(p[1], 0u);
+  EXPECT_EQ(p[2], 1u);
+  EXPECT_EQ(p[3], 2u);
+}
+
+TEST(Traversal, KHopNeighborhood) {
+  const Graph g = path_graph(7);
+  const auto nb = k_hop_neighborhood(g, 3, 2);
+  EXPECT_EQ(nb, (std::vector<VertexId>{1, 2, 3, 4, 5}));
+}
+
+TEST(Traversal, DiameterOfCycleAndGrid) {
+  EXPECT_EQ(diameter(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter(grid_graph(3, 3)), 4u);
+  EXPECT_EQ(diameter(complete_graph(5)), 1u);
+}
+
+TEST(Traversal, DfsPreorderVisitsAllReachable) {
+  const Graph g = grid_graph(4, 4);
+  const auto order = dfs_preorder(g, 0);
+  EXPECT_EQ(order.size(), 16u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Components, CountsAndLabels) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_EQ(component_count(g), 3u);
+  EXPECT_FALSE(is_connected(g));
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[4]);
+  EXPECT_NE(label[0], label[2]);
+  EXPECT_NE(label[5], label[0]);
+}
+
+TEST(Components, LargestComponentMask) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto mask = largest_component_mask(g);
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_TRUE(mask[4]);
+}
+
+TEST(Components, SccOnDirectedCycleAndChain) {
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);  // cycle {0,1,2}
+  g.add_arc(2, 3);
+  g.add_arc(3, 4);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc[0], scc[1]);
+  EXPECT_EQ(scc[1], scc[2]);
+  EXPECT_NE(scc[2], scc[3]);
+  EXPECT_NE(scc[3], scc[4]);
+  const auto mask = largest_scc_mask(g);
+  EXPECT_TRUE(mask[0] && mask[1] && mask[2]);
+  EXPECT_FALSE(mask[3] || mask[4]);
+}
+
+TEST(ShortestPaths, DijkstraOnWeightedTriangle) {
+  Graph g(3);
+  g.add_edge(0, 1);  // weight 5
+  g.add_edge(1, 2);  // weight 1
+  g.add_edge(0, 2);  // weight 10
+  const std::vector<double> w{5.0, 1.0, 10.0};
+  const auto sp = dijkstra(g, w, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 6.0);
+  EXPECT_EQ(extract_path(sp.parent, 0, 2),
+            (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(ShortestPaths, DijkstraAgreesWithBfsOnUnitWeights) {
+  Rng rng(5);
+  const Graph g = erdos_renyi(60, 0.1, rng);
+  const std::vector<double> w(g.edge_count(), 1.0);
+  const auto sp = dijkstra(g, w, 0);
+  const auto bfs = unweighted_shortest_paths(g, 0);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_DOUBLE_EQ(sp.distance[v], bfs.distance[v]);
+  }
+}
+
+TEST(ShortestPaths, BellmanFordMatchesDijkstra) {
+  Rng rng(6);
+  const Graph g = erdos_renyi(40, 0.15, rng);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.1, 2.0);
+  const auto bf = bellman_ford(g, w, 0);
+  const auto dj = dijkstra(g, w, 0);
+  EXPECT_FALSE(bf.negative_cycle);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (dj.distance[v] == kInfDistance) {
+      EXPECT_EQ(bf.paths.distance[v], kInfDistance);
+    } else {
+      EXPECT_NEAR(bf.paths.distance[v], dj.distance[v], 1e-9);
+    }
+  }
+}
+
+TEST(ShortestPaths, BellmanFordRoundsBoundedByEccentricity) {
+  const Graph g = path_graph(20);
+  const std::vector<double> w(g.edge_count(), 1.0);
+  const auto bf = bellman_ford(g, w, 0);
+  EXPECT_EQ(bf.rounds, 19u);  // information travels one hop per round
+}
+
+TEST(ShortestPaths, NegativeCycleDetected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  // Undirected negative edge = negative cycle of length 2.
+  const std::vector<double> w{1.0, -5.0, 1.0};
+  const auto bf = bellman_ford(g, w, 0);
+  EXPECT_TRUE(bf.negative_cycle);
+}
+
+TEST(ShortestPaths, ExtractPathUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto sp = unweighted_shortest_paths(g, 0);
+  EXPECT_TRUE(extract_path(sp.parent, 0, 2).empty());
+}
+
+TEST(Mst, UnionFindBasics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.set_count(), 4u);
+}
+
+TEST(Mst, KruskalKnownTree) {
+  Graph g(4);
+  g.add_edge(0, 1);  // 1
+  g.add_edge(1, 2);  // 2
+  g.add_edge(2, 3);  // 3
+  g.add_edge(0, 3);  // 10
+  g.add_edge(0, 2);  // 4
+  const std::vector<double> w{1, 2, 3, 10, 4};
+  const auto tree = kruskal_mst(g, w);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(total_weight(tree, w), 6.0);
+}
+
+TEST(Mst, PrimMatchesKruskalWeight) {
+  Rng rng(7);
+  Graph g = erdos_renyi(50, 0.2, rng);
+  // Ensure connectivity by adding a path.
+  for (VertexId v = 0; v + 1 < 50; ++v) g.add_edge_unique(v, v + 1);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.0, 1.0);
+  const auto k = kruskal_mst(g, w);
+  const auto p = prim_mst(g, w, 0);
+  EXPECT_EQ(k.size(), 49u);
+  EXPECT_EQ(p.size(), 49u);
+  EXPECT_NEAR(total_weight(k, w), total_weight(p, w), 1e-9);
+}
+
+TEST(MaxFlow, KnownSmallNetwork) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(0, 2, 2);
+  net.add_arc(1, 2, 5);
+  net.add_arc(1, 3, 2);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow_dinic(0, 3), 5);
+  net.reset_flow();
+  EXPECT_EQ(net.max_flow_mpm(0, 3), 5);
+}
+
+TEST(MaxFlow, MinCutMatchesFlow) {
+  FlowNetwork net(4);
+  const auto a = net.add_arc(0, 1, 4);
+  net.add_arc(0, 2, 3);
+  net.add_arc(1, 3, 2);
+  net.add_arc(2, 3, 5);
+  const auto flow = net.max_flow_dinic(0, 3);
+  EXPECT_EQ(flow, 5);
+  const auto cut = net.min_cut_source_side(0);
+  EXPECT_TRUE(cut[0]);
+  EXPECT_FALSE(cut[3]);
+  EXPECT_LE(net.flow_on(a), 4);
+}
+
+TEST(MaxFlow, MpmAgreesWithDinicOnRandomNetworks) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + rng.index(12);
+    FlowNetwork dinic(n), mpm(n);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.3)) {
+          const auto cap = static_cast<std::int64_t>(rng.uniform_u64(0, 10));
+          dinic.add_arc(u, v, cap);
+          mpm.add_arc(u, v, cap);
+        }
+      }
+    }
+    const VertexId s = 0;
+    const auto t = static_cast<VertexId>(n - 1);
+    EXPECT_EQ(dinic.max_flow_dinic(s, t), mpm.max_flow_mpm(s, t))
+        << "trial " << trial;
+  }
+}
+
+TEST(MaxFlow, ResidualLevelsFormDag) {
+  FlowNetwork net(5);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 2, 2);
+  net.add_arc(2, 3, 2);
+  net.add_arc(3, 4, 2);
+  const auto levels = net.residual_levels(0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(levels[v], v);
+}
+
+TEST(Chordal, PathsAndTreesAreChordal) {
+  EXPECT_TRUE(is_chordal(path_graph(8)));
+  EXPECT_TRUE(is_chordal(star_graph(7)));
+  EXPECT_TRUE(is_chordal(complete_graph(6)));
+}
+
+TEST(Chordal, C4IsNotChordal) {
+  EXPECT_FALSE(is_chordal(cycle_graph(4)));
+  EXPECT_FALSE(is_chordal(cycle_graph(6)));
+  EXPECT_TRUE(is_chordal(cycle_graph(3)));
+}
+
+TEST(Chordal, ChordedCycleIsChordal) {
+  Graph g = cycle_graph(4);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(is_chordal(g));
+}
+
+TEST(Chordal, PeoVerifierRejectsBadOrder) {
+  // C4 has no PEO at all.
+  const Graph g = cycle_graph(4);
+  EXPECT_FALSE(is_perfect_elimination_ordering(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_perfect_elimination_ordering(g, {0, 2, 1, 3}));
+}
+
+TEST(Chordal, MaximalCliquesOfTriangleChain) {
+  // Two triangles sharing an edge: cliques {0,1,2} and {1,2,3}.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto cliques = chordal_maximal_cliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+  std::sort(cliques.begin(), cliques.end());
+  EXPECT_EQ(cliques[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(cliques[1], (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(Chordal, IntervalRecognitionAcceptsPathsRejectsCycles) {
+  EXPECT_EQ(is_interval_graph(path_graph(6)), std::optional<bool>(true));
+  EXPECT_EQ(is_interval_graph(cycle_graph(5)), std::optional<bool>(false));
+  EXPECT_EQ(is_interval_graph(complete_graph(4)), std::optional<bool>(true));
+}
+
+TEST(Chordal, StarIsInterval) {
+  // K_{1,n} is an interval graph (center spans all leaves).
+  EXPECT_EQ(is_interval_graph(star_graph(6)), std::optional<bool>(true));
+}
+
+TEST(Chordal, ChordalButNotInterval) {
+  // The "bull with a long horn"? Use the classic non-interval chordal
+  // graph: a star with three subdivided legs is NOT chordal; instead use
+  // the trampoline-free witness: three triangles glued to a central
+  // triangle pairwise ("3-sun" / S3) is chordal but not interval.
+  Graph g(6);
+  // central triangle {0,1,2}
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  // corner 3 adjacent to 0,1; corner 4 adjacent to 1,2; corner 5 to 2,0.
+  g.add_edge(3, 0);
+  g.add_edge(3, 1);
+  g.add_edge(4, 1);
+  g.add_edge(4, 2);
+  g.add_edge(5, 2);
+  g.add_edge(5, 0);
+  ASSERT_TRUE(is_chordal(g));
+  EXPECT_EQ(is_interval_graph(g), std::optional<bool>(false));
+}
+
+}  // namespace
+}  // namespace structnet

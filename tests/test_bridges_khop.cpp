@@ -1,0 +1,149 @@
+// Tests for bridges/articulation points and the k-hop-localized
+// trimming rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/bridges.hpp"
+#include "algo/components.hpp"
+#include "core/generators.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "trimming/eg_trimming.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(Bridges, PathGraphAllBridges) {
+  const Graph g = path_graph(6);
+  const auto cut = find_cut_structure(g);
+  EXPECT_EQ(cut.bridges.size(), 5u);
+  // Interior vertices 1..4 are articulation points.
+  EXPECT_EQ(cut.articulation_points,
+            (std::vector<VertexId>{1, 2, 3, 4}));
+}
+
+TEST(Bridges, CycleHasNone) {
+  const auto cut = find_cut_structure(cycle_graph(8));
+  EXPECT_TRUE(cut.bridges.empty());
+  EXPECT_TRUE(cut.articulation_points.empty());
+}
+
+TEST(Bridges, BarbellBridge) {
+  // Two triangles joined by one edge: that edge is the only bridge; its
+  // endpoints are the articulation points.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  const EdgeId bridge = g.add_edge(2, 3);
+  const auto cut = find_cut_structure(g);
+  EXPECT_EQ(cut.bridges, (std::vector<EdgeId>{bridge}));
+  EXPECT_EQ(cut.articulation_points, (std::vector<VertexId>{2, 3}));
+}
+
+TEST(Bridges, MatchesRemovalOracleOnRandomGraphs) {
+  // An edge is a bridge iff removing it increases the component count.
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = erdos_renyi(24, 0.09, rng);
+    const auto base_components = component_count(g);
+    const auto mask = bridge_mask(g);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      Graph without(g.vertex_count());
+      for (EdgeId f = 0; f < g.edge_count(); ++f) {
+        if (f != e) without.add_edge(g.edge(f).u, g.edge(f).v);
+      }
+      const bool oracle = component_count(without) > base_components;
+      EXPECT_EQ(mask[e], oracle) << "trial " << trial << " edge " << e;
+    }
+  }
+}
+
+TEST(Bridges, ArticulationMatchesRemovalOracle) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(20, 0.12, rng);
+    const auto cut = find_cut_structure(g);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      std::vector<bool> keep(g.vertex_count(), true);
+      keep[v] = false;
+      const Graph without = g.induced_subgraph(keep, nullptr);
+      // Removing v splits its component iff v is an articulation point.
+      // Compare component counts excluding the vertex itself.
+      const auto before = component_count(g);
+      const auto after = component_count(without);
+      const bool isolated = g.degree(v) == 0;
+      const bool oracle = !isolated && after > before;
+      const bool reported =
+          std::find(cut.articulation_points.begin(),
+                    cut.articulation_points.end(),
+                    v) != cut.articulation_points.end();
+      EXPECT_EQ(reported, oracle) << "trial " << trial << " v " << v;
+    }
+  }
+}
+
+TEST(KhopTrimming, LargeHorizonMatchesGlobalRule) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 10;
+    p.steps = 12;
+    const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.4);
+    std::vector<double> prio(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+    for (const auto& edge : eg.edges()) {
+      EXPECT_EQ(
+          can_ignore_neighbor_khop(eg, edge.u, edge.v, prio, 64),
+          can_ignore_neighbor(eg, edge.u, edge.v, prio))
+          << trial;
+    }
+  }
+}
+
+TEST(KhopTrimming, HorizonMonotone) {
+  // More information never trims less: if the k-hop rule fires, every
+  // larger horizon fires too.
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 10;
+    p.steps = 12;
+    const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.4);
+    std::vector<double> prio(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+    for (const auto& edge : eg.edges()) {
+      bool prev = can_ignore_neighbor_khop(eg, edge.u, edge.v, prio, 1);
+      for (std::uint32_t k = 2; k <= 4; ++k) {
+        const bool now = can_ignore_neighbor_khop(eg, edge.u, edge.v, prio, k);
+        EXPECT_TRUE(!prev || now) << "trial " << trial << " k " << k;
+        prev = now;
+      }
+    }
+  }
+}
+
+TEST(KhopTrimming, TightHorizonMissesDistantReplacements) {
+  // Replacement path uses relays 3 hops out: the 1-hop rule cannot see
+  // it, the 3-hop rule can.
+  TemporalGraph eg(6, 10);
+  // Path through banned node 5: 0 -1-> 5 -8-> 1.
+  eg.add_contact(0, 5, 1);
+  eg.add_contact(5, 1, 8);
+  // Replacement: 0 -2-> 2 -3-> 3 -4-> 4 -5-> 1 (relays 2,3,4).
+  eg.add_contact(0, 2, 2);
+  eg.add_contact(2, 3, 3);
+  eg.add_contact(3, 4, 4);
+  eg.add_contact(4, 1, 5);
+  const std::vector<double> prio{6, 5, 4, 3, 2, 1};
+  EXPECT_TRUE(can_ignore_neighbor(eg, 0, 5, prio));
+  EXPECT_TRUE(can_ignore_neighbor_khop(eg, 0, 5, prio, 3));
+  EXPECT_FALSE(can_ignore_neighbor_khop(eg, 0, 5, prio, 1));
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,177 @@
+// Tests for src/centrality: centralities, PageRank/HITS dynamic labels,
+// and power-law fitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "centrality/centrality.hpp"
+#include "centrality/link_analysis.hpp"
+#include "centrality/powerlaw.hpp"
+#include "core/generators.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(Centrality, DegreeOnStar) {
+  const Graph g = star_graph(5);
+  const auto c = degree_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  for (VertexId v = 1; v <= 5; ++v) EXPECT_DOUBLE_EQ(c[v], 1.0);
+}
+
+TEST(Centrality, ClosenessOnPathPeaksAtCenter) {
+  const Graph g = path_graph(5);
+  const auto c = closeness_centrality(g);
+  EXPECT_GT(c[2], c[1]);
+  EXPECT_GT(c[1], c[0]);
+  // Known value for the center of P5: 4 / (2+1+1+2).
+  EXPECT_DOUBLE_EQ(c[2], 4.0 / 6.0);
+}
+
+TEST(Centrality, ClosenessHandlesDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  const auto c = closeness_centrality(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // reaches one node at distance 1
+  EXPECT_DOUBLE_EQ(c[2], 0.0);  // isolated
+}
+
+TEST(Centrality, BetweennessOnPath) {
+  // On P5, interior node i lies on (i)(4-i) shortest pairs.
+  const Graph g = path_graph(5);
+  const auto b = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 3.0);
+}
+
+TEST(Centrality, BetweennessBridgeDominates) {
+  // Two triangles joined by a bridge node.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(4, 6);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto b = betweenness_centrality(g);
+  const double peak = *std::max_element(b.begin(), b.end());
+  EXPECT_DOUBLE_EQ(b[3], peak);
+}
+
+TEST(Centrality, EigenvectorSymmetricOnCycle) {
+  const Graph g = cycle_graph(6);
+  const auto c = eigenvector_centrality(g);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_NEAR(c[v], c[0], 1e-9);
+}
+
+TEST(Centrality, EigenvectorPrefersHub) {
+  const Graph g = star_graph(6);
+  const auto c = eigenvector_centrality(g);
+  for (VertexId v = 1; v <= 6; ++v) EXPECT_GT(c[0], c[v]);
+}
+
+TEST(PageRank, SumsToOneAndConverges) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(100, 2, rng);
+  const auto pr = pagerank(g);
+  EXPECT_TRUE(pr.converged);
+  double sum = 0.0;
+  for (double s : pr.score) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, DirectedChainAccumulatesAtEnd) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  const auto pr = pagerank(g);
+  EXPECT_GT(pr.score[3], pr.score[0]);
+  EXPECT_GT(pr.score[2], pr.score[1]);
+}
+
+TEST(PageRank, IterationCountIsDynamicLabelMetric) {
+  // The convergence metric of experiment E10: more damping, slower.
+  Rng rng(4);
+  const Graph g = watts_strogatz(80, 3, 0.1, rng);
+  const auto fast = pagerank(g, 0.5);
+  const auto slow = pagerank(g, 0.95);
+  EXPECT_TRUE(fast.converged);
+  EXPECT_TRUE(slow.converged);
+  EXPECT_LT(fast.iterations, slow.iterations);
+}
+
+TEST(Hits, HubAndAuthoritySeparation) {
+  // 0 and 1 point at 2 and 3: {0,1} hubs, {2,3} authorities.
+  Digraph g(4);
+  g.add_arc(0, 2);
+  g.add_arc(0, 3);
+  g.add_arc(1, 2);
+  g.add_arc(1, 3);
+  const auto h = hits(g);
+  EXPECT_TRUE(h.converged);
+  EXPECT_GT(h.hub[0], h.hub[2]);
+  EXPECT_GT(h.authority[2], h.authority[0]);
+  EXPECT_NEAR(h.hub[0], h.hub[1], 1e-9);
+  EXPECT_NEAR(h.authority[2], h.authority[3], 1e-9);
+}
+
+TEST(PowerLaw, RecoverExponentFromParetoSamples) {
+  Rng rng(5);
+  std::vector<std::size_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(static_cast<std::size_t>(rng.pareto(1.0, 2.5)));
+  }
+  const auto fit = fit_power_law(samples, 2);
+  // Flooring continuous Pareto draws biases the discrete MLE slightly and
+  // puts a staircase into the empirical CCDF; allow for both.
+  EXPECT_NEAR(fit.alpha, 2.5, 0.4);
+  EXPECT_LT(fit.ks, 0.2);
+}
+
+TEST(PowerLaw, BaGraphLooksScaleFree) {
+  Rng rng(6);
+  const Graph g = barabasi_albert(3000, 3, rng);
+  const auto fit = fit_degree_power_law(g, 3);
+  // BA exponent is ~3 in theory; accept the usual finite-size window.
+  EXPECT_GT(fit.alpha, 2.0);
+  EXPECT_LT(fit.alpha, 4.0);
+  EXPECT_LT(fit.ks, 0.25);
+}
+
+TEST(PowerLaw, UniformDegreesFitPoorly) {
+  // A regular graph is as far from a power law as it gets: the fitted
+  // alpha collapses toward its defined floor or the KS distance is huge.
+  const Graph g = cycle_graph(200);
+  const auto fit = fit_degree_power_law(g, 1);
+  EXPECT_TRUE(fit.ks > 0.3 || fit.alpha > 5.0);
+}
+
+TEST(PowerLaw, AutoKminPicksBetterFit) {
+  Rng rng(7);
+  std::vector<std::size_t> samples;
+  // Pareto tail above 4 with uniform noise below.
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(static_cast<std::size_t>(rng.pareto(4.0, 2.2)));
+    samples.push_back(1 + rng.index(3));
+  }
+  const auto fixed = fit_power_law(samples, 1);
+  const auto culled = fit_power_law_auto_kmin(samples, 8);
+  EXPECT_LE(culled.ks, fixed.ks);
+  EXPECT_GE(culled.k_min, 1u);
+}
+
+TEST(PowerLaw, DegenerateInputs) {
+  const std::vector<std::size_t> empty;
+  EXPECT_EQ(fit_power_law(empty, 1).samples, 0u);
+  const std::vector<std::size_t> one{5};
+  EXPECT_EQ(fit_power_law(one, 1).samples, 1u);
+  EXPECT_EQ(fit_power_law(one, 1).alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,160 @@
+// Supplementary coverage: edge cases across modules that the focused
+// suites do not reach.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/chordal.hpp"
+#include "algo/maxflow.hpp"
+#include "centrality/link_analysis.hpp"
+#include "core/generators.hpp"
+#include "core/io.hpp"
+#include "layering/fig4_example.hpp"
+#include "layering/link_reversal.hpp"
+#include "layering/nsf.hpp"
+#include "layering/pubsub.hpp"
+#include "temporal/fig2_example.hpp"
+#include "temporal/journeys.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(CoverageExtras, EmptyAndSingletonGraphs) {
+  const Graph empty(0);
+  EXPECT_TRUE(is_chordal(empty));
+  EXPECT_EQ(is_interval_graph(empty), std::optional<bool>(true));
+  const Graph one(1);
+  EXPECT_TRUE(is_chordal(one));
+  EXPECT_EQ(nsf_level_labels(one).rounds, 1u);
+}
+
+TEST(CoverageExtras, PagerankEmptyAndSingle) {
+  const auto pr_empty = pagerank(Graph(0));
+  EXPECT_TRUE(pr_empty.converged);
+  EXPECT_TRUE(pr_empty.score.empty());
+  const auto pr_one = pagerank(Graph(1));
+  ASSERT_EQ(pr_one.score.size(), 1u);
+  EXPECT_NEAR(pr_one.score[0], 1.0, 1e-9);
+}
+
+TEST(CoverageExtras, HitsEmptyGraph) {
+  const auto h = hits(Digraph(0));
+  EXPECT_TRUE(h.converged);
+}
+
+TEST(CoverageExtras, WattsStrogatzFullRewire) {
+  Rng rng(1);
+  const Graph g = watts_strogatz(60, 2, 1.0, rng);
+  EXPECT_EQ(g.vertex_count(), 60u);
+  EXPECT_EQ(g.edge_count(), 120u);
+}
+
+TEST(CoverageExtras, MaxFlowZeroWhenDisconnected) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(net.max_flow_dinic(0, 3), 0);
+  EXPECT_EQ(net.last_phase_count(), 0u);
+  net.reset_flow();
+  EXPECT_EQ(net.max_flow_mpm(0, 3), 0);
+}
+
+TEST(CoverageExtras, MinCutCapacityEqualsFlow) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8;
+    FlowNetwork net(n);
+    struct ArcRec {
+      VertexId u, v;
+      std::int64_t cap;
+      std::size_t id;
+    };
+    std::vector<ArcRec> arcs;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.35)) {
+          const auto cap = static_cast<std::int64_t>(rng.uniform_u64(1, 9));
+          arcs.push_back({u, v, cap, net.add_arc(u, v, cap)});
+        }
+      }
+    }
+    const auto flow = net.max_flow_dinic(0, 7);
+    const auto side = net.min_cut_source_side(0);
+    std::int64_t cut = 0;
+    for (const auto& a : arcs) {
+      if (side[a.u] && !side[a.v]) cut += a.cap;
+    }
+    EXPECT_EQ(flow, cut) << trial;  // max-flow = min-cut
+  }
+}
+
+TEST(CoverageExtras, PubSubSelfDelivery) {
+  const Graph g = star_graph(4);
+  const auto labeling = nsf_level_labels(g);
+  const HierarchicalPubSub ps(g, labeling.level);
+  const auto d = ps.deliver(2, 2);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.hops, 0u);
+  EXPECT_EQ(d.meeting_node, 2u);
+}
+
+TEST(CoverageExtras, LinkReversalAlreadyOrientedIsFree) {
+  const Graph g = fig4::initial_graph();
+  auto heights = fig4::initial_heights();
+  Orientation o = orientation_from_heights(g, heights);
+  const auto stats = full_reversal_by_heights(g, heights, fig4::D, o);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_EQ(stats.node_reversals, 0u);
+}
+
+TEST(CoverageExtras, TemporalDistancesWrapper) {
+  const auto eg = fig2::build_core();
+  const auto d = temporal_distances(eg, fig2::A, 0);
+  EXPECT_EQ(d[fig2::A], 0u);
+  EXPECT_EQ(d[fig2::C], 2u);
+}
+
+TEST(CoverageExtras, TimeConnectivityOnFig2Core) {
+  const auto eg = fig2::build_core();
+  // Not time-0-connected: C cannot reach A (C's contacts: 2,5 to B and
+  // 0,6 to D; B's to A at 4 works... check via API rather than assert a
+  // guess).
+  const bool claim = is_time_connected(eg, 0);
+  // Verify against pairwise queries.
+  bool all = true;
+  for (VertexId u = 0; u < eg.vertex_count(); ++u) {
+    for (VertexId v = 0; v < eg.vertex_count(); ++v) {
+      all &= is_connected_at(eg, u, v, 0);
+    }
+  }
+  EXPECT_EQ(claim, all);
+  // And time-6-connected is definitely false (only (B,D),(C,D) remain).
+  EXPECT_FALSE(is_time_connected(eg, 6));
+}
+
+TEST(CoverageExtras, DotOutputForDigraphs) {
+  Digraph d(3);
+  d.add_arc(0, 2);
+  const auto text = to_dot(d, "flow");
+  EXPECT_NE(text.find("digraph flow"), std::string::npos);
+  EXPECT_NE(text.find("0 -> 2"), std::string::npos);
+}
+
+TEST(CoverageExtras, DegreeRankOnRegularGraphIsFlat) {
+  const auto rank = degree_rank_labels(cycle_graph(10));
+  for (auto l : rank) EXPECT_EQ(l, 1u);
+}
+
+TEST(CoverageExtras, JourneyValidatorRejectsBrokenChains) {
+  const auto eg = fig2::build_core();
+  Journey broken{{{fig2::A, fig2::B, 4}, {fig2::C, fig2::D, 6}}};  // gap
+  EXPECT_FALSE(broken.valid_for(eg));
+  Journey decreasing{{{fig2::A, fig2::B, 4}, {fig2::B, fig2::C, 2}}};
+  EXPECT_FALSE(decreasing.valid_for(eg));
+  Journey phantom{{{fig2::A, fig2::C, 1}}};  // contact does not exist
+  EXPECT_FALSE(phantom.valid_for(eg));
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,89 @@
+// Tests for incremental safety-level maintenance under fault churn and
+// the max-flow phase counter (height-adjustment rounds).
+#include <gtest/gtest.h>
+
+#include "algo/maxflow.hpp"
+#include "labeling/safety_levels.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(DynamicSafety, IncrementalMatchesFreshRecompute) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t dims = 5;
+    SafetyLevelCube incremental(dims, {});
+    std::vector<std::size_t> faults;
+    for (auto f : rng.sample_without_replacement(1u << dims, 6)) {
+      faults.push_back(f);
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      incremental.add_fault(faults[i]);
+      const SafetyLevelCube fresh(
+          dims, std::vector<std::size_t>(faults.begin(),
+                                         faults.begin() + i + 1));
+      for (std::size_t v = 0; v < incremental.node_count(); ++v) {
+        ASSERT_EQ(incremental.level(v), fresh.level(v))
+            << "trial " << trial << " after fault " << i << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(DynamicSafety, AddFaultIdempotent) {
+  SafetyLevelCube cube(4, {3});
+  EXPECT_EQ(cube.add_fault(3), 0u);
+}
+
+TEST(DynamicSafety, ChangeCountIsLocal) {
+  // A single fault in a big healthy cube changes the faulty node plus a
+  // bounded neighborhood, not the whole cube.
+  SafetyLevelCube cube(8, {});
+  const auto changed = cube.add_fault(0);
+  EXPECT_GE(changed, 1u);
+  EXPECT_LT(changed, cube.node_count() / 2);
+}
+
+TEST(DynamicSafety, LevelsOnlyDecreaseUnderFaults) {
+  Rng rng(2);
+  SafetyLevelCube cube(5, {});
+  std::vector<std::uint32_t> prev(cube.node_count());
+  for (std::size_t v = 0; v < cube.node_count(); ++v) prev[v] = cube.level(v);
+  for (auto f : rng.sample_without_replacement(32, 8)) {
+    cube.add_fault(f);
+    for (std::size_t v = 0; v < cube.node_count(); ++v) {
+      EXPECT_LE(cube.level(v), prev[v]) << "node " << v;
+      prev[v] = cube.level(v);
+    }
+  }
+}
+
+TEST(MaxFlowPhases, PhaseCountsReportedAndBounded) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6 + rng.index(10);
+    FlowNetwork net(n);
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.3)) {
+          net.add_arc(u, v, static_cast<std::int64_t>(rng.uniform_u64(1, 8)));
+        }
+      }
+    }
+    const auto flow = net.max_flow_dinic(0, static_cast<VertexId>(n - 1));
+    const auto dinic_phases = net.last_phase_count();
+    // Dinic/MPM phase bound: at most |V| level rebuilds.
+    EXPECT_LE(dinic_phases, n);
+    net.reset_flow();
+    const auto flow2 = net.max_flow_mpm(0, static_cast<VertexId>(n - 1));
+    EXPECT_EQ(flow, flow2);
+    EXPECT_LE(net.last_phase_count(), n);
+    if (flow > 0) {
+      EXPECT_GE(dinic_phases, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,227 @@
+// Tests for the paper's "challenge" extensions: probabilistic trimming
+// (Sec. III-A), stale-view structure evaluation (Sec. IV-C), and
+// multi-destination DAG maintenance (Sec. III-B).
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "layering/multi_dag.hpp"
+#include "mobility/edge_markovian.hpp"
+#include "sim/stale_views.hpp"
+#include "temporal/fig2_example.hpp"
+#include "trimming/probabilistic.hpp"
+
+namespace structnet {
+namespace {
+
+// ------------------------------------------------ probabilistic trimming
+
+TEST(ProbabilisticTrimming, CertainContactsMatchDeterministicRule) {
+  // All probabilities 1: the Monte Carlo rule must agree with the
+  // deterministic Fig. 2 verdicts.
+  const auto det = fig2::build();
+  ProbabilisticTemporalGraph eg(det.vertex_count(), det.horizon());
+  for (const auto& edge : det.edges()) {
+    for (TimeUnit t : edge.labels) eg.add_contact(edge.u, edge.v, t, 1.0);
+  }
+  const std::vector<double> prio{6, 5, 4, 3, 2, 1};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(
+      ignore_neighbor_probability(eg, fig2::A, fig2::D, prio, 20, rng), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ignore_neighbor_probability(eg, fig2::D, fig2::A, prio, 20, rng), 0.0);
+}
+
+TEST(ProbabilisticTrimming, SampleRealizationRespectsProbabilities) {
+  ProbabilisticTemporalGraph eg(2, 4);
+  eg.add_contact(0, 1, 0, 1.0);
+  eg.add_contact(0, 1, 1, 0.0);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto real = sample_realization(eg, rng);
+    EXPECT_TRUE(real.has_contact(0, 1, 0));
+    EXPECT_FALSE(real.has_contact(0, 1, 1));
+  }
+}
+
+TEST(ProbabilisticTrimming, ProbabilityMatchesHandComputation) {
+  // Path 0 -1-> 2 -2-> 1 through banned node 2, with replacement
+  // 0 -1-> 1 direct existing w.p. p. The 2-hop path exists w.p. 1; the
+  // rule holds iff the replacement exists => probability p.
+  ProbabilisticTemporalGraph eg(3, 5);
+  eg.add_contact(0, 2, 1, 1.0);
+  eg.add_contact(2, 1, 2, 1.0);
+  eg.add_contact(0, 1, 2, 0.7);  // replacement: depart 2 >= 1, arrive 2 <= 2
+  const std::vector<double> prio{3, 2, 1};
+  Rng rng(3);
+  const double p =
+      ignore_neighbor_probability(eg, 0, 2, prio, 4000, rng);
+  EXPECT_NEAR(p, 0.7, 0.03);
+}
+
+TEST(ProbabilisticTrimming, ConfidenceThreshold) {
+  ProbabilisticTemporalGraph eg(3, 5);
+  eg.add_contact(0, 2, 1, 1.0);
+  eg.add_contact(2, 1, 2, 1.0);
+  eg.add_contact(0, 1, 2, 0.7);
+  const std::vector<double> prio{3, 2, 1};
+  Rng rng(4);
+  EXPECT_TRUE(
+      can_ignore_neighbor_probabilistic(eg, 0, 2, prio, 0.5, 1500, rng));
+  Rng rng2(5);
+  EXPECT_FALSE(
+      can_ignore_neighbor_probabilistic(eg, 0, 2, prio, 0.9, 1500, rng2));
+}
+
+TEST(ProbabilisticTrimming, DegradationZeroForRedundantLink) {
+  // A link whose journeys always have equal-time alternatives degrades
+  // nothing when ignored.
+  ProbabilisticTemporalGraph eg(3, 4);
+  eg.add_contact(0, 1, 1, 1.0);
+  eg.add_contact(1, 2, 1, 1.0);
+  eg.add_contact(0, 2, 1, 1.0);  // triangle at the same unit
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(trim_degradation(eg, 0, 2, 10, rng), 0.0);
+}
+
+TEST(ProbabilisticTrimming, DegradationPositiveForBridge) {
+  ProbabilisticTemporalGraph eg(2, 4);
+  eg.add_contact(0, 1, 1, 1.0);  // the only link
+  Rng rng(7);
+  EXPECT_GT(trim_degradation(eg, 0, 1, 5, rng), 0.0);
+}
+
+// --------------------------------------------------------- stale views
+
+TEST(StaleViews, ZeroDelayIsPerfect) {
+  Rng rng(8);
+  EdgeMarkovianParams p;
+  p.nodes = 24;
+  p.horizon = 30;
+  p.death_probability = 0.3;
+  p.birth_probability = 0.1;
+  const auto eg = edge_markovian_graph(p, rng);
+  std::vector<double> prio(p.nodes);
+  for (auto& x : prio) x = rng.uniform01();
+  const auto report = evaluate_stale_structures(eg, 0, prio);
+  EXPECT_GT(report.evaluations, 0u);
+  EXPECT_DOUBLE_EQ(report.domination_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.independence_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.maximality_rate, 1.0);
+}
+
+TEST(StaleViews, StalenessDegradesQuality) {
+  // Dense enough that the fresh structures are valid (marking needs
+  // two unconnected neighbors to fire), fast-churning enough that a
+  // 12-unit-old view is badly wrong.
+  Rng rng(9);
+  EdgeMarkovianParams p;
+  p.nodes = 24;
+  p.horizon = 80;
+  p.death_probability = 0.3;
+  p.birth_probability = 0.1;
+  const auto eg = edge_markovian_graph(p, rng);
+  std::vector<double> prio(p.nodes);
+  for (auto& x : prio) x = rng.uniform01();
+  const auto fresh = evaluate_stale_structures(eg, 0, prio);
+  const auto stale = evaluate_stale_structures(eg, 12, prio);
+  EXPECT_DOUBLE_EQ(fresh.domination_rate, 1.0);
+  EXPECT_DOUBLE_EQ(fresh.independence_rate, 1.0);
+  EXPECT_DOUBLE_EQ(fresh.maximality_rate, 1.0);
+  // The asymmetry is the finding: domination is redundancy-backed and
+  // survives stale views nearly intact, while independence is a
+  // *negative* constraint that any newly appeared edge violates — it
+  // collapses almost immediately.
+  EXPECT_GT(stale.domination_rate, 0.9);
+  EXPECT_LT(stale.independence_rate, 0.5);
+  EXPECT_LT(stale.maximality_rate, 0.5);
+  EXPECT_LE(stale.connectivity_rate, fresh.connectivity_rate);
+}
+
+TEST(StaleViews, StaticGraphImmuneToStaleness) {
+  // A graph that never changes cannot be hurt by stale views.
+  TemporalGraph eg(6, 10);
+  for (TimeUnit t = 0; t < 10; ++t) {
+    eg.add_contact(0, 1, t);
+    eg.add_contact(1, 2, t);
+    eg.add_contact(2, 3, t);
+    eg.add_contact(3, 4, t);
+    eg.add_contact(4, 5, t);
+  }
+  std::vector<double> prio{6, 5, 4, 3, 2, 1};
+  const auto report = evaluate_stale_structures(eg, 5, prio);
+  EXPECT_DOUBLE_EQ(report.domination_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.connectivity_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.independence_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.maximality_rate, 1.0);
+}
+
+// ------------------------------------------------------- multi-dest DAGs
+
+TEST(MultiDag, InitialDagsAllValid) {
+  Rng rng(10);
+  Graph g = erdos_renyi(30, 0.15, rng);
+  for (VertexId v = 0; v + 1 < 30; ++v) g.add_edge_unique(v, v + 1);
+  MultiDestinationDags dags(g, {0, 7, 19});
+  EXPECT_EQ(dags.destination_count(), 3u);
+  EXPECT_TRUE(dags.all_valid());
+}
+
+TEST(MultiDag, LinkFailureRepairsEveryDag) {
+  Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = erdos_renyi(24, 0.2, rng);
+    for (VertexId v = 0; v + 1 < 24; ++v) g.add_edge_unique(v, v + 1);
+    MultiDestinationDags dags(g, {0, 5, 11, 17});
+    // Fail a non-bridge edge (last path edge is safe to keep: fail a
+    // random ER edge whose removal keeps connectivity likely; retry).
+    const auto& edge = dags.graph().edge(
+        static_cast<EdgeId>(rng.index(dags.graph().edge_count())));
+    const VertexId u = edge.u, v = edge.v;
+    const auto stats = dags.fail_link(u, v);
+    if (!stats.converged) continue;  // rare partition: skip
+    EXPECT_TRUE(dags.all_valid()) << "trial " << trial;
+  }
+}
+
+TEST(MultiDag, UntouchedDagsCostNothing) {
+  // A leaf edge failure only disturbs DAGs whose flow used it.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 2);  // alternative route
+  MultiDestinationDags dags(g, {0});
+  const auto stats = dags.fail_link(0, 1);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_TRUE(dags.all_valid());
+  // Node 1 still reaches 0 through 2: exactly one DAG needed repair at
+  // most.
+  EXPECT_LE(stats.dags_touched, 1u);
+}
+
+TEST(MultiDag, RepairWorkGrowsWithDestinations) {
+  Rng rng(12);
+  Graph base = grid_graph(5, 5);
+  auto run = [&](std::size_t k) {
+    std::vector<VertexId> dests;
+    for (std::size_t i = 0; i < k; ++i) {
+      dests.push_back(static_cast<VertexId>(i * 24 / std::max<std::size_t>(k - 1, 1)));
+    }
+    MultiDestinationDags dags(base, dests);
+    std::size_t total = 0;
+    // Fail a few interior edges (grid stays connected).
+    const std::pair<VertexId, VertexId> failures[] = {{6, 7}, {12, 13},
+                                                      {17, 18}};
+    for (const auto& [u, v] : failures) {
+      total += dags.fail_link(u, v).total_node_reversals;
+    }
+    EXPECT_TRUE(dags.all_valid());
+    return total;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_GE(four, one);  // more DAGs, at least as much repair work
+}
+
+}  // namespace
+}  // namespace structnet

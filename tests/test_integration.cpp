@@ -1,0 +1,209 @@
+// Cross-module integration tests: full pipelines that mirror the paper's
+// narratives — mobility to EG to trimming; social features to F-space
+// routing; scale-free graphs to NSF pub/sub; sessions to interval
+// structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/chordal.hpp"
+#include "algo/components.hpp"
+#include "centrality/centrality.hpp"
+#include "intersection/interval_graph.hpp"
+#include "intersection/sessions.hpp"
+#include "layering/nsf.hpp"
+#include "layering/pubsub.hpp"
+#include "labeling/static_labels.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "mobility/social_contacts.hpp"
+#include "remapping/feature_space.hpp"
+#include "sim/dtn_routing.hpp"
+#include "temporal/journeys.hpp"
+#include "trimming/eg_trimming.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(Integration, MobilityToTemporalToTrimmingPipeline) {
+  // RWP trace -> EG -> label trimming -> identical earliest-arrival
+  // matrix; the full Sec. II-B + III-A pipeline.
+  Rng rng(1);
+  RandomWaypointParams p;
+  p.nodes = 12;
+  p.steps = 20;
+  const auto traj = random_waypoint(p, rng);
+  const auto eg = contacts_from_trajectory(traj, 0.35);
+  const auto trimmed = trim_labels(eg);
+  for (VertexId s = 0; s < p.nodes; ++s) {
+    EXPECT_EQ(earliest_arrival(eg, s, 0).completion,
+              earliest_arrival(trimmed.trimmed, s, 0).completion);
+  }
+}
+
+TEST(Integration, SocialFeatureRoutingBeatsDirectOnSyntheticTraces) {
+  // The Fig. 6 story end to end: generate contacts that decay with
+  // feature distance, then route in M-space guided by F-space greedy
+  // (feature distance to the destination as the metric).
+  Rng rng(2);
+  SocialTraceParams p;
+  p.people = 40;
+  p.horizon = 600;
+  p.base_rate = 0.15;
+  p.decay = 0.25;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+
+  std::size_t fspace_wins = 0, comparisons = 0;
+  double fspace_delay = 0.0, direct_delay = 0.0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = static_cast<VertexId>(rng.index(p.people));
+    const auto d = static_cast<VertexId>(rng.index(p.people));
+    if (s == d || feature_distance(profiles[s], profiles[d]) < 2) continue;
+    std::vector<double> metric(p.people);
+    for (VertexId v = 0; v < p.people; ++v) {
+      metric[v] =
+          static_cast<double>(feature_distance(profiles[v], profiles[d]));
+    }
+    const auto rf =
+        simulate_routing(trace, s, d, 0, greedy_metric_strategy(metric));
+    const auto rd = simulate_routing(trace, s, d, 0, direct_strategy());
+    if (!rf.delivered || !rd.delivered) continue;
+    ++comparisons;
+    fspace_delay += rf.delivery_time;
+    direct_delay += rd.delivery_time;
+    fspace_wins += rf.delivery_time <= rd.delivery_time;
+  }
+  ASSERT_GT(comparisons, 10u);
+  EXPECT_LT(fspace_delay, direct_delay);
+  EXPECT_GT(static_cast<double>(fspace_wins),
+            0.6 * static_cast<double>(comparisons));
+}
+
+TEST(Integration, NsfLevelsDrivePubSubOnScaleFreeGraph) {
+  // BA graph -> NSF levels -> pub/sub; average delivery hops must be a
+  // tiny fraction of flooding cost.
+  Rng rng(3);
+  const Graph g = barabasi_albert(500, 2, rng);
+  const auto labeling = nsf_level_labels(g);
+  HierarchicalPubSub ps(g, labeling.level);
+  double hops = 0.0;
+  int delivered = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = static_cast<VertexId>(rng.index(500));
+    const auto b = static_cast<VertexId>(rng.index(500));
+    const auto d = ps.deliver(a, b);
+    EXPECT_TRUE(d.delivered);
+    hops += static_cast<double>(d.hops);
+    ++delivered;
+  }
+  EXPECT_LT(hops / delivered,
+            0.05 * static_cast<double>(ps.flooding_cost()));
+}
+
+TEST(Integration, SessionsToIntervalStructuresAreConsistent) {
+  // Session workload -> flattened interval graph is chordal; per-user
+  // multiple-interval graph is a supergraph of any single-session slice.
+  Rng rng(4);
+  SessionModel model;
+  model.users = 30;
+  model.sessions_per_user = 2;
+  model.horizon = 200.0;
+  model.mean_duration = 8.0;
+  const auto sessions = generate_sessions(model, rng);
+  const auto flat = flatten_sessions(sessions);
+  EXPECT_TRUE(is_chordal(interval_graph(flat)));
+
+  const Graph multi = multiple_interval_graph(sessions);
+  // Any intersecting pair of single sessions implies the users' edge.
+  for (std::size_t u = 0; u < model.users; ++u) {
+    for (std::size_t v = u + 1; v < model.users; ++v) {
+      bool intersects = false;
+      for (const auto& a : sessions[u]) {
+        for (const auto& b : sessions[v]) intersects |= a.intersects(b);
+      }
+      EXPECT_EQ(multi.has_edge(static_cast<VertexId>(u),
+                               static_cast<VertexId>(v)),
+                intersects);
+    }
+  }
+}
+
+TEST(Integration, CentralityPrioritiesImproveCdsSize) {
+  // Priorities are pluggable (Sec. III-A: "assign priority, say using
+  // node degree"): degree-based priorities should trim the CDS at least
+  // as well as adversarial (inverse-degree) priorities on average.
+  Rng rng(5);
+  std::size_t degree_total = 0, inverse_total = 0;
+  for (int trial = 0; trial < 14; ++trial) {
+    std::vector<Point2D> pts;
+    Graph g = random_geometric(80, 0.25, rng, &pts);
+    if (!is_connected(g)) continue;  // CDS is a per-component notion
+    const auto black = marking_process(g);
+    const auto deg = degree_centrality(g);
+    std::vector<double> inv(deg.size());
+    for (std::size_t v = 0; v < deg.size(); ++v) {
+      // strictly monotone inversions keep priorities distinct via id
+      inv[v] = -deg[v] + 1e-6 * static_cast<double>(v);
+    }
+    std::vector<double> degp(deg.size());
+    for (std::size_t v = 0; v < deg.size(); ++v) {
+      degp[v] = deg[v] + 1e-6 * static_cast<double>(v);
+    }
+    const auto by_degree = trim_cds(g, black, degp);
+    const auto by_inverse = trim_cds(g, black, inv);
+    degree_total += std::count(by_degree.begin(), by_degree.end(), true);
+    inverse_total += std::count(by_inverse.begin(), by_inverse.end(), true);
+    EXPECT_TRUE(is_connected_dominating_set(g, by_degree));
+    EXPECT_TRUE(is_connected_dominating_set(g, by_inverse));
+  }
+  EXPECT_LE(degree_total, inverse_total + 8);
+}
+
+TEST(Integration, CommunityMobilityYieldsTrimmableEgs) {
+  // Clustered traces carry redundancy; label trimming should remove a
+  // visible fraction of labels while preserving all journeys.
+  Rng rng(6);
+  CommunityMobilityParams p;
+  p.nodes = 14;
+  p.steps = 15;
+  p.communities = 2;
+  const auto traj = community_mobility(p, rng, nullptr);
+  const auto eg = contacts_from_trajectory(traj, 0.4);
+  std::size_t labels = 0;
+  for (const auto& e : eg.edges()) labels += e.labels.size();
+  if (labels < 20) GTEST_SKIP() << "trace too sparse to be interesting";
+  const auto trimmed = trim_labels(eg);
+  EXPECT_GT(trimmed.removed_labels, 0u);
+  const std::vector<bool> alive(p.nodes, true);
+  EXPECT_TRUE(preserves_reachability(eg, trimmed.trimmed, alive, true));
+}
+
+TEST(Integration, EpidemicMatchesEarliestArrivalOracle) {
+  // Epidemic routing IS a journey search: its delivery time must equal
+  // the temporal-graph earliest completion time.
+  Rng rng(7);
+  SocialTraceParams p;
+  p.people = 25;
+  p.horizon = 200;
+  p.base_rate = 0.08;
+  p.decay = 0.5;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto s = static_cast<VertexId>(rng.index(p.people));
+    const auto d = static_cast<VertexId>(rng.index(p.people));
+    if (s == d) continue;
+    const auto sim = simulate_routing(trace, s, d, 0, epidemic_strategy(), 0);
+    const auto oracle = earliest_arrival(trace, s, 0).completion[d];
+    if (oracle == kNeverTime) {
+      EXPECT_FALSE(sim.delivered);
+    } else {
+      ASSERT_TRUE(sim.delivered);
+      EXPECT_EQ(sim.delivery_time, oracle);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,250 @@
+// Tests for src/intersection: interval graphs (Fig. 1), interval
+// hypergraphs, sessions, and unit-disk facts from Sec. II-A.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/chordal.hpp"
+#include "core/generators.hpp"
+#include "intersection/interval_graph.hpp"
+#include "intersection/interval_hypergraph.hpp"
+#include "intersection/sessions.hpp"
+#include "intersection/unit_disk.hpp"
+
+namespace structnet {
+namespace {
+
+// Fig. 1 (a): four users A..D online once each; A, C, D overlap at one
+// moment, B overlaps only C.
+std::vector<Interval> fig1_intervals() {
+  return {
+      Interval{0.0, 4.0},   // A
+      Interval{7.0, 9.0},   // B
+      Interval{3.0, 8.0},   // C
+      Interval{2.0, 5.0},   // D
+  };
+}
+
+TEST(IntervalGraph, Fig1Edges) {
+  const auto iv = fig1_intervals();
+  const Graph g = interval_graph(iv);
+  // A-C, A-D, C-D (triple overlap) and B-C.
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(IntervalGraph, TouchingEndpointsIntersect) {
+  const std::vector<Interval> iv{{0.0, 1.0}, {1.0, 2.0}};
+  EXPECT_TRUE(interval_graph(iv).has_edge(0, 1));
+}
+
+TEST(IntervalGraph, DisjointIntervalsNoEdge) {
+  const std::vector<Interval> iv{{0.0, 1.0}, {1.5, 2.0}};
+  EXPECT_EQ(interval_graph(iv).edge_count(), 0u);
+}
+
+TEST(IntervalGraph, EveryIntervalGraphIsChordal) {
+  // Sec. II-A: "if G is an interval graph, it must be a chordal graph."
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Interval> iv;
+    for (int i = 0; i < 30; ++i) {
+      const double s = rng.uniform(0.0, 100.0);
+      iv.push_back(Interval{s, s + rng.uniform(0.0, 20.0)});
+    }
+    EXPECT_TRUE(is_chordal(interval_graph(iv))) << "trial " << trial;
+  }
+}
+
+TEST(IntervalGraph, RecognizerAcceptsGeneratedIntervalGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Interval> iv;
+    for (int i = 0; i < 10; ++i) {
+      const double s = rng.uniform(0.0, 30.0);
+      iv.push_back(Interval{s, s + rng.uniform(0.0, 8.0)});
+    }
+    const auto verdict = is_interval_graph(interval_graph(iv));
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_TRUE(*verdict) << "trial " << trial;
+  }
+}
+
+TEST(IntervalGraph, RepresentationValidator) {
+  const auto iv = fig1_intervals();
+  const Graph g = interval_graph(iv);
+  EXPECT_TRUE(is_interval_representation(g, iv));
+  Graph wrong = g;
+  wrong.add_edge(0, 1);
+  EXPECT_FALSE(is_interval_representation(wrong, iv));
+}
+
+TEST(IntervalGraph, RepresentationFromCliqueOrderRoundTrip) {
+  const auto iv = fig1_intervals();
+  const Graph g = interval_graph(iv);
+  // Maximal cliques of the Fig. 1 graph: {A,C,D} and {B,C}; the order
+  // ({A,C,D}, {B,C}) is consecutive.
+  const std::vector<std::vector<VertexId>> cliques{{0, 2, 3}, {1, 2}};
+  const auto rep = representation_from_clique_order(g, cliques);
+  EXPECT_TRUE(is_interval_representation(g, rep));
+}
+
+TEST(MultipleIntervalGraph, UserWithTwoSessions) {
+  // User 0 online twice; the second session overlaps user 1.
+  std::vector<std::vector<Interval>> sets{
+      {{0.0, 1.0}, {5.0, 6.0}},
+      {{5.5, 7.0}},
+      {{2.0, 3.0}},
+  };
+  const Graph g = multiple_interval_graph(sets);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(MultipleIntervalGraph, CanRealizeC4) {
+  // Multiple-interval graphs escape chordality: realize C4, which no
+  // single-interval family can (Sec. II-A's "time is linear" argument).
+  std::vector<std::vector<Interval>> sets{
+      {{0.0, 1.0}, {6.0, 7.0}},   // 0 meets 1 and 3
+      {{1.0, 2.0}},               // 1 meets 0 and 2
+      {{2.0, 3.0}, {4.0, 5.0}},   // 2 meets 1 and 3
+      {{4.5, 6.5}},               // 3 meets 2 and 0
+  };
+  const Graph g = multiple_interval_graph(sets);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(is_chordal(g));
+}
+
+TEST(IntervalHypergraph, Fig1TripleHyperedge) {
+  // Sec. II-A: A, C, D intersect at a moment -> a hyperedge {A, C, D}
+  // should appear alongside {B, C}.
+  const auto iv = fig1_intervals();
+  const auto hyper = interval_hyperedges(iv);
+  const std::vector<VertexId> acd{0, 2, 3};
+  const std::vector<VertexId> bc{1, 2};
+  EXPECT_NE(std::find(hyper.begin(), hyper.end(), acd), hyper.end());
+  EXPECT_NE(std::find(hyper.begin(), hyper.end(), bc), hyper.end());
+}
+
+TEST(IntervalHypergraph, HyperedgesAreMaximalCliques) {
+  // Helly property: maximal hyperedges == maximal cliques of the
+  // interval graph.
+  Rng rng(3);
+  std::vector<Interval> iv;
+  for (int i = 0; i < 14; ++i) {
+    const double s = rng.uniform(0.0, 20.0);
+    iv.push_back(Interval{s, s + rng.uniform(0.5, 6.0)});
+  }
+  const auto hyper = interval_hyperedges(iv);
+  auto cliques = chordal_maximal_cliques(interval_graph(iv));
+  auto sorted_h = hyper;
+  std::sort(sorted_h.begin(), sorted_h.end());
+  std::sort(cliques.begin(), cliques.end());
+  EXPECT_EQ(sorted_h, cliques);
+}
+
+TEST(IntervalHypergraph, CardinalityDistribution) {
+  const auto iv = fig1_intervals();
+  const auto hyper = interval_hyperedges(iv);
+  const auto hist = hyperedge_cardinality_distribution(hyper);
+  EXPECT_EQ(hist.count_of(3), 1u);  // {A,C,D}
+  EXPECT_EQ(hist.count_of(2), 1u);  // {B,C}
+}
+
+TEST(IntervalHypergraph, SingletonForIsolatedInterval) {
+  const std::vector<Interval> iv{{0.0, 1.0}, {5.0, 6.0}, {5.5, 7.0}};
+  const auto hyper = interval_hyperedges(iv);
+  const std::vector<VertexId> solo{0};
+  EXPECT_NE(std::find(hyper.begin(), hyper.end(), solo), hyper.end());
+}
+
+TEST(IntervalHypergraph, ActivityProfileCountsActive) {
+  const std::vector<Interval> iv{{0.0, 10.0}, {5.0, 10.0}};
+  const auto profile = activity_profile(iv, 11);
+  EXPECT_EQ(profile.front(), 1u);
+  EXPECT_EQ(profile.back(), 2u);
+}
+
+TEST(Sessions, GeneratorRespectsModel) {
+  Rng rng(4);
+  SessionModel model;
+  model.users = 40;
+  model.sessions_per_user = 3;
+  model.horizon = 100.0;
+  model.mean_duration = 5.0;
+  const auto sessions = generate_sessions(model, rng);
+  ASSERT_EQ(sessions.size(), 40u);
+  for (const auto& set : sessions) {
+    ASSERT_EQ(set.size(), 3u);
+    for (const auto& iv : set) {
+      EXPECT_GE(iv.start, 0.0);
+      EXPECT_LT(iv.start, 100.0);
+      EXPECT_GE(iv.end, iv.start);
+    }
+  }
+}
+
+TEST(Sessions, FlattenTracksOwners) {
+  Rng rng(5);
+  SessionModel model;
+  model.users = 5;
+  model.sessions_per_user = 2;
+  const auto sessions = generate_sessions(model, rng);
+  std::vector<VertexId> owner;
+  const auto flat = flatten_sessions(sessions, &owner);
+  ASSERT_EQ(flat.size(), 10u);
+  ASSERT_EQ(owner.size(), 10u);
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[9], 4u);
+}
+
+TEST(UnitDisk, RealizationValidator) {
+  Rng rng(6);
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric(40, 0.25, rng, &pts);
+  EXPECT_TRUE(is_unit_disk_realization(g, pts, 0.25));
+  Graph wrong = g;
+  // Adding any non-edge breaks realization (if one exists).
+  bool added = false;
+  for (VertexId u = 0; u < 40 && !added; ++u) {
+    for (VertexId v = u + 1; v < 40 && !added; ++v) {
+      if (!wrong.has_edge(u, v)) {
+        wrong.add_edge(u, v);
+        added = true;
+      }
+    }
+  }
+  ASSERT_TRUE(added);
+  EXPECT_FALSE(is_unit_disk_realization(wrong, pts, 0.25));
+}
+
+TEST(UnitDisk, StarWithSixLeavesIsNotAUnitDiskGraph) {
+  // Sec. II-A's non-example. Exhaustively refuting all realizations is
+  // analytic, not computational; here we certify the *geometric core* of
+  // the argument: in any UDG, no vertex has six mutually-independent
+  // neighbors.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point2D> pts;
+    const Graph g = random_geometric(60, 0.3, rng, &pts);
+    EXPECT_LE(max_independent_neighbors(g), 5u) << "trial " << trial;
+  }
+}
+
+TEST(UnitDisk, StarGraphItselfReportsSixIndependentLeaves) {
+  // ... while K_{1,6} would need six: the contradiction in one line.
+  EXPECT_EQ(max_independent_neighbors(star_graph(6)), 6u);
+}
+
+}  // namespace
+}  // namespace structnet

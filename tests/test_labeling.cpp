@@ -1,0 +1,372 @@
+// Tests for src/labeling: the Fig. 8 DS/CDS/MIS example with every
+// statement of the paper checked, safety levels with the Fig. 9 example,
+// and dynamic MIS maintenance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/generators.hpp"
+#include "labeling/dynamic_mis.hpp"
+#include "labeling/fig8_example.hpp"
+#include "labeling/fig9_example.hpp"
+#include "labeling/safety_levels.hpp"
+#include "labeling/static_labels.hpp"
+
+namespace structnet {
+namespace {
+
+// ----------------------------------------------------------- Fig. 8
+
+TEST(Fig8, MarkingBlackensEveryoneButA) {
+  // "In Fig. 8, all nodes except A are labeled black."
+  const Graph g = fig8::build();
+  const auto black = marking_process(g);
+  EXPECT_FALSE(black[fig8::A]);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_TRUE(black[v]) << "node " << v;
+  EXPECT_TRUE(is_connected_dominating_set(g, black));
+}
+
+TEST(Fig8, TrimmingLeavesBCD) {
+  // "B, C, and D are three black nodes remained after the trimming."
+  const Graph g = fig8::build();
+  const auto prio = id_priorities(6);
+  const auto trimmed = trim_cds(g, marking_process(g), prio);
+  EXPECT_TRUE(trimmed[fig8::B]);
+  EXPECT_TRUE(trimmed[fig8::C]);
+  EXPECT_TRUE(trimmed[fig8::D]);
+  EXPECT_FALSE(trimmed[fig8::A]);
+  EXPECT_FALSE(trimmed[fig8::E]);
+  EXPECT_FALSE(trimmed[fig8::F]);
+  EXPECT_TRUE(is_connected_dominating_set(g, trimmed));
+}
+
+TEST(Fig8, MisRoundsAndResult) {
+  // "A and B are colored black [in the first round] ... The final MIS
+  // ... is A, B, and E."
+  const Graph g = fig8::build();
+  const auto prio = id_priorities(6);
+  const auto mis = distributed_mis(g, prio);
+  EXPECT_TRUE(mis.in_mis[fig8::A]);
+  EXPECT_TRUE(mis.in_mis[fig8::B]);
+  EXPECT_TRUE(mis.in_mis[fig8::E]);
+  EXPECT_FALSE(mis.in_mis[fig8::C]);
+  EXPECT_FALSE(mis.in_mis[fig8::D]);
+  EXPECT_FALSE(mis.in_mis[fig8::F]);
+  EXPECT_EQ(mis.rounds, 2u);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis));
+}
+
+TEST(Fig8, NeighborDesignatedDsIsABC) {
+  // "A, B, and C are selected as DS (but not a CDS or an IS)."
+  const Graph g = fig8::build();
+  const auto prio = id_priorities(6);
+  const auto ds = neighbor_designated_ds(g, prio);
+  EXPECT_TRUE(ds[fig8::A]);
+  EXPECT_TRUE(ds[fig8::B]);
+  EXPECT_TRUE(ds[fig8::C]);
+  EXPECT_FALSE(ds[fig8::D]);
+  EXPECT_FALSE(ds[fig8::E]);
+  EXPECT_FALSE(ds[fig8::F]);
+  EXPECT_TRUE(is_dominating_set(g, ds));
+  EXPECT_FALSE(is_connected_dominating_set(g, ds));
+  EXPECT_FALSE(is_independent_set(g, ds));
+}
+
+// ------------------------------------------- static labels, general
+
+TEST(StaticLabels, MarkingYieldsCdsOnConnectedUdgs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Point2D> pts;
+    Graph g = random_geometric(60, 0.3, rng, &pts);
+    // Work on the largest component only.
+    // (Marking guarantees a CDS for connected graphs that are not
+    // complete; for complete graphs no node is marked.)
+    std::vector<bool> keep(g.vertex_count(), true);
+    const auto black = marking_process(g);
+    if (std::none_of(black.begin(), black.end(), [](bool b) { return b; })) {
+      continue;  // complete neighborhood case
+    }
+    // Dominating over each connected component that has >= 2 vertices.
+    EXPECT_TRUE([&] {
+      for (VertexId v = 0; v < g.vertex_count(); ++v) {
+        if (black[v] || g.degree(v) == 0) continue;
+        bool dominated = false;
+        for (VertexId w : g.neighbors(v)) dominated |= black[w];
+        if (!dominated) return false;
+      }
+      return true;
+    }()) << trial;
+  }
+}
+
+TEST(StaticLabels, TrimmedCdsStillCdsOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = erdos_renyi(40, 0.12, rng);
+    for (VertexId v = 0; v + 1 < 40; ++v) g.add_edge_unique(v, v + 1);
+    const auto black = marking_process(g);
+    std::vector<double> prio(40);
+    for (std::size_t v = 0; v < 40; ++v) prio[v] = rng.uniform01();
+    const auto trimmed = trim_cds(g, black, prio);
+    EXPECT_TRUE(is_connected_dominating_set(g, trimmed)) << trial;
+    // Trimming never adds nodes.
+    for (std::size_t v = 0; v < 40; ++v) {
+      EXPECT_LE(trimmed[v], black[v]);
+    }
+  }
+}
+
+TEST(StaticLabels, DistributedMisIsMaximalIndependent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(50, 0.1, rng);
+    std::vector<double> prio(50);
+    for (auto& p : prio) p = rng.uniform01();
+    const auto mis = distributed_mis(g, prio);
+    EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis)) << trial;
+  }
+}
+
+TEST(StaticLabels, MisRoundsLogarithmicOnRandomGraphs) {
+  // log n expected rounds: for n = 128 with random priorities, rounds
+  // should be well below n.
+  Rng rng(4);
+  const Graph g = erdos_renyi(128, 0.08, rng);
+  std::vector<double> prio(128);
+  for (auto& p : prio) p = rng.uniform01();
+  const auto mis = distributed_mis(g, prio);
+  EXPECT_LE(mis.rounds, 24u);
+}
+
+TEST(StaticLabels, NeighborDesignatedDsOneRoundProperty) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(40, 0.15, rng);
+    std::vector<double> prio(40);
+    for (auto& p : prio) p = rng.uniform01();
+    const auto ds = neighbor_designated_ds(g, prio);
+    EXPECT_TRUE(is_dominating_set(g, ds)) << trial;
+  }
+}
+
+TEST(StaticLabels, VerifiersCatchBadSets) {
+  const Graph g = path_graph(4);
+  std::vector<bool> empty(4, false);
+  EXPECT_FALSE(is_dominating_set(g, empty));
+  std::vector<bool> ends{true, false, false, true};
+  EXPECT_TRUE(is_independent_set(g, ends));
+  // On P4 = 0-1-2-3, {0,3} is maximal: 1 is blocked by 0 and 2 by 3.
+  EXPECT_TRUE(is_maximal_independent_set(g, ends));
+  std::vector<bool> middle{false, true, false, false};
+  EXPECT_FALSE(is_maximal_independent_set(g, middle));  // 3 addable
+  std::vector<bool> disconnected{true, false, false, true};
+  EXPECT_FALSE(is_connected_dominating_set(g, disconnected));
+}
+
+// -------------------------------------------------------- Fig. 9
+
+TEST(Fig9, StatedSafetyLevels) {
+  const SafetyLevelCube cube(fig9::kDimensions, fig9::faulty_nodes());
+  // Faulty nodes are level 0.
+  for (std::size_t f : fig9::faulty_nodes()) EXPECT_EQ(cube.level(f), 0u);
+  // "0101 (with a safety level of 2)".
+  EXPECT_EQ(cube.level(0b0101), 2u);
+  // Nodes with two faulty neighbors are level 1.
+  EXPECT_EQ(cube.level(0b0001), 1u);
+  EXPECT_EQ(cube.level(0b1101), 1u);
+  EXPECT_EQ(cube.level(0b0100), 1u);
+  EXPECT_EQ(cube.level(0b1000), 1u);
+}
+
+TEST(Fig9, RoutingPicksNeighbor0101) {
+  // "node 1101 selects 0101 ... between two neighbors 1001 and 0101 on
+  // route to 0001."
+  const SafetyLevelCube cube(fig9::kDimensions, fig9::faulty_nodes());
+  const auto path = cube.route(0b1101, 0b0001);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 3u);  // shortest: 2 hops
+  EXPECT_EQ((*path)[0], 0b1101u);
+  EXPECT_EQ((*path)[1], 0b0101u);
+  EXPECT_EQ((*path)[2], 0b0001u);
+}
+
+TEST(SafetyLevels, NoFaultsAllSafe) {
+  const SafetyLevelCube cube(4, {});
+  for (std::size_t v = 0; v < 16; ++v) EXPECT_EQ(cube.level(v), 4u);
+  EXPECT_EQ(cube.rounds_used(), 0u);
+}
+
+TEST(SafetyLevels, StabilizesWithinNMinusOneRounds) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5;
+    const std::size_t faults = 1 + rng.index(6);
+    std::vector<std::size_t> faulty;
+    for (auto f : rng.sample_without_replacement(1u << n, faults)) {
+      faulty.push_back(f);
+    }
+    const SafetyLevelCube cube(n, faulty);
+    EXPECT_LE(cube.rounds_used(), n - 1) << trial;
+  }
+}
+
+TEST(SafetyLevels, LevelIDecidedInRoundI) {
+  // The paper: "if the safety level of a node is i, then the level of
+  // this node is decided exactly in round i."
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> faulty;
+    for (auto f : rng.sample_without_replacement(32, 4)) faulty.push_back(f);
+    const SafetyLevelCube cube(5, faulty);
+    for (std::size_t v = 0; v < 32; ++v) {
+      if (cube.is_faulty(v)) continue;
+      const auto lvl = cube.level(v);
+      if (lvl < 5) {
+        EXPECT_EQ(cube.decided_round(v), lvl) << "node " << v;
+      } else {
+        EXPECT_EQ(cube.decided_round(v), 0u) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(SafetyLevels, SafeSourceAlwaysRoutesShortest) {
+  // "When the safety level of a node is n ... this node can reach any
+  // node through a shortest path."
+  Rng rng(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::size_t> faulty;
+    for (auto f : rng.sample_without_replacement(32, 3)) faulty.push_back(f);
+    const SafetyLevelCube cube(5, faulty);
+    for (std::size_t s = 0; s < 32; ++s) {
+      if (cube.level(s) != 5) continue;
+      for (std::size_t t = 0; t < 32; ++t) {
+        if (cube.is_faulty(t) || t == s) continue;
+        const auto path = cube.route(s, t);
+        ASSERT_TRUE(path.has_value()) << s << "->" << t;
+        EXPECT_EQ(path->size() - 1, SafetyLevelCube::hamming(s, t));
+      }
+    }
+  }
+}
+
+TEST(SafetyLevels, LevelGuaranteesRoutingWithinLevelHops) {
+  // Level l >= hamming distance d => optimal routing guaranteed.
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::size_t> faulty;
+    for (auto f : rng.sample_without_replacement(64, 6)) faulty.push_back(f);
+    const SafetyLevelCube cube(6, faulty);
+    for (std::size_t s = 0; s < 64; ++s) {
+      if (cube.is_faulty(s)) continue;
+      for (std::size_t t = 0; t < 64; ++t) {
+        if (cube.is_faulty(t) || t == s) continue;
+        const auto d = SafetyLevelCube::hamming(s, t);
+        if (cube.level(s) < d) continue;
+        const auto path = cube.route(s, t);
+        ASSERT_TRUE(path.has_value()) << s << "->" << t;
+        EXPECT_EQ(path->size() - 1, d);
+      }
+    }
+  }
+}
+
+TEST(SafetyLevels, BroadcastFromSafeNodeCoversEverything) {
+  Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> faulty;
+    for (auto f : rng.sample_without_replacement(32, 2)) faulty.push_back(f);
+    const SafetyLevelCube cube(5, faulty);
+    for (std::size_t s = 0; s < 32; ++s) {
+      if (cube.level(s) != 5) continue;
+      const auto b = cube.broadcast(s);
+      for (std::size_t v = 0; v < 32; ++v) {
+        if (!cube.is_faulty(v)) {
+          EXPECT_TRUE(b.reached[v]) << "from " << s << " missing " << v;
+        }
+      }
+      break;  // one safe source per trial is enough
+    }
+  }
+}
+
+TEST(SafetyLevels, BroadcastNoFaultsUsesMinimalMessages) {
+  const SafetyLevelCube cube(4, {});
+  const auto b = cube.broadcast(0);
+  EXPECT_EQ(b.messages, 15u);  // binomial tree: 2^n - 1 sends
+  EXPECT_TRUE(std::all_of(b.reached.begin(), b.reached.end(),
+                          [](bool r) { return r; }));
+}
+
+// -------------------------------------------------- dynamic MIS
+
+TEST(DynamicMis, MatchesStaticGreedyAfterConstruction) {
+  Rng rng(11);
+  const Graph g = erdos_renyi(60, 0.1, rng);
+  DynamicMis mis(g, rng);
+  EXPECT_TRUE(mis.verify());
+}
+
+TEST(DynamicMis, EdgeInsertionKeepsInvariant) {
+  Rng rng(12);
+  Graph g = erdos_renyi(40, 0.05, rng);
+  DynamicMis mis(g, rng);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(40));
+    const auto v = static_cast<VertexId>(rng.index(40));
+    if (u == v || mis.has_edge(u, v)) continue;
+    mis.add_edge(u, v);
+    ASSERT_TRUE(mis.verify()) << "insert " << i;
+  }
+}
+
+TEST(DynamicMis, EdgeDeletionKeepsInvariant) {
+  Rng rng(13);
+  Graph g = erdos_renyi(40, 0.2, rng);
+  DynamicMis mis(g, rng);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(40));
+    const auto v = static_cast<VertexId>(rng.index(40));
+    if (!mis.has_edge(u, v)) continue;
+    mis.remove_edge(u, v);
+    ASSERT_TRUE(mis.verify()) << "delete " << i;
+  }
+}
+
+TEST(DynamicMis, VertexOperationsKeepInvariant) {
+  Rng rng(14);
+  Graph g = erdos_renyi(30, 0.15, rng);
+  DynamicMis mis(g, rng);
+  const VertexId nv = mis.add_vertex(rng);
+  EXPECT_TRUE(mis.in_mis(nv));  // isolated vertex
+  mis.add_edge(nv, 0);
+  EXPECT_TRUE(mis.verify());
+  mis.remove_vertex(3);
+  EXPECT_TRUE(mis.verify());
+  EXPECT_FALSE(mis.in_mis(3));
+}
+
+TEST(DynamicMis, UpdateCostIsSmallOnAverage) {
+  // The [30] headline: expected O(1) adjustments per update under random
+  // priorities. We check the empirical average is tiny compared to n.
+  Rng rng(15);
+  Graph g = erdos_renyi(300, 0.02, rng);
+  DynamicMis mis(g, rng);
+  double total = 0.0;
+  int updates = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(300));
+    const auto v = static_cast<VertexId>(rng.index(300));
+    if (u == v) continue;
+    total += mis.has_edge(u, v) ? mis.remove_edge(u, v) : mis.add_edge(u, v);
+    ++updates;
+  }
+  ASSERT_GT(updates, 0);
+  EXPECT_LT(total / updates, 12.0);  // n/25, comfortably "local"
+  EXPECT_TRUE(mis.verify());
+}
+
+}  // namespace
+}  // namespace structnet

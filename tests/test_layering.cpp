@@ -1,0 +1,273 @@
+// Tests for src/layering: NSF peeling and levels, pub/sub over the
+// hierarchy, and link reversal (full heights, binary-label machine,
+// Fig. 4 replay).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/generators.hpp"
+#include "layering/fig4_example.hpp"
+#include "layering/link_reversal.hpp"
+#include "layering/nsf.hpp"
+#include "layering/pubsub.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(Nsf, PeelRemovesLocalMinima) {
+  // Star: all leaves are local minima; one peel leaves the center.
+  const Graph g = star_graph(5);
+  std::vector<bool> alive(6, true);
+  const auto next = peel_local_minimum_degree(g, alive);
+  EXPECT_TRUE(next[0]);
+  for (VertexId v = 1; v <= 5; ++v) EXPECT_FALSE(next[v]);
+}
+
+TEST(Nsf, PeelSequenceShrinksMonotonically) {
+  Rng rng(1);
+  const Graph g = barabasi_albert(400, 2, rng);
+  const auto rounds = peel_sequence(g, 0.25);
+  ASSERT_FALSE(rounds.empty());
+  std::size_t prev = g.vertex_count();
+  for (const auto& mask : rounds) {
+    const auto now = static_cast<std::size_t>(
+        std::count(mask.begin(), mask.end(), true));
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+  EXPECT_LE(prev, g.vertex_count());
+}
+
+TEST(Nsf, LevelLabelsCoverEveryoneOncePerRound) {
+  Rng rng(2);
+  const Graph g = barabasi_albert(200, 2, rng);
+  const auto labeling = nsf_level_labels(g);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_GE(labeling.level[v], 1u);
+    EXPECT_LE(labeling.level[v], labeling.rounds);
+  }
+  EXPECT_FALSE(labeling.top_nodes().empty());
+}
+
+TEST(Nsf, LevelsOnStarPutCenterOnTop) {
+  const Graph g = star_graph(6);
+  const auto labeling = nsf_level_labels(g);
+  EXPECT_EQ(labeling.rounds, 2u);
+  EXPECT_EQ(labeling.level[0], 2u);
+  for (VertexId v = 1; v <= 6; ++v) EXPECT_EQ(labeling.level[v], 1u);
+  EXPECT_EQ(labeling.top_nodes(), (std::vector<VertexId>{0}));
+}
+
+TEST(Nsf, DegreeRankLabelsDifferFromNested) {
+  // Fig. 7's contrast: a path has one degree class for interior nodes
+  // (rank labels), but nested labels peel ends inward.
+  const Graph g = path_graph(6);
+  const auto rank = degree_rank_labels(g);
+  EXPECT_EQ(rank[0], 1u);   // degree 1
+  EXPECT_EQ(rank[2], 2u);   // degree 2
+  const auto nested = nsf_level_labels(g);
+  EXPECT_GT(nested.rounds, 2u);  // peeling a path takes several rounds
+}
+
+TEST(Nsf, ReportFindsBaScaleFreeNested) {
+  Rng rng(3);
+  const Graph g = barabasi_albert(4000, 3, rng);
+  const auto report = nsf_report(g, 0.5);
+  ASSERT_GE(report.fits.size(), 2u);
+  // Exponents should be consistent across peel levels (the NSF property).
+  EXPECT_LT(report.exponent_stddev, 0.6);
+  for (const auto& fit : report.fits) {
+    EXPECT_GT(fit.alpha, 1.5);
+  }
+}
+
+TEST(Nsf, ReportRejectsRegularGraph) {
+  const Graph g = grid_graph(20, 20);
+  const auto report = nsf_report(g, 0.5);
+  EXPECT_FALSE(report.all_scale_free);
+}
+
+TEST(PubSub, DeliveryWithinTree) {
+  const Graph g = star_graph(4);
+  const auto labeling = nsf_level_labels(g);
+  HierarchicalPubSub ps(g, labeling.level);
+  const auto d = ps.deliver(1, 2);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.meeting_node, 0u);  // the hub
+  EXPECT_EQ(d.hops, 2u);
+  EXPECT_FALSE(d.used_external_server);
+}
+
+TEST(PubSub, UpwardPathEndsAtLocalTop) {
+  Rng rng(4);
+  const Graph g = barabasi_albert(150, 2, rng);
+  const auto labeling = nsf_level_labels(g);
+  HierarchicalPubSub ps(g, labeling.level);
+  for (VertexId v = 0; v < 20; ++v) {
+    const auto path = ps.upward_path(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), v);
+    // Levels strictly increase along the path.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_GT(labeling.level[path[i]], labeling.level[path[i - 1]]);
+    }
+  }
+}
+
+TEST(PubSub, CrossComponentUsesExternalServer) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto labeling = nsf_level_labels(g);
+  HierarchicalPubSub ps(g, labeling.level);
+  const auto d = ps.deliver(0, 3);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_TRUE(d.used_external_server);
+}
+
+TEST(PubSub, CheaperThanFloodingOnScaleFree) {
+  Rng rng(5);
+  const Graph g = barabasi_albert(300, 2, rng);
+  const auto labeling = nsf_level_labels(g);
+  HierarchicalPubSub ps(g, labeling.level);
+  const auto d = ps.deliver(17, 230);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_LT(d.hops, ps.flooding_cost());
+}
+
+// --------------------------------------------------- link reversal
+
+TEST(LinkReversal, MakeDagIsDestinationOriented) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = erdos_renyi(30, 0.15, rng);
+    for (VertexId v = 0; v + 1 < 30; ++v) g.add_edge_unique(v, v + 1);
+    const auto o = make_destination_oriented_dag(g, 0);
+    EXPECT_TRUE(is_destination_oriented_dag(g, o, 0)) << trial;
+  }
+}
+
+TEST(LinkReversal, OrientationFromHeights) {
+  const Graph g = path_graph(3);
+  const auto o = orientation_from_heights(g, {2.0, 1.0, 0.0});
+  EXPECT_TRUE(o.points_from(g, 0, 0));   // 0 -> 1
+  EXPECT_TRUE(o.points_from(g, 1, 1));   // 1 -> 2
+  EXPECT_TRUE(is_destination_oriented_dag(g, o, 2));
+}
+
+TEST(LinkReversal, Fig4FullReversalReplay) {
+  // The reconstructed Fig. 4 cascade: A reverses, then B, then A again;
+  // three rounds, A reversing twice.
+  const Graph g = fig4::broken_graph();
+  auto heights = fig4::initial_heights();
+  Orientation o = orientation_from_heights(g, heights);
+  ASSERT_FALSE(is_destination_oriented_dag(g, o, fig4::D));  // A is a sink
+  const auto stats = full_reversal_by_heights(g, heights, fig4::D, o);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.node_reversals, 3u);
+  EXPECT_EQ(stats.reversals_of[fig4::A], 2u);
+  EXPECT_EQ(stats.reversals_of[fig4::B], 1u);
+  EXPECT_EQ(stats.reversals_of[fig4::C], 0u);
+  EXPECT_TRUE(is_destination_oriented_dag(g, o, fig4::D));
+}
+
+TEST(LinkReversal, Fig4InitialGraphIsAlreadyOriented) {
+  const Graph g = fig4::initial_graph();
+  const auto o = orientation_from_heights(g, fig4::initial_heights());
+  EXPECT_TRUE(is_destination_oriented_dag(g, o, fig4::D));
+}
+
+TEST(LinkReversal, BinaryFullMatchesHeightFullOnFig4) {
+  // All labels 1 + Rule 2 == classic full reversal: same round count.
+  const Graph g = fig4::broken_graph();
+  auto heights = fig4::initial_heights();
+  Orientation ho = orientation_from_heights(g, heights);
+  const auto height_stats = full_reversal_by_heights(g, heights, fig4::D, ho);
+
+  BinaryLinkReversal machine(g,
+                             orientation_from_heights(g, fig4::initial_heights()),
+                             fig4::D, ReversalMode::kFull);
+  const auto stats = machine.run();
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.rounds, height_stats.rounds);
+  EXPECT_EQ(stats.node_reversals, height_stats.node_reversals);
+  EXPECT_TRUE(
+      is_destination_oriented_dag(g, machine.orientation(), fig4::D));
+}
+
+TEST(LinkReversal, BothModesConvergeOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = erdos_renyi(20, 0.2, rng);
+    for (VertexId v = 0; v + 1 < 20; ++v) g.add_edge_unique(v, v + 1);
+    // Destination-oriented DAG toward 0, then break it by re-orienting
+    // from random heights (still acyclic) and repair.
+    std::vector<double> heights(20);
+    for (auto& h : heights) h = rng.uniform(0.0, 10.0);
+    heights[0] = -1.0;  // destination lowest
+    const Orientation o = orientation_from_heights(g, heights);
+    for (const ReversalMode mode :
+         {ReversalMode::kFull, ReversalMode::kPartial}) {
+      BinaryLinkReversal machine(g, o, 0, mode);
+      const auto stats = machine.run();
+      EXPECT_TRUE(stats.converged) << trial;
+      EXPECT_TRUE(is_destination_oriented_dag(g, machine.orientation(), 0))
+          << trial;
+    }
+  }
+}
+
+TEST(LinkReversal, PartialNeverReversesMoreLinksThanFull) {
+  // On a long chain with the far end broken, partial reversal's
+  // per-round link work is bounded by full reversal's.
+  const Graph g = path_graph(12);
+  std::vector<double> heights(12);
+  for (std::size_t v = 0; v < 12; ++v) {
+    heights[v] = static_cast<double>(v);
+  }
+  // Destination is 11 (highest currently => everything points away from
+  // it; every orientation step must cascade).
+  const Orientation o = orientation_from_heights(g, heights);
+  BinaryLinkReversal full(g, o, 11, ReversalMode::kFull);
+  BinaryLinkReversal partial(g, o, 11, ReversalMode::kPartial);
+  const auto fs = full.run();
+  const auto ps = partial.run();
+  EXPECT_TRUE(fs.converged);
+  EXPECT_TRUE(ps.converged);
+  EXPECT_LE(ps.link_reversals, fs.link_reversals);
+  EXPECT_TRUE(is_destination_oriented_dag(g, full.orientation(), 11));
+  EXPECT_TRUE(is_destination_oriented_dag(g, partial.orientation(), 11));
+}
+
+TEST(LinkReversal, QuadraticWorkloadShape) {
+  // O(n^2) total reversals: doubling the chain roughly quadruples work
+  // in the worst case orientation.
+  auto work = [](std::size_t n) {
+    const Graph g = path_graph(n);
+    std::vector<double> heights(n);
+    for (std::size_t v = 0; v < n; ++v) heights[v] = static_cast<double>(v);
+    BinaryLinkReversal machine(g, orientation_from_heights(g, heights),
+                               static_cast<VertexId>(n - 1),
+                               ReversalMode::kFull);
+    return machine.run().node_reversals;
+  };
+  const auto w8 = work(8);
+  const auto w16 = work(16);
+  EXPECT_GT(w16, 2 * w8);  // superlinear growth
+}
+
+TEST(LinkReversal, DisconnectedComponentDoesNotConverge) {
+  // The classic partition case: a component with no path to the
+  // destination reverses forever; the bound must kick in.
+  Graph g(4);
+  g.add_edge(0, 1);  // destination side
+  g.add_edge(2, 3);  // partitioned pair
+  const Orientation o = orientation_from_heights(g, {0.0, 1.0, 1.0, 2.0});
+  BinaryLinkReversal machine(g, o, 0, ReversalMode::kFull);
+  const auto stats = machine.run(200);
+  EXPECT_FALSE(stats.converged);
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,87 @@
+// Tests for the message-passing labeling protocols: every engine-based
+// protocol must reproduce its centralized counterpart exactly.
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "labeling/fig8_example.hpp"
+#include "labeling/static_labels.hpp"
+#include "sim/local_protocols.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(LocalProtocols, MarkingMatchesCentralizedOnFig8) {
+  const Graph g = fig8::build();
+  const auto distributed = distributed_marking(g);
+  EXPECT_EQ(distributed.selected, marking_process(g));
+  EXPECT_LE(distributed.rounds, 4u);  // 2-hop info: constant rounds
+  EXPECT_GT(distributed.messages, 0u);
+}
+
+TEST(LocalProtocols, MarkingMatchesCentralizedOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = erdos_renyi(40, 0.1, rng);
+    EXPECT_EQ(distributed_marking(g).selected, marking_process(g)) << trial;
+  }
+}
+
+TEST(LocalProtocols, MarkingMessageCostIsTwoM) {
+  // One neighbor-list message per directed edge.
+  const Graph g = grid_graph(5, 5);
+  const auto r = distributed_marking(g);
+  EXPECT_EQ(r.messages, 2 * g.edge_count());
+}
+
+TEST(LocalProtocols, MisMatchesCentralizedOnFig8) {
+  const Graph g = fig8::build();
+  const auto prio = id_priorities(6);
+  const auto distributed = distributed_mis_protocol(g, prio);
+  EXPECT_EQ(distributed.selected, distributed_mis(g, prio).in_mis);
+}
+
+TEST(LocalProtocols, MisMatchesCentralizedOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = erdos_renyi(40, 0.12, rng);
+    std::vector<double> prio(40);
+    for (auto& p : prio) p = rng.uniform01();
+    const auto distributed = distributed_mis_protocol(g, prio);
+    EXPECT_EQ(distributed.selected, distributed_mis(g, prio).in_mis) << trial;
+    EXPECT_TRUE(is_maximal_independent_set(g, distributed.selected));
+  }
+}
+
+TEST(LocalProtocols, MisRoundsStayModest) {
+  Rng rng(3);
+  const Graph g = erdos_renyi(128, 0.08, rng);
+  std::vector<double> prio(128);
+  for (auto& p : prio) p = rng.uniform01();
+  const auto r = distributed_mis_protocol(g, prio);
+  // Message latency costs a small constant factor over the log n bound.
+  EXPECT_LE(r.rounds, 64u);
+}
+
+TEST(LocalProtocols, NominationMatchesCentralized) {
+  const Graph g = fig8::build();
+  const auto prio = id_priorities(6);
+  const auto distributed = neighbor_designated_protocol(g, prio);
+  EXPECT_EQ(distributed.selected, neighbor_designated_ds(g, prio));
+  // One nomination per node at most (self-nominations are free).
+  EXPECT_LE(distributed.messages, g.vertex_count());
+}
+
+TEST(LocalProtocols, NominationOnRandomGraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = erdos_renyi(50, 0.1, rng);
+    std::vector<double> prio(50);
+    for (auto& p : prio) p = rng.uniform01();
+    EXPECT_EQ(neighbor_designated_protocol(g, prio).selected,
+              neighbor_designated_ds(g, prio))
+        << trial;
+  }
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,215 @@
+// Tests for src/mobility: mobility models, contact extraction,
+// edge-Markovian process, and the social-feature contact generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/contact_trace.hpp"
+#include "mobility/edge_markovian.hpp"
+#include "mobility/mobility_models.hpp"
+#include "mobility/social_contacts.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(MobilityModels, RandomWaypointStaysInUnitSquare) {
+  Rng rng(1);
+  RandomWaypointParams p;
+  p.nodes = 20;
+  p.steps = 300;
+  const auto traj = random_waypoint(p, rng);
+  ASSERT_EQ(traj.size(), 300u);
+  for (const auto& frame : traj) {
+    ASSERT_EQ(frame.size(), 20u);
+    for (const auto& pt : frame) {
+      EXPECT_GE(pt.x, 0.0);
+      EXPECT_LE(pt.x, 1.0);
+      EXPECT_GE(pt.y, 0.0);
+      EXPECT_LE(pt.y, 1.0);
+    }
+  }
+}
+
+TEST(MobilityModels, RandomWaypointSpeedBound) {
+  Rng rng(2);
+  RandomWaypointParams p;
+  p.nodes = 10;
+  p.steps = 200;
+  p.min_speed = 0.01;
+  p.max_speed = 0.03;
+  p.max_pause = 0;
+  const auto traj = random_waypoint(p, rng);
+  for (std::size_t t = 1; t < traj.size(); ++t) {
+    for (std::size_t i = 0; i < p.nodes; ++i) {
+      EXPECT_LE(distance(traj[t][i], traj[t - 1][i]), p.max_speed + 1e-9);
+    }
+  }
+}
+
+TEST(MobilityModels, RandomWalkMoves) {
+  Rng rng(3);
+  RandomWalkParams p;
+  p.nodes = 10;
+  p.steps = 50;
+  const auto traj = random_walk(p, rng);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < p.nodes; ++i) {
+    moved += distance(traj.front()[i], traj.back()[i]);
+  }
+  EXPECT_GT(moved, 0.0);
+  for (const auto& frame : traj) {
+    for (const auto& pt : frame) {
+      EXPECT_GE(pt.x, 0.0);
+      EXPECT_LE(pt.x, 1.0);
+    }
+  }
+}
+
+TEST(MobilityModels, CommunityMobilityClustersContacts) {
+  // Same-community pairs should meet far more often than cross-community
+  // pairs: the socially-clustered pattern Sec. III-C builds on.
+  Rng rng(4);
+  CommunityMobilityParams p;
+  p.nodes = 40;
+  p.steps = 400;
+  p.communities = 4;
+  p.roam_probability = 0.05;
+  std::vector<std::size_t> home;
+  const auto traj = community_mobility(p, rng, &home);
+  const auto eg = contacts_from_trajectory(traj, 0.15);
+  double same = 0.0, cross = 0.0;
+  std::size_t same_pairs = 0, cross_pairs = 0;
+  for (VertexId u = 0; u < p.nodes; ++u) {
+    for (VertexId v = u + 1; v < p.nodes; ++v) {
+      const EdgeId e = eg.find_edge(u, v);
+      const double c =
+          e == kInvalidEdge ? 0.0 : static_cast<double>(eg.edge(e).labels.size());
+      if (home[u] == home[v]) {
+        same += c;
+        ++same_pairs;
+      } else {
+        cross += c;
+        ++cross_pairs;
+      }
+    }
+  }
+  ASSERT_GT(same_pairs, 0u);
+  ASSERT_GT(cross_pairs, 0u);
+  EXPECT_GT(same / same_pairs, 3.0 * cross / cross_pairs);
+}
+
+TEST(ContactTrace, ExtractionMatchesGeometry) {
+  // Two nodes orbiting in and out of range.
+  Trajectory traj;
+  for (int t = 0; t < 10; ++t) {
+    const double d = (t % 2 == 0) ? 0.05 : 0.5;
+    traj.push_back({Point2D{0.0, 0.0}, Point2D{d, 0.0}});
+  }
+  const auto eg = contacts_from_trajectory(traj, 0.1);
+  for (TimeUnit t = 0; t < 10; ++t) {
+    EXPECT_EQ(eg.has_contact(0, 1, t), t % 2 == 0) << t;
+  }
+}
+
+TEST(ContactTrace, StatisticsRunsAndGaps) {
+  TemporalGraph eg(2, 20);
+  // Active 3..5 (run 3), gap 6..9 (gap 4), active 10 (run 1).
+  for (TimeUnit t : {3, 4, 5, 10}) eg.add_contact(0, 1, t);
+  const auto stats = contact_statistics(eg);
+  EXPECT_EQ(stats.pair_count, 1u);
+  EXPECT_EQ(stats.contact_duration.count_of(3), 1u);
+  EXPECT_EQ(stats.contact_duration.count_of(1), 1u);
+  EXPECT_EQ(stats.inter_contact_time.count_of(4), 1u);
+}
+
+TEST(EdgeMarkovian, StationaryDensityFormula) {
+  EXPECT_DOUBLE_EQ(edge_markovian_stationary_density(0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(edge_markovian_stationary_density(0.9, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(edge_markovian_stationary_density(0.0, 0.0), 0.0);
+}
+
+TEST(EdgeMarkovian, EmpiricalDensityMatchesStationary) {
+  Rng rng(5);
+  EdgeMarkovianParams p;
+  p.nodes = 40;
+  p.horizon = 200;
+  p.death_probability = 0.3;
+  p.birth_probability = 0.1;
+  const auto eg = edge_markovian_graph(p, rng);
+  std::size_t active = 0;
+  for (const auto& edge : eg.edges()) active += edge.labels.size();
+  const double pairs = 40.0 * 39.0 / 2.0;
+  const double density =
+      static_cast<double>(active) / (pairs * static_cast<double>(p.horizon));
+  EXPECT_NEAR(density, 0.25, 0.02);
+}
+
+TEST(EdgeMarkovian, ZeroBirthDiesOut) {
+  Rng rng(6);
+  EdgeMarkovianParams p;
+  p.nodes = 10;
+  p.horizon = 60;
+  p.death_probability = 0.5;
+  p.birth_probability = 0.0;
+  p.initial_density = 1.0;
+  const auto eg = edge_markovian_graph(p, rng);
+  // No edge should be alive in the last snapshot (decay 0.5^59).
+  EXPECT_EQ(eg.snapshot(p.horizon - 1).edge_count(), 0u);
+}
+
+TEST(SocialContacts, FeatureDistance) {
+  EXPECT_EQ(feature_distance({0, 1, 2}, {0, 1, 2}), 0u);
+  EXPECT_EQ(feature_distance({0, 1, 2}, {1, 1, 2}), 1u);
+  EXPECT_EQ(feature_distance({0, 1, 2}, {1, 0, 0}), 3u);
+}
+
+TEST(SocialContacts, RandomProfilesRespectRadices) {
+  Rng rng(7);
+  const std::vector<std::size_t> radices{2, 2, 3};
+  const auto profiles = random_profiles(100, radices, rng);
+  ASSERT_EQ(profiles.size(), 100u);
+  for (const auto& p : profiles) {
+    ASSERT_EQ(p.size(), 3u);
+    for (std::size_t f = 0; f < 3; ++f) EXPECT_LT(p[f], radices[f]);
+  }
+}
+
+TEST(SocialContacts, FrequencyDecaysWithFeatureDistance) {
+  // The generated trace must obey the paper's law: closer profiles meet
+  // more often, with ratio ~ decay per unit distance.
+  Rng rng(8);
+  SocialTraceParams p;
+  p.people = 50;
+  p.horizon = 2000;
+  p.base_rate = 0.3;
+  p.decay = 0.4;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  const auto freq = contact_frequency_by_distance(trace, profiles);
+  ASSERT_EQ(freq.size(), 4u);
+  EXPECT_NEAR(freq[0], 0.3, 0.05);
+  for (std::size_t d = 1; d < freq.size(); ++d) {
+    EXPECT_LT(freq[d], freq[d - 1]) << "distance " << d;
+    EXPECT_NEAR(freq[d] / freq[d - 1], 0.4, 0.15) << "distance " << d;
+  }
+}
+
+TEST(SocialContacts, InterContactTimesLookGeometric) {
+  // The memoryless generator should yield inter-contact CV ~ 1.
+  Rng rng(9);
+  SocialTraceParams p;
+  p.people = 12;
+  p.horizon = 4000;
+  p.radices = {2};
+  p.base_rate = 0.1;
+  p.decay = 1.0;  // uniform rate
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  const auto stats = contact_statistics(trace);
+  const double mean = stats.inter_contact_time.mean();
+  // Geometric with success 0.1 => mean gap ~ (1-p)/p = 9.
+  EXPECT_NEAR(mean, 9.0, 2.0);
+}
+
+}  // namespace
+}  // namespace structnet

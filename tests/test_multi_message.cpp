@@ -1,0 +1,153 @@
+// Tests for contact-trace IO and the multi-message simulator with
+// buffer contention.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mobility/social_contacts.hpp"
+#include "sim/multi_message.hpp"
+#include "temporal/fig2_example.hpp"
+#include "temporal/journeys.hpp"
+#include "temporal/trace_io.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  const auto eg = fig2::build();
+  std::stringstream ss;
+  write_contact_trace(ss, eg);
+  const auto back = read_contact_trace(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->vertex_count(), eg.vertex_count());
+  EXPECT_EQ(back->horizon(), eg.horizon());
+  EXPECT_EQ(back->edge_count(), eg.edge_count());
+  for (const auto& edge : eg.edges()) {
+    for (TimeUnit t : edge.labels) {
+      EXPECT_TRUE(back->has_contact(edge.u, edge.v, t));
+    }
+  }
+}
+
+TEST(TraceIo, RejectsMalformed) {
+  std::stringstream bad1("3 5 1\n0 9 2\n");  // vertex out of range
+  EXPECT_FALSE(read_contact_trace(bad1).has_value());
+  std::stringstream bad2("3 5 1\n0 1 7\n");  // time beyond horizon
+  EXPECT_FALSE(read_contact_trace(bad2).has_value());
+  std::stringstream bad3("3 5 1\n1 1 2\n");  // self contact
+  EXPECT_FALSE(read_contact_trace(bad3).has_value());
+  std::stringstream bad4("3 5 2\n0 1 2\n");  // truncated
+  EXPECT_FALSE(read_contact_trace(bad4).has_value());
+}
+
+TemporalGraph chain_trace() {
+  TemporalGraph eg(4, 12);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 3);
+  eg.add_contact(2, 3, 5);
+  eg.add_contact(0, 3, 9);
+  return eg;
+}
+
+TEST(MultiMessage, SingleMessageMatchesSingleSimulator) {
+  const auto trace = chain_trace();
+  const std::vector<MessageSpec> msgs{{0, 3, 0}};
+  const auto multi =
+      simulate_workload(trace, msgs, epidemic_strategy(), 0, 0);
+  const auto single = simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0);
+  EXPECT_EQ(multi.delivered, 1u);
+  EXPECT_DOUBLE_EQ(multi.average_delay,
+                   static_cast<double>(single.delivery_time));
+}
+
+TEST(MultiMessage, UnlimitedBuffersNeverDrop) {
+  Rng rng(1);
+  SocialTraceParams p;
+  p.people = 20;
+  p.horizon = 150;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  std::vector<MessageSpec> msgs;
+  Rng pick(2);
+  for (int i = 0; i < 20; ++i) {
+    msgs.push_back({static_cast<VertexId>(pick.index(20)),
+                    static_cast<VertexId>(pick.index(20)),
+                    static_cast<TimeUnit>(pick.index(30))});
+  }
+  const auto r = simulate_workload(trace, msgs, epidemic_strategy(), 0, 0);
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_GT(r.delivery_ratio(), 0.9);
+}
+
+TEST(MultiMessage, TinyBuffersDropAndHurtEpidemic) {
+  Rng rng(3);
+  SocialTraceParams p;
+  p.people = 24;
+  p.horizon = 120;
+  p.base_rate = 0.15;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  std::vector<MessageSpec> msgs;
+  Rng pick(4);
+  for (int i = 0; i < 30; ++i) {
+    const auto s = static_cast<VertexId>(pick.index(24));
+    const auto d = static_cast<VertexId>(pick.index(24));
+    if (s == d) continue;
+    msgs.push_back({s, d, 0});
+  }
+  const auto roomy = simulate_workload(trace, msgs, epidemic_strategy(), 0, 0);
+  const auto tight = simulate_workload(trace, msgs, epidemic_strategy(), 0, 2);
+  EXPECT_GT(tight.drops, 0u);
+  EXPECT_LE(tight.delivery_ratio(), roomy.delivery_ratio());
+  EXPECT_LT(tight.transmissions, roomy.transmissions);
+}
+
+TEST(MultiMessage, DirectTrafficUnaffectedByBuffers) {
+  // Direct delivery keeps exactly one copy (at the source, which always
+  // buffers its own), so buffer pressure never bites.
+  Rng rng(5);
+  SocialTraceParams p;
+  p.people = 20;
+  p.horizon = 200;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  std::vector<MessageSpec> msgs;
+  Rng pick(6);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = static_cast<VertexId>(pick.index(20));
+    const auto d = static_cast<VertexId>(pick.index(20));
+    if (s == d) continue;
+    msgs.push_back({s, d, 0});
+  }
+  const auto roomy = simulate_workload(trace, msgs, direct_strategy(), 1, 0);
+  const auto tight = simulate_workload(trace, msgs, direct_strategy(), 1, 1);
+  EXPECT_EQ(roomy.delivered, tight.delivered);
+  EXPECT_EQ(tight.drops, 0u);
+}
+
+TEST(MultiMessage, DeliveredCopiesFreeBuffers) {
+  // After delivery, the buffers are released: a second message can use
+  // the same tight buffer later.
+  TemporalGraph eg(3, 10);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 2);
+  eg.add_contact(0, 1, 5);
+  eg.add_contact(1, 2, 6);
+  const std::vector<MessageSpec> msgs{{0, 2, 0}, {0, 2, 4}};
+  const auto r = simulate_workload(eg, msgs, epidemic_strategy(), 0, 1);
+  EXPECT_EQ(r.delivered, 2u);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(MultiMessage, StaggeredCreationTimes) {
+  const auto trace = chain_trace();
+  // Created after the relay chain has passed: only the direct contact at
+  // t=9 can deliver.
+  const std::vector<MessageSpec> late{{0, 3, 4}};
+  const auto r = simulate_workload(trace, late, epidemic_strategy(), 0, 0);
+  EXPECT_EQ(r.delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.average_delay, 5.0);  // 9 - 4
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,270 @@
+// Parameterized property sweeps (TEST_P): cross-cutting invariants
+// checked over grids of seeds, sizes, and densities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "algo/chordal.hpp"
+#include "algo/components.hpp"
+#include "core/generators.hpp"
+#include "intersection/interval_graph.hpp"
+#include "labeling/safety_levels.hpp"
+#include "labeling/static_labels.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "sim/dtn_routing.hpp"
+#include "temporal/journeys.hpp"
+#include "trimming/eg_trimming.hpp"
+
+namespace structnet {
+namespace {
+
+// ------------------------------------------------- journey invariants
+
+class JourneyProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, double>> {
+ protected:
+  TemporalGraph make_trace() {
+    const auto [seed, nodes, radius] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    RandomWaypointParams p;
+    p.nodes = nodes;
+    p.steps = 30;
+    return contacts_from_trajectory(random_waypoint(p, rng), radius);
+  }
+};
+
+TEST_P(JourneyProperties, CriteriaAreConsistent) {
+  const auto eg = make_trace();
+  const std::size_t n = eg.vertex_count();
+  for (VertexId s = 0; s < n; s += 3) {
+    for (VertexId d = 1; d < n; d += 4) {
+      if (s == d) continue;
+      const auto ec = earliest_completion_journey(eg, s, d, 0);
+      const auto mh = minimum_hop_journey(eg, s, d, 0);
+      const auto fp = fastest_journey(eg, s, d, 0);
+      // All three exist or none does.
+      EXPECT_EQ(ec.has_value(), mh.has_value());
+      EXPECT_EQ(ec.has_value(), fp.has_value());
+      if (!ec) continue;
+      EXPECT_TRUE(ec->valid_for(eg));
+      EXPECT_TRUE(mh->valid_for(eg));
+      EXPECT_TRUE(fp->valid_for(eg));
+      // Earliest completion is minimal; min hop is minimal; fastest span
+      // is minimal.
+      EXPECT_LE(ec->completion(), mh->completion());
+      EXPECT_LE(ec->completion(), fp->completion());
+      EXPECT_LE(mh->hop_count(), ec->hop_count());
+      EXPECT_LE(mh->hop_count(), fp->hop_count());
+      EXPECT_LE(fp->span(), ec->span());
+      EXPECT_LE(fp->span(), mh->span());
+    }
+  }
+}
+
+TEST_P(JourneyProperties, EpidemicRoutingMatchesOracle) {
+  const auto eg = make_trace();
+  const std::size_t n = eg.vertex_count();
+  for (VertexId s = 0; s < n; s += 5) {
+    const auto oracle = earliest_arrival(eg, s, 0);
+    for (VertexId d = 0; d < n; d += 3) {
+      if (s == d) continue;
+      const auto sim = simulate_routing(eg, s, d, 0, epidemic_strategy(), 0);
+      if (oracle.completion[d] == kNeverTime) {
+        EXPECT_FALSE(sim.delivered);
+      } else {
+        ASSERT_TRUE(sim.delivered);
+        EXPECT_EQ(sim.delivery_time, oracle.completion[d]);
+      }
+    }
+  }
+}
+
+TEST_P(JourneyProperties, ReachabilityMonotoneInStartTime) {
+  // Starting later can never reach more: completion sets shrink as
+  // t_start grows.
+  const auto eg = make_trace();
+  for (VertexId s = 0; s < eg.vertex_count(); s += 4) {
+    auto prev = earliest_arrival(eg, s, 0).completion;
+    for (TimeUnit t0 = 1; t0 < eg.horizon(); t0 += 7) {
+      const auto now = earliest_arrival(eg, s, t0).completion;
+      for (std::size_t v = 0; v < now.size(); ++v) {
+        if (now[v] != kNeverTime) {
+          EXPECT_NE(prev[v], kNeverTime);
+          EXPECT_LE(prev[v], now[v]);
+        }
+      }
+      prev = now;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JourneyProperties,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(std::size_t{8}, std::size_t{14}),
+                       ::testing::Values(0.2, 0.35)));
+
+// ------------------------------------------------ trimming preservation
+
+class TrimmingProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrimmingProperties, AllThreeRulesPreserveCompletion) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  RandomWaypointParams p;
+  p.nodes = 9;
+  p.steps = 10;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.45);
+  std::vector<double> prio(p.nodes);
+  for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+
+  const auto nodes = trim_nodes(eg, prio);
+  std::vector<bool> alive(p.nodes, true);
+  for (VertexId v : nodes.removed_nodes) alive[v] = false;
+  EXPECT_TRUE(preserves_reachability(eg, nodes.trimmed, alive, true));
+
+  const std::vector<bool> all(p.nodes, true);
+  // Link trimming guarantees reachability (endpoint arrivals may slip);
+  // label trimming is exact.
+  EXPECT_TRUE(
+      preserves_reachability(eg, trim_links(eg, prio).trimmed, all, false));
+  EXPECT_TRUE(preserves_reachability(eg, trim_labels(eg).trimmed, all, true));
+}
+
+TEST_P(TrimmingProperties, MinHopVariantNodeTrimPreservesHopCounts) {
+  // The paper: "we can require that each replacement path have, at most,
+  // one intermediate node" to preserve minimum hop counts. This holds
+  // for NODE trimming (every 2-hop through-segment is replaced by a
+  // <= 2-hop segment); journeys between surviving pairs keep their
+  // minimum hop counts exactly.
+  Rng rng(static_cast<std::uint64_t>(GetParam() + 100));
+  RandomWaypointParams p;
+  p.nodes = 8;
+  p.steps = 8;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.5);
+  std::vector<double> prio(p.nodes);
+  for (std::size_t v = 0; v < p.nodes; ++v) prio[v] = double(p.nodes - v);
+  const auto nodes = trim_nodes(eg, prio, TrimVariant::kMinimumHopPreserving);
+  std::vector<bool> alive(p.nodes, true);
+  for (VertexId v : nodes.removed_nodes) alive[v] = false;
+  for (VertexId s = 0; s < p.nodes; ++s) {
+    for (VertexId d = 0; d < p.nodes; ++d) {
+      if (s == d || !alive[s] || !alive[d]) continue;
+      const auto before = minimum_hop_journey(eg, s, d, 0);
+      const auto after = minimum_hop_journey(nodes.trimmed, s, d, 0);
+      ASSERT_EQ(before.has_value(), after.has_value()) << s << "->" << d;
+      if (before && after) {
+        EXPECT_EQ(before->hop_count(), after->hop_count()) << s << "->" << d;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrimmingProperties,
+                         ::testing::Range(1, 11));
+
+// -------------------------------------------------- labeling invariants
+
+class LabelingProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(LabelingProperties, AllSetsSatisfyDefinitions) {
+  const auto [n, avg_degree, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Graph g = erdos_renyi(n, avg_degree / double(n), rng);
+  std::vector<double> prio(n);
+  for (auto& p : prio) p = rng.uniform01();
+
+  const auto mis = distributed_mis(g, prio);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.in_mis));
+
+  const auto ds = neighbor_designated_ds(g, prio);
+  EXPECT_TRUE(is_dominating_set(g, ds));
+
+  // CDS properties are per connected component; validate on the largest.
+  const auto mask = largest_component_mask(g);
+  std::vector<VertexId> map;
+  const Graph comp = g.induced_subgraph(mask, &map);
+  if (comp.vertex_count() >= 3) {
+    const auto black = marking_process(comp);
+    if (std::any_of(black.begin(), black.end(), [](bool b) { return b; })) {
+      EXPECT_TRUE(is_connected_dominating_set(comp, black));
+      std::vector<double> cprio(comp.vertex_count());
+      for (auto& p : cprio) p = rng.uniform01();
+      EXPECT_TRUE(
+          is_connected_dominating_set(comp, trim_cds(comp, black, cprio)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LabelingProperties,
+    ::testing::Combine(::testing::Values(std::size_t{24}, std::size_t{48},
+                                         std::size_t{96}),
+                       ::testing::Values(3.0, 6.0, 12.0),
+                       ::testing::Values(1, 2, 3)));
+
+// -------------------------------------------------- safety level sweeps
+
+class SafetyLevelProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SafetyLevelProperties, LevelSemanticsHold) {
+  const auto [dims, faults] = GetParam();
+  Rng rng(dims * 31 + faults);
+  std::vector<std::size_t> faulty;
+  for (auto f :
+       rng.sample_without_replacement(std::size_t{1} << dims, faults)) {
+    faulty.push_back(f);
+  }
+  const SafetyLevelCube cube(dims, faulty);
+  EXPECT_LE(cube.rounds_used(), dims - 1);
+  for (std::size_t v = 0; v < cube.node_count(); ++v) {
+    if (cube.is_faulty(v)) {
+      EXPECT_EQ(cube.level(v), 0u);
+      continue;
+    }
+    // Level l guarantee: shortest-path routing to everything within l.
+    const auto l = cube.level(v);
+    for (std::size_t t = 0; t < cube.node_count(); ++t) {
+      if (t == v || cube.is_faulty(t)) continue;
+      const auto d = SafetyLevelCube::hamming(v, t);
+      if (d > l) continue;
+      const auto path = cube.route(v, t);
+      ASSERT_TRUE(path.has_value()) << v << "->" << t;
+      EXPECT_EQ(path->size() - 1, d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SafetyLevelProperties,
+    ::testing::Combine(::testing::Values(std::size_t{4}, std::size_t{5},
+                                         std::size_t{6}),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{6})));
+
+// ----------------------------------------------- interval graph sweeps
+
+class IntervalProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalProperties, GeneratedIntervalGraphsAreChordalInterval) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Interval> iv;
+  for (int i = 0; i < 12; ++i) {
+    const double s = rng.uniform(0.0, 40.0);
+    iv.push_back(Interval{s, s + rng.uniform(0.0, 10.0)});
+  }
+  const Graph g = interval_graph(iv);
+  EXPECT_TRUE(is_chordal(g));
+  const auto verdict = is_interval_graph(g);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(is_interval_representation(g, iv));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalProperties, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,124 @@
+// Second parameterized property suite: weighted-journey cost oracle,
+// spanner stretch sweeps, and edge-Markovian density laws.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <tuple>
+
+#include "core/generators.hpp"
+#include "mobility/edge_markovian.hpp"
+#include "temporal/weighted.hpp"
+#include "trimming/spanner.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+// ---------------------------------------- min-delay brute-force oracle
+
+void enumerate_cost(const WeightedTemporalGraph& eg, VertexId cur, VertexId d,
+                    TimeUnit min_label, double cost, std::vector<bool>& visited,
+                    double& best) {
+  if (cur == d) {
+    best = std::min(best, cost);
+    return;
+  }
+  if (cost >= best) return;  // positive weights: prune dominated prefixes
+  for (EdgeId e : eg.unweighted().incident_edges(cur)) {
+    const VertexId next = eg.unweighted().other_endpoint(e, cur);
+    if (visited[next]) continue;
+    for (TimeUnit t : eg.unweighted().edge(e).labels) {
+      if (t < min_label) continue;
+      visited[next] = true;
+      const double w = *eg.weight_of(cur, next, t);
+      enumerate_cost(eg, next, d, t, cost + w, visited, best);
+      visited[next] = false;
+    }
+  }
+}
+
+class WeightedOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedOracle, MinDelayMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  WeightedTemporalGraph eg(6, 8);
+  for (int c = 0; c < 12; ++c) {
+    const auto u = static_cast<VertexId>(rng.index(6));
+    const auto v = static_cast<VertexId>(rng.index(6));
+    if (u == v) continue;
+    eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(8)),
+                   rng.uniform(0.1, 1.0));
+  }
+  for (VertexId d = 1; d < 6; ++d) {
+    double oracle = std::numeric_limits<double>::infinity();
+    std::vector<bool> visited(6, false);
+    visited[0] = true;
+    enumerate_cost(eg, 0, d, 0, 0.0, visited, oracle);
+    const auto md = min_delay_journey(eg, 0, d, 0);
+    if (std::isinf(oracle)) {
+      EXPECT_FALSE(md.has_value());
+    } else {
+      ASSERT_TRUE(md.has_value()) << "d=" << d;
+      EXPECT_NEAR(md->value, oracle, 1e-9) << "d=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedOracle, ::testing::Range(1, 21));
+
+// ------------------------------------------------- spanner stretch sweep
+
+class SpannerSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SpannerSweep, PropertyAndMonotonicity) {
+  const auto [seed, stretch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Graph g = erdos_renyi(30, 0.25, rng);
+  for (VertexId v = 0; v + 1 < 30; ++v) g.add_edge_unique(v, v + 1);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.1, 2.0);
+  const auto kept = greedy_spanner(g, w, stretch);
+  const Graph sub = subgraph_of_edges(g, kept);
+  std::vector<double> sw;
+  for (EdgeId e : kept) sw.push_back(w[e]);
+  EXPECT_TRUE(is_spanner(g, w, sub, sw, stretch));
+  // The spanner always contains a spanning structure of each component.
+  EXPECT_GE(kept.size(), g.vertex_count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpannerSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1.3, 2.0, 3.5)));
+
+// --------------------------------------------- edge-Markovian densities
+
+class MarkovDensity
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MarkovDensity, EmpiricalMatchesStationary) {
+  const auto [p, q] = GetParam();
+  Rng rng(99);
+  EdgeMarkovianParams params;
+  params.nodes = 30;
+  params.horizon = 300;
+  params.death_probability = p;
+  params.birth_probability = q;
+  const auto eg = edge_markovian_graph(params, rng);
+  std::size_t active = 0;
+  for (const auto& edge : eg.edges()) active += edge.labels.size();
+  const double pairs = 30.0 * 29.0 / 2.0;
+  const double density =
+      static_cast<double>(active) / (pairs * params.horizon);
+  const double stationary = edge_markovian_stationary_density(p, q);
+  EXPECT_NEAR(density, stationary, 0.05 + stationary * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MarkovDensity,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.9),
+                       ::testing::Values(0.02, 0.1, 0.3)));
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,207 @@
+// Tests for src/remapping: Euclidean greedy routing and its local
+// minima, the guaranteed-delivery tree embedding, and the generalized-
+// hypercube feature space (Fig. 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algo/components.hpp"
+#include "algo/traversal.hpp"
+#include "core/generators.hpp"
+#include "remapping/feature_space.hpp"
+#include "remapping/geo_routing.hpp"
+#include "remapping/tree_embedding.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(GeoRouting, DeliversOnDenseOpenField) {
+  Rng rng(1);
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric(200, 0.2, rng, &pts);
+  const auto mask = largest_component_mask(g);
+  // Pick two far apart vertices in the big component.
+  VertexId s = kInvalidVertex, t = kInvalidVertex;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (!mask[v]) continue;
+    if (s == kInvalidVertex || pts[v].x < pts[s].x) s = v;
+    if (t == kInvalidVertex || pts[v].x > pts[t].x) t = v;
+  }
+  const auto r = greedy_route_euclidean(g, pts, s, t);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.path.front(), s);
+  EXPECT_EQ(r.path.back(), t);
+}
+
+TEST(GeoRouting, DistanceStrictlyDecreasesAlongPath) {
+  Rng rng(2);
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric(150, 0.25, rng, &pts);
+  const auto r = greedy_route_euclidean(g, pts, 0, 37);
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    EXPECT_LT(squared_distance(pts[r.path[i]], pts[37]),
+              squared_distance(pts[r.path[i - 1]], pts[37]));
+  }
+}
+
+TEST(GeoRouting, UShapedHoleTrapsGreedy) {
+  // Fig. 5 (a): traffic crossing the pocket of a U gets stuck. With the
+  // pocket opening right and the target to the left, sources due right
+  // of the pocket fail often.
+  Rng rng(3);
+  const auto holes = u_shaped_hole();
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric_with_holes(500, 0.07, holes, rng, &pts);
+  std::size_t stuck = 0, attempts = 0;
+  for (VertexId s = 0; s < g.vertex_count(); ++s) {
+    if (pts[s].x < 0.55 || pts[s].x > 0.75 || pts[s].y < 0.4 ||
+        pts[s].y > 0.6) {
+      continue;  // want sources inside/near the pocket mouth
+    }
+    for (VertexId t = 0; t < g.vertex_count(); ++t) {
+      if (pts[t].x > 0.15) continue;  // targets on the far left
+      ++attempts;
+      stuck += !greedy_route_euclidean(g, pts, s, t).delivered;
+      if (attempts >= 50) break;
+    }
+    if (attempts >= 50) break;
+  }
+  ASSERT_GT(attempts, 10u);
+  EXPECT_GT(stuck, attempts / 4);  // the hole really bites
+}
+
+TEST(GeoRouting, HoleFreePointsAvoidHoles) {
+  Rng rng(4);
+  const auto holes = u_shaped_hole();
+  std::vector<Point2D> pts;
+  random_geometric_with_holes(300, 0.1, holes, rng, &pts);
+  for (const auto& p : pts) {
+    for (const auto& h : holes) EXPECT_FALSE(h.contains(p));
+  }
+}
+
+TEST(TreeEmbedding, TreeDistanceMatchesBfsOnTree) {
+  // On a tree, embedding distance == exact graph distance.
+  Rng rng(5);
+  Graph g(40);
+  for (VertexId v = 1; v < 40; ++v) {
+    g.add_edge(v, static_cast<VertexId>(rng.index(v)));
+  }
+  const TreeEmbedding emb(g, 0);
+  for (VertexId s = 0; s < 40; s += 7) {
+    const auto d = bfs_distances(g, s);
+    for (VertexId t = 0; t < 40; ++t) {
+      EXPECT_EQ(emb.tree_distance(s, t), d[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(TreeEmbedding, GreedyAlwaysDeliversWhereEuclideanFails) {
+  // Fig. 5 (b)'s promise: after remapping, greedy always succeeds.
+  Rng rng(6);
+  const auto holes = u_shaped_hole();
+  std::vector<Point2D> pts;
+  Graph g = random_geometric_with_holes(400, 0.08, holes, rng, &pts);
+  const auto mask = largest_component_mask(g);
+  std::vector<VertexId> map;
+  const Graph comp = g.induced_subgraph(mask, &map);
+  ASSERT_TRUE(is_connected(comp));
+  const TreeEmbedding emb(comp, 0);
+  Rng pick(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(comp.vertex_count()));
+    const auto t = static_cast<VertexId>(pick.index(comp.vertex_count()));
+    const auto r = emb.greedy_route(comp, s, t);
+    EXPECT_TRUE(r.delivered) << s << "->" << t;
+  }
+}
+
+TEST(TreeEmbedding, ChordsShortcutTreeRoutes) {
+  // A cycle: the tree is a path, but greedy over graph neighbors may use
+  // the closing chord.
+  const Graph g = cycle_graph(10);
+  const TreeEmbedding emb(g, 0);
+  const auto r = emb.greedy_route(g, 9, 1);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_LE(r.path.size(), 4u);  // 9 -> 0 -> 1 (tree) or shorter
+}
+
+TEST(FeatureSpace, NodeProfileRoundTrip) {
+  const FeatureSpace fs({2, 2, 3});
+  EXPECT_EQ(fs.node_count(), 12u);
+  for (std::size_t v = 0; v < fs.node_count(); ++v) {
+    EXPECT_EQ(fs.node_of(fs.profile_of(v)), v);
+  }
+}
+
+TEST(FeatureSpace, ShortestPathLengthEqualsFeatureDistance) {
+  const FeatureSpace fs({2, 2, 3});
+  const SocialProfile a{0, 0, 0};
+  const SocialProfile b{1, 0, 2};
+  const auto path = fs.shortest_path(a, b);
+  EXPECT_EQ(path.size(), fs.distance(a, b) + 1);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+  // Consecutive profiles differ in exactly one feature.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(feature_distance(path[i - 1], path[i]), 1u);
+  }
+}
+
+TEST(FeatureSpace, ShortestPathMatchesHypercubeBfs) {
+  const std::vector<std::size_t> radices{2, 3, 2};
+  const FeatureSpace fs(radices);
+  const Graph cube = fs.hypercube();
+  for (std::size_t a = 0; a < fs.node_count(); ++a) {
+    const auto d = bfs_distances(cube, static_cast<VertexId>(a));
+    for (std::size_t b = 0; b < fs.node_count(); ++b) {
+      EXPECT_EQ(d[b], fs.distance(fs.profile_of(a), fs.profile_of(b)));
+    }
+  }
+}
+
+TEST(FeatureSpace, DisjointPathsAreDisjointAndShortest) {
+  const FeatureSpace fs({3, 3, 4, 2});
+  const SocialProfile a{0, 1, 2, 0};
+  const SocialProfile b{2, 2, 3, 1};  // distance 4
+  const auto paths = fs.disjoint_paths(a, b);
+  ASSERT_EQ(paths.size(), 4u);
+  std::set<SocialProfile> interior_seen;
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(interior_seen.insert(path[i]).second)
+          << "shared interior node";
+    }
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      EXPECT_EQ(feature_distance(path[i - 1], path[i]), 1u);
+    }
+  }
+}
+
+TEST(FeatureSpace, DisjointPathsDegenerate) {
+  const FeatureSpace fs({2, 2});
+  const SocialProfile a{0, 0};
+  EXPECT_TRUE(fs.disjoint_paths(a, a).empty());
+  const auto one = fs.disjoint_paths(a, {1, 0});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 2u);
+}
+
+TEST(FeatureSpace, Fig6CubeIsTheGeneralizedHypercube) {
+  // Fig. 6: gender (2) x occupation (2) x nationality (3).
+  const FeatureSpace fs({2, 2, 3});
+  const Graph cube = fs.hypercube();
+  EXPECT_EQ(cube.vertex_count(), 12u);
+  // Strong links = one feature apart.
+  for (const auto& e : cube.edges()) {
+    EXPECT_EQ(
+        feature_distance(fs.profile_of(e.u), fs.profile_of(e.v)), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,292 @@
+// Tests for src/sim: the synchronous round engine and the DTN routing
+// simulator with its strategy zoo.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/traversal.hpp"
+#include "core/generators.hpp"
+#include "mobility/social_contacts.hpp"
+#include "sim/dtn_routing.hpp"
+#include "sim/round_engine.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(RoundEngine, DistributedBfsMatchesCentralized) {
+  Rng rng(1);
+  Graph g = erdos_renyi(50, 0.1, rng);
+  for (VertexId v = 0; v + 1 < 50; ++v) g.add_edge_unique(v, v + 1);
+  const auto result = distributed_bfs(g, 0);
+  const auto oracle = bfs_distances(g, 0);
+  EXPECT_EQ(result.distance, oracle);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(RoundEngine, BfsRoundsTrackEccentricity) {
+  const Graph g = path_graph(12);
+  const auto result = distributed_bfs(g, 0);
+  // Information needs ~eccentricity rounds plus the final quiet round.
+  EXPECT_GE(result.rounds, 11u);
+  EXPECT_LE(result.rounds, 14u);
+}
+
+TEST(RoundEngine, MessageCountsAccumulate) {
+  struct S {
+    int fired = 0;
+  };
+  const Graph g = complete_graph(4);
+  SyncNetwork<S, int> net(g, std::vector<S>(4));
+  net.step([&](VertexId self, S& s, auto, const auto& send) {
+    if (s.fired == 0) {
+      s.fired = 1;
+      for (VertexId w : net.graph().neighbors(self)) send(w, 7);
+    }
+  });
+  EXPECT_EQ(net.messages(), 12u);  // 4 nodes x 3 neighbors
+  EXPECT_EQ(net.rounds(), 1u);
+  EXPECT_FALSE(net.idle());
+  net.step([](VertexId, S&, auto inbox, const auto&) {
+    EXPECT_EQ(inbox.size(), 3u);
+  });
+  EXPECT_TRUE(net.idle());
+}
+
+// ---------------------------------------------------------- routing
+
+TemporalGraph chain_trace() {
+  // 0 meets 1 at t=1, 1 meets 2 at t=3, 2 meets 3 at t=5;
+  // 0 meets 3 directly at t=9.
+  TemporalGraph eg(4, 12);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 3);
+  eg.add_contact(2, 3, 5);
+  eg.add_contact(0, 3, 9);
+  return eg;
+}
+
+TEST(DtnRouting, DirectWaitsForDestinationContact) {
+  const auto trace = chain_trace();
+  const auto r = simulate_routing(trace, 0, 3, 0, direct_strategy());
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 9u);
+  EXPECT_EQ(r.hops, 1u);
+  EXPECT_EQ(r.copies, 1u);
+}
+
+TEST(DtnRouting, EpidemicTakesTheRelayChain) {
+  const auto trace = chain_trace();
+  const auto r = simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 5u);
+  EXPECT_EQ(r.hops, 3u);
+  EXPECT_GE(r.copies, 3u);
+}
+
+TEST(DtnRouting, EpidemicNeverSlowerThanDirect) {
+  Rng rng(2);
+  SocialTraceParams p;
+  p.people = 20;
+  p.horizon = 300;
+  p.base_rate = 0.05;
+  p.decay = 0.5;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<VertexId>(rng.index(20));
+    const auto d = static_cast<VertexId>(rng.index(20));
+    if (s == d) continue;
+    const auto de = simulate_routing(trace, s, d, 0, epidemic_strategy(), 0);
+    const auto dd = simulate_routing(trace, s, d, 0, direct_strategy());
+    if (dd.delivered) {
+      ASSERT_TRUE(de.delivered);
+      EXPECT_LE(de.delivery_time, dd.delivery_time);
+    }
+  }
+}
+
+TEST(DtnRouting, SprayAndWaitBoundsCopies) {
+  Rng rng(3);
+  SocialTraceParams p;
+  p.people = 30;
+  p.horizon = 400;
+  p.base_rate = 0.05;
+  p.decay = 0.6;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<VertexId>(rng.index(30));
+    const auto d = static_cast<VertexId>(rng.index(30));
+    if (s == d) continue;
+    const auto r =
+        simulate_routing(trace, s, d, 0, spray_and_wait_strategy(), 8);
+    EXPECT_LE(r.copies, 8u);
+  }
+}
+
+TEST(DtnRouting, InstantaneousChainWithinUnit) {
+  // Both contacts at t=2: the message must chain within the unit.
+  TemporalGraph eg(3, 4);
+  eg.add_contact(0, 1, 2);
+  eg.add_contact(1, 2, 2);
+  const auto r = simulate_routing(eg, 0, 2, 0, epidemic_strategy(), 0);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 2u);
+}
+
+TEST(DtnRouting, GreedyMetricFollowsGradient) {
+  // Metric = distance to node 3 on the chain: 0 hands to 1, 1 to 2, ...
+  const auto trace = chain_trace();
+  const auto r = simulate_routing(
+      trace, 0, 3, 0, greedy_metric_strategy({3.0, 2.0, 1.0, 0.0}));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 5u);
+  EXPECT_EQ(r.copies, 1u);  // single copy moved along
+}
+
+TEST(DtnRouting, GreedyMetricRefusesUphill) {
+  // Inverted metric: node 0 never forwards to 1; only the direct t=9
+  // contact delivers.
+  const auto trace = chain_trace();
+  const auto r = simulate_routing(
+      trace, 0, 3, 0, greedy_metric_strategy({0.5, 2.0, 3.0, 0.0}));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 9u);
+}
+
+TEST(DtnRouting, StartTimeRespected) {
+  const auto trace = chain_trace();
+  const auto r = simulate_routing(trace, 0, 3, 2, epidemic_strategy(), 0);
+  // Contacts before t0=2 are gone; chain starts too late, direct at 9.
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.delivery_time, 9u);
+}
+
+TEST(DtnRouting, UndeliverableReportsFailure) {
+  TemporalGraph eg(3, 5);
+  eg.add_contact(0, 1, 1);
+  const auto r = simulate_routing(eg, 0, 2, 0, epidemic_strategy(), 0);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.delivery_time, kNeverTime);
+}
+
+// ------------------------------------------- utility forwarding (TOUR)
+
+TEST(UtilityForwarding, ValueDecreasesOverTime) {
+  const std::size_t n = 4;
+  std::vector<double> meet(n * n, 0.05);
+  UtilityForwarding uf(meet, n, 3, 100.0, 1.0, 80);
+  for (VertexId x = 0; x < 3; ++x) {
+    for (TimeUnit t = 1; t < 80; t += 13) {
+      EXPECT_LE(uf.value(x, t), uf.value(x, t - 1) + 1e-9);
+    }
+  }
+}
+
+TEST(UtilityForwarding, BetterContactRateHigherValue) {
+  const std::size_t n = 3;
+  std::vector<double> meet(n * n, 0.0);
+  // Node 1 meets destination 2 often; node 0 rarely.
+  meet[0 * n + 2] = meet[2 * n + 0] = 0.01;
+  meet[1 * n + 2] = meet[2 * n + 1] = 0.3;
+  meet[0 * n + 1] = meet[1 * n + 0] = 0.05;
+  UtilityForwarding uf(meet, n, 2, 50.0, 0.5, 60);
+  EXPECT_GT(uf.value(1, 0), uf.value(0, 0));
+  // So 1 is in 0's forwarding set...
+  const auto set0 = uf.forwarding_set(0, 0);
+  EXPECT_NE(std::find(set0.begin(), set0.end(), VertexId{1}), set0.end());
+  // ... and 0 is not in 1's.
+  const auto set1 = uf.forwarding_set(1, 0);
+  EXPECT_EQ(std::find(set1.begin(), set1.end(), VertexId{0}), set1.end());
+}
+
+TEST(UtilityForwarding, StrategyBeatsDirectOnUtility) {
+  // With a strong relay, utility routing should deliver earlier than
+  // direct (thus at higher utility) on average.
+  Rng rng(4);
+  const std::size_t n = 12;
+  std::vector<double> meet(n * n, 0.0);
+  auto set_rate = [&](VertexId a, VertexId b, double r) {
+    meet[a * n + b] = meet[b * n + a] = r;
+  };
+  // Hub 1 talks to everyone often; others talk to the hub only.
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != 1) set_rate(1, v, 0.2);
+  }
+  set_rate(0, 11, 0.005);  // source barely meets destination
+  const TimeUnit horizon = 150;
+  UtilityForwarding uf(meet, n, 11, 100.0, 0.5, horizon);
+
+  // Sample traces from the same probabilities.
+  double direct_util = 0.0, tour_util = 0.0;
+  for (int trial = 0; trial < 40; ++trial) {
+    TemporalGraph trace(n, horizon);
+    for (TimeUnit t = 0; t < horizon; ++t) {
+      for (VertexId a = 0; a < n; ++a) {
+        for (VertexId b = a + 1; b < n; ++b) {
+          if (meet[a * n + b] > 0.0 && rng.bernoulli(meet[a * n + b])) {
+            trace.add_contact(a, b, t);
+          }
+        }
+      }
+    }
+    const auto rd = simulate_routing(trace, 0, 11, 0, direct_strategy());
+    const auto rt = simulate_routing(trace, 0, 11, 0, uf.strategy());
+    if (rd.delivered) direct_util += uf.utility_at(rd.delivery_time);
+    if (rt.delivered) tour_util += uf.utility_at(rt.delivery_time);
+  }
+  EXPECT_GT(tour_util, direct_util);
+}
+
+TEST(UtilityForwarding, ForwardingSetShrinksOverTime) {
+  // The paper's claim for time-sensitive utility: "the forwarding set at
+  // the same intermediate node shrinks over time." Node 1 is a two-hop
+  // relay (rarely meets the destination directly but reaches the strong
+  // relay 2): early, the two-hop detour pays; near the deadline it no
+  // longer amortizes, and 1 drops out of 0's set while 2 stays.
+  const std::size_t n = 4;
+  const VertexId dest = 3;
+  std::vector<double> meet(n * n, 0.0);
+  auto set_rate = [&](VertexId a, VertexId b, double r) {
+    meet[a * n + b] = meet[b * n + a] = r;
+  };
+  set_rate(0, dest, 0.02);
+  set_rate(2, dest, 0.3);
+  set_rate(1, 2, 0.03);
+  set_rate(0, 1, 0.1);
+  const TimeUnit horizon = 120;
+  UtilityForwarding uf(meet, n, dest, 50.0, 0.5, horizon);
+
+  auto in_set = [&](VertexId c, TimeUnit t) {
+    const auto set = uf.forwarding_set(0, t);
+    return std::find(set.begin(), set.end(), c) != set.end();
+  };
+  // Early: both the strong relay and the two-hop relay are worth it.
+  EXPECT_TRUE(in_set(2, 0));
+  EXPECT_TRUE(in_set(1, 0));
+  // Late (utility expires at t = 100): the two-hop relay has dropped out
+  // while the strong relay remains -> the set shrank.
+  EXPECT_TRUE(in_set(2, 90));
+  EXPECT_FALSE(in_set(1, 90));
+  // And set size is (weakly) monotone decreasing across the horizon.
+  std::size_t prev = uf.forwarding_set(0, 0).size();
+  for (TimeUnit t = 10; t <= 90; t += 10) {
+    const std::size_t now = uf.forwarding_set(0, t).size();
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(UtilityForwarding, EstimateMeetProbabilities) {
+  TemporalGraph eg(3, 100);
+  for (TimeUnit t = 0; t < 100; t += 2) eg.add_contact(0, 1, t);  // p = 0.5
+  for (TimeUnit t = 0; t < 100; t += 10) eg.add_contact(1, 2, t);  // 0.1
+  const auto p = estimate_meet_probabilities(eg);
+  EXPECT_NEAR(p[0 * 3 + 1], 0.5, 1e-9);
+  EXPECT_NEAR(p[1 * 3 + 2], 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(p[0 * 3 + 2], 0.0);
+  EXPECT_DOUBLE_EQ(p[1 * 3 + 0], 0.5);  // symmetric
+}
+
+}  // namespace
+}  // namespace structnet

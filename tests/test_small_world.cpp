@@ -1,0 +1,101 @@
+// Tests for src/remapping/small_world: Kleinberg's lattice and the
+// inverse-square greedy-routing phenomenon the paper's introduction
+// highlights.
+#include <gtest/gtest.h>
+
+#include "algo/components.hpp"
+#include "algo/traversal.hpp"
+#include "remapping/small_world.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(SmallWorld, LatticeDistanceOnTorus) {
+  Rng rng(1);
+  const SmallWorldLattice lattice(8, 2.0, rng);
+  EXPECT_EQ(lattice.lattice_distance(0, 1), 1u);
+  EXPECT_EQ(lattice.lattice_distance(0, 7), 1u);   // wraps
+  EXPECT_EQ(lattice.lattice_distance(0, 8), 1u);   // one row down
+  EXPECT_EQ(lattice.lattice_distance(0, 9), 2u);
+  // Farthest point on an 8-torus: (4, 4).
+  EXPECT_EQ(lattice.lattice_distance(0, 4 * 8 + 4), 8u);
+}
+
+TEST(SmallWorld, EveryNodeHasALongLink) {
+  Rng rng(2);
+  const SmallWorldLattice lattice(10, 2.0, rng);
+  for (VertexId v = 0; v < lattice.node_count(); ++v) {
+    EXPECT_NE(lattice.long_link(v), v);
+    EXPECT_LT(lattice.long_link(v), lattice.node_count());
+  }
+}
+
+TEST(SmallWorld, GraphIsConnectedWithCorrectDegrees) {
+  Rng rng(3);
+  const SmallWorldLattice lattice(12, 2.0, rng);
+  const Graph g = lattice.graph();
+  EXPECT_TRUE(is_connected(g));
+  // Torus lattice alone: degree 4; long links add 1-ish per endpoint.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_GE(g.degree(v), 4u);
+  }
+}
+
+TEST(SmallWorld, GreedyAlwaysDelivers) {
+  Rng rng(4);
+  const SmallWorldLattice lattice(16, 2.0, rng);
+  Rng pick(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(lattice.node_count()));
+    const auto t = static_cast<VertexId>(pick.index(lattice.node_count()));
+    const std::size_t hops = lattice.greedy_route_hops(s, t);
+    // Greedy descends in lattice distance, so hops <= initial distance.
+    EXPECT_LE(hops, lattice.lattice_distance(s, t) + 1);
+  }
+}
+
+TEST(SmallWorld, LongLinksShortcutRouting) {
+  // Greedy hops with long links must beat the plain lattice distance on
+  // average at r = 2.
+  Rng rng(6);
+  const SmallWorldLattice lattice(24, 2.0, rng);
+  Rng pick(7);
+  double greedy = 0.0, lattice_d = 0.0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(lattice.node_count()));
+    const auto t = static_cast<VertexId>(pick.index(lattice.node_count()));
+    greedy += static_cast<double>(lattice.greedy_route_hops(s, t));
+    lattice_d += static_cast<double>(lattice.lattice_distance(s, t));
+  }
+  EXPECT_LT(greedy, 0.9 * lattice_d);
+}
+
+TEST(SmallWorld, InverseSquareBeatsLocalExponents) {
+  // Kleinberg's phenomenon, finite-size version: r = 2 routes much
+  // faster than very local long links (r = 4, nearly lattice-only).
+  // (Against r = 0 the asymptotic gap needs lattices far beyond unit-
+  // test scale; the bench sweeps the full exponent curve.)
+  Rng rng(8);
+  double hops_r2 = 0.0, hops_r4 = 0.0;
+  for (int instance = 0; instance < 3; ++instance) {
+    const SmallWorldLattice l2(20, 2.0, rng);
+    const SmallWorldLattice l4(20, 4.0, rng);
+    Rng pick(instance);
+    hops_r2 += average_greedy_hops(l2, 200, pick);
+    hops_r4 += average_greedy_hops(l4, 200, pick);
+  }
+  EXPECT_LT(hops_r2, 0.9 * hops_r4);
+}
+
+TEST(SmallWorld, AverageHopsHandlesDegeneratePairs) {
+  Rng rng(9);
+  const SmallWorldLattice lattice(4, 2.0, rng);
+  Rng pick(10);
+  const double avg = average_greedy_hops(lattice, 50, pick);
+  EXPECT_GE(avg, 0.0);
+  EXPECT_LE(avg, 8.0);
+}
+
+}  // namespace
+}  // namespace structnet

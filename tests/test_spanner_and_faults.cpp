@@ -1,0 +1,185 @@
+// Tests for greedy spanners (trimming) and failure injection in the DTN
+// simulator (TTL expiry, lossy handovers).
+#include <gtest/gtest.h>
+
+#include "algo/components.hpp"
+#include "core/generators.hpp"
+#include "mobility/social_contacts.hpp"
+#include "sim/dtn_routing.hpp"
+#include "trimming/spanner.hpp"
+
+namespace structnet {
+namespace {
+
+// ------------------------------------------------------------ spanner
+
+TEST(Spanner, KeepsAllEdgesOfATree) {
+  // A tree has no redundancy: every edge survives any stretch.
+  Rng rng(1);
+  Graph g(20);
+  std::vector<double> w;
+  for (VertexId v = 1; v < 20; ++v) {
+    g.add_edge(v, static_cast<VertexId>(rng.index(v)));
+    w.push_back(rng.uniform(0.1, 1.0));
+  }
+  const auto kept = greedy_spanner(g, w, 2.0);
+  EXPECT_EQ(kept.size(), g.edge_count());
+}
+
+TEST(Spanner, SparsifiesCompleteGraph) {
+  Rng rng(2);
+  const Graph g = complete_graph(24);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.5, 1.5);
+  const auto kept = greedy_spanner(g, w, 3.0);
+  EXPECT_LT(kept.size(), g.edge_count() / 2);
+}
+
+TEST(Spanner, PropertyHoldsOnRandomGraphs) {
+  Rng rng(3);
+  for (double stretch : {1.5, 2.0, 4.0}) {
+    Graph g = erdos_renyi(40, 0.3, rng);
+    for (VertexId v = 0; v + 1 < 40; ++v) g.add_edge_unique(v, v + 1);
+    std::vector<double> w(g.edge_count());
+    for (auto& x : w) x = rng.uniform(0.1, 2.0);
+    const auto kept = greedy_spanner(g, w, stretch);
+    const Graph sub = subgraph_of_edges(g, kept);
+    std::vector<double> sub_w;
+    for (EdgeId e : kept) sub_w.push_back(w[e]);
+    EXPECT_TRUE(is_spanner(g, w, sub, sub_w, stretch)) << stretch;
+    EXPECT_TRUE(is_connected(sub));
+  }
+}
+
+TEST(Spanner, LargerStretchKeepsFewerEdges) {
+  Rng rng(4);
+  Graph g = erdos_renyi(40, 0.4, rng);
+  for (VertexId v = 0; v + 1 < 40; ++v) g.add_edge_unique(v, v + 1);
+  std::vector<double> w(g.edge_count());
+  for (auto& x : w) x = rng.uniform(0.1, 2.0);
+  const auto tight = greedy_spanner(g, w, 1.2);
+  const auto loose = greedy_spanner(g, w, 5.0);
+  EXPECT_GT(tight.size(), loose.size());
+}
+
+TEST(Spanner, VerifierCatchesViolations) {
+  // A star minus its center edges can't 1.5-span a triangle.
+  Graph g = complete_graph(3);
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  Graph sub(3);
+  sub.add_edge(0, 1);
+  sub.add_edge(1, 2);
+  const std::vector<double> sub_w{1.0, 1.0};
+  // d_sub(0,2) = 2 > 1.5 * 1.
+  EXPECT_FALSE(is_spanner(g, w, sub, sub_w, 1.5));
+  EXPECT_TRUE(is_spanner(g, w, sub, sub_w, 2.0));
+}
+
+// ------------------------------------------------------ fault injection
+
+TemporalGraph fault_chain() {
+  TemporalGraph eg(4, 20);
+  eg.add_contact(0, 1, 2);
+  eg.add_contact(1, 2, 5);
+  eg.add_contact(2, 3, 9);
+  return eg;
+}
+
+TEST(FaultInjection, TtlExpiresMessages) {
+  const auto trace = fault_chain();
+  SimulationFaults ok;
+  ok.ttl = 15;
+  EXPECT_TRUE(
+      simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0, ok).delivered);
+  SimulationFaults tight;
+  tight.ttl = 9;  // delivery happens AT t=9, needs ttl > 9
+  EXPECT_FALSE(simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0, tight)
+                   .delivered);
+  SimulationFaults just;
+  just.ttl = 10;
+  EXPECT_TRUE(simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0, just)
+                  .delivered);
+}
+
+TEST(FaultInjection, TtlRelativeToStart) {
+  const auto trace = fault_chain();
+  SimulationFaults f;
+  f.ttl = 8;
+  // Starting at 2: deadline 10, delivery at 9 fits.
+  EXPECT_TRUE(
+      simulate_routing(trace, 0, 3, 2, epidemic_strategy(), 0, f).delivered);
+}
+
+TEST(FaultInjection, TotalLossBlocksEverything) {
+  const auto trace = fault_chain();
+  SimulationFaults f;
+  f.loss_probability = 1.0;
+  EXPECT_FALSE(
+      simulate_routing(trace, 0, 3, 0, epidemic_strategy(), 0, f).delivered);
+}
+
+TEST(FaultInjection, LossDegradesDeliveryMonotonically) {
+  Rng rng(5);
+  SocialTraceParams p;
+  p.people = 25;
+  p.horizon = 50;  // short horizon: losses cannot be retried forever
+  p.base_rate = 0.06;
+  p.decay = 0.6;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  auto delivery_rate = [&](double loss) {
+    std::size_t ok = 0, total = 0;
+    Rng pick(7);
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto s = static_cast<VertexId>(pick.index(p.people));
+      const auto d = static_cast<VertexId>(pick.index(p.people));
+      if (s == d) continue;
+      SimulationFaults f;
+      f.loss_probability = loss;
+      f.loss_seed = static_cast<std::uint64_t>(trial);
+      ++total;
+      ok += simulate_routing(trace, s, d, 0, epidemic_strategy(), 0, f)
+                .delivered;
+    }
+    return static_cast<double>(ok) / static_cast<double>(total);
+  };
+  const double r0 = delivery_rate(0.0);
+  const double r50 = delivery_rate(0.5);
+  const double r95 = delivery_rate(0.95);
+  EXPECT_GE(r0, r50);
+  EXPECT_GE(r50, r95);
+  EXPECT_GT(r0, r95);  // strict degradation overall
+}
+
+TEST(FaultInjection, EpidemicToleratesLossBetterThanSingleCopy) {
+  // Redundant copies mask lossy handovers; a single moving copy just
+  // stalls (it retries at later contacts but loses chain opportunities).
+  Rng rng(6);
+  SocialTraceParams p;
+  p.people = 25;
+  p.horizon = 150;
+  p.base_rate = 0.1;
+  p.decay = 0.5;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  std::size_t epi = 0, direct = 0, total = 0;
+  Rng pick(8);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(p.people));
+    const auto d = static_cast<VertexId>(pick.index(p.people));
+    if (s == d) continue;
+    SimulationFaults f;
+    f.loss_probability = 0.6;
+    f.loss_seed = static_cast<std::uint64_t>(trial);
+    ++total;
+    SimulationFaults f2 = f;
+    epi += simulate_routing(trace, s, d, 0, epidemic_strategy(), 0, f)
+               .delivered;
+    direct +=
+        simulate_routing(trace, s, d, 0, direct_strategy(), 1, f2).delivered;
+  }
+  EXPECT_GE(epi, direct);
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,270 @@
+// Tests for src/temporal: the EG container, journey algorithms, and the
+// reconstructed Fig. 2 example with every claim the paper's text makes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "temporal/fig2_example.hpp"
+#include "temporal/journeys.hpp"
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(TemporalGraph, AddContactIdempotent) {
+  TemporalGraph eg(3, 10);
+  eg.add_contact(0, 1, 4);
+  eg.add_contact(1, 0, 4);
+  eg.add_contact(0, 1, 2);
+  ASSERT_EQ(eg.edge_count(), 1u);
+  EXPECT_EQ(eg.edge(0).labels, (std::vector<TimeUnit>{2, 4}));
+  EXPECT_TRUE(eg.has_contact(0, 1, 4));
+  EXPECT_FALSE(eg.has_contact(0, 1, 3));
+}
+
+TEST(TemporalGraph, SnapshotAndFootprint) {
+  TemporalGraph eg(4, 5);
+  eg.add_contact(0, 1, 0);
+  eg.add_contact(1, 2, 0);
+  eg.add_contact(2, 3, 3);
+  const Graph s0 = eg.snapshot(0);
+  EXPECT_EQ(s0.edge_count(), 2u);
+  EXPECT_TRUE(s0.has_edge(0, 1));
+  EXPECT_FALSE(s0.has_edge(2, 3));
+  EXPECT_EQ(eg.snapshot(3).edge_count(), 1u);
+  EXPECT_EQ(eg.footprint().edge_count(), 3u);
+}
+
+TEST(TemporalGraph, SnapshotRoundTrip) {
+  TemporalGraph eg(4, 4);
+  eg.add_contact(0, 1, 0);
+  eg.add_contact(1, 2, 1);
+  eg.add_contact(2, 3, 2);
+  eg.add_contact(0, 3, 3);
+  std::vector<Graph> snaps;
+  for (TimeUnit t = 0; t < 4; ++t) snaps.push_back(eg.snapshot(t));
+  const TemporalGraph back = TemporalGraph::from_snapshots(snaps);
+  EXPECT_EQ(back.edge_count(), eg.edge_count());
+  for (TimeUnit t = 0; t < 4; ++t) {
+    EXPECT_EQ(back.snapshot(t).edge_count(), eg.snapshot(t).edge_count());
+  }
+}
+
+TEST(TemporalGraph, ContactsSortedByTime) {
+  TemporalGraph eg(3, 6);
+  eg.add_contact(0, 1, 5);
+  eg.add_contact(1, 2, 1);
+  eg.add_contact(0, 2, 3);
+  const auto cs = eg.contacts();
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cs.begin(), cs.end(),
+                             [](const Contact& a, const Contact& b) {
+                               return a.t < b.t;
+                             }));
+}
+
+TEST(TemporalGraph, WithoutVertexEdgeLabel) {
+  TemporalGraph eg(3, 6);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(0, 1, 3);
+  eg.add_contact(1, 2, 2);
+  EXPECT_EQ(eg.without_vertex(1).edge_count(), 0u);
+  EXPECT_EQ(eg.without_edge(0, 1).edge_count(), 1u);
+  const auto fewer = eg.without_label(0, 1, 3);
+  EXPECT_TRUE(fewer.has_contact(0, 1, 1));
+  EXPECT_FALSE(fewer.has_contact(0, 1, 3));
+}
+
+TEST(Journeys, EarliestArrivalChainsWithinUnit) {
+  // Instantaneous transmission: 0-1 and 1-2 both at time 2 chain.
+  TemporalGraph eg(3, 5);
+  eg.add_contact(0, 1, 2);
+  eg.add_contact(1, 2, 2);
+  const auto ea = earliest_arrival(eg, 0, 0);
+  EXPECT_EQ(ea.completion[2], 2u);
+}
+
+TEST(Journeys, EarliestArrivalRespectsLabelOrder) {
+  // 1-2 happens BEFORE 0-1: no journey 0 -> 2.
+  TemporalGraph eg(3, 5);
+  eg.add_contact(0, 1, 3);
+  eg.add_contact(1, 2, 1);
+  const auto ea = earliest_arrival(eg, 0, 0);
+  EXPECT_EQ(ea.completion[2], kNeverTime);
+  EXPECT_EQ(ea.completion[1], 3u);
+}
+
+TEST(Journeys, EarliestCompletionJourneyIsValid) {
+  TemporalGraph eg(4, 10);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 4);
+  eg.add_contact(2, 3, 7);
+  eg.add_contact(0, 3, 9);
+  const auto j = earliest_completion_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->valid_for(eg));
+  EXPECT_EQ(j->completion(), 7u);
+  EXPECT_EQ(j->hop_count(), 3u);
+}
+
+TEST(Journeys, MinimumHopTradesTimeForHops) {
+  // Direct contact at 9 vs 3-hop chain completing at 7.
+  TemporalGraph eg(4, 10);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 4);
+  eg.add_contact(2, 3, 7);
+  eg.add_contact(0, 3, 9);
+  const auto j = minimum_hop_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hop_count(), 1u);
+  EXPECT_EQ(j->completion(), 9u);
+  EXPECT_TRUE(j->valid_for(eg));
+}
+
+TEST(Journeys, FastestMinimizesSpan) {
+  // Starting immediately yields span 6 (labels 1..7); waiting for the
+  // late chain 5,6 yields span 1.
+  TemporalGraph eg(4, 10);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 3, 7);
+  eg.add_contact(0, 2, 5);
+  eg.add_contact(2, 3, 6);
+  const auto j = fastest_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->span(), 1u);
+  EXPECT_EQ(j->departure(), 5u);
+  EXPECT_TRUE(j->valid_for(eg));
+}
+
+TEST(Journeys, MinimumHopRespectsStartTime) {
+  TemporalGraph eg(3, 10);
+  eg.add_contact(0, 2, 1);  // direct but too early
+  eg.add_contact(0, 1, 5);
+  eg.add_contact(1, 2, 6);
+  const auto j = minimum_hop_journey(eg, 0, 2, 3);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->hop_count(), 2u);
+  EXPECT_GE(j->departure(), 3u);
+}
+
+TEST(Journeys, SelfJourneyIsEmpty) {
+  TemporalGraph eg(2, 3);
+  eg.add_contact(0, 1, 0);
+  EXPECT_TRUE(minimum_hop_journey(eg, 1, 1, 0)->empty());
+  EXPECT_TRUE(fastest_journey(eg, 1, 1, 0)->empty());
+}
+
+TEST(Journeys, FloodingTimeAndDynamicDiameter) {
+  // 0-1 at 0, 1-2 at 1, 2-3 at 2: flooding from 0 completes at 2;
+  // flooding from 3 can never reach 0 (labels decrease), so the dynamic
+  // diameter is infinite.
+  TemporalGraph eg(4, 4);
+  eg.add_contact(0, 1, 0);
+  eg.add_contact(1, 2, 1);
+  eg.add_contact(2, 3, 2);
+  EXPECT_EQ(flooding_time(eg, 0), 2u);
+  EXPECT_EQ(flooding_time(eg, 3), kNeverTime);
+  EXPECT_EQ(dynamic_diameter(eg), kNeverTime);
+}
+
+TEST(Journeys, DynamicDiameterOnPeriodicGraph) {
+  // Periodic ring: every node floods everywhere eventually.
+  TemporalGraph eg(4, 12);
+  for (TimeUnit t = 0; t < 12; ++t) {
+    eg.add_contact(t % 4, (t + 1) % 4, t);
+  }
+  EXPECT_NE(dynamic_diameter(eg), kNeverTime);
+}
+
+// ------------------------------------------------------ Fig. 2 claims
+
+TEST(Fig2, StatedContactsExist) {
+  const auto eg = fig2::build();
+  // Claim 1: path A -4-> B -5-> C.
+  EXPECT_TRUE(eg.has_contact(fig2::A, fig2::B, 4));
+  EXPECT_TRUE(eg.has_contact(fig2::B, fig2::C, 5));
+  // Claim 2: path A -3-> D -6-> C.
+  EXPECT_TRUE(eg.has_contact(fig2::A, fig2::D, 3));
+  EXPECT_TRUE(eg.has_contact(fig2::C, fig2::D, 6));
+}
+
+TEST(Fig2, SixNodesThreeMobileThreeStatic) {
+  const auto eg = fig2::build();
+  EXPECT_EQ(eg.vertex_count(), 6u);
+  EXPECT_EQ(eg.horizon(), 7u);
+}
+
+TEST(Fig2, AConnectedToCAtStartingUnits0Through4Only) {
+  // The paper: "A is connected to C at starting time units 0, 1, 2, 3,
+  // and 4" — and, with our reconstruction, at no later start.
+  const auto eg = fig2::build();
+  for (TimeUnit t = 0; t <= 4; ++t) {
+    EXPECT_TRUE(is_connected_at(eg, fig2::A, fig2::C, t)) << "t=" << t;
+  }
+  for (TimeUnit t = 5; t < eg.horizon(); ++t) {
+    EXPECT_FALSE(is_connected_at(eg, fig2::A, fig2::C, t)) << "t=" << t;
+  }
+}
+
+TEST(Fig2, StatedJourneysAreValid) {
+  const auto eg = fig2::build();
+  Journey ab_bc{{{fig2::A, fig2::B, 4}, {fig2::B, fig2::C, 5}}};
+  EXPECT_TRUE(ab_bc.valid_for(eg));
+  Journey ad_dc{{{fig2::A, fig2::D, 3}, {fig2::D, fig2::C, 6}}};
+  EXPECT_TRUE(ad_dc.valid_for(eg));
+}
+
+TEST(Fig2, AAndCDisconnectedInEverySnapshot) {
+  // "the network is not connected at any given time" — specifically A
+  // and C never share a snapshot component.
+  const auto eg = fig2::build();
+  for (TimeUnit t = 0; t < eg.horizon(); ++t) {
+    const Graph snap = eg.snapshot(t);
+    // BFS from A in the snapshot.
+    std::vector<bool> seen(snap.vertex_count(), false);
+    std::vector<VertexId> stack{fig2::A};
+    seen[fig2::A] = true;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : snap.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    EXPECT_FALSE(seen[fig2::C]) << "snapshot " << t;
+  }
+}
+
+TEST(Fig2, EdgeCyclesMatchText) {
+  // (B,D), (C,D) cycle 6; (A,B), (B,C) cycle 3; (A,D) cycle 2.
+  const auto eg = fig2::build();
+  auto labels = [&](VertexId u, VertexId v) {
+    return eg.edge(eg.find_edge(u, v)).labels;
+  };
+  auto gaps_are = [&](VertexId u, VertexId v, TimeUnit gap) {
+    const auto l = labels(u, v);
+    for (std::size_t i = 1; i < l.size(); ++i) {
+      if (l[i] - l[i - 1] != gap) return false;
+    }
+    return l.size() >= 2;
+  };
+  EXPECT_TRUE(gaps_are(fig2::B, fig2::D, 6));
+  EXPECT_TRUE(gaps_are(fig2::C, fig2::D, 6));
+  EXPECT_TRUE(gaps_are(fig2::A, fig2::B, 3));
+  EXPECT_TRUE(gaps_are(fig2::B, fig2::C, 3));
+  EXPECT_TRUE(gaps_are(fig2::A, fig2::D, 2));
+}
+
+TEST(Fig2, EarliestCompletionFromAAtZero) {
+  const auto eg = fig2::build_core();
+  const auto ea = earliest_arrival(eg, fig2::A, 0);
+  EXPECT_EQ(ea.completion[fig2::B], 1u);  // A -1-> B
+  EXPECT_EQ(ea.completion[fig2::D], 1u);  // A -1-> D
+  EXPECT_EQ(ea.completion[fig2::C], 2u);  // A -1-> B -2-> C
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,116 @@
+// Tests for temporal centralities and the copy-varying forwarding
+// strategy.
+#include <gtest/gtest.h>
+
+#include "mobility/social_contacts.hpp"
+#include "sim/dtn_routing.hpp"
+#include "temporal/temporal_centrality.hpp"
+
+namespace structnet {
+namespace {
+
+TemporalGraph relay_chain() {
+  // 0 -1-> 1 -2-> 2 -3-> 3: node 1 and 2 relay everything rightward.
+  TemporalGraph eg(4, 6);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 2);
+  eg.add_contact(2, 3, 3);
+  return eg;
+}
+
+TEST(TemporalCentrality, DegreeCountsContacts) {
+  TemporalGraph eg(3, 6);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(0, 1, 3);
+  eg.add_contact(1, 2, 2);
+  const auto d = temporal_degree(eg);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+}
+
+TEST(TemporalCentrality, ClosenessFavorsEarlyReach) {
+  const auto eg = relay_chain();
+  const auto c = temporal_closeness(eg);
+  // 0 reaches everyone (at 1, 2, 3); 3 only reaches 2 (at time 3).
+  EXPECT_NEAR(c[0], (0.5 + 1.0 / 3.0 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(c[3], (1.0 / 4.0) / 3.0, 1e-12);
+  EXPECT_GT(c[0], c[3]);
+}
+
+TEST(TemporalCentrality, BetweennessCreditsRelays) {
+  const auto eg = relay_chain();
+  const auto b = temporal_betweenness(eg);
+  // Journeys: 0->2 (via 1), 0->3 (via 1, 2), 1->3 (via 2), plus
+  // single-hop journeys crediting nobody.
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 2.0);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[3], 0.0);
+}
+
+TEST(TemporalCentrality, HubDominatesBetweennessOnStarTrace) {
+  // Star contact pattern: everything relays through node 0.
+  TemporalGraph eg(6, 20);
+  for (TimeUnit t = 0; t < 20; ++t) {
+    for (VertexId v = 1; v < 6; ++v) eg.add_contact(0, v, t);
+  }
+  const auto b = temporal_betweenness(eg);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_GT(b[0], b[v]);
+  }
+}
+
+TEST(CopyVarying, LastCopyWaitsForDestination) {
+  const auto strategy = copy_varying_strategy({1.0, 0.0}, 0.5);
+  EXPECT_EQ(strategy(0, 1, 0, 1), ForwardDecision::kSkip);
+  EXPECT_EQ(strategy(0, 1, 0, 4), ForwardDecision::kCopy);
+}
+
+TEST(CopyVarying, SlackShrinksWithBudget) {
+  // metric(holder)=1.0, metric(contact)=1.4: acceptable only while the
+  // budget-driven slack exceeds 0.4.
+  const auto strategy = copy_varying_strategy({1.0, 1.4}, 0.25);
+  EXPECT_EQ(strategy(0, 1, 0, 8), ForwardDecision::kCopy);   // slack 1.75
+  EXPECT_EQ(strategy(0, 1, 0, 3), ForwardDecision::kCopy);   // slack 0.5
+  EXPECT_EQ(strategy(0, 1, 0, 2), ForwardDecision::kSkip);   // slack 0.25
+}
+
+TEST(CopyVarying, FirstCopyDeliveryBeatsPlainSprayOnStructuredTraces) {
+  Rng rng(1);
+  SocialTraceParams p;
+  p.people = 40;
+  p.horizon = 400;
+  p.base_rate = 0.1;
+  p.decay = 0.3;
+  const auto profiles = random_profiles(p.people, p.radices, rng);
+  const auto trace = social_contact_trace(p, profiles, rng);
+  double cv_delay = 0.0, sw_delay = 0.0;
+  std::size_t both = 0;
+  Rng pick(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = static_cast<VertexId>(pick.index(p.people));
+    const auto d = static_cast<VertexId>(pick.index(p.people));
+    if (s == d) continue;
+    std::vector<double> metric(p.people);
+    for (VertexId v = 0; v < p.people; ++v) {
+      metric[v] =
+          static_cast<double>(feature_distance(profiles[v], profiles[d]));
+    }
+    const auto cv = simulate_routing(trace, s, d, 0,
+                                     copy_varying_strategy(metric, 1.0), 8);
+    const auto sw =
+        simulate_routing(trace, s, d, 0, spray_and_wait_strategy(), 8);
+    if (!cv.delivered || !sw.delivered) continue;
+    ++both;
+    cv_delay += static_cast<double>(cv.delivery_time);
+    sw_delay += static_cast<double>(sw.delivery_time);
+    EXPECT_LE(cv.copies, 8u);
+  }
+  ASSERT_GT(both, 20u);
+  // Metric-aware copy spending should not be slower on average.
+  EXPECT_LE(cv_delay, sw_delay * 1.05);
+}
+
+}  // namespace
+}  // namespace structnet

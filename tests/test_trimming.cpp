@@ -1,0 +1,293 @@
+// Tests for src/trimming: the paper's EG trimming rules on the Fig. 2
+// example, property tests on random traces, and UDG topology control.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/components.hpp"
+#include "algo/mst.hpp"
+#include "core/generators.hpp"
+#include "mobility/contact_trace.hpp"
+#include "mobility/mobility_models.hpp"
+#include "temporal/fig2_example.hpp"
+#include "temporal/journeys.hpp"
+#include "trimming/eg_trimming.hpp"
+#include "trimming/topology_control.hpp"
+
+namespace structnet {
+namespace {
+
+std::vector<double> fig2_priorities() {
+  // p(A) > p(B) > p(C) > p(D) (> E > F), per the paper.
+  return {6.0, 5.0, 4.0, 3.0, 2.0, 1.0};
+}
+
+TEST(EgTrimming, Fig2ACanIgnoreNeighborD) {
+  // The paper: "any path A -> D -> C can be replaced by a path
+  // A -> B -> C ... Therefore, A can ignore neighbor D."
+  const auto eg = fig2::build();
+  const auto prio = fig2_priorities();
+  EXPECT_TRUE(can_ignore_neighbor(eg, fig2::A, fig2::D, prio));
+}
+
+TEST(EgTrimming, Fig2StatedReplacementHolds) {
+  // A -3-> D -6-> C is replaced by A -4-> B -5-> C: i'=4 >= 3, j'=5 <= 6.
+  const auto eg = fig2::build();
+  const auto prio = fig2_priorities();
+  EXPECT_TRUE(replacement_exists(eg, fig2::A, fig2::D, fig2::C, 3, 6, prio,
+                                 TrimVariant::kCompletionTimePreserving));
+  // And even under the minimum-hop variant (one intermediate).
+  EXPECT_TRUE(replacement_exists(eg, fig2::A, fig2::D, fig2::C, 3, 6, prio,
+                                 TrimVariant::kMinimumHopPreserving));
+}
+
+TEST(EgTrimming, Fig2DCannotIgnoreA) {
+  // The paper: "path D -> A -> B cannot be replaced by D -> B".
+  const auto eg = fig2::build();
+  const auto prio = fig2_priorities();
+  EXPECT_FALSE(can_ignore_neighbor(eg, fig2::D, fig2::A, prio));
+}
+
+TEST(EgTrimming, Fig2NodeDNotTrimmableButLinkIs) {
+  // Node trimming must also protect B -> D -> C at time 0, which has no
+  // replacement; so the node rule rejects D while the link rule lets A
+  // drop its D link. This is exactly the node-vs-link distinction the
+  // paper draws.
+  const auto eg = fig2::build();
+  const auto prio = fig2_priorities();
+  EXPECT_FALSE(can_trim_node(eg, fig2::D, prio));
+}
+
+TEST(EgTrimming, ReplacementNeedsPriorityOrdering) {
+  // The replacement A -> B -> C requires p(B) > p(D); with the priority
+  // of B pushed below D the rule must refuse (circular replacement
+  // protection).
+  const auto eg = fig2::build();
+  std::vector<double> prio{6.0, 2.5, 4.0, 3.0, 2.0, 1.0};  // p(B) < p(D)
+  EXPECT_FALSE(can_ignore_neighbor(eg, fig2::A, fig2::D, prio));
+}
+
+TEST(EgTrimming, ReplacementLabelWindowEnforced) {
+  // For the pair (i=3, j=4) no replacement exists: A -4-> B -5-> C
+  // arrives at 5 > 4.
+  const auto eg = fig2::build();
+  const auto prio = fig2_priorities();
+  EXPECT_FALSE(replacement_exists(eg, fig2::A, fig2::D, fig2::C, 3, 4, prio,
+                                  TrimVariant::kCompletionTimePreserving));
+}
+
+TEST(EgTrimming, TrimNodesOnTriangleWithShadowNode) {
+  // Node 3 (priority lowest) duplicates a connection the path through
+  // node 1 already provides with a wider label window: it must be
+  // trimmed, while the load-bearing nodes 0 and 2 must not be
+  // (pre-trim, against the original graph).
+  TemporalGraph eg(4, 6);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 2);
+  eg.add_contact(0, 2, 0);
+  eg.add_contact(0, 3, 0);
+  eg.add_contact(3, 2, 4);
+  std::vector<double> prio{4.0, 3.0, 2.0, 1.0};
+  // 0 -0-> 3 -4-> 2: replacement 0 -1-> 1 -2-> 2 has i'=1 >= 0, j'=2 <= 4.
+  EXPECT_TRUE(can_trim_node(eg, 3, prio));
+  EXPECT_FALSE(can_trim_node(eg, 0, prio));
+  EXPECT_FALSE(can_trim_node(eg, 2, prio));
+  const auto result = trim_nodes(eg, prio);
+  EXPECT_NE(std::find(result.removed_nodes.begin(), result.removed_nodes.end(),
+                      VertexId{3}),
+            result.removed_nodes.end());
+  EXPECT_EQ(result.trimmed.find_edge(0, 3), kInvalidEdge);
+  EXPECT_EQ(result.trimmed.find_edge(2, 3), kInvalidEdge);
+}
+
+TEST(EgTrimming, TrimNodesPreservesReachabilityOnRandomTraces) {
+  // Property: after node trimming, every surviving pair keeps its
+  // earliest completion time at every start time.
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 10;
+    p.steps = 12;
+    const auto traj = random_waypoint(p, rng);
+    const auto eg = contacts_from_trajectory(traj, 0.4);
+    std::vector<double> prio(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) {
+      prio[v] = static_cast<double>(p.nodes - v);
+    }
+    const auto result = trim_nodes(eg, prio);
+    std::vector<bool> alive(p.nodes, true);
+    for (VertexId v : result.removed_nodes) alive[v] = false;
+    EXPECT_TRUE(preserves_reachability(eg, result.trimmed, alive,
+                                       /*check_completion=*/true))
+        << "trial " << trial;
+  }
+}
+
+TEST(EgTrimming, TrimLinksPreservesReachability) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 9;
+    p.steps = 10;
+    const auto traj = random_waypoint(p, rng);
+    const auto eg = contacts_from_trajectory(traj, 0.45);
+    std::vector<double> prio(p.nodes);
+    for (std::size_t v = 0; v < p.nodes; ++v) {
+      prio[v] = static_cast<double>(p.nodes - v);
+    }
+    const auto result = trim_links(eg, prio);
+    const std::vector<bool> alive(p.nodes, true);
+    EXPECT_TRUE(preserves_reachability(eg, result.trimmed, alive,
+                                       /*check_completion=*/false))
+        << "trial " << trial << " removed " << result.removed_links.size();
+  }
+}
+
+TEST(EgTrimming, LinkTrimMayDelayEndpointArrival) {
+  // Canonical example: (w,u)={1}, (w,v)={2}, (u,v)={2}. Both directions
+  // of the link rule hold (through traffic is windowed), so (w, u) is
+  // trimmable — but afterwards w reaches u at time 2 instead of 1. Link
+  // trimming trades endpoint completion time for sparsity; it must never
+  // trade away reachability.
+  TemporalGraph eg(3, 4);
+  const VertexId w = 0, u = 1, v = 2;
+  eg.add_contact(w, u, 1);
+  eg.add_contact(w, v, 2);
+  eg.add_contact(u, v, 2);
+  const std::vector<double> prio{3, 2, 1};
+  EXPECT_TRUE(can_ignore_neighbor(eg, w, u, prio));
+  EXPECT_TRUE(can_ignore_neighbor(eg, u, w, prio));
+  const auto result = trim_links(eg, prio);
+  ASSERT_EQ(result.removed_links.size(), 1u);
+  // Reachability preserved at every start time...
+  const std::vector<bool> alive(3, true);
+  EXPECT_TRUE(preserves_reachability(eg, result.trimmed, alive, false));
+  // ...but the w -> u completion at start 0 degraded from 1 to 2.
+  EXPECT_EQ(earliest_arrival(eg, w, 0).completion[u], 1u);
+  EXPECT_EQ(earliest_arrival(result.trimmed, w, 0).completion[u], 2u);
+}
+
+TEST(EgTrimming, PendantLinkNeverTrimmed) {
+  // A pendant vertex satisfies the link rule vacuously (no through
+  // paths); the endpoint guard must keep its only link.
+  TemporalGraph eg(3, 4);
+  eg.add_contact(0, 1, 1);
+  eg.add_contact(1, 2, 2);  // 2 is pendant via (1, 2)
+  const std::vector<double> prio{3, 2, 1};
+  const auto result = trim_links(eg, prio);
+  EXPECT_NE(result.trimmed.find_edge(1, 2), kInvalidEdge);
+  const std::vector<bool> alive(3, true);
+  EXPECT_TRUE(preserves_reachability(eg, result.trimmed, alive, false));
+}
+
+TEST(EgTrimming, LabelTrimmingPreservesCompletionTimes) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    RandomWaypointParams p;
+    p.nodes = 8;
+    p.steps = 10;
+    const auto traj = random_waypoint(p, rng);
+    const auto eg = contacts_from_trajectory(traj, 0.5);
+    const auto result = trim_labels(eg);
+    const std::vector<bool> alive(p.nodes, true);
+    EXPECT_TRUE(preserves_reachability(eg, result.trimmed, alive, true))
+        << "trial " << trial << " removed " << result.removed_labels;
+  }
+}
+
+TEST(EgTrimming, LabelIsRedundantExactCheck) {
+  // Triangle active entirely at time 2: each single label is redundant.
+  TemporalGraph eg(3, 4);
+  eg.add_contact(0, 1, 2);
+  eg.add_contact(1, 2, 2);
+  eg.add_contact(0, 2, 2);
+  EXPECT_TRUE(label_is_redundant(eg, 0, 1, 2));
+  // A lone bridge label is not.
+  TemporalGraph bridge(3, 4);
+  bridge.add_contact(0, 1, 1);
+  bridge.add_contact(1, 2, 2);
+  EXPECT_FALSE(label_is_redundant(bridge, 0, 1, 1));
+}
+
+TEST(EgTrimming, MinimumHopVariantIsStricter) {
+  // A replacement path with two intermediates satisfies the base rule
+  // but not the minimum-hop-preserving variant.
+  TemporalGraph eg(5, 8);
+  eg.add_contact(0, 4, 1);  // through candidate node 4
+  eg.add_contact(4, 3, 5);
+  eg.add_contact(0, 1, 2);  // replacement chain 0-1-2-3
+  eg.add_contact(1, 2, 3);
+  eg.add_contact(2, 3, 4);
+  std::vector<double> prio{5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_TRUE(replacement_exists(eg, 0, 4, 3, 1, 5, prio,
+                                 TrimVariant::kCompletionTimePreserving));
+  EXPECT_FALSE(replacement_exists(eg, 0, 4, 3, 1, 5, prio,
+                                  TrimVariant::kMinimumHopPreserving));
+}
+
+// ------------------------------------------------- topology control
+
+TEST(TopologyControl, GabrielAndRngAreSubgraphs) {
+  Rng rng(19);
+  std::vector<Point2D> pts;
+  const Graph g = random_geometric(120, 0.18, rng, &pts);
+  const Graph gg = gabriel_graph(g, pts);
+  const Graph rng_graph = relative_neighborhood_graph(g, pts);
+  EXPECT_LE(gg.edge_count(), g.edge_count());
+  EXPECT_LE(rng_graph.edge_count(), gg.edge_count());  // RNG subset of GG
+  for (const auto& e : rng_graph.edges()) {
+    EXPECT_TRUE(gg.has_edge(e.u, e.v));
+  }
+  for (const auto& e : gg.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(TopologyControl, TrimmingPreservesConnectivity) {
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Point2D> pts;
+    Graph g = random_geometric(100, 0.25, rng, &pts);
+    const auto mask = largest_component_mask(g);
+    std::vector<VertexId> map;
+    const Graph comp = g.induced_subgraph(mask, &map);
+    std::vector<Point2D> comp_pts;
+    for (std::size_t v = 0; v < pts.size(); ++v) {
+      if (mask[v]) comp_pts.push_back(pts[v]);
+    }
+    ASSERT_TRUE(is_connected(comp));
+    EXPECT_TRUE(is_connected(gabriel_graph(comp, comp_pts))) << trial;
+    EXPECT_TRUE(is_connected(relative_neighborhood_graph(comp, comp_pts)))
+        << trial;
+  }
+}
+
+TEST(TopologyControl, BothContainEveryMst) {
+  Rng rng(29);
+  std::vector<Point2D> pts;
+  Graph g = random_geometric(80, 0.3, rng, &pts);
+  // Euclidean edge weights; MST edges must survive in GG and RNG.
+  std::vector<double> w;
+  for (const auto& e : g.edges()) w.push_back(distance(pts[e.u], pts[e.v]));
+  const auto mst = kruskal_mst(g, w);
+  const Graph gg = gabriel_graph(g, pts);
+  const Graph rg = relative_neighborhood_graph(g, pts);
+  for (EdgeId e : mst) {
+    EXPECT_TRUE(gg.has_edge(g.edge(e).u, g.edge(e).v));
+    EXPECT_TRUE(rg.has_edge(g.edge(e).u, g.edge(e).v));
+  }
+}
+
+TEST(TopologyControl, StretchReportSane) {
+  Rng rng(31);
+  std::vector<Point2D> pts;
+  Graph g = random_geometric(90, 0.25, rng, &pts);
+  const Graph rg = relative_neighborhood_graph(g, pts);
+  const auto report = hop_stretch(g, rg);
+  EXPECT_GE(report.average, 1.0);
+  EXPECT_GE(report.maximum, report.average);
+  EXPECT_GT(report.pairs, 0u);
+}
+
+}  // namespace
+}  // namespace structnet

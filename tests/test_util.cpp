@@ -1,0 +1,221 @@
+// Tests for src/util: rng determinism and distributions, running stats,
+// histograms, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_u64(0, 1'000'000), b.uniform_u64(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.uniform_u64(0, 1 << 30) == b.uniform_u64(0, 1 << 30);
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(13), 13u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliMeanApproximatesP) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(3.0, 2.5), 3.0);
+  }
+}
+
+TEST(Rng, ParetoTailExponent) {
+  // For alpha = 3, P(X > 2 x_min) = 2^-(alpha-1) = 0.25.
+  Rng rng(19);
+  int beyond = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) beyond += rng.pareto(1.0, 3.0) > 2.0;
+  EXPECT_NEAR(static_cast<double>(beyond) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.zipf(50, 1.5);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 50u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  const auto s = rng.sample_without_replacement(100, 20);
+  EXPECT_EQ(s.size(), 20u);
+  auto sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (auto x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(37);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(CountHistogram, BasicCounts) {
+  CountHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count_of(3), 2u);
+  EXPECT_EQ(h.count_of(4), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 2.0 / 3.0);
+  EXPECT_EQ(h.max_value(), 5u);
+  EXPECT_NEAR(h.mean(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(CountHistogram, Ccdf) {
+  CountHistogram h;
+  for (std::uint64_t v : {1, 1, 2, 3, 5}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.ccdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(2), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.ccdf(6), 0.0);
+}
+
+TEST(LogHistogram, BinsGrowGeometrically) {
+  LogHistogram h(1.0, 2.0);
+  h.add(1.5);   // [1, 2)
+  h.add(3.0);   // [2, 4)
+  h.add(3.9);   // [2, 4)
+  h.add(10.0);  // [8, 16)
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_EQ(bins[2].count, 1u);
+  EXPECT_NEAR(bins[1].lo, 2.0, 1e-9);
+  EXPECT_NEAR(bins[1].hi, 4.0, 1e-9);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace structnet

@@ -1,0 +1,194 @@
+// Tests for src/temporal/weighted: weighted time-evolving graphs and the
+// delay / reliability / bandwidth journey objectives of Sec. II-B.
+#include <gtest/gtest.h>
+
+#include "temporal/weighted.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+TEST(WeightedTemporal, WeightStorageAndOverwrite) {
+  WeightedTemporalGraph eg(3, 10);
+  eg.add_contact(0, 1, 4, 2.5);
+  EXPECT_EQ(eg.weight_of(0, 1, 4), 2.5);
+  EXPECT_EQ(eg.weight_of(1, 0, 4), 2.5);  // symmetric
+  EXPECT_FALSE(eg.weight_of(0, 1, 5).has_value());
+  eg.add_contact(1, 0, 4, 7.0);
+  EXPECT_EQ(eg.weight_of(0, 1, 4), 7.0);  // overwrite
+  EXPECT_EQ(eg.unweighted().edge_count(), 1u);
+}
+
+TEST(WeightedTemporal, ContactsCarryWeights) {
+  WeightedTemporalGraph eg(3, 10);
+  eg.add_contact(0, 1, 2, 0.5);
+  eg.add_contact(1, 2, 7, 0.25);
+  const auto cs = eg.contacts();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].t, 2u);
+  EXPECT_EQ(cs[0].weight, 0.5);
+  EXPECT_EQ(cs[1].weight, 0.25);
+}
+
+TEST(WeightedTemporal, MinDelayPrefersCheapLaterPath) {
+  // Expensive early direct contact vs cheap later 2-hop chain.
+  WeightedTemporalGraph eg(3, 10);
+  eg.add_contact(0, 2, 1, 10.0);  // direct, cost 10
+  eg.add_contact(0, 1, 3, 1.0);
+  eg.add_contact(1, 2, 5, 1.0);
+  const auto j = min_delay_journey(eg, 0, 2, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->value, 2.0);
+  EXPECT_EQ(j->journey.hop_count(), 2u);
+  EXPECT_TRUE(j->journey.valid_for(eg.unweighted()));
+}
+
+TEST(WeightedTemporal, MinDelayRespectsLabelOrder) {
+  // The cheap chain is label-infeasible (second hop earlier than first).
+  WeightedTemporalGraph eg(3, 10);
+  eg.add_contact(0, 2, 8, 10.0);
+  eg.add_contact(0, 1, 6, 1.0);
+  eg.add_contact(1, 2, 3, 1.0);  // before the 0-1 contact: unusable
+  const auto j = min_delay_journey(eg, 0, 2, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->value, 10.0);
+  EXPECT_EQ(j->journey.hop_count(), 1u);
+}
+
+TEST(WeightedTemporal, MaxReliabilityMultiplies) {
+  WeightedTemporalGraph eg(4, 10);
+  eg.add_contact(0, 3, 1, 0.5);   // direct: 0.5
+  eg.add_contact(0, 1, 2, 0.9);
+  eg.add_contact(1, 2, 4, 0.9);
+  eg.add_contact(2, 3, 6, 0.9);   // chain: 0.729
+  const auto j = max_reliability_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_NEAR(j->value, 0.729, 1e-12);
+  EXPECT_EQ(j->journey.hop_count(), 3u);
+}
+
+TEST(WeightedTemporal, MaxBandwidthBottleneck) {
+  WeightedTemporalGraph eg(4, 10);
+  eg.add_contact(0, 3, 1, 2.0);   // direct: bottleneck 2
+  eg.add_contact(0, 1, 2, 10.0);
+  eg.add_contact(1, 3, 5, 5.0);   // chain: bottleneck 5
+  const auto j = max_bandwidth_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->value, 5.0);
+  EXPECT_EQ(j->journey.hop_count(), 2u);
+}
+
+TEST(WeightedTemporal, StartTimeFiltersContacts) {
+  WeightedTemporalGraph eg(2, 10);
+  eg.add_contact(0, 1, 2, 1.0);
+  eg.add_contact(0, 1, 8, 4.0);
+  const auto early = min_delay_journey(eg, 0, 1, 0);
+  const auto late = min_delay_journey(eg, 0, 1, 5);
+  ASSERT_TRUE(early && late);
+  EXPECT_DOUBLE_EQ(early->value, 1.0);
+  EXPECT_DOUBLE_EQ(late->value, 4.0);
+}
+
+TEST(WeightedTemporal, UnreachableReturnsNullopt) {
+  WeightedTemporalGraph eg(3, 5);
+  eg.add_contact(0, 1, 1, 1.0);
+  EXPECT_FALSE(min_delay_journey(eg, 0, 2, 0).has_value());
+  EXPECT_FALSE(max_reliability_journey(eg, 0, 2, 0).has_value());
+  EXPECT_FALSE(max_bandwidth_journey(eg, 0, 2, 0).has_value());
+}
+
+TEST(WeightedTemporal, SelfJourneyValues) {
+  WeightedTemporalGraph eg(2, 5);
+  eg.add_contact(0, 1, 1, 0.5);
+  EXPECT_DOUBLE_EQ(min_delay_journey(eg, 0, 0, 0)->value, 0.0);
+  EXPECT_DOUBLE_EQ(max_reliability_journey(eg, 0, 0, 0)->value, 1.0);
+}
+
+TEST(WeightedTemporal, LaterImprovementDoesNotCorruptUsedPrefix) {
+  // Relay 1 improves AFTER node 2 already forwarded through it; the
+  // reconstructed journey for 3 must still be label-consistent.
+  WeightedTemporalGraph eg(4, 10);
+  eg.add_contact(0, 1, 1, 3.0);  // first way into 1 (cost 3)
+  eg.add_contact(1, 2, 2, 1.0);  // 2 uses 1's cost-3 record
+  eg.add_contact(2, 3, 3, 1.0);  // 3 uses 2's record
+  eg.add_contact(0, 1, 4, 0.5);  // 1 improves later (cost 0.5) — too late
+  const auto j = min_delay_journey(eg, 0, 3, 0);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->value, 5.0);
+  EXPECT_TRUE(j->journey.valid_for(eg.unweighted()));
+}
+
+TEST(WeightedTemporal, ParetoFrontierOnKnownGraph) {
+  // Fast-but-expensive direct contact at 2 (cost 10); cheap chain
+  // completing at 6 (cost 2).
+  WeightedTemporalGraph eg(3, 10);
+  eg.add_contact(0, 2, 2, 10.0);
+  eg.add_contact(0, 1, 4, 1.0);
+  eg.add_contact(1, 2, 6, 1.0);
+  const auto frontier = cost_completion_frontier(eg, 0, 2, 0);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0], (ParetoPoint{10.0, 2}));
+  EXPECT_EQ(frontier[1], (ParetoPoint{2.0, 6}));
+}
+
+TEST(WeightedTemporal, ParetoFrontierEndpointsMatchOptima) {
+  // First point = earliest completion; last point = min total delay.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    WeightedTemporalGraph eg(8, 20);
+    for (int c = 0; c < 40; ++c) {
+      const auto u = static_cast<VertexId>(rng.index(8));
+      const auto v = static_cast<VertexId>(rng.index(8));
+      if (u == v) continue;
+      eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(20)),
+                     rng.uniform(0.1, 1.0));
+    }
+    for (VertexId d = 1; d < 8; ++d) {
+      const auto frontier = cost_completion_frontier(eg, 0, d, 0);
+      const auto md = min_delay_journey(eg, 0, d, 0);
+      EXPECT_EQ(frontier.empty(), !md.has_value());
+      if (frontier.empty()) continue;
+      EXPECT_NEAR(frontier.back().cost, md->value, 1e-9);
+      // Frontier is strictly decreasing in cost, increasing in time.
+      for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_LT(frontier[i].cost, frontier[i - 1].cost);
+        EXPECT_GT(frontier[i].completion, frontier[i - 1].completion);
+      }
+    }
+  }
+}
+
+TEST(WeightedTemporal, ParetoSelfAndUnreachable) {
+  WeightedTemporalGraph eg(3, 5);
+  eg.add_contact(0, 1, 1, 1.0);
+  EXPECT_EQ(cost_completion_frontier(eg, 0, 0, 3),
+            (std::vector<ParetoPoint>{ParetoPoint{0.0, 3}}));
+  EXPECT_TRUE(cost_completion_frontier(eg, 0, 2, 0).empty());
+}
+
+TEST(WeightedTemporal, RandomizedJourneysAreAlwaysValid) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    WeightedTemporalGraph eg(8, 20);
+    for (int c = 0; c < 40; ++c) {
+      const auto u = static_cast<VertexId>(rng.index(8));
+      const auto v = static_cast<VertexId>(rng.index(8));
+      if (u == v) continue;
+      eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(20)),
+                     rng.uniform(0.1, 1.0));
+    }
+    for (VertexId t = 1; t < 8; ++t) {
+      for (auto& j : {min_delay_journey(eg, 0, t, 0),
+                      max_reliability_journey(eg, 0, t, 0),
+                      max_bandwidth_journey(eg, 0, t, 0)}) {
+        if (j) {
+          EXPECT_TRUE(j->journey.valid_for(eg.unweighted()))
+              << "trial " << trial << " target " << t;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace structnet
