@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_challenges.dir/bench_challenges.cpp.o"
+  "CMakeFiles/bench_challenges.dir/bench_challenges.cpp.o.d"
+  "bench_challenges"
+  "bench_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

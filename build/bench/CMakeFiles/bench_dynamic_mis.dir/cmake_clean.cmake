@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_mis.dir/bench_dynamic_mis.cpp.o"
+  "CMakeFiles/bench_dynamic_mis.dir/bench_dynamic_mis.cpp.o.d"
+  "bench_dynamic_mis"
+  "bench_dynamic_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

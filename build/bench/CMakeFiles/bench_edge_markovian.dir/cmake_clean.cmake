@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_markovian.dir/bench_edge_markovian.cpp.o"
+  "CMakeFiles/bench_edge_markovian.dir/bench_edge_markovian.cpp.o.d"
+  "bench_edge_markovian"
+  "bench_edge_markovian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_markovian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

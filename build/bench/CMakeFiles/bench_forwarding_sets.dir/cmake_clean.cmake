@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forwarding_sets.dir/bench_forwarding_sets.cpp.o"
+  "CMakeFiles/bench_forwarding_sets.dir/bench_forwarding_sets.cpp.o.d"
+  "bench_forwarding_sets"
+  "bench_forwarding_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forwarding_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fspace.dir/bench_fspace.cpp.o"
+  "CMakeFiles/bench_fspace.dir/bench_fspace.cpp.o.d"
+  "bench_fspace"
+  "bench_fspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

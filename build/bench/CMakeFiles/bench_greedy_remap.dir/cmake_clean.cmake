@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_remap.dir/bench_greedy_remap.cpp.o"
+  "CMakeFiles/bench_greedy_remap.dir/bench_greedy_remap.cpp.o.d"
+  "bench_greedy_remap"
+  "bench_greedy_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

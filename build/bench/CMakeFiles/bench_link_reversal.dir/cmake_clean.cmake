@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_reversal.dir/bench_link_reversal.cpp.o"
+  "CMakeFiles/bench_link_reversal.dir/bench_link_reversal.cpp.o.d"
+  "bench_link_reversal"
+  "bench_link_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nsf.dir/bench_nsf.cpp.o"
+  "CMakeFiles/bench_nsf.dir/bench_nsf.cpp.o.d"
+  "bench_nsf"
+  "bench_nsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

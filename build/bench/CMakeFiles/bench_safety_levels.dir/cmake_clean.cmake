@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_safety_levels.dir/bench_safety_levels.cpp.o"
+  "CMakeFiles/bench_safety_levels.dir/bench_safety_levels.cpp.o.d"
+  "bench_safety_levels"
+  "bench_safety_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safety_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

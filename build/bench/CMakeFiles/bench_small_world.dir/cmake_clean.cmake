@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_world.dir/bench_small_world.cpp.o"
+  "CMakeFiles/bench_small_world.dir/bench_small_world.cpp.o.d"
+  "bench_small_world"
+  "bench_small_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

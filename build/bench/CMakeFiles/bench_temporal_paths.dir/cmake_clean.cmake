@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_paths.dir/bench_temporal_paths.cpp.o"
+  "CMakeFiles/bench_temporal_paths.dir/bench_temporal_paths.cpp.o.d"
+  "bench_temporal_paths"
+  "bench_temporal_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

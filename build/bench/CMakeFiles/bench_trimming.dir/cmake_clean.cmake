@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trimming.dir/bench_trimming.cpp.o"
+  "CMakeFiles/bench_trimming.dir/bench_trimming.cpp.o.d"
+  "bench_trimming"
+  "bench_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_routing.dir/dtn_routing.cpp.o"
+  "CMakeFiles/dtn_routing.dir/dtn_routing.cpp.o.d"
+  "dtn_routing"
+  "dtn_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_hypercube.dir/fault_tolerant_hypercube.cpp.o"
+  "CMakeFiles/fault_tolerant_hypercube.dir/fault_tolerant_hypercube.cpp.o.d"
+  "fault_tolerant_hypercube"
+  "fault_tolerant_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_pubsub_nsf.dir/p2p_pubsub_nsf.cpp.o"
+  "CMakeFiles/p2p_pubsub_nsf.dir/p2p_pubsub_nsf.cpp.o.d"
+  "p2p_pubsub_nsf"
+  "p2p_pubsub_nsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_pubsub_nsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

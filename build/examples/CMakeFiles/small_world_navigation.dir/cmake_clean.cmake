@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_world_navigation.dir/small_world_navigation.cpp.o"
+  "CMakeFiles/small_world_navigation.dir/small_world_navigation.cpp.o.d"
+  "small_world_navigation"
+  "small_world_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_world_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_feature_routing.dir/social_feature_routing.cpp.o"
+  "CMakeFiles/social_feature_routing.dir/social_feature_routing.cpp.o.d"
+  "social_feature_routing"
+  "social_feature_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_feature_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/bridges.cpp" "src/algo/CMakeFiles/structnet_algo.dir/bridges.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/bridges.cpp.o.d"
+  "/root/repo/src/algo/chordal.cpp" "src/algo/CMakeFiles/structnet_algo.dir/chordal.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/chordal.cpp.o.d"
+  "/root/repo/src/algo/components.cpp" "src/algo/CMakeFiles/structnet_algo.dir/components.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/components.cpp.o.d"
+  "/root/repo/src/algo/maxflow.cpp" "src/algo/CMakeFiles/structnet_algo.dir/maxflow.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/maxflow.cpp.o.d"
+  "/root/repo/src/algo/mst.cpp" "src/algo/CMakeFiles/structnet_algo.dir/mst.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/mst.cpp.o.d"
+  "/root/repo/src/algo/shortest_paths.cpp" "src/algo/CMakeFiles/structnet_algo.dir/shortest_paths.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/algo/traversal.cpp" "src/algo/CMakeFiles/structnet_algo.dir/traversal.cpp.o" "gcc" "src/algo/CMakeFiles/structnet_algo.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

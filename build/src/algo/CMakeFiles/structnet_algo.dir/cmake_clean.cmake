@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_algo.dir/bridges.cpp.o"
+  "CMakeFiles/structnet_algo.dir/bridges.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/chordal.cpp.o"
+  "CMakeFiles/structnet_algo.dir/chordal.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/components.cpp.o"
+  "CMakeFiles/structnet_algo.dir/components.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/maxflow.cpp.o"
+  "CMakeFiles/structnet_algo.dir/maxflow.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/mst.cpp.o"
+  "CMakeFiles/structnet_algo.dir/mst.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/shortest_paths.cpp.o"
+  "CMakeFiles/structnet_algo.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/structnet_algo.dir/traversal.cpp.o"
+  "CMakeFiles/structnet_algo.dir/traversal.cpp.o.d"
+  "libstructnet_algo.a"
+  "libstructnet_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

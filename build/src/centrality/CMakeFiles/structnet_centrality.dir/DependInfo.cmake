@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/centrality.cpp" "src/centrality/CMakeFiles/structnet_centrality.dir/centrality.cpp.o" "gcc" "src/centrality/CMakeFiles/structnet_centrality.dir/centrality.cpp.o.d"
+  "/root/repo/src/centrality/link_analysis.cpp" "src/centrality/CMakeFiles/structnet_centrality.dir/link_analysis.cpp.o" "gcc" "src/centrality/CMakeFiles/structnet_centrality.dir/link_analysis.cpp.o.d"
+  "/root/repo/src/centrality/powerlaw.cpp" "src/centrality/CMakeFiles/structnet_centrality.dir/powerlaw.cpp.o" "gcc" "src/centrality/CMakeFiles/structnet_centrality.dir/powerlaw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

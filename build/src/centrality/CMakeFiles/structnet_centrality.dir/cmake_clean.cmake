@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_centrality.dir/centrality.cpp.o"
+  "CMakeFiles/structnet_centrality.dir/centrality.cpp.o.d"
+  "CMakeFiles/structnet_centrality.dir/link_analysis.cpp.o"
+  "CMakeFiles/structnet_centrality.dir/link_analysis.cpp.o.d"
+  "CMakeFiles/structnet_centrality.dir/powerlaw.cpp.o"
+  "CMakeFiles/structnet_centrality.dir/powerlaw.cpp.o.d"
+  "libstructnet_centrality.a"
+  "libstructnet_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csr.cpp" "src/core/CMakeFiles/structnet_core.dir/csr.cpp.o" "gcc" "src/core/CMakeFiles/structnet_core.dir/csr.cpp.o.d"
+  "/root/repo/src/core/digraph.cpp" "src/core/CMakeFiles/structnet_core.dir/digraph.cpp.o" "gcc" "src/core/CMakeFiles/structnet_core.dir/digraph.cpp.o.d"
+  "/root/repo/src/core/generators.cpp" "src/core/CMakeFiles/structnet_core.dir/generators.cpp.o" "gcc" "src/core/CMakeFiles/structnet_core.dir/generators.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/structnet_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/structnet_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/structnet_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/structnet_core.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_core.dir/csr.cpp.o"
+  "CMakeFiles/structnet_core.dir/csr.cpp.o.d"
+  "CMakeFiles/structnet_core.dir/digraph.cpp.o"
+  "CMakeFiles/structnet_core.dir/digraph.cpp.o.d"
+  "CMakeFiles/structnet_core.dir/generators.cpp.o"
+  "CMakeFiles/structnet_core.dir/generators.cpp.o.d"
+  "CMakeFiles/structnet_core.dir/graph.cpp.o"
+  "CMakeFiles/structnet_core.dir/graph.cpp.o.d"
+  "CMakeFiles/structnet_core.dir/io.cpp.o"
+  "CMakeFiles/structnet_core.dir/io.cpp.o.d"
+  "libstructnet_core.a"
+  "libstructnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

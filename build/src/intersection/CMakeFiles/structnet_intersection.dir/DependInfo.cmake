@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intersection/interval_graph.cpp" "src/intersection/CMakeFiles/structnet_intersection.dir/interval_graph.cpp.o" "gcc" "src/intersection/CMakeFiles/structnet_intersection.dir/interval_graph.cpp.o.d"
+  "/root/repo/src/intersection/interval_hypergraph.cpp" "src/intersection/CMakeFiles/structnet_intersection.dir/interval_hypergraph.cpp.o" "gcc" "src/intersection/CMakeFiles/structnet_intersection.dir/interval_hypergraph.cpp.o.d"
+  "/root/repo/src/intersection/sessions.cpp" "src/intersection/CMakeFiles/structnet_intersection.dir/sessions.cpp.o" "gcc" "src/intersection/CMakeFiles/structnet_intersection.dir/sessions.cpp.o.d"
+  "/root/repo/src/intersection/unit_disk.cpp" "src/intersection/CMakeFiles/structnet_intersection.dir/unit_disk.cpp.o" "gcc" "src/intersection/CMakeFiles/structnet_intersection.dir/unit_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_intersection.dir/interval_graph.cpp.o"
+  "CMakeFiles/structnet_intersection.dir/interval_graph.cpp.o.d"
+  "CMakeFiles/structnet_intersection.dir/interval_hypergraph.cpp.o"
+  "CMakeFiles/structnet_intersection.dir/interval_hypergraph.cpp.o.d"
+  "CMakeFiles/structnet_intersection.dir/sessions.cpp.o"
+  "CMakeFiles/structnet_intersection.dir/sessions.cpp.o.d"
+  "CMakeFiles/structnet_intersection.dir/unit_disk.cpp.o"
+  "CMakeFiles/structnet_intersection.dir/unit_disk.cpp.o.d"
+  "libstructnet_intersection.a"
+  "libstructnet_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

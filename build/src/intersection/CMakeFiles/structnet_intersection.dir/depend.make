@@ -1,0 +1,2 @@
+# Empty dependencies file for structnet_intersection.
+# This may be replaced when dependencies are built.

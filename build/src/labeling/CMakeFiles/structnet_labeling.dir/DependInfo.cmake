@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/dynamic_mis.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/dynamic_mis.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/dynamic_mis.cpp.o.d"
+  "/root/repo/src/labeling/fig8_example.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/fig8_example.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/fig8_example.cpp.o.d"
+  "/root/repo/src/labeling/fig9_example.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/fig9_example.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/fig9_example.cpp.o.d"
+  "/root/repo/src/labeling/mis_cds.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/mis_cds.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/mis_cds.cpp.o.d"
+  "/root/repo/src/labeling/safety_levels.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/safety_levels.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/safety_levels.cpp.o.d"
+  "/root/repo/src/labeling/static_labels.cpp" "src/labeling/CMakeFiles/structnet_labeling.dir/static_labels.cpp.o" "gcc" "src/labeling/CMakeFiles/structnet_labeling.dir/static_labels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

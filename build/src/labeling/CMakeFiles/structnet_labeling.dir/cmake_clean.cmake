@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_labeling.dir/dynamic_mis.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/dynamic_mis.cpp.o.d"
+  "CMakeFiles/structnet_labeling.dir/fig8_example.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/fig8_example.cpp.o.d"
+  "CMakeFiles/structnet_labeling.dir/fig9_example.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/fig9_example.cpp.o.d"
+  "CMakeFiles/structnet_labeling.dir/mis_cds.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/mis_cds.cpp.o.d"
+  "CMakeFiles/structnet_labeling.dir/safety_levels.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/safety_levels.cpp.o.d"
+  "CMakeFiles/structnet_labeling.dir/static_labels.cpp.o"
+  "CMakeFiles/structnet_labeling.dir/static_labels.cpp.o.d"
+  "libstructnet_labeling.a"
+  "libstructnet_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

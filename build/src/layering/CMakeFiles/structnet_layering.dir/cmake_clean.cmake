@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_layering.dir/fig4_example.cpp.o"
+  "CMakeFiles/structnet_layering.dir/fig4_example.cpp.o.d"
+  "CMakeFiles/structnet_layering.dir/link_reversal.cpp.o"
+  "CMakeFiles/structnet_layering.dir/link_reversal.cpp.o.d"
+  "CMakeFiles/structnet_layering.dir/multi_dag.cpp.o"
+  "CMakeFiles/structnet_layering.dir/multi_dag.cpp.o.d"
+  "CMakeFiles/structnet_layering.dir/nsf.cpp.o"
+  "CMakeFiles/structnet_layering.dir/nsf.cpp.o.d"
+  "CMakeFiles/structnet_layering.dir/pubsub.cpp.o"
+  "CMakeFiles/structnet_layering.dir/pubsub.cpp.o.d"
+  "libstructnet_layering.a"
+  "libstructnet_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

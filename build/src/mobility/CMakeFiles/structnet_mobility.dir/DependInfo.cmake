@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/contact_trace.cpp" "src/mobility/CMakeFiles/structnet_mobility.dir/contact_trace.cpp.o" "gcc" "src/mobility/CMakeFiles/structnet_mobility.dir/contact_trace.cpp.o.d"
+  "/root/repo/src/mobility/edge_markovian.cpp" "src/mobility/CMakeFiles/structnet_mobility.dir/edge_markovian.cpp.o" "gcc" "src/mobility/CMakeFiles/structnet_mobility.dir/edge_markovian.cpp.o.d"
+  "/root/repo/src/mobility/mobility_models.cpp" "src/mobility/CMakeFiles/structnet_mobility.dir/mobility_models.cpp.o" "gcc" "src/mobility/CMakeFiles/structnet_mobility.dir/mobility_models.cpp.o.d"
+  "/root/repo/src/mobility/social_contacts.cpp" "src/mobility/CMakeFiles/structnet_mobility.dir/social_contacts.cpp.o" "gcc" "src/mobility/CMakeFiles/structnet_mobility.dir/social_contacts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/structnet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

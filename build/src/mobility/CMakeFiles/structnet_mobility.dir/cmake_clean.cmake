@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_mobility.dir/contact_trace.cpp.o"
+  "CMakeFiles/structnet_mobility.dir/contact_trace.cpp.o.d"
+  "CMakeFiles/structnet_mobility.dir/edge_markovian.cpp.o"
+  "CMakeFiles/structnet_mobility.dir/edge_markovian.cpp.o.d"
+  "CMakeFiles/structnet_mobility.dir/mobility_models.cpp.o"
+  "CMakeFiles/structnet_mobility.dir/mobility_models.cpp.o.d"
+  "CMakeFiles/structnet_mobility.dir/social_contacts.cpp.o"
+  "CMakeFiles/structnet_mobility.dir/social_contacts.cpp.o.d"
+  "libstructnet_mobility.a"
+  "libstructnet_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

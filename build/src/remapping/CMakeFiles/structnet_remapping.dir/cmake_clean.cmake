@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_remapping.dir/feature_space.cpp.o"
+  "CMakeFiles/structnet_remapping.dir/feature_space.cpp.o.d"
+  "CMakeFiles/structnet_remapping.dir/geo_routing.cpp.o"
+  "CMakeFiles/structnet_remapping.dir/geo_routing.cpp.o.d"
+  "CMakeFiles/structnet_remapping.dir/small_world.cpp.o"
+  "CMakeFiles/structnet_remapping.dir/small_world.cpp.o.d"
+  "CMakeFiles/structnet_remapping.dir/tree_embedding.cpp.o"
+  "CMakeFiles/structnet_remapping.dir/tree_embedding.cpp.o.d"
+  "libstructnet_remapping.a"
+  "libstructnet_remapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_remapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for structnet_remapping.
+# This may be replaced when dependencies are built.

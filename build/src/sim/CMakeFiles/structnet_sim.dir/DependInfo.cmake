@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/distributed_dijkstra.cpp" "src/sim/CMakeFiles/structnet_sim.dir/distributed_dijkstra.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/distributed_dijkstra.cpp.o.d"
+  "/root/repo/src/sim/dtn_routing.cpp" "src/sim/CMakeFiles/structnet_sim.dir/dtn_routing.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/dtn_routing.cpp.o.d"
+  "/root/repo/src/sim/hybrid_control.cpp" "src/sim/CMakeFiles/structnet_sim.dir/hybrid_control.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/hybrid_control.cpp.o.d"
+  "/root/repo/src/sim/local_protocols.cpp" "src/sim/CMakeFiles/structnet_sim.dir/local_protocols.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/local_protocols.cpp.o.d"
+  "/root/repo/src/sim/multi_message.cpp" "src/sim/CMakeFiles/structnet_sim.dir/multi_message.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/multi_message.cpp.o.d"
+  "/root/repo/src/sim/round_engine.cpp" "src/sim/CMakeFiles/structnet_sim.dir/round_engine.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/round_engine.cpp.o.d"
+  "/root/repo/src/sim/stale_views.cpp" "src/sim/CMakeFiles/structnet_sim.dir/stale_views.cpp.o" "gcc" "src/sim/CMakeFiles/structnet_sim.dir/stale_views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/structnet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/structnet_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_sim.dir/distributed_dijkstra.cpp.o"
+  "CMakeFiles/structnet_sim.dir/distributed_dijkstra.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/dtn_routing.cpp.o"
+  "CMakeFiles/structnet_sim.dir/dtn_routing.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/hybrid_control.cpp.o"
+  "CMakeFiles/structnet_sim.dir/hybrid_control.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/local_protocols.cpp.o"
+  "CMakeFiles/structnet_sim.dir/local_protocols.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/multi_message.cpp.o"
+  "CMakeFiles/structnet_sim.dir/multi_message.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/round_engine.cpp.o"
+  "CMakeFiles/structnet_sim.dir/round_engine.cpp.o.d"
+  "CMakeFiles/structnet_sim.dir/stale_views.cpp.o"
+  "CMakeFiles/structnet_sim.dir/stale_views.cpp.o.d"
+  "libstructnet_sim.a"
+  "libstructnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/fig2_example.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/fig2_example.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/fig2_example.cpp.o.d"
+  "/root/repo/src/temporal/journeys.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/journeys.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/journeys.cpp.o.d"
+  "/root/repo/src/temporal/smallworld_metrics.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/smallworld_metrics.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/smallworld_metrics.cpp.o.d"
+  "/root/repo/src/temporal/temporal_centrality.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/temporal_centrality.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/temporal_centrality.cpp.o.d"
+  "/root/repo/src/temporal/temporal_graph.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/temporal_graph.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/temporal_graph.cpp.o.d"
+  "/root/repo/src/temporal/trace_io.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/trace_io.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/trace_io.cpp.o.d"
+  "/root/repo/src/temporal/weighted.cpp" "src/temporal/CMakeFiles/structnet_temporal.dir/weighted.cpp.o" "gcc" "src/temporal/CMakeFiles/structnet_temporal.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

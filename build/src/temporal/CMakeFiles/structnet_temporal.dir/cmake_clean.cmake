@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_temporal.dir/fig2_example.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/fig2_example.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/journeys.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/journeys.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/smallworld_metrics.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/smallworld_metrics.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/temporal_centrality.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/temporal_centrality.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/temporal_graph.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/temporal_graph.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/trace_io.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/trace_io.cpp.o.d"
+  "CMakeFiles/structnet_temporal.dir/weighted.cpp.o"
+  "CMakeFiles/structnet_temporal.dir/weighted.cpp.o.d"
+  "libstructnet_temporal.a"
+  "libstructnet_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trimming/eg_trimming.cpp" "src/trimming/CMakeFiles/structnet_trimming.dir/eg_trimming.cpp.o" "gcc" "src/trimming/CMakeFiles/structnet_trimming.dir/eg_trimming.cpp.o.d"
+  "/root/repo/src/trimming/probabilistic.cpp" "src/trimming/CMakeFiles/structnet_trimming.dir/probabilistic.cpp.o" "gcc" "src/trimming/CMakeFiles/structnet_trimming.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/trimming/spanner.cpp" "src/trimming/CMakeFiles/structnet_trimming.dir/spanner.cpp.o" "gcc" "src/trimming/CMakeFiles/structnet_trimming.dir/spanner.cpp.o.d"
+  "/root/repo/src/trimming/topology_control.cpp" "src/trimming/CMakeFiles/structnet_trimming.dir/topology_control.cpp.o" "gcc" "src/trimming/CMakeFiles/structnet_trimming.dir/topology_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/temporal/CMakeFiles/structnet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

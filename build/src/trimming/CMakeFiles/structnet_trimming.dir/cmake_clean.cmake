@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_trimming.dir/eg_trimming.cpp.o"
+  "CMakeFiles/structnet_trimming.dir/eg_trimming.cpp.o.d"
+  "CMakeFiles/structnet_trimming.dir/probabilistic.cpp.o"
+  "CMakeFiles/structnet_trimming.dir/probabilistic.cpp.o.d"
+  "CMakeFiles/structnet_trimming.dir/spanner.cpp.o"
+  "CMakeFiles/structnet_trimming.dir/spanner.cpp.o.d"
+  "CMakeFiles/structnet_trimming.dir/topology_control.cpp.o"
+  "CMakeFiles/structnet_trimming.dir/topology_control.cpp.o.d"
+  "libstructnet_trimming.a"
+  "libstructnet_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structnet_util.dir/histogram.cpp.o"
+  "CMakeFiles/structnet_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/structnet_util.dir/rng.cpp.o"
+  "CMakeFiles/structnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/structnet_util.dir/stats.cpp.o"
+  "CMakeFiles/structnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/structnet_util.dir/table.cpp.o"
+  "CMakeFiles/structnet_util.dir/table.cpp.o.d"
+  "libstructnet_util.a"
+  "libstructnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridges_khop.dir/test_bridges_khop.cpp.o"
+  "CMakeFiles/test_bridges_khop.dir/test_bridges_khop.cpp.o.d"
+  "test_bridges_khop"
+  "test_bridges_khop.pdb"
+  "test_bridges_khop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridges_khop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

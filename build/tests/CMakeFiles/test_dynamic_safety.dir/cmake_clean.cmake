@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_safety.dir/test_dynamic_safety.cpp.o"
+  "CMakeFiles/test_dynamic_safety.dir/test_dynamic_safety.cpp.o.d"
+  "test_dynamic_safety"
+  "test_dynamic_safety.pdb"
+  "test_dynamic_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hybrid_and_metrics.cpp" "tests/CMakeFiles/test_hybrid_and_metrics.dir/test_hybrid_and_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_hybrid_and_metrics.dir/test_hybrid_and_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/structnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/structnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/centrality/CMakeFiles/structnet_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/labeling/CMakeFiles/structnet_labeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/structnet_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/structnet_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/structnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/structnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_and_metrics.dir/test_hybrid_and_metrics.cpp.o"
+  "CMakeFiles/test_hybrid_and_metrics.dir/test_hybrid_and_metrics.cpp.o.d"
+  "test_hybrid_and_metrics"
+  "test_hybrid_and_metrics.pdb"
+  "test_hybrid_and_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_and_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journey_oracle.dir/test_journey_oracle.cpp.o"
+  "CMakeFiles/test_journey_oracle.dir/test_journey_oracle.cpp.o.d"
+  "test_journey_oracle"
+  "test_journey_oracle.pdb"
+  "test_journey_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journey_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

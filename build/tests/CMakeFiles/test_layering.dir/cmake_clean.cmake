@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layering.dir/test_layering.cpp.o"
+  "CMakeFiles/test_layering.dir/test_layering.cpp.o.d"
+  "test_layering"
+  "test_layering.pdb"
+  "test_layering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

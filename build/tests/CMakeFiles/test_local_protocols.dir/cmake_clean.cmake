@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_protocols.dir/test_local_protocols.cpp.o"
+  "CMakeFiles/test_local_protocols.dir/test_local_protocols.cpp.o.d"
+  "test_local_protocols"
+  "test_local_protocols.pdb"
+  "test_local_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_cds.dir/test_mis_cds.cpp.o"
+  "CMakeFiles/test_mis_cds.dir/test_mis_cds.cpp.o.d"
+  "test_mis_cds"
+  "test_mis_cds.pdb"
+  "test_mis_cds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_cds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties2.dir/test_properties2.cpp.o"
+  "CMakeFiles/test_properties2.dir/test_properties2.cpp.o.d"
+  "test_properties2"
+  "test_properties2.pdb"
+  "test_properties2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

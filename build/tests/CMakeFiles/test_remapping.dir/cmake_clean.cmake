@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remapping.dir/test_remapping.cpp.o"
+  "CMakeFiles/test_remapping.dir/test_remapping.cpp.o.d"
+  "test_remapping"
+  "test_remapping.pdb"
+  "test_remapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spanner_and_faults.dir/test_spanner_and_faults.cpp.o"
+  "CMakeFiles/test_spanner_and_faults.dir/test_spanner_and_faults.cpp.o.d"
+  "test_spanner_and_faults"
+  "test_spanner_and_faults.pdb"
+  "test_spanner_and_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spanner_and_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_spanner_and_faults.
+# This may be replaced when dependencies are built.

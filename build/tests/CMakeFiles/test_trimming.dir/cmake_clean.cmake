@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trimming.dir/test_trimming.cpp.o"
+  "CMakeFiles/test_trimming.dir/test_trimming.cpp.o.d"
+  "test_trimming"
+  "test_trimming.pdb"
+  "test_trimming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_temporal.dir/test_weighted_temporal.cpp.o"
+  "CMakeFiles/test_weighted_temporal.dir/test_weighted_temporal.cpp.o.d"
+  "test_weighted_temporal"
+  "test_weighted_temporal.pdb"
+  "test_weighted_temporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

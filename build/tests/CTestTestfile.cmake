@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_algo[1]_include.cmake")
+include("/root/repo/build/tests/test_centrality[1]_include.cmake")
+include("/root/repo/build/tests/test_intersection[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_weighted_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_trimming[1]_include.cmake")
+include("/root/repo/build/tests/test_layering[1]_include.cmake")
+include("/root/repo/build/tests/test_remapping[1]_include.cmake")
+include("/root/repo/build/tests/test_small_world[1]_include.cmake")
+include("/root/repo/build/tests/test_labeling[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid_and_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_spanner_and_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_temporal_centrality[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_message[1]_include.cmake")
+include("/root/repo/build/tests/test_journey_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_local_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_bridges_khop[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_safety[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_properties2[1]_include.cmake")
+include("/root/repo/build/tests/test_mis_cds[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
