@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/generators.hpp"
 #include "labeling/dynamic_mis.hpp"
 #include "labeling/static_labels.hpp"
@@ -106,9 +107,32 @@ BENCHMARK(BM_StaticRecompute)->Range(256, 4096);
 }  // namespace
 }  // namespace structnet
 
+namespace structnet {
+namespace {
+
+void json_lines() {
+  Rng rng(9);
+  for (const std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+    Graph g = erdos_renyi(n, 6.0 / double(n), rng);
+    DynamicMis mis(g, rng);
+    bench_json_line(
+        "dynamic_mis_update", n, time_ns_per_op(5000, [&](std::size_t) {
+          const auto u = static_cast<VertexId>(rng.index(n));
+          const auto v = static_cast<VertexId>(rng.index(n));
+          if (u == v) return;
+          benchmark::DoNotOptimize(mis.has_edge(u, v) ? mis.remove_edge(u, v)
+                                                      : mis.add_edge(u, v));
+        }));
+  }
+}
+
+}  // namespace
+}  // namespace structnet
+
 int main(int argc, char** argv) {
   structnet::churn_table();
   structnet::vertex_churn_table();
+  structnet::json_lines();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/generators.hpp"
 #include "layering/nsf.hpp"
 #include "layering/pubsub.hpp"
@@ -121,11 +122,31 @@ BENCHMARK(BM_PeelSequence)->Range(1 << 10, 1 << 14);
 }  // namespace
 }  // namespace structnet
 
+namespace structnet {
+namespace {
+
+void json_lines() {
+  Rng rng(7);
+  for (const std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 14}) {
+    const Graph g = barabasi_albert(n, 3, rng);
+    bench_json_line("nsf_levels", n, time_ns_per_op(3, [&](std::size_t) {
+                      benchmark::DoNotOptimize(nsf_level_labels(g));
+                    }));
+    bench_json_line("nsf_core_numbers", n, time_ns_per_op(3, [&](std::size_t) {
+                      benchmark::DoNotOptimize(core_numbers(g));
+                    }));
+  }
+}
+
+}  // namespace
+}  // namespace structnet
+
 int main(int argc, char** argv) {
   structnet::nsf_exponents_table();
   structnet::nsf_contrast_table();
   structnet::level_table();
   structnet::pubsub_table();
+  structnet::json_lines();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

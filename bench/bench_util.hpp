@@ -1,0 +1,70 @@
+// Shared benchmark output helpers.
+//
+// Every bench binary prints human-readable tables (util/table.hpp) AND
+// machine-readable JSON lines so BENCH_*.json trajectories can be
+// captured by simply grepping stdout for lines starting with '{'. The
+// canonical record is {"bench": <name>, "n": <size>, "ns_per_op": <ns>}
+// plus any extra fields a bench wants to attach.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace structnet {
+
+/// Builder for one JSON benchmark line. Field order is insertion order;
+/// `bench` always comes first.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string_view bench) {
+    out_ << "{\"bench\": \"" << bench << '"';
+  }
+
+  BenchJson& field(std::string_view key, double value) {
+    out_ << ", \"" << key << "\": " << value;
+    return *this;
+  }
+  BenchJson& field(std::string_view key, std::uint64_t value) {
+    out_ << ", \"" << key << "\": " << value;
+    return *this;
+  }
+  BenchJson& field(std::string_view key, std::string_view value) {
+    out_ << ", \"" << key << "\": \"" << value << '"';
+    return *this;
+  }
+
+  /// Prints the record as a single line (flushed so partial runs still
+  /// leave parseable output).
+  void emit(std::ostream& os = std::cout) {
+    os << out_.str() << "}" << std::endl;
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
+/// Convenience for the canonical record shape.
+inline void bench_json_line(std::string_view bench, std::uint64_t n,
+                            double ns_per_op) {
+  BenchJson(bench).field("n", n).field("ns_per_op", ns_per_op).emit();
+}
+
+/// Wall-clock timing of `ops` repetitions of `fn`; returns ns per op.
+template <typename Fn>
+double time_ns_per_op(std::size_t ops, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) fn(i);
+  const auto stop = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count();
+  return ops == 0 ? 0.0
+                  : static_cast<double>(ns) / static_cast<double>(ops);
+}
+
+}  // namespace structnet

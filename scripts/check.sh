@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a sanitizer pass over the streaming churn tests.
+#
+#   scripts/check.sh          # plain build + full ctest, then ASan/UBSan
+#   SKIP_SANITIZE=1 scripts/check.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "== sanitizer pass (ASan + UBSan): streaming churn tests =="
+  cmake -B build-asan -S . -DSTRUCTNET_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$jobs"
+  ctest --test-dir build-asan --output-on-failure -j"$jobs" \
+    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay'
+fi
+
+echo "check.sh: OK"

@@ -115,6 +115,14 @@ std::size_t DynamicMis::remove_vertex(VertexId v) {
   return repair(std::move(seeds));
 }
 
+std::size_t DynamicMis::restore_vertex(VertexId v) {
+  assert(v < vertex_count() && removed_[v]);
+  assert(adjacency_[v].empty());
+  removed_[v] = false;
+  in_mis_[v] = true;  // isolated vertex joins the MIS
+  return 0;
+}
+
 bool DynamicMis::has_edge(VertexId u, VertexId v) const {
   const auto& list = adjacency_[u];
   return std::find(list.begin(), list.end(), v) != list.end();

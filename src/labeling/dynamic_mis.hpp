@@ -39,6 +39,10 @@ class DynamicMis {
   /// Removes all edges of v and forces v out of consideration (status
   /// false, priority kept). Returns the repair cost.
   std::size_t remove_vertex(VertexId v);
+  /// Reverses remove_vertex: v rejoins as an isolated vertex with its old
+  /// priority (edges re-arrive as separate insertions). Returns the
+  /// repair cost (0: an isolated vertex joins the MIS unconditionally).
+  std::size_t restore_vertex(VertexId v);
 
   bool has_edge(VertexId u, VertexId v) const;
 

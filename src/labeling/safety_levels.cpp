@@ -107,6 +107,19 @@ std::size_t SafetyLevelCube::add_fault(std::size_t v) {
   return changed;
 }
 
+std::size_t SafetyLevelCube::remove_fault(std::size_t v) {
+  assert(v < node_count());
+  if (!faulty_[v]) return 0;
+  faulty_[v] = false;
+  const std::vector<std::uint32_t> before = std::move(level_);
+  stabilize();
+  std::size_t changed = 0;
+  for (std::size_t u = 0; u < node_count(); ++u) {
+    changed += level_[u] != before[u];
+  }
+  return changed;
+}
+
 std::optional<std::vector<std::size_t>> SafetyLevelCube::route(
     std::size_t from, std::size_t to) const {
   assert(from < node_count() && to < node_count());

@@ -67,6 +67,14 @@ class SafetyLevelCube {
   /// already faulty.
   std::size_t add_fault(std::size_t v);
 
+  /// Dynamic fault recovery: marks `v` healthy again and restabilizes.
+  /// Unlike new faults, recoveries raise levels non-locally (a healed
+  /// node can unlock whole regions), so this re-runs the synchronous
+  /// stabilization (<= n - 1 rounds per the paper) rather than a local
+  /// wave; returns how many levels changed (v included). No-op returning
+  /// 0 when v was not faulty.
+  std::size_t remove_fault(std::size_t v);
+
  private:
   void stabilize();
 

@@ -115,6 +115,78 @@ std::vector<std::uint32_t> degree_rank_labels(const Graph& g) {
   return label;
 }
 
+std::vector<std::uint32_t> core_numbers(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> core(n, 0);
+  if (n == 0) return core;
+  std::vector<std::size_t> deg = g.degrees();
+  const std::size_t max_deg = *std::max_element(deg.begin(), deg.end());
+  // Bucket sort vertices by degree, then peel in non-decreasing order.
+  std::vector<std::size_t> bucket_start(max_deg + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) ++bucket_start[deg[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> order(n);
+  std::vector<std::size_t> position(n);
+  {
+    auto cursor = bucket_start;
+    for (std::size_t v = 0; v < n; ++v) {
+      position[v] = cursor[deg[v]]++;
+      order[position[v]] = static_cast<VertexId>(v);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = static_cast<std::uint32_t>(deg[v]);
+    for (VertexId w : g.neighbors(v)) {
+      if (deg[w] <= deg[v]) continue;
+      // Swap w to the front of its bucket, then shrink its degree.
+      const std::size_t front = bucket_start[deg[w]];
+      const VertexId at_front = order[front];
+      std::swap(order[position[w]], order[front]);
+      std::swap(position[w], position[at_front]);
+      ++bucket_start[deg[w]];
+      --deg[w];
+    }
+  }
+  return core;
+}
+
+std::vector<bool> core_membership(const std::vector<std::uint32_t>& core,
+                                  const std::vector<bool>& alive,
+                                  double stop_fraction) {
+  assert(core.size() == alive.size());
+  std::size_t alive_count = 0;
+  std::uint32_t max_core = 0;
+  for (std::size_t v = 0; v < core.size(); ++v) {
+    if (!alive[v]) continue;
+    ++alive_count;
+    max_core = std::max(max_core, core[v]);
+  }
+  const auto target = static_cast<std::size_t>(
+      stop_fraction * static_cast<double>(alive_count));
+  // Count alive vertices per core value, then find the smallest k whose
+  // suffix count fits the target (falling back to the topmost core).
+  std::vector<std::size_t> per_core(max_core + 1, 0);
+  for (std::size_t v = 0; v < core.size(); ++v) {
+    if (alive[v]) ++per_core[core[v]];
+  }
+  std::uint32_t k = max_core;
+  std::size_t suffix = 0;
+  for (std::uint32_t c = max_core;; --c) {
+    if (suffix + per_core[c] > target) break;
+    suffix += per_core[c];
+    k = c;
+    if (c == 0) break;
+  }
+  std::vector<bool> member(core.size(), false);
+  for (std::size_t v = 0; v < core.size(); ++v) {
+    member[v] = alive[v] && core[v] >= k;
+  }
+  return member;
+}
+
 NsfReport nsf_report(const Graph& g, double stop_fraction,
                      double ks_threshold) {
   NsfReport report;

@@ -64,4 +64,19 @@ struct NsfReport {
 NsfReport nsf_report(const Graph& g, double stop_fraction = 0.5,
                      double ks_threshold = 0.15);
 
+/// Degeneracy core numbers via bucket peeling: core[v] is the largest k
+/// such that v belongs to a subgraph of minimum degree k. This is the
+/// monotone cousin of the local-minimum peeling above and the quantity
+/// the streaming engine maintains incrementally (a single edge update
+/// moves core numbers by at most one).
+std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// NSF membership induced by core numbers: the tightest core prefix that
+/// still keeps at most `stop_fraction` of the alive vertices (e.g. 0.5 =
+/// the "top 50% peers" view of Fig. 3 (b)). Deterministic in `core`, so
+/// incremental and from-scratch trackers agree iff their cores agree.
+std::vector<bool> core_membership(const std::vector<std::uint32_t>& core,
+                                  const std::vector<bool>& alive,
+                                  double stop_fraction);
+
 }  // namespace structnet

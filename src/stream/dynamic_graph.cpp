@@ -1,0 +1,157 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace structnet {
+
+namespace {
+
+/// Ordered erase of `x` from `list`; returns false when absent. Order
+/// preservation matters: snapshot replay must reproduce the exact same
+/// adjacency (and hence the same materialized Graph) as the live path.
+bool erase_neighbor(std::vector<VertexId>& list, VertexId x) {
+  const auto it = std::find(list.begin(), list.end(), x);
+  if (it == list.end()) return false;
+  list.erase(it);
+  return true;
+}
+
+/// Applies one already-validated event to a bare adjacency state. Shared
+/// by the live path and snapshot replay so both evolve identically.
+void apply_to_state(std::vector<std::vector<VertexId>>& adjacency,
+                    std::vector<bool>& alive, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kEdgeInsert:
+      adjacency[e.u].push_back(e.v);
+      adjacency[e.v].push_back(e.u);
+      break;
+    case EventKind::kEdgeDelete:
+      erase_neighbor(adjacency[e.u], e.v);
+      erase_neighbor(adjacency[e.v], e.u);
+      break;
+    case EventKind::kNodeJoin:
+      // The log stores the resolved id: == size for a fresh node,
+      // < size for a revival.
+      if (e.u == adjacency.size()) {
+        adjacency.emplace_back();
+        alive.push_back(true);
+      } else {
+        alive[e.u] = true;
+      }
+      break;
+    case EventKind::kNodeLeave:
+      for (VertexId w : adjacency[e.u]) erase_neighbor(adjacency[w], e.u);
+      adjacency[e.u].clear();
+      alive[e.u] = false;
+      break;
+    case EventKind::kContactAdd:
+    case EventKind::kContactRelabel:
+      break;  // temporal-only; no adjacency effect
+  }
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const Graph& g) {
+  adjacency_.resize(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  alive_.assign(g.vertex_count(), true);
+  alive_count_ = g.vertex_count();
+  edge_count_ = g.edge_count();
+  initial_ = ReplayCache{0, adjacency_, alive_};
+  cache_ = initial_;
+}
+
+DynamicGraph::DynamicGraph(std::size_t n) : DynamicGraph(Graph(n)) {}
+
+bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
+  if (adjacency_[u].size() > adjacency_[v].size()) std::swap(u, v);
+  const auto& list = adjacency_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+EventEffect DynamicGraph::apply(const Event& event) {
+  EventEffect effect;
+  const std::size_t n = vertex_count();
+  const auto valid_alive = [&](VertexId x) { return x < n && alive_[x]; };
+  Event logged = event;
+
+  switch (event.kind) {
+    case EventKind::kEdgeInsert:
+      if (!valid_alive(event.u) || !valid_alive(event.v) ||
+          event.u == event.v || has_edge(event.u, event.v)) {
+        return effect;
+      }
+      ++edge_count_;
+      break;
+    case EventKind::kEdgeDelete:
+      if (event.u >= n || event.v >= n || !has_edge(event.u, event.v)) {
+        return effect;
+      }
+      --edge_count_;
+      break;
+    case EventKind::kContactAdd:
+      if (!valid_alive(event.u) || !valid_alive(event.v) ||
+          event.u == event.v) {
+        return effect;
+      }
+      break;
+    case EventKind::kContactRelabel:
+      if (!valid_alive(event.u) || !valid_alive(event.v) ||
+          event.u == event.v) {
+        return effect;
+      }
+      break;
+    case EventKind::kNodeJoin:
+      if (event.u == kInvalidVertex || event.u == n) {
+        logged.u = static_cast<VertexId>(n);  // fresh id, normalized
+      } else if (event.u < n && !alive_[event.u]) {
+        logged.u = event.u;  // revival
+      } else {
+        return effect;
+      }
+      effect.vertex = logged.u;
+      ++alive_count_;
+      break;
+    case EventKind::kNodeLeave:
+      if (!valid_alive(event.u)) return effect;
+      for (VertexId w : adjacency_[event.u]) {
+        effect.removed_edges.push_back(Graph::Edge{event.u, w});
+      }
+      edge_count_ -= effect.removed_edges.size();
+      --alive_count_;
+      break;
+  }
+
+  apply_to_state(adjacency_, alive_, logged);
+  log_.push_back(logged);
+  effect.accepted = true;
+  return effect;
+}
+
+Graph DynamicGraph::materialize_at(std::uint64_t epoch) const {
+  assert(epoch <= log_.size());
+  if (cache_.epoch > epoch) cache_ = initial_;
+  while (cache_.epoch < epoch) {
+    apply_to_state(cache_.adjacency, cache_.alive, log_[cache_.epoch]);
+    ++cache_.epoch;
+  }
+  Graph g(cache_.adjacency.size());
+  for (VertexId v = 0; v < cache_.adjacency.size(); ++v) {
+    for (VertexId w : cache_.adjacency[v]) {
+      if (v < w) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph GraphSnapshot::materialize() const {
+  assert(owner_ != nullptr);
+  return owner_->materialize_at(epoch_);
+}
+
+}  // namespace structnet

@@ -1,0 +1,108 @@
+// Versioned dynamic graph: the mutable "current" view of the stream.
+//
+// Every accepted event bumps an epoch counter and is appended to a delta
+// log, so a snapshot handle is O(1) to take — it is just (owner, epoch).
+// Materialising a snapshot replays the delta log copy-on-read: the graph
+// keeps one cached replay state and rolls it forward by the log suffix,
+// so repeated reads of advancing epochs cost O(delta), not O(history).
+//
+// Vertex ids are stable for the lifetime of the graph: a leaving node
+// keeps its id (marked dead) and may later revive via NodeJoin(id).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "stream/event.hpp"
+
+namespace structnet {
+
+class DynamicGraph;
+
+/// What an accepted event actually did, in normalized form. Observers
+/// receive this alongside the event so they never re-derive effects
+/// (e.g. which edges a NodeLeave dropped) from mutated state.
+struct EventEffect {
+  bool accepted = false;
+  /// NodeJoin: the id the node received (fresh or revived).
+  VertexId vertex = kInvalidVertex;
+  /// NodeLeave: the incident edges that were removed, in adjacency order.
+  std::vector<Graph::Edge> removed_edges;
+};
+
+/// O(1) handle to the graph as of a fixed epoch. Valid while the owning
+/// DynamicGraph is alive; materialising costs O(delta since the cached
+/// replay state) on the owner's shared cache.
+class GraphSnapshot {
+ public:
+  GraphSnapshot() = default;
+  std::uint64_t epoch() const { return epoch_; }
+  /// The static graph at this epoch (dead vertices present but isolated).
+  Graph materialize() const;
+
+ private:
+  friend class DynamicGraph;
+  GraphSnapshot(const DynamicGraph* owner, std::uint64_t epoch)
+      : owner_(owner), epoch_(epoch) {}
+  const DynamicGraph* owner_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  /// Starts from a static graph (epoch 0); all vertices alive.
+  explicit DynamicGraph(const Graph& g);
+  /// Starts from `n` isolated alive vertices (epoch 0).
+  explicit DynamicGraph(std::size_t n);
+
+  std::size_t vertex_count() const { return adjacency_.size(); }
+  std::size_t alive_count() const { return alive_count_; }
+  std::size_t edge_count() const { return edge_count_; }
+  bool alive(VertexId v) const { return alive_[v]; }
+  const std::vector<VertexId>& neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+  std::size_t degree(VertexId v) const { return adjacency_[v].size(); }
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Number of accepted events so far (== current epoch).
+  std::uint64_t epoch() const { return log_.size(); }
+  /// The normalized log of accepted events (index = epoch at application).
+  const std::vector<Event>& log() const { return log_; }
+
+  /// Validates and applies one event. Rejected events (dangling ids,
+  /// duplicate edges, dead endpoints, ...) leave the graph and the epoch
+  /// untouched and return effect.accepted == false.
+  EventEffect apply(const Event& event);
+
+  /// O(1) snapshot of the current epoch.
+  GraphSnapshot snapshot() const { return GraphSnapshot(this, epoch()); }
+  /// The current static graph (== snapshot().materialize()).
+  Graph materialize() const { return materialize_at(epoch()); }
+
+ private:
+  friend class GraphSnapshot;
+  Graph materialize_at(std::uint64_t epoch) const;
+
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::size_t edge_count_ = 0;
+  std::vector<Event> log_;
+
+  /// Replay state for snapshot materialisation: the adjacency as of
+  /// `epoch`, rolled forward on demand (copy-on-read).
+  struct ReplayCache {
+    std::uint64_t epoch = 0;
+    std::vector<std::vector<VertexId>> adjacency;
+    std::vector<bool> alive;
+  };
+  /// Epoch-0 state, the base every replay can restart from.
+  ReplayCache initial_;
+  mutable ReplayCache cache_;
+};
+
+}  // namespace structnet

@@ -1,0 +1,39 @@
+#include "stream/engine.hpp"
+
+#include <algorithm>
+
+namespace structnet {
+
+void StreamEngine::attach(StreamObserver* observer) {
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
+  observer->recompute(graph_);
+  observers_.push_back(observer);
+}
+
+void StreamEngine::detach(StreamObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it != observers_.end()) observers_.erase(it);
+}
+
+bool StreamEngine::apply(const Event& event) {
+  const EventEffect effect = graph_.apply(event);
+  if (!effect.accepted) {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  for (StreamObserver* obs : observers_) obs->on_event(graph_, event, effect);
+  return true;
+}
+
+std::size_t StreamEngine::apply_batch(std::span<const Event> events) {
+  std::size_t ok = 0;
+  for (const Event& e : events) ok += apply(e);
+  for (StreamObserver* obs : observers_) obs->on_batch_end(graph_);
+  return ok;
+}
+
+}  // namespace structnet

@@ -1,0 +1,52 @@
+// The streaming engine: a DynamicGraph plus an observer registry.
+//
+// apply() validates/applies one event and fans it out to every attached
+// observer; apply_batch() applies a span of events and then signals
+// on_batch_end once, which is what batching-aware observers (lazy cache
+// invalidation, deferred fixups) key off. Rejected events are counted
+// and NOT delivered to observers, so observers only ever see events the
+// graph actually absorbed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/dynamic_graph.hpp"
+#include "stream/observer.hpp"
+
+namespace structnet {
+
+class StreamEngine {
+ public:
+  StreamEngine() = default;
+  explicit StreamEngine(DynamicGraph graph) : graph_(std::move(graph)) {}
+
+  DynamicGraph& graph() { return graph_; }
+  const DynamicGraph& graph() const { return graph_; }
+
+  /// Registers an observer (not owned; must outlive the engine or be
+  /// detached first). The observer is synchronized to the current graph
+  /// via its recompute() path on attach.
+  void attach(StreamObserver* observer);
+  void detach(StreamObserver* observer);
+  std::size_t observer_count() const { return observers_.size(); }
+
+  /// Applies one event; returns whether the graph accepted it.
+  bool apply(const Event& event);
+
+  /// Applies a batch in order; returns the number of accepted events and
+  /// fires on_batch_end on every observer afterwards.
+  std::size_t apply_batch(std::span<const Event> events);
+
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  DynamicGraph graph_;
+  std::vector<StreamObserver*> observers_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace structnet

@@ -1,0 +1,60 @@
+// Event vocabulary of the streaming dynamic-graph engine.
+//
+// A stream is a totally-ordered sequence of events over an evolving
+// socially-rich network. Structural events (edge insert/delete, node
+// join/leave) mutate the current adjacency; contact events (add /
+// relabel) describe temporal activity and flow to temporal observers
+// without touching the static view. Events are plain values so they can
+// be logged, replayed, diffed, and batched freely.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace structnet {
+
+enum class EventKind : std::uint8_t {
+  kEdgeInsert,      // edge (u, v) appears in the current graph
+  kEdgeDelete,      // edge (u, v) disappears from the current graph
+  kContactAdd,      // (u, v) active during time unit `time`
+  kContactRelabel,  // contact (u, v, time) moves to time unit `new_time`
+  kNodeJoin,        // a node joins (fresh id) or a departed node revives
+  kNodeLeave,       // node u departs; its incident edges are dropped
+};
+
+/// One timeless, totally-ordered stream event. Unused fields keep their
+/// defaults; use the factories below rather than aggregate-initialising.
+struct Event {
+  EventKind kind = EventKind::kEdgeInsert;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  TimeUnit time = 0;      // ContactAdd label / ContactRelabel old label
+  TimeUnit new_time = 0;  // ContactRelabel new label
+
+  static Event edge_insert(VertexId u, VertexId v) {
+    return {EventKind::kEdgeInsert, u, v, 0, 0};
+  }
+  static Event edge_delete(VertexId u, VertexId v) {
+    return {EventKind::kEdgeDelete, u, v, 0, 0};
+  }
+  static Event contact_add(VertexId u, VertexId v, TimeUnit t) {
+    return {EventKind::kContactAdd, u, v, t, 0};
+  }
+  static Event contact_relabel(VertexId u, VertexId v, TimeUnit old_t,
+                               TimeUnit new_t) {
+    return {EventKind::kContactRelabel, u, v, old_t, new_t};
+  }
+  /// Joins a brand-new node (id assigned by the graph) when `who` is
+  /// kInvalidVertex, otherwise revives the departed node `who`.
+  static Event node_join(VertexId who = kInvalidVertex) {
+    return {EventKind::kNodeJoin, who, kInvalidVertex, 0, 0};
+  }
+  static Event node_leave(VertexId who) {
+    return {EventKind::kNodeLeave, who, kInvalidVertex, 0, 0};
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace structnet

@@ -1,0 +1,39 @@
+// Observer interface of the streaming engine.
+//
+// Observers subscribe to the engine and maintain a derived structure
+// (cores, labels, MIS, temporal views, ...) incrementally, one event at
+// a time. Every observer must also offer a `recompute()` path that
+// rebuilds its structure from scratch off the current graph: tests use
+// it to assert incremental == from-scratch after arbitrary churn, and
+// benchmarks use it as the naive baseline.
+#pragma once
+
+#include <string_view>
+
+#include "stream/dynamic_graph.hpp"
+#include "stream/event.hpp"
+
+namespace structnet {
+
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Called after the graph applied an accepted event. `effect` carries
+  /// the normalized consequences (assigned join id, edges a leave
+  /// dropped); `g` is already in its post-event state.
+  virtual void on_event(const DynamicGraph& g, const Event& event,
+                        const EventEffect& effect) = 0;
+
+  /// Called once after each apply_batch() completes.
+  virtual void on_batch_end(const DynamicGraph& g) { (void)g; }
+
+  /// Rebuilds the derived structure from scratch off the current graph.
+  /// Post-condition: observable state equals what the incremental path
+  /// would have produced for the same history.
+  virtual void recompute(const DynamicGraph& g) = 0;
+};
+
+}  // namespace structnet

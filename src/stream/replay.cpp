@@ -1,0 +1,55 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+
+#include "mobility/contact_trace.hpp"
+
+namespace structnet {
+
+std::vector<Event> contact_events(const TemporalGraph& eg) {
+  std::vector<Event> events;
+  for (const Contact& c : eg.contacts()) {
+    events.push_back(Event::contact_add(c.u, c.v, c.t));
+  }
+  return events;
+}
+
+std::vector<Event> snapshot_edge_events(const TemporalGraph& eg) {
+  std::vector<Event> events;
+  if (eg.horizon() == 0) return events;
+  for (const auto& e : eg.edges()) {
+    if (std::binary_search(e.labels.begin(), e.labels.end(), TimeUnit{0})) {
+      events.push_back(Event::edge_insert(e.u, e.v));
+    }
+  }
+  for (TimeUnit t = 1; t < eg.horizon(); ++t) {
+    for (const auto& e : eg.edges()) {
+      const bool before =
+          std::binary_search(e.labels.begin(), e.labels.end(), t - 1);
+      const bool now = std::binary_search(e.labels.begin(), e.labels.end(), t);
+      if (before && !now) events.push_back(Event::edge_delete(e.u, e.v));
+      if (!before && now) events.push_back(Event::edge_insert(e.u, e.v));
+    }
+  }
+  return events;
+}
+
+std::vector<Event> trajectory_events(const Trajectory& trajectory,
+                                     double radius) {
+  return contact_events(contacts_from_trajectory(trajectory, radius));
+}
+
+ReplayStats replay(StreamEngine& engine, std::span<const Event> events,
+                   std::size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  ReplayStats stats;
+  stats.events = events.size();
+  for (std::size_t begin = 0; begin < events.size(); begin += batch_size) {
+    const std::size_t count = std::min(batch_size, events.size() - begin);
+    stats.accepted += engine.apply_batch(events.subspan(begin, count));
+    ++stats.batches;
+  }
+  return stats;
+}
+
+}  // namespace structnet

@@ -1,0 +1,44 @@
+// Replay drivers: turn the repo's offline dynamic-graph sources —
+// mobility contact traces and edge-Markovian snapshot sequences — into
+// totally-ordered event streams the engine can absorb, and feed them in
+// (optionally batched) while collecting acceptance statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mobility/mobility_models.hpp"
+#include "stream/engine.hpp"
+#include "stream/event.hpp"
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// One ContactAdd per (edge, label) of the EG, ordered by time then edge
+/// insertion order — the natural stream a contact logger would emit.
+std::vector<Event> contact_events(const TemporalGraph& eg);
+
+/// Structural diff stream of the EG's snapshot sequence: EdgeInsert for
+/// every edge of G_0, then per time unit t >= 1 an EdgeDelete for each
+/// edge leaving G_{t-1} and an EdgeInsert for each edge entering G_t.
+/// This is how an edge-Markovian sequence becomes insert/delete churn.
+std::vector<Event> snapshot_edge_events(const TemporalGraph& eg);
+
+/// Contact stream of a mobility trajectory: nodes within `radius` at
+/// step t are in contact during time unit t (mobility/contact_trace.hpp).
+std::vector<Event> trajectory_events(const Trajectory& trajectory,
+                                     double radius);
+
+struct ReplayStats {
+  std::size_t events = 0;
+  std::size_t accepted = 0;
+  std::size_t batches = 0;
+};
+
+/// Feeds `events` into the engine in batches of `batch_size` (each batch
+/// triggers one on_batch_end). batch_size 0 is treated as 1.
+ReplayStats replay(StreamEngine& engine, std::span<const Event> events,
+                   std::size_t batch_size = 1);
+
+}  // namespace structnet

@@ -34,6 +34,8 @@ class TemporalGraph {
     VertexId u = kInvalidVertex;
     VertexId v = kInvalidVertex;
     std::vector<TimeUnit> labels;
+
+    friend bool operator==(const LabeledEdge&, const LabeledEdge&) = default;
   };
 
   TemporalGraph() = default;
@@ -101,6 +103,11 @@ class TemporalGraph {
   /// exist. The edge record remains (possibly with an empty label set) so
   /// edge ids stay stable.
   bool remove_label(VertexId u, VertexId v, TimeUnit t);
+
+  /// Structural equality (same vertices, horizon, edge records in the
+  /// same order with identical label sets). Used by streaming observers
+  /// to assert incremental maintenance matches a from-scratch rebuild.
+  friend bool operator==(const TemporalGraph&, const TemporalGraph&) = default;
 
  private:
   std::vector<std::vector<EdgeId>> incident_;
