@@ -12,6 +12,7 @@
 #include "core/generators.hpp"
 #include "layering/nsf.hpp"
 #include "layering/pubsub.hpp"
+#include "parallel/parallel.hpp"
 #include "util/table.hpp"
 
 namespace structnet {
@@ -135,6 +136,17 @@ void json_lines() {
     bench_json_line("nsf_core_numbers", n, time_ns_per_op(3, [&](std::size_t) {
                       benchmark::DoNotOptimize(core_numbers(g));
                     }));
+    // Per-round power-law fits run on the parallel layer; record the
+    // thread-count curve so trajectories capture the scaling.
+    for (const std::size_t threads : {std::size_t{1}, hardware_threads()}) {
+      BenchJson("nsf_report")
+          .field("n", std::uint64_t(n))
+          .field("threads", std::uint64_t(threads))
+          .field("ns_per_op", time_ns_per_op(3, [&](std::size_t) {
+                   benchmark::DoNotOptimize(nsf_report(g, 0.5, 0.15, threads));
+                 }))
+          .emit();
+    }
   }
 }
 

@@ -1,0 +1,178 @@
+// Speedup curves for the parallel execution layer: every converted
+// kernel timed at threads = 1, 2, 4, 8 on the same inputs, with a
+// bit-identity check of the parallel result against the serial one.
+// JSON lines carry a "threads" field so BENCH trajectories capture the
+// curves; the acceptance target is >= 4x at 8 threads for the
+// all-sources temporal path-length sweep at n = 10k (hardware
+// permitting — "cores" reports what this machine actually has).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/generators.hpp"
+#include "layering/nsf.hpp"
+#include "parallel/parallel.hpp"
+#include "sim/dtn_routing.hpp"
+#include "sim/multi_message.hpp"
+#include "temporal/smallworld_metrics.hpp"
+#include "temporal/temporal_centrality.hpp"
+#include "temporal/temporal_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// Synthetic contact trace: `contacts_per_unit` random contacts per time
+/// unit (mobility generators are O(n^2) per step — too slow at n=10k).
+TemporalGraph synthetic_trace(std::size_t n, TimeUnit horizon,
+                              std::size_t contacts_per_unit,
+                              std::uint64_t seed) {
+  TemporalGraph eg(n, horizon);
+  Rng rng(seed);
+  for (TimeUnit t = 0; t < horizon; ++t) {
+    for (std::size_t c = 0; c < contacts_per_unit; ++c) {
+      const auto u = static_cast<VertexId>(rng.index(n));
+      // Mix local (ring) and long-range contacts so sweeps reach far.
+      const auto v = rng.bernoulli(0.7)
+                         ? static_cast<VertexId>((u + 1 + rng.index(8)) % n)
+                         : static_cast<VertexId>(rng.index(n));
+      if (u == v || eg.has_contact(u, v, t)) continue;
+      eg.add_contact(u, v, t);
+    }
+  }
+  return eg;
+}
+
+/// Times run(threads) per thread count, checks the result equals the
+/// serial one via `same`, and emits one JSON line per thread count.
+template <typename Run, typename Same>
+void sweep(const std::string& name, std::uint64_t n, Table& table, Run&& run,
+           Same&& same) {
+  double serial_ns = 0.0;
+  decltype(run(1)) baseline = run(1);
+  for (const std::size_t threads : kThreadCounts) {
+    decltype(run(1)) result = baseline;
+    const double ns = time_ns_per_op(1, [&](std::size_t) {
+      result = run(threads);
+      benchmark::DoNotOptimize(result);
+    });
+    if (threads == 1) serial_ns = ns;
+    const bool identical = same(baseline, result);
+    const double speedup = ns > 0.0 ? serial_ns / ns : 0.0;
+    table.add_row({name, Table::num(n), Table::num(std::uint64_t(threads)),
+                   Table::num(ns / 1e6, 1), Table::num(speedup, 2),
+                   identical ? "yes" : "NO"});
+    BenchJson(name)
+        .field("n", n)
+        .field("threads", std::uint64_t(threads))
+        .field("ns_per_op", ns)
+        .field("speedup_vs_serial", speedup)
+        .field("identical_to_serial", std::uint64_t(identical))
+        .field("cores", std::uint64_t(hardware_threads()))
+        .emit();
+  }
+}
+
+void speedup_tables() {
+  Table t({"kernel", "n", "threads", "ms", "speedup", "bit-identical"});
+
+  {
+    // The acceptance kernel: all-sources earliest-arrival sweep, n=10k.
+    const std::size_t n =
+        std::getenv("STRUCTNET_BENCH_SMALL") ? 2000 : 10000;
+    const auto eg = synthetic_trace(n, 24, 2 * n, 3);
+    sweep(
+        "parallel_temporal_path_length", n, t,
+        [&](std::size_t threads) {
+          return characteristic_temporal_path_length(eg, threads);
+        },
+        [](const TemporalPathLength& a, const TemporalPathLength& b) {
+          return a.characteristic_length == b.characteristic_length &&
+                 a.reachable_fraction == b.reachable_fraction;
+        });
+    sweep(
+        "parallel_temporal_closeness", n, t,
+        [&](std::size_t threads) { return temporal_closeness(eg, threads); },
+        [](const std::vector<double>& a, const std::vector<double>& b) {
+          return a == b;
+        });
+  }
+  {
+    const std::size_t n = 512;
+    const auto eg = synthetic_trace(n, 48, 3 * n, 5);
+    sweep(
+        "parallel_temporal_betweenness", n, t,
+        [&](std::size_t threads) { return temporal_betweenness(eg, threads); },
+        [](const std::vector<double>& a, const std::vector<double>& b) {
+          return a == b;
+        });
+    SimulationFaults faults;
+    faults.loss_probability = 0.2;
+    faults.loss_seed = 11;
+    sweep(
+        "parallel_routing_trials", n, t,
+        [&](std::size_t threads) {
+          return simulate_routing_trials(eg, 0, static_cast<VertexId>(n - 1),
+                                         0, epidemic_strategy(), 1, faults,
+                                         64, threads);
+        },
+        [](const RoutingTrialStats& a, const RoutingTrialStats& b) {
+          return a.delivered == b.delivered &&
+                 a.mean_delivery_time == b.mean_delivery_time &&
+                 a.mean_transmissions == b.mean_transmissions;
+        });
+    sweep(
+        "parallel_workload_ensemble", n, t,
+        [&](std::size_t threads) {
+          return simulate_workload_ensemble(eg, 16, 32, 7,
+                                            spray_and_wait_strategy(), 8, 4,
+                                            threads);
+        },
+        [](const WorkloadEnsemble& a, const WorkloadEnsemble& b) {
+          return a.mean_delivery_ratio == b.mean_delivery_ratio &&
+                 a.mean_delay == b.mean_delay &&
+                 a.mean_transmissions == b.mean_transmissions &&
+                 a.mean_drops == b.mean_drops;
+        });
+  }
+  {
+    Rng rng(7);
+    const Graph g = barabasi_albert(1 << 14, 3, rng);
+    sweep(
+        "parallel_nsf_report", std::uint64_t(1) << 14, t,
+        [&](std::size_t threads) { return nsf_report(g, 0.5, 0.15, threads); },
+        [](const NsfReport& a, const NsfReport& b) {
+          if (a.sizes != b.sizes || a.exponent_stddev != b.exponent_stddev ||
+              a.all_scale_free != b.all_scale_free) {
+            return false;
+          }
+          for (std::size_t r = 0; r < a.fits.size(); ++r) {
+            if (a.fits[r].alpha != b.fits[r].alpha ||
+                a.fits[r].ks != b.fits[r].ks) {
+              return false;
+            }
+          }
+          return true;
+        });
+  }
+
+  t.print(std::cout,
+          "Parallel layer speedup curves (acceptance: >= 4x at 8 threads "
+          "for the all-sources temporal sweep, given >= 8 cores; every row "
+          "must be bit-identical to serial)");
+}
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::speedup_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "mobility/contact_trace.hpp"
 #include "mobility/edge_markovian.hpp"
 #include "mobility/mobility_models.hpp"
+#include "parallel/parallel.hpp"
 #include "stream/engine.hpp"
 #include "stream/observers.hpp"
 #include "stream/replay.hpp"
@@ -114,6 +115,18 @@ void incremental_vs_naive_table() {
         .field("speedup_vs_naive", speedup)
         .emit();
     bench_json_line("stream_naive_recompute", n, naive_ns);
+
+    // Full-recompute sweep across all observers rides the parallel
+    // layer; record the thread-count curve.
+    for (const std::size_t threads : {std::size_t{1}, hardware_threads()}) {
+      BenchJson("stream_recompute_all")
+          .field("n", std::uint64_t(n))
+          .field("threads", std::uint64_t(threads))
+          .field("ns_per_op", time_ns_per_op(3, [&](std::size_t) {
+                   benchmark::DoNotOptimize(engine.recompute_all(threads));
+                 }))
+          .emit();
+    }
   }
   t.print(std::cout,
           "Streaming engine: incremental core+MIS maintenance vs full "

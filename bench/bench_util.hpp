@@ -8,7 +8,9 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -22,19 +24,34 @@ namespace structnet {
 class BenchJson {
  public:
   explicit BenchJson(std::string_view bench) {
-    out_ << "{\"bench\": \"" << bench << '"';
+    out_ << "{\"bench\": ";
+    append_string(bench);
   }
 
   BenchJson& field(std::string_view key, double value) {
-    out_ << ", \"" << key << "\": " << value;
+    append_key(key);
+    // Default stream formatting rounds to 6 significant digits and
+    // flips to scientific notation for large values (ns_per_op easily
+    // exceeds 1e6), silently corrupting BENCH_*.json trajectories. Emit
+    // fixed notation with 6 fractional digits instead; non-finite
+    // doubles have no JSON spelling, so they become null.
+    if (!std::isfinite(value)) {
+      out_ << "null";
+      return *this;
+    }
+    char buf[352];  // fixed notation of the largest double fits
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out_ << buf;
     return *this;
   }
   BenchJson& field(std::string_view key, std::uint64_t value) {
-    out_ << ", \"" << key << "\": " << value;
+    append_key(key);
+    out_ << value;
     return *this;
   }
   BenchJson& field(std::string_view key, std::string_view value) {
-    out_ << ", \"" << key << "\": \"" << value << '"';
+    append_key(key);
+    append_string(value);
     return *this;
   }
 
@@ -45,6 +62,46 @@ class BenchJson {
   }
 
  private:
+  void append_key(std::string_view key) {
+    out_ << ", ";
+    append_string(key);
+    out_ << ": ";
+  }
+
+  /// JSON string literal with quote/backslash/control escaping.
+  void append_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
   std::ostringstream out_;
 };
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a sanitizer pass over the streaming churn tests.
+# Tier-1 verify plus sanitizer passes: ASan/UBSan over the streaming
+# churn tests, then TSan over the parallel-layer and stream tests.
 #
-#   scripts/check.sh          # plain build + full ctest, then ASan/UBSan
+#   scripts/check.sh          # plain build + full ctest, then ASan/UBSan + TSan
 #   SKIP_SANITIZE=1 scripts/check.sh   # tier-1 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +20,12 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake --build build-asan -j"$jobs"
   ctest --test-dir build-asan --output-on-failure -j"$jobs" \
     -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay'
+
+  echo "== sanitizer pass (TSan): parallel + stream tests =="
+  cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn'
 fi
 
 echo "check.sh: OK"

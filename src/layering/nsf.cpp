@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace structnet {
@@ -188,26 +189,31 @@ std::vector<bool> core_membership(const std::vector<std::uint32_t>& core,
 }
 
 NsfReport nsf_report(const Graph& g, double stop_fraction,
-                     double ks_threshold) {
+                     double ks_threshold, std::size_t threads) {
   NsfReport report;
-  auto fit_masked = [&](const std::vector<bool>& alive) {
-    const auto deg = [&] {
-      std::vector<std::size_t> d;
-      const auto all = alive_degrees(g, alive);
-      for (std::size_t v = 0; v < g.vertex_count(); ++v) {
-        if (alive[v]) d.push_back(all[v]);
-      }
-      return d;
-    }();
-    report.sizes.push_back(deg.size());
-    report.fits.push_back(fit_power_law_auto_kmin(deg));
-  };
-
-  std::vector<bool> all(g.vertex_count(), true);
-  fit_masked(all);
-  for (const auto& alive : peel_sequence(g, stop_fraction)) {
-    fit_masked(alive);
+  // Peeling is inherently sequential (each round depends on the last),
+  // but once the masks exist, the per-round degree extraction and
+  // power-law fit are independent — one shard per round.
+  std::vector<std::vector<bool>> rounds;
+  rounds.emplace_back(g.vertex_count(), true);
+  for (auto& alive : peel_sequence(g, stop_fraction)) {
+    rounds.push_back(std::move(alive));
   }
+  report.sizes.resize(rounds.size());
+  report.fits.resize(rounds.size());
+  parallel_for(
+      0, rounds.size(), /*grain=*/1,
+      [&](std::size_t r) {
+        const std::vector<bool>& alive = rounds[r];
+        std::vector<std::size_t> deg;
+        const auto all = alive_degrees(g, alive);
+        for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+          if (alive[v]) deg.push_back(all[v]);
+        }
+        report.sizes[r] = deg.size();
+        report.fits[r] = fit_power_law_auto_kmin(deg);
+      },
+      threads);
 
   RunningStats alpha_stats;
   report.all_scale_free = true;

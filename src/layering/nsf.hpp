@@ -60,9 +60,11 @@ struct NsfReport {
 
 /// Runs peel_sequence and fits a power law per round. A round "passes"
 /// when its KS distance is below ks_threshold (default 0.15, a practical
-/// gate at experiment scale).
+/// gate at experiment scale). The per-round fits run one shard per round
+/// on the parallel layer; `threads` is 0 = default (STRUCTNET_THREADS /
+/// hardware), 1 = serial. Results are identical at any thread count.
 NsfReport nsf_report(const Graph& g, double stop_fraction = 0.5,
-                     double ks_threshold = 0.15);
+                     double ks_threshold = 0.15, std::size_t threads = 0);
 
 /// Degeneracy core numbers via bucket peeling: core[v] is the largest k
 /// such that v belongs to a subgraph of minimum degree k. This is the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace structnet {
@@ -102,6 +103,45 @@ RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
     }
   }
   return outcome;
+}
+
+RoutingTrialStats simulate_routing_trials(
+    const TemporalGraph& trace, VertexId source, VertexId destination,
+    TimeUnit t0, const Strategy& strategy, std::size_t initial_copies,
+    const SimulationFaults& faults, std::size_t trials,
+    std::size_t threads) {
+  RoutingTrialStats stats;
+  stats.outcomes.resize(trials);
+  // Each trial writes only its own slot; the per-trial loss seed is a
+  // pure function of (faults.loss_seed, trial), so the schedule cannot
+  // change any replica's draw sequence.
+  parallel_for(
+      0, trials, /*grain=*/1,
+      [&](std::size_t trial) {
+        SimulationFaults f = faults;
+        f.loss_seed = derive_seed(faults.loss_seed, trial);
+        stats.outcomes[trial] = simulate_routing(
+            trace, source, destination, t0, strategy, initial_copies, f);
+      },
+      threads);
+  double delay = 0.0, hops = 0.0, transmissions = 0.0;
+  for (const RoutingOutcome& o : stats.outcomes) {
+    transmissions += static_cast<double>(o.transmissions);
+    if (!o.delivered) continue;
+    ++stats.delivered;
+    delay += static_cast<double>(o.delivery_time);
+    hops += static_cast<double>(o.hops);
+  }
+  if (trials > 0) {
+    stats.delivery_ratio =
+        static_cast<double>(stats.delivered) / static_cast<double>(trials);
+    stats.mean_transmissions = transmissions / static_cast<double>(trials);
+  }
+  if (stats.delivered > 0) {
+    stats.mean_delivery_time = delay / static_cast<double>(stats.delivered);
+    stats.mean_hops = hops / static_cast<double>(stats.delivered);
+  }
+  return stats;
 }
 
 Strategy direct_strategy() {

@@ -71,6 +71,29 @@ RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
                                 std::size_t initial_copies = 1,
                                 const SimulationFaults& faults = {});
 
+/// Aggregate over Monte-Carlo replicas of simulate_routing.
+struct RoutingTrialStats {
+  std::vector<RoutingOutcome> outcomes;  // one per trial, in trial order
+  std::size_t delivered = 0;
+  double delivery_ratio = 0.0;
+  double mean_delivery_time = 0.0;  // over delivered trials
+  double mean_hops = 0.0;           // over delivered trials
+  double mean_transmissions = 0.0;  // over all trials
+};
+
+/// Runs `trials` independent replicas of the lossy simulation. Trial i
+/// uses loss seed derive_seed(faults.loss_seed, i), so each replica's
+/// loss process is a fixed function of (loss_seed, i): results are
+/// reproducible run-to-run and bit-identical at any thread count.
+/// `threads`: 0 = default (STRUCTNET_THREADS / hardware), 1 = serial.
+/// The strategy is invoked concurrently across trials and must be
+/// safe to call from multiple threads (all stock strategies are).
+RoutingTrialStats simulate_routing_trials(
+    const TemporalGraph& trace, VertexId source, VertexId destination,
+    TimeUnit t0, const Strategy& strategy, std::size_t initial_copies,
+    const SimulationFaults& faults, std::size_t trials,
+    std::size_t threads = 0);
+
 // ----------------------------------------------------- stock strategies
 
 /// Direct delivery (strategy constant).

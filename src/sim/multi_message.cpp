@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "parallel/parallel.hpp"
+
 namespace structnet {
 
 WorkloadOutcome simulate_workload(const TemporalGraph& trace,
@@ -123,6 +125,62 @@ WorkloadOutcome simulate_workload(const TemporalGraph& trace,
       outcome.delivered ? delay_sum / static_cast<double>(outcome.delivered)
                         : 0.0;
   return outcome;
+}
+
+std::vector<MessageSpec> random_workload(const TemporalGraph& trace,
+                                         std::size_t count, Rng& rng) {
+  const std::size_t n = trace.vertex_count();
+  assert(n >= 2);
+  const TimeUnit latest =
+      trace.horizon() > 1 ? static_cast<TimeUnit>(trace.horizon() / 2) : 0;
+  std::vector<MessageSpec> messages;
+  messages.reserve(count);
+  for (std::size_t m = 0; m < count; ++m) {
+    MessageSpec spec;
+    spec.source = static_cast<VertexId>(rng.index(n));
+    do {
+      spec.destination = static_cast<VertexId>(rng.index(n));
+    } while (spec.destination == spec.source);
+    spec.created = static_cast<TimeUnit>(rng.uniform_u64(0, latest));
+    messages.push_back(spec);
+  }
+  return messages;
+}
+
+WorkloadEnsemble simulate_workload_ensemble(
+    const TemporalGraph& trace, std::size_t messages_per_replica,
+    std::size_t replicas, std::uint64_t seed, const Strategy& strategy,
+    std::size_t initial_copies, std::size_t buffer_capacity,
+    std::size_t threads) {
+  WorkloadEnsemble ensemble;
+  ensemble.outcomes.resize(replicas);
+  const Rng parent(seed);
+  // Replica i's workload comes from the child stream (seed, i) and its
+  // outcome lands in slot i — the schedule never touches the draws.
+  parallel_for(
+      0, replicas, /*grain=*/1,
+      [&](std::size_t replica) {
+        Rng child = parent.split(replica);
+        const auto messages =
+            random_workload(trace, messages_per_replica, child);
+        ensemble.outcomes[replica] = simulate_workload(
+            trace, messages, strategy, initial_copies, buffer_capacity);
+      },
+      threads);
+  for (const WorkloadOutcome& o : ensemble.outcomes) {
+    ensemble.mean_delivery_ratio += o.delivery_ratio();
+    ensemble.mean_delay += o.average_delay;
+    ensemble.mean_transmissions += static_cast<double>(o.transmissions);
+    ensemble.mean_drops += static_cast<double>(o.drops);
+  }
+  if (replicas > 0) {
+    const auto r = static_cast<double>(replicas);
+    ensemble.mean_delivery_ratio /= r;
+    ensemble.mean_delay /= r;
+    ensemble.mean_transmissions /= r;
+    ensemble.mean_drops /= r;
+  }
+  return ensemble;
 }
 
 }  // namespace structnet

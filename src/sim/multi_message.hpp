@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/dtn_routing.hpp"
 #include "temporal/temporal_graph.hpp"
+#include "util/rng.hpp"
 
 namespace structnet {
 
@@ -45,5 +47,34 @@ WorkloadOutcome simulate_workload(const TemporalGraph& trace,
                                   const Strategy& strategy,
                                   std::size_t initial_copies,
                                   std::size_t buffer_capacity);
+
+/// Draws one random workload: `count` messages with uniform distinct
+/// source/destination pairs and uniform creation times in
+/// [0, horizon / 2] (so every message has trace left to traverse).
+std::vector<MessageSpec> random_workload(const TemporalGraph& trace,
+                                         std::size_t count, Rng& rng);
+
+/// Aggregate over Monte-Carlo workload replicas.
+struct WorkloadEnsemble {
+  std::vector<WorkloadOutcome> outcomes;  // one per replica, replica order
+  double mean_delivery_ratio = 0.0;
+  double mean_delay = 0.0;          // mean of per-replica average delays
+  double mean_transmissions = 0.0;  // per replica
+  double mean_drops = 0.0;          // per replica
+};
+
+/// Runs `replicas` independent random workloads of `messages_per_replica`
+/// messages each. Replica i draws its workload from a child Rng split
+/// from `seed` (derive_seed(seed, i)), so every replica is a fixed
+/// function of (seed, i): results are reproducible run-to-run and
+/// bit-identical at any thread count. `threads`: 0 = default
+/// (STRUCTNET_THREADS / hardware), 1 = serial. The strategy is invoked
+/// concurrently across replicas and must be thread-safe (all stock
+/// strategies are).
+WorkloadEnsemble simulate_workload_ensemble(
+    const TemporalGraph& trace, std::size_t messages_per_replica,
+    std::size_t replicas, std::uint64_t seed, const Strategy& strategy,
+    std::size_t initial_copies, std::size_t buffer_capacity,
+    std::size_t threads = 0);
 
 }  // namespace structnet

@@ -64,6 +64,7 @@ DynamicGraph::DynamicGraph(const Graph& g) {
   edge_count_ = g.edge_count();
   initial_ = ReplayCache{0, adjacency_, alive_};
   cache_ = initial_;
+  pinned_ = initial_;
 }
 
 DynamicGraph::DynamicGraph(std::size_t n) : DynamicGraph(Graph(n)) {}
@@ -135,10 +136,21 @@ EventEffect DynamicGraph::apply(const Event& event) {
 
 Graph DynamicGraph::materialize_at(std::uint64_t epoch) const {
   assert(epoch <= log_.size());
-  if (cache_.epoch > epoch) cache_ = initial_;
+  const bool backward = cache_.epoch > epoch;
+  if (backward) {
+    // Restart from the pinned checkpoint when it is at or below the
+    // target instead of replaying the whole history from epoch 0.
+    cache_ = pinned_.epoch <= epoch ? pinned_ : initial_;
+  }
   while (cache_.epoch < epoch) {
     apply_to_state(cache_.adjacency, cache_.alive, log_[cache_.epoch]);
     ++cache_.epoch;
+    ++replayed_;
+  }
+  if (backward) {
+    // Pin the old epoch just read: the next backward read of it is a
+    // state copy and the next forward read replays only the delta.
+    pinned_ = cache_;
   }
   Graph g(cache_.adjacency.size());
   for (VertexId v = 0; v < cache_.adjacency.size(); ++v) {

@@ -83,6 +83,10 @@ class DynamicGraph {
   /// The current static graph (== snapshot().materialize()).
   Graph materialize() const { return materialize_at(epoch()); }
 
+  /// Total log events replayed by materializations so far — the replay
+  /// work metric the snapshot-cache regression tests bound.
+  std::uint64_t replayed_events() const { return replayed_; }
+
  private:
   friend class GraphSnapshot;
   Graph materialize_at(std::uint64_t epoch) const;
@@ -103,6 +107,12 @@ class DynamicGraph {
   /// Epoch-0 state, the base every replay can restart from.
   ReplayCache initial_;
   mutable ReplayCache cache_;
+  /// Second checkpoint, pinned at the target of the last backward read.
+  /// Interleaved old/new snapshot reads (old epoch A, new epoch B) cost
+  /// O(state copy) for A and O(B - A) replay for B instead of replaying
+  /// the whole history from epoch 0 on every backward read.
+  mutable ReplayCache pinned_;
+  mutable std::uint64_t replayed_ = 0;
 };
 
 }  // namespace structnet

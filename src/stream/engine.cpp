@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/parallel.hpp"
+
 namespace structnet {
 
 void StreamEngine::attach(StreamObserver* observer) {
@@ -27,6 +29,18 @@ bool StreamEngine::apply(const Event& event) {
   ++accepted_;
   for (StreamObserver* obs : observers_) obs->on_event(graph_, event, effect);
   return true;
+}
+
+std::size_t StreamEngine::recompute_all(std::size_t threads) {
+  if (observers_.empty()) return 0;
+  // Warm the snapshot cache to the current epoch first: once warmed,
+  // concurrent materialize() calls from observer recomputes only read
+  // the cached replay state (no replay, no cache mutation).
+  graph_.materialize();
+  parallel_for(
+      0, observers_.size(), /*grain=*/1,
+      [&](std::size_t i) { observers_[i]->recompute(graph_); }, threads);
+  return observers_.size();
 }
 
 std::size_t StreamEngine::apply_batch(std::span<const Event> events) {

@@ -35,6 +35,14 @@ class StreamEngine {
   /// Applies one event; returns whether the graph accepted it.
   bool apply(const Event& event);
 
+  /// Rebuilds every attached observer from scratch against the current
+  /// graph — the equivalence sweep the churn tests run after incremental
+  /// maintenance. Observers are independent, so the sweep fans one shard
+  /// per observer across the parallel layer (`threads`: 0 = default,
+  /// 1 = serial; identical results at any thread count). Returns the
+  /// number of observers refreshed.
+  std::size_t recompute_all(std::size_t threads = 0);
+
   /// Applies a batch in order; returns the number of accepted events and
   /// fires on_batch_end on every observer afterwards.
   std::size_t apply_batch(std::span<const Event> events);

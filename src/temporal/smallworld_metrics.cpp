@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
 
 namespace structnet {
@@ -23,15 +24,15 @@ double temporal_correlation_coefficient(const TemporalGraph& eg) {
   };
   fill(0, prev);
   double total = 0.0;
-  std::size_t samples = 0;
   for (TimeUnit t = 1; t < eg.horizon(); ++t) {
     fill(t, cur);
     for (std::size_t v = 0; v < n; ++v) {
       const std::size_t a = prev[v].size();
       const std::size_t b = cur[v].size();
-      if (a == 0 && b == 0) continue;  // inactive in both: skip
-      ++samples;
-      if (a == 0 || b == 0) continue;  // contributes 0
+      // Per [15] the overlap is averaged over ALL N(T-1) vertex/pair
+      // samples; an empty neighborhood on either side means overlap 0
+      // (the 0/0 case included), it does not shrink the denominator.
+      if (a == 0 || b == 0) continue;
       std::size_t common = 0;
       for (VertexId w : prev[v]) common += cur[v].count(w);
       total += static_cast<double>(common) /
@@ -39,28 +40,48 @@ double temporal_correlation_coefficient(const TemporalGraph& eg) {
     }
     prev.swap(cur);
   }
-  return samples ? total / static_cast<double>(samples) : 0.0;
+  const double samples =
+      static_cast<double>(n) * static_cast<double>(eg.horizon() - 1);
+  return total / samples;
 }
 
-TemporalPathLength characteristic_temporal_path_length(
-    const TemporalGraph& eg) {
+TemporalPathLength characteristic_temporal_path_length(const TemporalGraph& eg,
+                                                       std::size_t threads) {
   TemporalPathLength out;
   const std::size_t n = eg.vertex_count();
   if (n < 2) return out;
-  double delay = 0.0;
-  std::size_t reachable = 0;
-  for (VertexId s = 0; s < n; ++s) {
-    const auto ea = earliest_arrival(eg, s, 0);
-    for (VertexId v = 0; v < n; ++v) {
-      if (v == s || ea.completion[v] == kNeverTime) continue;
-      delay += static_cast<double>(ea.completion[v]);
-      ++reachable;
-    }
-  }
+  struct Partial {
+    double delay = 0.0;
+    std::size_t reachable = 0;
+  };
+  // One earliest-arrival sweep per source; sources are independent, so
+  // the all-sources loop shards cleanly. kSourceGrain fixes the shard
+  // boundaries (and hence the per-shard summation order) independently
+  // of the thread count.
+  const Partial sum = parallel_reduce<Partial>(
+      0, n, kSourceGrain, Partial{},
+      [&](std::size_t lo, std::size_t hi) {
+        Partial p;
+        for (std::size_t s = lo; s < hi; ++s) {
+          const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
+          for (VertexId v = 0; v < n; ++v) {
+            if (v == s || ea.completion[v] == kNeverTime) continue;
+            p.delay += static_cast<double>(ea.completion[v]);
+            ++p.reachable;
+          }
+        }
+        return p;
+      },
+      [](Partial acc, Partial p) {
+        acc.delay += p.delay;
+        acc.reachable += p.reachable;
+        return acc;
+      },
+      threads);
   const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1);
-  out.reachable_fraction = static_cast<double>(reachable) / pairs;
+  out.reachable_fraction = static_cast<double>(sum.reachable) / pairs;
   out.characteristic_length =
-      reachable ? delay / static_cast<double>(reachable) : 0.0;
+      sum.reachable ? sum.delay / static_cast<double>(sum.reachable) : 0.0;
   return out;
 }
 

@@ -11,15 +11,24 @@
 // time-and-space layered structure the paper suggests exploring.
 #pragma once
 
+#include <cstddef>
+
 #include "temporal/temporal_graph.hpp"
 
 namespace structnet {
 
-/// Average over nodes and consecutive snapshot pairs of the topological
-/// overlap  |N_t(v) ∩ N_{t+1}(v)| / sqrt(|N_t(v)| * |N_{t+1}(v)|).
-/// Node/time pairs where either neighborhood is empty contribute 0 when
-/// exactly one side is empty and are skipped when both are (per [15]).
+/// Average of the topological overlap
+/// |N_t(v) ∩ N_{t+1}(v)| / sqrt(|N_t(v)| * |N_{t+1}(v)|) over ALL
+/// N * (T-1) vertex / consecutive-snapshot-pair samples, per the [15]
+/// definition C = (1/N) Σ_v (1/(T-1)) Σ_t C_v(t, t+1). A vertex with an
+/// empty neighborhood on either side contributes overlap 0 (0/0 := 0);
+/// no sample is ever skipped.
 double temporal_correlation_coefficient(const TemporalGraph& eg);
+
+/// Sources per shard of the parallel all-sources sweeps. Fixed (not
+/// thread-dependent) so per-shard accumulation order — and hence the
+/// result — is bit-identical at any thread count.
+inline constexpr std::size_t kSourceGrain = 16;
 
 /// Mean earliest completion delay (completion - start, start = 0) over
 /// all ordered reachable pairs; also reports reachability.
@@ -27,7 +36,10 @@ struct TemporalPathLength {
   double characteristic_length = 0.0;  // mean delay over reachable pairs
   double reachable_fraction = 0.0;     // reachable ordered pairs / all
 };
+/// `threads`: 0 = default (STRUCTNET_THREADS / hardware), 1 = serial,
+/// k = shard the per-source sweeps over k threads. Results are
+/// bit-identical at any thread count.
 TemporalPathLength characteristic_temporal_path_length(
-    const TemporalGraph& eg);
+    const TemporalGraph& eg, std::size_t threads = 0);
 
 }  // namespace structnet

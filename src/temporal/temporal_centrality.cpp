@@ -1,41 +1,68 @@
 #include "temporal/temporal_centrality.hpp"
 
+#include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/smallworld_metrics.hpp"
 
 namespace structnet {
 
-std::vector<double> temporal_closeness(const TemporalGraph& eg) {
+std::vector<double> temporal_closeness(const TemporalGraph& eg,
+                                       std::size_t threads) {
   const std::size_t n = eg.vertex_count();
   std::vector<double> closeness(n, 0.0);
   if (n < 2) return closeness;
-  for (VertexId s = 0; s < n; ++s) {
-    const auto ea = earliest_arrival(eg, s, 0);
-    double sum = 0.0;
-    for (VertexId v = 0; v < n; ++v) {
-      if (v == s || ea.completion[v] == kNeverTime) continue;
-      sum += 1.0 / (1.0 + static_cast<double>(ea.completion[v]));
-    }
-    closeness[s] = sum / static_cast<double>(n - 1);
-  }
+  // Each source writes only its own slot, so the sweep parallelizes
+  // without any accumulation order concerns.
+  parallel_for(
+      0, n, kSourceGrain,
+      [&](std::size_t s) {
+        const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
+        double sum = 0.0;
+        for (VertexId v = 0; v < n; ++v) {
+          if (v == s || ea.completion[v] == kNeverTime) continue;
+          sum += 1.0 / (1.0 + static_cast<double>(ea.completion[v]));
+        }
+        closeness[s] = sum / static_cast<double>(n - 1);
+      },
+      threads);
   return closeness;
 }
 
-std::vector<double> temporal_betweenness(const TemporalGraph& eg) {
+std::vector<double> temporal_betweenness(const TemporalGraph& eg,
+                                         std::size_t threads) {
   const std::size_t n = eg.vertex_count();
   std::vector<double> betweenness(n, 0.0);
-  for (VertexId s = 0; s < n; ++s) {
-    const auto ea = earliest_arrival(eg, s, 0);
-    for (VertexId d = 0; d < n; ++d) {
-      if (d == s || ea.completion[d] == kNeverTime) continue;
-      // Credit interior vertices of the canonical journey s -> d.
-      VertexId cur = d;
-      while (true) {
-        const VertexId prev = ea.via[cur].from;
-        if (prev == kInvalidVertex || prev == s) break;
-        betweenness[prev] += 1.0;
-        cur = prev;
-      }
-    }
+  if (n == 0) return betweenness;
+  // Sources credit arbitrary interior vertices, so each worker slot
+  // accumulates privately and the slots are folded in order afterwards.
+  // Credits are +1.0 increments (exact in double), so the totals are
+  // identical no matter which worker counted them.
+  const std::size_t slots = resolve_threads(threads);
+  std::vector<std::vector<double>> partial(
+      slots, std::vector<double>(n, 0.0));
+  parallel_for_shards(
+      0, n, kSourceGrain, threads,
+      [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
+        std::vector<double>& acc = partial[worker];
+        for (std::size_t s = lo; s < hi; ++s) {
+          const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
+          for (VertexId d = 0; d < n; ++d) {
+            if (d == s || ea.completion[d] == kNeverTime) continue;
+            // Credit interior vertices of the canonical journey s -> d.
+            VertexId cur = d;
+            while (true) {
+              const VertexId prev = ea.via[cur].from;
+              if (prev == kInvalidVertex || prev == static_cast<VertexId>(s)) {
+                break;
+              }
+              acc[prev] += 1.0;
+              cur = prev;
+            }
+          }
+        }
+      });
+  for (const std::vector<double>& acc : partial) {
+    for (std::size_t v = 0; v < n; ++v) betweenness[v] += acc[v];
   }
   return betweenness;
 }

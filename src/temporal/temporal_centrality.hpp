@@ -5,16 +5,23 @@
 // that plug directly into the trimming rules as priorities.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "temporal/temporal_graph.hpp"
 
 namespace structnet {
 
+// The all-sources sweeps below shard the per-source earliest-arrival
+// loops over the parallel layer (parallel/parallel.hpp); `threads` is
+// 0 = default (STRUCTNET_THREADS / hardware), 1 = serial. Results are
+// bit-identical at any thread count.
+
 /// Temporal closeness: for each vertex, the mean of
 /// 1 / (1 + earliest completion) over all other vertices starting at
 /// time 0 (unreachable contributes 0). Higher = reaches others sooner.
-std::vector<double> temporal_closeness(const TemporalGraph& eg);
+std::vector<double> temporal_closeness(const TemporalGraph& eg,
+                                       std::size_t threads = 0);
 
 /// Temporal betweenness: how often a vertex relays on the canonical
 /// earliest-arrival journey trees. For every source, the earliest-
@@ -23,7 +30,8 @@ std::vector<double> temporal_closeness(const TemporalGraph& eg);
 /// This is the journey analogue of shortest-path betweenness restricted
 /// to one canonical journey per pair (exact Brandes-style counting over
 /// all optimal journeys is #P-hard in temporal graphs).
-std::vector<double> temporal_betweenness(const TemporalGraph& eg);
+std::vector<double> temporal_betweenness(const TemporalGraph& eg,
+                                         std::size_t threads = 0);
 
 /// Temporal degree: number of contacts a vertex participates in.
 std::vector<double> temporal_degree(const TemporalGraph& eg);

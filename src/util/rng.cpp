@@ -7,6 +7,15 @@
 
 namespace structnet {
 
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  // splitmix64 finalizer over the parent seed advanced by the stream
+  // index; the +1 keeps stream 0 from aliasing the parent seed itself.
+  std::uint64_t z = parent + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
   assert(lo <= hi);
   std::uniform_int_distribution<std::uint64_t> dist(lo, hi);

@@ -16,10 +16,26 @@ namespace structnet {
 ///
 /// A thin wrapper over std::mt19937_64 with convenience draws. Copyable;
 /// copies evolve independently (useful for splitting streams in tests).
+/// Derives a decorrelated child seed from a parent seed and a stream
+/// index (splitmix64 finalizer). Used to split one logical seed into
+/// independent per-shard/per-trial streams whose draw sequences depend
+/// only on (parent, stream) — never on thread count or draw history —
+/// so parallel Monte-Carlo runs are bit-identical to serial ones.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
+
 class Rng {
  public:
   /// Seeds the engine. The same seed always yields the same stream.
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : seed_(seed), engine_(seed) {}
+
+  /// The seed this Rng was constructed with (draws do not change it).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Child Rng for shard/trial `stream`: seeded with
+  /// derive_seed(seed(), stream). Independent of draws already made on
+  /// the parent, so shard streams are schedule-invariant.
+  Rng split(std::uint64_t stream) const { return Rng(derive_seed(seed_, stream)); }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
@@ -72,6 +88,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

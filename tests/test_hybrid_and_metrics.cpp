@@ -4,6 +4,8 @@
 // correlation / path length.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "algo/shortest_paths.hpp"
 #include "algo/traversal.hpp"
 #include "centrality/centrality.hpp"
@@ -132,6 +134,26 @@ TEST(TemporalSmallWorld, PersistentGraphHasFullCorrelation) {
     eg.add_contact(2, 3, t);
   }
   EXPECT_DOUBLE_EQ(temporal_correlation_coefficient(eg), 1.0);
+}
+
+TEST(TemporalSmallWorld, CorrelationAveragesOverAllVertexPairSamples) {
+  // Hand-computed 3-snapshot example pinning the [15] convention:
+  // C = (1 / (N * (T-1))) * Σ_v Σ_t overlap_v(t, t+1), where an empty
+  // neighborhood on either side gives overlap 0 (0/0 := 0) and NO
+  // sample is skipped — vertices inactive in both snapshots still
+  // count in the denominator.
+  TemporalGraph eg(4, 3);
+  eg.add_contact(0, 1, 0);  // t=0: 0-1, 1-2
+  eg.add_contact(1, 2, 0);
+  eg.add_contact(0, 1, 1);  // t=1: 0-1
+  eg.add_contact(0, 1, 2);  // t=2: 0-1, 2-3
+  eg.add_contact(2, 3, 2);
+  // Pair (t0,t1): v0 {1}∩{1} -> 1; v1 {0,2}∩{0} -> 1/sqrt(2);
+  //               v2 {1}∩{}  -> 0; v3 {}∩{}   -> 0.
+  // Pair (t1,t2): v0 -> 1; v1 -> 1; v2 {}∩{3} -> 0; v3 {}∩{2} -> 0.
+  // C = (1 + 1/sqrt(2) + 1 + 1) / (4 * 2) = (3 + 1/sqrt(2)) / 8.
+  EXPECT_NEAR(temporal_correlation_coefficient(eg),
+              (3.0 + 1.0 / std::sqrt(2.0)) / 8.0, 1e-12);
 }
 
 TEST(TemporalSmallWorld, MemorylessGraphHasLowCorrelation) {

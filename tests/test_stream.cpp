@@ -79,6 +79,46 @@ TEST(DynamicGraphTest, SnapshotsAreStableUnderLaterChurn) {
   EXPECT_EQ(at0.epoch(), 0u);
 }
 
+TEST(DynamicGraphTest, InterleavedOldNewReadsReplayBoundedWork) {
+  // Regression: backward snapshot reads used to reset the rolling cache
+  // to epoch 0 and replay the whole history each time, making
+  // interleaved old/new reads O(history) per read. The pinned
+  // checkpoint makes them O(delta between the two epochs).
+  const std::size_t n = 32;
+  DynamicGraph g(n);
+  Rng rng(9);
+  auto churn_until = [&](std::uint64_t target_epoch) {
+    while (g.epoch() < target_epoch) {
+      const auto u = static_cast<VertexId>(rng.index(n));
+      const auto v = static_cast<VertexId>(rng.index(n));
+      if (u == v) continue;
+      g.apply(rng.bernoulli(0.6) ? Event::edge_insert(u, v)
+                                 : Event::edge_delete(u, v));
+    }
+  };
+  const std::uint64_t old_epoch = 1000;
+  churn_until(old_epoch);
+  const GraphSnapshot old_snap = g.snapshot();
+  const Graph old_frozen = g.materialize();
+  const std::uint64_t new_epoch = 1040;
+  churn_until(new_epoch);
+  const GraphSnapshot new_snap = g.snapshot();
+  const Graph new_frozen = g.materialize();
+
+  const std::uint64_t delta = new_epoch - old_epoch;
+  const std::uint64_t before = g.replayed_events();
+  const std::size_t rounds = 10;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    EXPECT_EQ(old_snap.materialize(), old_frozen);
+    EXPECT_EQ(new_snap.materialize(), new_frozen);
+  }
+  const std::uint64_t work = g.replayed_events() - before;
+  // First backward read may pay O(old_epoch) once (the pin is still at
+  // epoch 0); every later round costs at most one delta replay. Without
+  // the checkpoint this loop replays rounds * old_epoch ≈ 10k events.
+  EXPECT_LE(work, old_epoch + rounds * delta);
+}
+
 TEST(StreamEngineTest, CountsAcceptedAndRejected) {
   StreamEngine engine{DynamicGraph(3)};
   EXPECT_TRUE(engine.apply(Event::edge_insert(0, 1)));
