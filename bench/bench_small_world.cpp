@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "remapping/small_world.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -31,6 +32,12 @@ void exponent_sweep() {
     hops /= 3.0;
     t.add_row({Table::num(r, 1), Table::num(hops, 2),
                Table::num(hops / baseline, 3)});
+    BenchJson("smallworld_exponent_sweep")
+        .field("n", std::uint64_t(side * side))
+        .field("exponent_r", r)
+        .field("avg_greedy_hops", hops)
+        .field("vs_lattice_baseline", hops / baseline)
+        .emit();
   }
   t.print(std::cout,
           "E0: greedy routing vs long-range exponent (28x28 torus). At "
@@ -61,6 +68,13 @@ void size_sweep() {
     t.add_row({Table::num(std::uint64_t(side)),
                Table::num(std::uint64_t(side * side)), Table::num(h2, 2),
                Table::num(h2 / (log2n * log2n), 4), Table::num(h0, 2)});
+    BenchJson("smallworld_size_sweep")
+        .field("n", std::uint64_t(side * side))
+        .field("side", std::uint64_t(side))
+        .field("hops_r2", h2)
+        .field("hops_r0", h0)
+        .field("hops_r2_per_log2n_sq", h2 / (log2n * log2n))
+        .emit();
   }
   t.print(std::cout,
           "E0: scaling — hops(r=2)/log^2 stays flat (polylog growth)");
@@ -122,6 +136,22 @@ void scale_usage_table() {
           "(the mechanism behind polylog navigation)");
 }
 
+void greedy_route_timing() {
+  Rng rng(4);
+  const SmallWorldLattice lattice(32, 2.0, rng);
+  Rng pick(5);
+  const double ns = time_ns_per_op(2000, [&](std::size_t) {
+    const auto s = static_cast<VertexId>(pick.index(lattice.node_count()));
+    const auto t = static_cast<VertexId>(pick.index(lattice.node_count()));
+    benchmark::DoNotOptimize(lattice.greedy_route_hops(s, t));
+  });
+  BenchJson("smallworld_greedy_route")
+      .field("n", std::uint64_t(lattice.node_count()))
+      .field("threads", std::uint64_t(1))
+      .field("ns_per_route", ns)
+      .emit();
+}
+
 void BM_LatticeConstruction(benchmark::State& state) {
   Rng rng(3);
   const auto side = static_cast<std::size_t>(state.range(0));
@@ -150,6 +180,7 @@ int main(int argc, char** argv) {
   structnet::exponent_sweep();
   structnet::size_sweep();
   structnet::scale_usage_table();
+  structnet::greedy_route_timing();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

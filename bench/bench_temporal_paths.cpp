@@ -5,10 +5,12 @@
 
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "mobility/contact_trace.hpp"
 #include "mobility/mobility_models.hpp"
 #include "temporal/fig2_example.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/temporal_csr.hpp"
 #include "temporal/weighted.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -168,6 +170,154 @@ void pareto_frontier_table() {
           "E2w: cost/completion Pareto frontier on weighted RWP traces");
 }
 
+void csr_sweep_speedup_table() {
+  // The PR-3 acceptance experiment: all-sources earliest-arrival sweeps
+  // on a 20k-vertex synthetic contact trace, legacy bucketed kernel vs.
+  // the flat CSR frontier kernel (single thread). The CSR kernel stops
+  // as soon as every vertex is reached, so it never pays for the long
+  // tail of the horizon the legacy kernel re-buckets and scans.
+  const std::size_t n = 20000;
+  const TimeUnit horizon = 512;
+  const std::size_t edges = 150000;
+  const std::size_t labels_per_edge = 8;
+  Rng rng(101);
+  TemporalGraph eg(n, horizon);
+  for (std::size_t i = 0; i < edges; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    if (u == v) continue;
+    for (std::size_t k = 0; k < labels_per_edge; ++k) {
+      eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(horizon)));
+    }
+  }
+  const TemporalCsr csr(eg);
+
+  std::vector<VertexId> sources;
+  for (std::size_t i = 0; i < 16; ++i) {
+    sources.push_back(static_cast<VertexId>((i * n) / 16));
+  }
+
+  // Equivalence check on the sampled sources before timing.
+  bool match = true;
+  TemporalWorkspace ws;
+  for (const VertexId s : sources) {
+    const auto oracle = earliest_arrival(eg, s, 0);
+    csr_earliest_arrival(csr, s, 0, ws);
+    for (std::size_t v = 0; v < n && match; ++v) {
+      match = ws.arrival(static_cast<VertexId>(v)) == oracle.completion[v] &&
+              ws.via(static_cast<VertexId>(v)) == oracle.via[v];
+    }
+  }
+
+  const double legacy_ns = time_ns_per_op(sources.size(), [&](std::size_t i) {
+    benchmark::DoNotOptimize(earliest_arrival(eg, sources[i], 0));
+  });
+  const double csr_ns = time_ns_per_op(sources.size(), [&](std::size_t i) {
+    csr_earliest_arrival(csr, sources[i], 0, ws);
+    benchmark::DoNotOptimize(ws.reached_count());
+  });
+  const double speedup = csr_ns > 0.0 ? legacy_ns / csr_ns : 0.0;
+
+  Table t({"impl", "ms_per_sweep", "speedup_vs_legacy", "results_match"});
+  t.add_row({"legacy", Table::num(legacy_ns / 1e6, 3), "1.000",
+             match ? "yes" : "NO"});
+  t.add_row({"csr", Table::num(csr_ns / 1e6, 3), Table::num(speedup, 3),
+             match ? "yes" : "NO"});
+  t.print(std::cout,
+          "E2csr: earliest-arrival sweep, 20k vertices / " +
+              std::to_string(csr.contact_count()) +
+              " contacts / horizon 512 (single thread)");
+
+  BenchJson("temporal_ea_sweep")
+      .field("impl", "legacy")
+      .field("n", std::uint64_t(n))
+      .field("contacts", std::uint64_t(csr.contact_count()))
+      .field("threads", std::uint64_t(1))
+      .field("ns_per_sweep", legacy_ns)
+      .emit();
+  BenchJson("temporal_ea_sweep")
+      .field("impl", "csr")
+      .field("n", std::uint64_t(n))
+      .field("contacts", std::uint64_t(csr.contact_count()))
+      .field("threads", std::uint64_t(1))
+      .field("ns_per_sweep", csr_ns)
+      .field("speedup_vs_legacy", speedup)
+      .field("results_match", match ? "yes" : "no")
+      .emit();
+}
+
+void journey_kernel_speedup_table() {
+  // fastest_journey used to run one full earliest-arrival sweep per
+  // candidate departure time; the CSR profile kernel is one pass plus a
+  // single sweep. minimum_hop_journey used to Bellman-Ford over every
+  // edge per layer; the CSR kernel relaxes only frontier contacts.
+  Rng rng(41);
+  RandomWaypointParams p;
+  p.nodes = 200;
+  p.steps = 200;
+  const auto eg = contacts_from_trajectory(random_waypoint(p, rng), 0.15);
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  Rng pick(5);
+  while (pairs.size() < 48) {
+    const auto s = static_cast<VertexId>(pick.index(p.nodes));
+    const auto d = static_cast<VertexId>(pick.index(p.nodes));
+    if (s != d) pairs.emplace_back(s, d);
+  }
+
+  bool match = true;
+  for (const auto& [s, d] : pairs) {
+    const auto fl = legacy::fastest_journey(eg, s, d, 0);
+    const auto fc = csr_fastest_departure(csr, s, d, 0, ws);
+    match = match && fl.has_value() == fc.has_value() &&
+            (!fl || fl->span() == fc->second - fc->first);
+    const auto ml = legacy::minimum_hop_journey(eg, s, d, 0);
+    const auto mc = csr_minimum_hop_journey(csr, s, d, 0, ws);
+    match = match && ml == mc;
+  }
+
+  Table t({"kernel", "legacy us_per_query", "csr us_per_query", "speedup"});
+  const auto report = [&](std::string_view kernel, double legacy_ns,
+                          double csr_ns) {
+    const double speedup = csr_ns > 0.0 ? legacy_ns / csr_ns : 0.0;
+    t.add_row({std::string(kernel), Table::num(legacy_ns / 1e3, 2),
+               Table::num(csr_ns / 1e3, 2), Table::num(speedup, 2)});
+    BenchJson(kernel)
+        .field("n", std::uint64_t(eg.vertex_count()))
+        .field("contacts", std::uint64_t(csr.contact_count()))
+        .field("threads", std::uint64_t(1))
+        .field("legacy_ns_per_query", legacy_ns)
+        .field("csr_ns_per_query", csr_ns)
+        .field("speedup_vs_legacy", speedup)
+        .field("results_match", match ? "yes" : "no")
+        .emit();
+  };
+  report("temporal_fastest_journey",
+         time_ns_per_op(pairs.size(),
+                        [&](std::size_t i) {
+                          benchmark::DoNotOptimize(legacy::fastest_journey(
+                              eg, pairs[i].first, pairs[i].second, 0));
+                        }),
+         time_ns_per_op(pairs.size(), [&](std::size_t i) {
+           benchmark::DoNotOptimize(csr_fastest_departure(
+               csr, pairs[i].first, pairs[i].second, 0, ws));
+         }));
+  report("temporal_minimum_hop",
+         time_ns_per_op(pairs.size(),
+                        [&](std::size_t i) {
+                          benchmark::DoNotOptimize(legacy::minimum_hop_journey(
+                              eg, pairs[i].first, pairs[i].second, 0));
+                        }),
+         time_ns_per_op(pairs.size(), [&](std::size_t i) {
+           benchmark::DoNotOptimize(csr_minimum_hop_journey(
+               csr, pairs[i].first, pairs[i].second, 0, ws));
+         }));
+  t.print(std::cout,
+          "E2csr: per-query journey kernels on an RWP trace (200 nodes)");
+}
+
 void BM_EarliestArrival(benchmark::State& state) {
   Rng rng(11);
   RandomWaypointParams p;
@@ -220,6 +370,8 @@ int main(int argc, char** argv) {
   structnet::rwp_journey_table();
   structnet::weighted_journey_table();
   structnet::pareto_frontier_table();
+  structnet::csr_sweep_speedup_table();
+  structnet::journey_kernel_speedup_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

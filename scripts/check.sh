@@ -3,7 +3,8 @@
 # churn tests, then TSan over the parallel-layer and stream tests.
 #
 #   scripts/check.sh          # plain build + full ctest, then ASan/UBSan + TSan
-#   SKIP_SANITIZE=1 scripts/check.sh   # tier-1 only
+#   SKIP_SANITIZE=1 scripts/check.sh   # skip the sanitizer passes
+#   SKIP_BENCH=1 scripts/check.sh      # skip the Release bench smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +27,32 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
     -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn'
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  echo "== bench smoke (Release): every BENCH JSON line must parse =="
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j"$jobs" \
+    --target bench_temporal_paths bench_small_world
+  # The '^$'-style no-match filter skips the registered google-benchmark
+  # loops but still runs each binary's experiment tables, which is where
+  # the machine-readable JSON lines come from.
+  for b in bench_temporal_paths bench_small_world; do
+    ./build-bench/bench/"$b" --benchmark_filter='^structnet_smoke_none$' \
+      2>/dev/null |
+      python3 -c '
+import json, sys
+name = sys.argv[1]
+lines = [l.strip() for l in sys.stdin if l.startswith("{")]
+if not lines:
+    sys.exit(name + ": no BENCH JSON lines emitted")
+for l in lines:
+    rec = json.loads(l)
+    if "bench" not in rec:
+        sys.exit(name + ": JSON line missing bench key: " + l)
+print(name + ": " + str(len(lines)) + " BENCH JSON lines parse")
+' "$b"
+  done
 fi
 
 echo "check.sh: OK"

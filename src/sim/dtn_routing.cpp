@@ -13,6 +13,15 @@ RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
                                 const Strategy& strategy,
                                 std::size_t initial_copies,
                                 const SimulationFaults& faults) {
+  return simulate_routing(TemporalCsr(trace), source, destination, t0,
+                          strategy, initial_copies, faults);
+}
+
+RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
+                                VertexId destination, TimeUnit t0,
+                                const Strategy& strategy,
+                                std::size_t initial_copies,
+                                const SimulationFaults& faults) {
   assert(source < trace.vertex_count() && destination < trace.vertex_count());
   RoutingOutcome outcome;
   if (source == destination) {
@@ -33,13 +42,11 @@ RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
   has[source] = true;
   budget[source] = initial_copies;
 
-  // Contacts bucketed by time unit.
-  std::vector<std::vector<Contact>> bucket(trace.horizon());
-  for (const Contact& c : trace.contacts()) bucket[c.t].push_back(c);
-
   for (TimeUnit t = t0; t < trace.horizon(); ++t) {
     if (deadline != kNeverTime && t >= deadline) break;  // message expired
-    const auto& unit = bucket[t];
+    // The per-unit edge span is in trace (edge id) order, matching the
+    // bucketed-contact order the TemporalGraph walk used.
+    const auto unit = trace.edges_at(t);
     // Instantaneous transmission: re-scan the unit's contacts until no
     // transfer fires (bounded: each pass moves/copies at least once).
     bool progressed = true;
@@ -47,9 +54,10 @@ RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
     while (progressed && passes <= unit.size() + 1) {
       progressed = false;
       ++passes;
-      for (const Contact& c : unit) {
+      for (const EdgeId e : unit) {
         const std::pair<VertexId, VertexId> directions[] = {
-            {c.u, c.v}, {c.v, c.u}};
+            {trace.edge_u(e), trace.edge_v(e)},
+            {trace.edge_v(e), trace.edge_u(e)}};
         for (const auto& [holder, other] : directions) {
           if (!has[holder] || has[other]) continue;
           if (faults.loss_probability > 0.0 &&
@@ -112,16 +120,19 @@ RoutingTrialStats simulate_routing_trials(
     std::size_t threads) {
   RoutingTrialStats stats;
   stats.outcomes.resize(trials);
-  // Each trial writes only its own slot; the per-trial loss seed is a
-  // pure function of (faults.loss_seed, trial), so the schedule cannot
-  // change any replica's draw sequence.
+  // Build the contact index once; every replica walks the same CSR
+  // instead of re-bucketing the trace per trial. Each trial writes only
+  // its own slot; the per-trial loss seed is a pure function of
+  // (faults.loss_seed, trial), so the schedule cannot change any
+  // replica's draw sequence.
+  const TemporalCsr csr(trace);
   parallel_for(
       0, trials, /*grain=*/1,
       [&](std::size_t trial) {
         SimulationFaults f = faults;
         f.loss_seed = derive_seed(faults.loss_seed, trial);
         stats.outcomes[trial] = simulate_routing(
-            trace, source, destination, t0, strategy, initial_copies, f);
+            csr, source, destination, t0, strategy, initial_copies, f);
       },
       threads);
   double delay = 0.0, hops = 0.0, transmissions = 0.0;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "temporal/temporal_csr.hpp"
 #include "temporal/temporal_graph.hpp"
 
 namespace structnet {
@@ -65,7 +66,20 @@ struct SimulationFaults {
 /// the same time unit are processed in trace order; a node that received
 /// the message in the current unit may forward it within the same unit
 /// (instantaneous transmission, consistent with journey semantics).
+/// Builds a TemporalCsr internally; callers running many simulations
+/// over the same trace should build the index once and use the overload
+/// below.
 RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
+                                VertexId destination, TimeUnit t0,
+                                const Strategy& strategy,
+                                std::size_t initial_copies = 1,
+                                const SimulationFaults& faults = {});
+
+/// Same simulation over a prebuilt contact index. The CSR per-unit edge
+/// order equals the trace order of TemporalGraph::contacts(), so the
+/// contact processing sequence — and with it every loss-RNG draw — is
+/// identical to the TemporalGraph overload.
+RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
                                 VertexId destination, TimeUnit t0,
                                 const Strategy& strategy,
                                 std::size_t initial_copies = 1,

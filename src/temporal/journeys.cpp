@@ -5,15 +5,28 @@
 #include <deque>
 #include <limits>
 
+#include "parallel/parallel.hpp"
+#include "temporal/smallworld_metrics.hpp"
+#include "temporal/temporal_csr.hpp"
+
 namespace structnet {
 
 namespace {
 
-/// Contacts bucketed by time unit: bucket[t] lists edge ids active at t.
-std::vector<std::vector<EdgeId>> bucket_by_time(const TemporalGraph& eg) {
-  std::vector<std::vector<EdgeId>> bucket(eg.horizon());
+/// Contacts at or after t_start bucketed by time unit: bucket[t - t_start]
+/// lists edge ids active at t. Labels before t_start can never be taken
+/// (journeys depart at or after t_start), so they are not bucketed at all.
+std::vector<std::vector<EdgeId>> bucket_by_time(const TemporalGraph& eg,
+                                                TimeUnit t_start) {
+  const TimeUnit horizon = eg.horizon();
+  std::vector<std::vector<EdgeId>> bucket(
+      horizon > t_start ? horizon - t_start : 0);
   for (EdgeId e = 0; e < eg.edge_count(); ++e) {
-    for (TimeUnit t : eg.edge(e).labels) bucket[t].push_back(e);
+    const auto& labels = eg.edge(e).labels;
+    for (auto it = std::lower_bound(labels.begin(), labels.end(), t_start);
+         it != labels.end(); ++it) {
+      bucket[*it - t_start].push_back(e);
+    }
   }
   return bucket;
 }
@@ -24,6 +37,20 @@ Journey journey_from_via(const EarliestArrival& ea, VertexId source,
   VertexId cur = target;
   while (cur != source) {
     const JourneyHop& hop = ea.via[cur];
+    assert(hop.from != kInvalidVertex);
+    j.hops.push_back(hop);
+    cur = hop.from;
+  }
+  std::reverse(j.hops.begin(), j.hops.end());
+  return j;
+}
+
+Journey journey_from_workspace(const TemporalWorkspace& ws, VertexId source,
+                               VertexId target) {
+  Journey j;
+  VertexId cur = target;
+  while (cur != source) {
+    const JourneyHop hop = ws.via(cur);
     assert(hop.from != kInvalidVertex);
     j.hops.push_back(hop);
     cur = hop.from;
@@ -45,6 +72,9 @@ bool Journey::valid_for(const TemporalGraph& eg) const {
   return true;
 }
 
+// The reference kernel: walks the whole bucketed contact stream. Kept as
+// the oracle the CSR kernels are tested against (and used by the legacy::
+// journey functions below).
 EarliestArrival earliest_arrival(const TemporalGraph& eg, VertexId source,
                                  TimeUnit t_start) {
   assert(source < eg.vertex_count());
@@ -53,17 +83,19 @@ EarliestArrival earliest_arrival(const TemporalGraph& eg, VertexId source,
   ea.via.assign(eg.vertex_count(), JourneyHop{});
   ea.completion[source] = t_start;
 
-  const auto bucket = bucket_by_time(eg);
+  const auto bucket = bucket_by_time(eg, t_start);
   std::vector<bool> have(eg.vertex_count(), false);
   have[source] = true;
 
   for (TimeUnit t = t_start; t < eg.horizon(); ++t) {
+    const auto& unit = bucket[t - t_start];
+    if (unit.empty()) continue;
     // Within one time unit transmission is instantaneous, so take the
     // closure over the snapshot's active edges.
     bool changed = true;
     while (changed) {
       changed = false;
-      for (EdgeId e : bucket[t]) {
+      for (EdgeId e : unit) {
         const auto& edge = eg.edge(e);
         if (have[edge.u] && !have[edge.v]) {
           have[edge.v] = true;
@@ -86,10 +118,132 @@ std::optional<Journey> earliest_completion_journey(const TemporalGraph& eg,
                                                    VertexId source,
                                                    VertexId target,
                                                    TimeUnit t_start) {
-  const auto ea = earliest_arrival(eg, source, t_start);
-  if (ea.completion[target] == kNeverTime) return std::nullopt;
-  return journey_from_via(ea, source, target);
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  csr_earliest_arrival(csr, source, t_start, ws, target);
+  if (ws.arrival(target) == kNeverTime) return std::nullopt;
+  return journey_from_workspace(ws, source, target);
 }
+
+std::optional<Journey> minimum_hop_journey(const TemporalGraph& eg,
+                                           VertexId source, VertexId target,
+                                           TimeUnit t_start) {
+  assert(source < eg.vertex_count() && target < eg.vertex_count());
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  return csr_minimum_hop_journey(csr, source, target, t_start, ws);
+}
+
+std::optional<Journey> fastest_journey(const TemporalGraph& eg,
+                                       VertexId source, VertexId target,
+                                       TimeUnit t_start) {
+  assert(source < eg.vertex_count() && target < eg.vertex_count());
+  if (source == target) return Journey{};
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  // One profile pass finds the span-minimal departure d*; one earliest-
+  // arrival sweep from d* materializes a journey realizing that span
+  // (instead of one sweep per candidate departure time).
+  const auto fd = csr_fastest_departure(csr, source, target, t_start, ws);
+  if (!fd) return std::nullopt;
+  csr_earliest_arrival(csr, source, fd->first, ws, target);
+  assert(ws.arrival(target) != kNeverTime);
+  return journey_from_workspace(ws, source, target);
+}
+
+bool is_connected_at(const TemporalGraph& eg, VertexId u, VertexId v,
+                     TimeUnit t) {
+  if (u == v) return true;
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  csr_earliest_arrival(csr, u, t, ws, v);
+  return ws.arrival(v) != kNeverTime;
+}
+
+bool is_time_connected(const TemporalGraph& eg, TimeUnit t,
+                       std::size_t threads) {
+  const std::size_t n = eg.vertex_count();
+  if (n == 0) return true;
+  const TemporalCsr csr(eg);
+  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
+  const std::size_t shards = shard_count(n, kSourceGrain);
+  std::vector<char> shard_ok(shards, 1);
+  parallel_for_shards(
+      0, n, kSourceGrain, threads,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi,
+          std::size_t worker) {
+        TemporalWorkspace& w = ws[worker];
+        for (std::size_t s = lo; s < hi; ++s) {
+          csr_earliest_arrival(csr, static_cast<VertexId>(s), t, w);
+          if (w.reached_count() != n) {
+            shard_ok[shard] = 0;
+            break;
+          }
+        }
+      });
+  return std::all_of(shard_ok.begin(), shard_ok.end(),
+                     [](char ok) { return ok != 0; });
+}
+
+TimeUnit flooding_time(const TemporalGraph& eg, VertexId source) {
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  csr_earliest_arrival(csr, source, 0, ws);
+  if (ws.reached_count() != eg.vertex_count()) return kNeverTime;
+  TimeUnit worst = 0;
+  for (std::size_t v = 0; v < eg.vertex_count(); ++v) {
+    worst = std::max(worst, ws.arrival(static_cast<VertexId>(v)));
+  }
+  return worst;
+}
+
+TimeUnit dynamic_diameter(const TemporalGraph& eg, std::size_t threads) {
+  const std::size_t n = eg.vertex_count();
+  if (n == 0) return 0;
+  const TemporalCsr csr(eg);
+  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
+  const std::size_t shards = shard_count(n, kSourceGrain);
+  // Per-shard maxima folded afterwards: max is order-independent, so the
+  // result is bit-identical at any thread count. A source that cannot
+  // flood everywhere contributes kNeverTime, which dominates the fold —
+  // exactly the legacy early-return value.
+  std::vector<TimeUnit> shard_worst(shards, 0);
+  parallel_for_shards(
+      0, n, kSourceGrain, threads,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi,
+          std::size_t worker) {
+        TemporalWorkspace& w = ws[worker];
+        TimeUnit worst = 0;
+        for (std::size_t s = lo; s < hi; ++s) {
+          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
+          if (w.reached_count() != n) {
+            worst = kNeverTime;
+            break;
+          }
+          for (std::size_t v = 0; v < n; ++v) {
+            worst = std::max(worst, w.arrival(static_cast<VertexId>(v)));
+          }
+        }
+        shard_worst[shard] = worst;
+      });
+  TimeUnit worst = 0;
+  for (TimeUnit w : shard_worst) worst = std::max(worst, w);
+  return worst;
+}
+
+std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
+                                         VertexId source, TimeUnit t_start) {
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+  csr_earliest_arrival(csr, source, t_start, ws);
+  std::vector<TimeUnit> out(eg.vertex_count());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = ws.arrival(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+namespace legacy {
 
 std::optional<Journey> minimum_hop_journey(const TemporalGraph& eg,
                                            VertexId source, VertexId target,
@@ -182,46 +336,6 @@ std::optional<Journey> fastest_journey(const TemporalGraph& eg,
   return best;
 }
 
-bool is_connected_at(const TemporalGraph& eg, VertexId u, VertexId v,
-                     TimeUnit t) {
-  if (u == v) return true;
-  const auto ea = earliest_arrival(eg, u, t);
-  return ea.completion[v] != kNeverTime;
-}
-
-bool is_time_connected(const TemporalGraph& eg, TimeUnit t) {
-  for (VertexId u = 0; u < eg.vertex_count(); ++u) {
-    const auto ea = earliest_arrival(eg, u, t);
-    for (VertexId v = 0; v < eg.vertex_count(); ++v) {
-      if (ea.completion[v] == kNeverTime) return false;
-    }
-  }
-  return true;
-}
-
-TimeUnit flooding_time(const TemporalGraph& eg, VertexId source) {
-  const auto ea = earliest_arrival(eg, source, 0);
-  TimeUnit worst = 0;
-  for (TimeUnit c : ea.completion) {
-    if (c == kNeverTime) return kNeverTime;
-    worst = std::max(worst, c);
-  }
-  return worst;
-}
-
-TimeUnit dynamic_diameter(const TemporalGraph& eg) {
-  TimeUnit worst = 0;
-  for (VertexId v = 0; v < eg.vertex_count(); ++v) {
-    const TimeUnit f = flooding_time(eg, v);
-    if (f == kNeverTime) return kNeverTime;
-    worst = std::max(worst, f);
-  }
-  return worst;
-}
-
-std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
-                                         VertexId source, TimeUnit t_start) {
-  return earliest_arrival(eg, source, t_start).completion;
-}
+}  // namespace legacy
 
 }  // namespace structnet

@@ -19,6 +19,8 @@ struct JourneyHop {
   VertexId from = kInvalidVertex;
   VertexId to = kInvalidVertex;
   TimeUnit t = 0;
+
+  friend bool operator==(const JourneyHop&, const JourneyHop&) = default;
 };
 
 /// A realized journey with its quality measures.
@@ -37,6 +39,8 @@ struct Journey {
   }
   /// True iff hops chain correctly with non-decreasing labels.
   bool valid_for(const TemporalGraph& eg) const;
+
+  friend bool operator==(const Journey&, const Journey&) = default;
 };
 
 /// Earliest completion times from `source` for messages created at time
@@ -76,8 +80,10 @@ bool is_connected_at(const TemporalGraph& eg, VertexId u, VertexId v,
                      TimeUnit t);
 
 /// True iff the network is time-t-connected: every ordered pair (u, v) is
-/// connected at time t.
-bool is_time_connected(const TemporalGraph& eg, TimeUnit t);
+/// connected at time t. The all-sources sweep shards over sources;
+/// `threads`: 0 = default (STRUCTNET_THREADS / hardware), 1 = serial.
+bool is_time_connected(const TemporalGraph& eg, TimeUnit t,
+                       std::size_t threads = 0);
 
 /// Flooding time from `source` starting at time 0: the completion label
 /// by which every vertex has the message; kNeverTime if some vertex is
@@ -85,12 +91,29 @@ bool is_time_connected(const TemporalGraph& eg, TimeUnit t);
 TimeUnit flooding_time(const TemporalGraph& eg, VertexId source);
 
 /// Dynamic diameter: max flooding time over all sources (kNeverTime if
-/// any vertex cannot flood everywhere).
-TimeUnit dynamic_diameter(const TemporalGraph& eg);
+/// any vertex cannot flood everywhere). Sharded over sources; `threads`
+/// as in is_time_connected.
+TimeUnit dynamic_diameter(const TemporalGraph& eg, std::size_t threads = 0);
 
 /// Temporal distance matrix row: earliest completion from source at
 /// t_start for all targets (convenience wrapper).
 std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
                                          VertexId source, TimeUnit t_start = 0);
+
+// The original TemporalGraph-walking kernels, kept verbatim as the
+// reference oracle for the TemporalCsr equivalence tests. The public
+// functions above now run on the flat CSR index (see temporal_csr.hpp);
+// these must produce identical results on every input.
+namespace legacy {
+
+std::optional<Journey> minimum_hop_journey(const TemporalGraph& eg,
+                                           VertexId source, VertexId target,
+                                           TimeUnit t_start = 0);
+
+std::optional<Journey> fastest_journey(const TemporalGraph& eg,
+                                       VertexId source, VertexId target,
+                                       TimeUnit t_start = 0);
+
+}  // namespace legacy
 
 }  // namespace structnet

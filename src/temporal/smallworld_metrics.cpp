@@ -6,6 +6,7 @@
 
 #include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/temporal_csr.hpp"
 
 namespace structnet {
 
@@ -54,30 +55,38 @@ TemporalPathLength characteristic_temporal_path_length(const TemporalGraph& eg,
     double delay = 0.0;
     std::size_t reachable = 0;
   };
-  // One earliest-arrival sweep per source; sources are independent, so
-  // the all-sources loop shards cleanly. kSourceGrain fixes the shard
-  // boundaries (and hence the per-shard summation order) independently
-  // of the thread count.
-  const Partial sum = parallel_reduce<Partial>(
-      0, n, kSourceGrain, Partial{},
-      [&](std::size_t lo, std::size_t hi) {
+  // One CSR earliest-arrival sweep per source over the build-once
+  // contact index; sources are independent, so the all-sources loop
+  // shards cleanly with one reusable workspace per worker slot.
+  // kSourceGrain fixes the shard boundaries, and the per-shard partials
+  // are folded serially in shard order below — the same summation order
+  // parallel_reduce used, so results stay bit-identical at any thread
+  // count.
+  const TemporalCsr csr(eg);
+  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
+  std::vector<Partial> partial(shard_count(n, kSourceGrain));
+  parallel_for_shards(
+      0, n, kSourceGrain, threads,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi,
+          std::size_t worker) {
+        TemporalWorkspace& w = ws[worker];
         Partial p;
         for (std::size_t s = lo; s < hi; ++s) {
-          const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
+          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
           for (VertexId v = 0; v < n; ++v) {
-            if (v == s || ea.completion[v] == kNeverTime) continue;
-            p.delay += static_cast<double>(ea.completion[v]);
+            const TimeUnit c = w.arrival(v);
+            if (v == s || c == kNeverTime) continue;
+            p.delay += static_cast<double>(c);
             ++p.reachable;
           }
         }
-        return p;
-      },
-      [](Partial acc, Partial p) {
-        acc.delay += p.delay;
-        acc.reachable += p.reachable;
-        return acc;
-      },
-      threads);
+        partial[shard] = p;
+      });
+  Partial sum;
+  for (const Partial& p : partial) {
+    sum.delay += p.delay;
+    sum.reachable += p.reachable;
+  }
   const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1);
   out.reachable_fraction = static_cast<double>(sum.reachable) / pairs;
   out.characteristic_length =

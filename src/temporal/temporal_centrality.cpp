@@ -3,6 +3,7 @@
 #include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
 #include "temporal/smallworld_metrics.hpp"
+#include "temporal/temporal_csr.hpp"
 
 namespace structnet {
 
@@ -11,20 +12,27 @@ std::vector<double> temporal_closeness(const TemporalGraph& eg,
   const std::size_t n = eg.vertex_count();
   std::vector<double> closeness(n, 0.0);
   if (n < 2) return closeness;
+  // Build the contact index once; each worker slot owns one reusable
+  // workspace, so the all-sources sweep allocates nothing per source.
   // Each source writes only its own slot, so the sweep parallelizes
   // without any accumulation order concerns.
-  parallel_for(
-      0, n, kSourceGrain,
-      [&](std::size_t s) {
-        const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
-        double sum = 0.0;
-        for (VertexId v = 0; v < n; ++v) {
-          if (v == s || ea.completion[v] == kNeverTime) continue;
-          sum += 1.0 / (1.0 + static_cast<double>(ea.completion[v]));
+  const TemporalCsr csr(eg);
+  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
+  parallel_for_shards(
+      0, n, kSourceGrain, threads,
+      [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
+        TemporalWorkspace& w = ws[worker];
+        for (std::size_t s = lo; s < hi; ++s) {
+          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
+          double sum = 0.0;
+          for (VertexId v = 0; v < n; ++v) {
+            const TimeUnit c = w.arrival(v);
+            if (v == s || c == kNeverTime) continue;
+            sum += 1.0 / (1.0 + static_cast<double>(c));
+          }
+          closeness[s] = sum / static_cast<double>(n - 1);
         }
-        closeness[s] = sum / static_cast<double>(n - 1);
-      },
-      threads);
+      });
   return closeness;
 }
 
@@ -40,18 +48,24 @@ std::vector<double> temporal_betweenness(const TemporalGraph& eg,
   const std::size_t slots = resolve_threads(threads);
   std::vector<std::vector<double>> partial(
       slots, std::vector<double>(n, 0.0));
+  // The CSR earliest-arrival kernel reproduces the legacy via trees
+  // bit-for-bit, so the canonical journeys (and hence the credits) are
+  // unchanged by the conversion.
+  const TemporalCsr csr(eg);
+  std::vector<TemporalWorkspace> ws(slots);
   parallel_for_shards(
       0, n, kSourceGrain, threads,
       [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
         std::vector<double>& acc = partial[worker];
+        TemporalWorkspace& w = ws[worker];
         for (std::size_t s = lo; s < hi; ++s) {
-          const auto ea = earliest_arrival(eg, static_cast<VertexId>(s), 0);
+          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
           for (VertexId d = 0; d < n; ++d) {
-            if (d == s || ea.completion[d] == kNeverTime) continue;
+            if (d == s || w.arrival(d) == kNeverTime) continue;
             // Credit interior vertices of the canonical journey s -> d.
             VertexId cur = d;
             while (true) {
-              const VertexId prev = ea.via[cur].from;
+              const VertexId prev = w.via(cur).from;
               if (prev == kInvalidVertex || prev == static_cast<VertexId>(s)) {
                 break;
               }

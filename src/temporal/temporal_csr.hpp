@@ -1,0 +1,243 @@
+// Flat time-indexed contact CSR over a TemporalGraph, plus the
+// single-pass temporal-path kernels that run on it.
+//
+// Every temporal metric (closeness/betweenness, characteristic temporal
+// path length, flooding time, dynamic diameter, time-t-connectivity)
+// bottoms out in earliest-arrival sweeps. The legacy kernels in
+// journeys.cpp re-bucket the whole contact stream per call and scan the
+// entire horizon; TemporalCsr is the build-once index that makes each
+// sweep touch only the contacts of vertices the message actually
+// reaches:
+//
+//   * per-vertex contacts, time-sorted and flat: for each vertex, a
+//     contiguous (time, neighbor, edge) array sorted by (time, edge id),
+//     so "first contact of v at or after time t" is one lower_bound and
+//     a linear walk;
+//   * a global time-ordered contact stream with per-time-unit offsets
+//     (the flat equivalent of bucket_by_time), so per-unit snapshots
+//     are contiguous spans in edge-id order;
+//   * distinct-edge adjacency plus per-edge sorted label arrays, so
+//     "first use of edge e at or after time t" is one lower_bound
+//     (the min-hop kernel relaxes one candidate per incident edge
+//     instead of walking every contact).
+//
+// The kernels carry their per-sweep state in a reusable, epoch-stamped
+// TemporalWorkspace: arrays are sized once per graph and invalidated by
+// bumping a 64-bit epoch instead of clearing, so an all-sources sweep
+// performs zero allocations after the first source.
+//
+// Determinism contract: csr_earliest_arrival reproduces the legacy
+// earliest_arrival() via trees BIT-FOR-BIT (same completion times, same
+// predecessor hops). The legacy kernel resolves same-time-unit closure
+// by repeatedly scanning the unit's active edges in edge id order until
+// a fixed point; the CSR kernel runs the identical fixed-point loop
+// over the unit's contiguous edge span (same edge-id order, so the same
+// firing sequence and thus the same via hops), with three exact
+// shortcuts the legacy pass structure cannot express:
+//   * it tracks the shrinking set of still-unreached vertices; a unit
+//     where no unreached vertex has a contact with a reached neighbor
+//     cannot fire anything (the legacy first pass is a no-op), so it is
+//     skipped after one lower_bound per unreached vertex;
+//   * within a unit, re-scan passes only revisit edges whose endpoints
+//     were both unreached at the previous scan — edges with both ends
+//     reached can never fire again, so dropping them preserves the
+//     firing sequence;
+//   * the sweep ends as soon as every vertex that has any contact is
+//     reached (vertices without contacts are unreachable in the legacy
+//     kernel too).
+// This is what lets the converted callers (temporal betweenness walks
+// via chains!) keep legacy-identical results.
+//
+// Rebuild-on-mutation contract: TemporalCsr is an immutable snapshot of
+// the TemporalGraph it was built from. Mutating the graph (add_contact,
+// remove_label, ...) does NOT invalidate the index lazily — callers
+// must rebuild. The intended pattern is build-once per analysis, reuse
+// across all sources/queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "temporal/journeys.hpp"
+#include "temporal/temporal_graph.hpp"
+
+namespace structnet {
+
+/// Immutable cache-friendly index over a TemporalGraph's contacts.
+class TemporalCsr {
+ public:
+  TemporalCsr() = default;
+  explicit TemporalCsr(const TemporalGraph& eg);
+
+  std::size_t vertex_count() const { return n_; }
+  /// Edge records (including edges whose label sets were emptied by
+  /// remove_label — they contribute no contacts but keep ids stable).
+  std::size_t edge_count() const { return edge_u_.size(); }
+  /// Total number of (edge, label) contacts.
+  std::size_t contact_count() const { return contact_count_; }
+  TimeUnit horizon() const { return horizon_; }
+
+  VertexId edge_u(EdgeId e) const { return edge_u_[e]; }
+  VertexId edge_v(EdgeId e) const { return edge_v_[e]; }
+
+  // ---- per-vertex time-sorted contacts (indices into flat arrays)
+
+  std::size_t contacts_begin(VertexId v) const { return vertex_offsets_[v]; }
+  std::size_t contacts_end(VertexId v) const { return vertex_offsets_[v + 1]; }
+  TimeUnit contact_time(std::size_t i) const { return contact_time_[i]; }
+  VertexId contact_neighbor(std::size_t i) const { return contact_neighbor_[i]; }
+  EdgeId contact_edge(std::size_t i) const { return contact_edge_[i]; }
+
+  /// Index of v's first contact with time >= t (contacts_end(v) if none).
+  std::size_t first_contact_at(VertexId v, TimeUnit t) const;
+  /// Index of v's first contact with time > t (contacts_end(v) if none).
+  std::size_t first_contact_after(VertexId v, TimeUnit t) const;
+
+  // ---- distinct-edge adjacency (edges with at least one label only,
+  //      ascending edge id within each vertex's range)
+
+  std::size_t incident_begin(VertexId v) const { return adj_offsets_[v]; }
+  std::size_t incident_end(VertexId v) const { return adj_offsets_[v + 1]; }
+  EdgeId incident_edge(std::size_t i) const { return adj_edge_[i]; }
+  VertexId incident_neighbor(std::size_t i) const { return adj_neighbor_[i]; }
+
+  /// Edge e's label set, ascending (empty for emptied edges).
+  std::span<const TimeUnit> edge_labels(EdgeId e) const {
+    return {edge_labels_.data() + edge_label_offsets_[e],
+            edge_label_offsets_[e + 1] - edge_label_offsets_[e]};
+  }
+
+  // ---- global time-ordered contact stream
+
+  /// Edge ids active during time unit t, in edge id order (the flat
+  /// equivalent of the legacy per-call bucket_by_time buckets).
+  std::span<const EdgeId> edges_at(TimeUnit t) const {
+    return {stream_edge_.data() + time_offsets_[t],
+            time_offsets_[t + 1] - time_offsets_[t]};
+  }
+
+ private:
+  std::size_t n_ = 0;
+  TimeUnit horizon_ = 0;
+  std::size_t contact_count_ = 0;
+  std::vector<VertexId> edge_u_, edge_v_;       // per edge record
+  std::vector<std::size_t> vertex_offsets_;     // n + 1
+  std::vector<TimeUnit> contact_time_;          // 2C, per-vertex regions
+  std::vector<VertexId> contact_neighbor_;      // 2C
+  std::vector<EdgeId> contact_edge_;            // 2C
+  std::vector<std::size_t> adj_offsets_;        // n + 1
+  std::vector<EdgeId> adj_edge_;                // distinct incident edges
+  std::vector<VertexId> adj_neighbor_;          // other endpoint per entry
+  std::vector<std::size_t> edge_label_offsets_; // m + 1
+  std::vector<TimeUnit> edge_labels_;           // C, per-edge ascending
+  std::vector<std::size_t> time_offsets_;       // horizon + 1
+  std::vector<EdgeId> stream_edge_;             // C, per-unit in edge order
+};
+
+/// Reusable per-thread scratch for the CSR kernels. Arrays are sized to
+/// the bound graph once; each sweep bumps a 64-bit epoch so stale
+/// entries are ignored without clearing (zero allocations per source
+/// after the first sweep on a graph of the same shape). One workspace
+/// serves one thread; all-sources parallel sweeps hand one workspace
+/// per worker slot through parallel_for_shards.
+class TemporalWorkspace {
+ public:
+  /// Completion time of v in the last earliest-arrival sweep
+  /// (kNeverTime when unreached).
+  TimeUnit arrival(VertexId v) const {
+    return stamp_[v] == epoch_ ? arrival_[v] : kNeverTime;
+  }
+  /// Contact used to reach v ({kInvalidVertex, ...} for the source or
+  /// unreached vertices) — identical to the legacy EarliestArrival::via.
+  JourneyHop via(VertexId v) const {
+    return stamp_[v] == epoch_ ? via_[v] : JourneyHop{};
+  }
+  /// Vertices reached by the last earliest-arrival sweep (incl. source).
+  std::size_t reached_count() const { return reached_; }
+
+  /// Materializes the last sweep as the legacy result struct.
+  EarliestArrival to_earliest_arrival() const;
+
+ private:
+  friend void csr_earliest_arrival(const TemporalCsr&, VertexId, TimeUnit,
+                                   TemporalWorkspace&, VertexId);
+  friend std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
+      const TemporalCsr&, VertexId, VertexId, TimeUnit, TemporalWorkspace&);
+  friend std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr&,
+                                                        VertexId, VertexId,
+                                                        TimeUnit,
+                                                        TemporalWorkspace&);
+
+  void bind(const TemporalCsr& csr);
+  std::uint64_t begin_sweep() { return ++epoch_; }
+  std::uint64_t next_tick() { return ++tick_; }
+  bool reached(VertexId v) const { return stamp_[v] == epoch_; }
+  void set_arrival(VertexId v, TimeUnit t, const JourneyHop& hop) {
+    stamp_[v] = epoch_;
+    arrival_[v] = t;
+    via_[v] = hop;
+    ++reached_;
+  }
+
+  std::size_t n_ = 0;
+  std::uint64_t epoch_ = 0, tick_ = 0;
+  std::size_t reached_ = 0;
+  std::vector<std::uint64_t> stamp_;       // arrival_/via_ valid markers
+  std::vector<TimeUnit> arrival_;          // n (also: best departure / ready)
+  std::vector<JourneyHop> via_;            // n
+  std::vector<std::uint64_t> vertex_tick_;  // n, per-time-unit marks
+  std::vector<std::uint64_t> value_tick_;   // n, layer/root value marks
+  std::vector<TimeUnit> value_;             // n (next_ready / comp best)
+  std::vector<EdgeId> value_edge_;          // n, via tie-break edge ids
+  std::vector<JourneyHop> hop_cand_;        // n, candidate via hops
+  std::vector<VertexId> parent_;            // n, per-unit union-find
+  // seeds_: EA unreached list / min-hop frontier; newly_: vertices
+  // improved this layer; touched_: per-unit union-find lazy-init log.
+  std::vector<VertexId> seeds_, newly_, touched_;
+  std::vector<EdgeId> local_edges_;        // EA per-unit live re-scan list
+  // Sparse per-layer via records for min-hop reconstruction: layer k is
+  // via_flat_[layer_off_[k] .. layer_off_[k + 1]), sorted by vertex.
+  std::vector<std::pair<VertexId, JourneyHop>> via_flat_;
+  std::vector<std::size_t> layer_off_;
+};
+
+/// Boundary-driven earliest arrival from `source` departing at or after
+/// `t_start`; results land in `ws` (ws.arrival / ws.via). Bit-identical
+/// to legacy earliest_arrival(), but skips no-op time units via one
+/// lower_bound per still-unreached vertex, compacts the same-unit
+/// fixed-point re-scan list, and stops as soon as every reachable
+/// vertex is reached or `stop_at` is reached (pass kInvalidVertex for a
+/// full sweep; partial results past the stop vertex's time unit are
+/// then unspecified).
+void csr_earliest_arrival(const TemporalCsr& csr, VertexId source,
+                          TimeUnit t_start, TemporalWorkspace& ws,
+                          VertexId stop_at = kInvalidVertex);
+
+/// All-departure-times arrival profile: one chronological pass over the
+/// contact stream computing, per vertex, the latest possible departure
+/// of any source journey that has arrived by "now". Returns the
+/// (departure, arrival) pair of a span-minimal source -> target journey
+/// departing at or after t_start (std::nullopt when unreachable) — the
+/// single-pass replacement for legacy fastest_journey's one full
+/// earliest-arrival sweep per candidate departure time. Requires
+/// source != target.
+std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
+    const TemporalCsr& csr, VertexId source, VertexId target, TimeUnit t_start,
+    TemporalWorkspace& ws);
+
+/// Minimum-hop journey source -> target departing at or after t_start.
+/// Layered search that relaxes only the edges incident to vertices
+/// improved in the previous layer — one lower_bound into the edge's
+/// label array per incident edge (instead of the legacy Bellman-Ford
+/// over every edge per layer); returns the exact legacy journey (same
+/// hops) by reproducing its (label, edge id) tie-breaking.
+std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr& csr,
+                                               VertexId source, VertexId target,
+                                               TimeUnit t_start,
+                                               TemporalWorkspace& ws);
+
+}  // namespace structnet
