@@ -1,0 +1,294 @@
+// Fault subsystem benchmark: delivery-ratio / delay degradation curves
+// under seeded contact loss per routing strategy, node-removal
+// percolation (random failures vs targeted attacks), and stream
+// checkpoint write/restore throughput — plus a crash-recovery smoke
+// gate that exits nonzero when a restored engine diverges from the
+// uninterrupted run.
+//
+//   bench_faults           # full experiment tables + registered loops
+//   bench_faults --smoke   # reduced sizes; used by scripts/check.sh
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/generators.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
+#include "fault/robustness.hpp"
+#include "mobility/edge_markovian.hpp"
+#include "sim/dtn_routing.hpp"
+#include "stream/engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+/// 50/50 insert/delete churn plus node leave/revive, mirroring the
+/// stream bench workload (rejections included by construction).
+std::vector<Event> churn_stream(std::size_t n, std::size_t count, Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(count);
+  while (events.size() < count) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    const double dice = rng.uniform01();
+    if (dice < 0.40) {
+      events.push_back(Event::edge_insert(u, v));
+    } else if (dice < 0.70) {
+      events.push_back(Event::edge_delete(u, v));
+    } else if (dice < 0.85) {
+      events.push_back(Event::node_leave(u));
+    } else {
+      events.push_back(Event::node_join(u));
+    }
+  }
+  return events;
+}
+
+/// Crash-recovery gate: randomized churn streams, random kill points;
+/// any divergence between the restored engine and the uninterrupted run
+/// is a hard failure.
+bool crash_recovery_gate(std::size_t runs) {
+  const std::size_t n = 24;
+  const std::size_t length = 160;
+  std::size_t passed = 0;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    Rng rng(derive_seed(2024, run));
+    const auto events = churn_stream(n, length, rng);
+    const std::size_t kill_at = rng.index(length + 1);
+    const RecoveryOutcome out =
+        run_crash_recovery(n, events, kill_at, derive_seed(5, run));
+    if (!out.ok()) {
+      std::cerr << "crash-recovery FAILED at run " << run << " kill_at "
+                << kill_at << ": graph=" << out.graph_match
+                << " counters=" << out.counters_match
+                << " cores=" << out.cores_match << " mis=" << out.mis_match
+                << '\n';
+      return false;
+    }
+    ++passed;
+  }
+  BenchJson("fault_crash_recovery")
+      .field("runs", std::uint64_t(runs))
+      .field("passed", std::uint64_t(passed))
+      .emit();
+  std::cout << "crash-recovery gate: " << passed << "/" << runs
+            << " randomized streams recovered exactly\n";
+  return true;
+}
+
+double median_delay(const RoutingTrialStats& stats) {
+  std::vector<double> delays;
+  for (const RoutingOutcome& o : stats.outcomes) {
+    if (o.delivered) delays.push_back(static_cast<double>(o.delivery_time));
+  }
+  if (delays.empty()) return -1.0;
+  std::sort(delays.begin(), delays.end());
+  const std::size_t mid = delays.size() / 2;
+  return delays.size() % 2 == 1
+             ? delays[mid]
+             : 0.5 * (delays[mid - 1] + delays[mid]);
+}
+
+/// Delivery ratio and median delay vs contact-loss rate per strategy.
+void delivery_vs_loss_table(bool smoke) {
+  Rng rng(17);
+  EdgeMarkovianParams params;
+  params.nodes = smoke ? 48 : 96;
+  params.horizon = smoke ? 48 : 96;
+  const TemporalGraph trace = edge_markovian_graph(params, rng);
+  const auto source = VertexId{0};
+  const auto dest = static_cast<VertexId>(params.nodes - 1);
+  const std::size_t trials = smoke ? 16 : 64;
+
+  const struct {
+    const char* name;
+    Strategy strategy;
+    std::size_t copies;
+  } strategies[] = {
+      {"epidemic", epidemic_strategy(), 0},  // budget 0 = unbounded copies
+      {"spray4", spray_and_wait_strategy(), 4},
+      {"direct", direct_strategy(), 1},
+  };
+
+  Table t({"strategy", "loss", "delivery_ratio", "median_delay",
+           "mean_transmissions"});
+  for (const auto& s : strategies) {
+    for (const double loss : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+      FaultPlan plan(31);
+      plan.set_contact_loss(loss);
+      SimulationFaults faults;
+      faults.plan = &plan;
+      faults.retry.max_attempts = 4;
+      const RoutingTrialStats stats =
+          simulate_routing_trials(trace, source, dest, 0, s.strategy,
+                                  s.copies, faults, trials);
+      const double med = median_delay(stats);
+      t.add_row({s.name, Table::num(loss, 1),
+                 Table::num(stats.delivery_ratio, 3), Table::num(med, 1),
+                 Table::num(stats.mean_transmissions, 1)});
+      BenchJson("fault_delivery")
+          .field("strategy", s.name)
+          .field("loss", loss)
+          .field("delivery_ratio", stats.delivery_ratio)
+          .field("median_delay", med)
+          .field("mean_transmissions", stats.mean_transmissions)
+          .emit();
+    }
+  }
+  t.print(std::cout,
+          "Delivery under seeded contact loss (bounded retransmit, "
+          "4 attempts/pair)");
+}
+
+/// Random failures vs targeted attacks: largest-component and NSF
+/// survival as nodes are removed.
+void percolation_table(bool smoke) {
+  Rng rng(23);
+  const std::size_t n = smoke ? 1'000 : 10'000;
+  const auto seq = power_law_degree_sequence(n, 2.5, 2, 64, rng);
+  const Graph g = configuration_model(seq, rng);
+
+  Table t({"order", "fraction_removed", "largest_component",
+           "nsf_survivors"});
+  for (const RemovalOrder order :
+       {RemovalOrder::kRandom, RemovalOrder::kDegree, RemovalOrder::kCore}) {
+    const double ns = time_ns_per_op(1, [&](std::size_t) {
+      const PercolationCurve curve =
+          percolation_curve(g, order, /*seed=*/7, /*samples=*/10);
+      for (std::size_t i = 0; i < curve.removed.size(); ++i) {
+        t.add_row({std::string(to_string(order)),
+                   Table::num(curve.fraction_removed[i], 2),
+                   Table::num(std::uint64_t(curve.largest_component[i])),
+                   Table::num(std::uint64_t(curve.nsf_survivors[i]))});
+        BenchJson("fault_percolation")
+            .field("order", to_string(order))
+            .field("n", std::uint64_t(n))
+            .field("fraction_removed", curve.fraction_removed[i])
+            .field("largest_component",
+                   std::uint64_t(curve.largest_component[i]))
+            .field("nsf_survivors", std::uint64_t(curve.nsf_survivors[i]))
+            .emit();
+      }
+    });
+    BenchJson("fault_percolation_sweep")
+        .field("order", to_string(order))
+        .field("n", std::uint64_t(n))
+        .field("ns_per_op", ns)
+        .emit();
+  }
+  t.print(std::cout,
+          "Node-removal percolation: random failures vs targeted attacks "
+          "(incremental core tracking)");
+}
+
+/// Checkpoint write / restore throughput over a churned engine.
+void checkpoint_throughput_table(bool smoke) {
+  Rng rng(41);
+  const std::size_t n = smoke ? 1'000 : 10'000;
+  const std::size_t event_count = smoke ? 4'000 : 40'000;
+  const Graph seed = erdos_renyi(n, 4.0 / static_cast<double>(n), rng);
+  StreamEngine engine{DynamicGraph(seed)};
+  for (const Event& e : churn_stream(n, event_count, rng)) engine.apply(e);
+  const double logged = static_cast<double>(engine.graph().epoch());
+
+  std::string payload;
+  const double write_ns = time_ns_per_op(3, [&](std::size_t) {
+    std::ostringstream out;
+    write_checkpoint(out, engine);
+    payload = out.str();
+  });
+  double restore_ns = 0.0;
+  const double read_ns = time_ns_per_op(3, [&](std::size_t) {
+    std::istringstream in(payload);
+    const CheckpointResult restored = read_checkpoint(in);
+    if (!restored.ok()) {
+      std::cerr << "checkpoint restore failed: " << restored.error << '\n';
+      std::exit(1);
+    }
+    benchmark::DoNotOptimize(restored.engine->graph().epoch());
+  });
+  restore_ns = read_ns;
+
+  Table t({"n", "logged_events", "bytes", "write_events_per_sec",
+           "restore_events_per_sec"});
+  t.add_row({Table::num(std::uint64_t(n)), Table::num(std::uint64_t(logged)),
+             Table::num(std::uint64_t(payload.size())),
+             Table::num(logged * 1e9 / write_ns, 0),
+             Table::num(logged * 1e9 / restore_ns, 0)});
+  t.print(std::cout, "Stream checkpoint serialization throughput");
+  BenchJson("fault_checkpoint")
+      .field("n", std::uint64_t(n))
+      .field("logged_events", std::uint64_t(logged))
+      .field("bytes", std::uint64_t(payload.size()))
+      .field("write_events_per_sec", logged * 1e9 / write_ns)
+      .field("restore_events_per_sec", logged * 1e9 / restore_ns)
+      .emit();
+}
+
+void BM_FaultPlanContactWorks(benchmark::State& state) {
+  FaultPlan plan(9);
+  plan.set_contact_loss(0.3);
+  for (int i = 0; i < 16; ++i) {
+    plan.add_outage({static_cast<VertexId>(i * 7), static_cast<TimeUnit>(i),
+                     static_cast<TimeUnit>(i + 10)});
+  }
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(q % 128);
+    const auto v = static_cast<VertexId>((q * 31) % 128);
+    benchmark::DoNotOptimize(
+        plan.contact_works(u, v, static_cast<TimeUnit>(q % 64)));
+    ++q;
+  }
+}
+BENCHMARK(BM_FaultPlanContactWorks);
+
+void BM_DegradedTrace(benchmark::State& state) {
+  Rng rng(3);
+  EdgeMarkovianParams params;
+  params.nodes = static_cast<std::size_t>(state.range(0));
+  params.horizon = 64;
+  const TemporalGraph trace = edge_markovian_graph(params, rng);
+  FaultPlan plan(9);
+  plan.set_contact_loss(0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.degraded(trace));
+  }
+}
+BENCHMARK(BM_DegradedTrace)->Range(64, 512);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  // The recovery gate runs first: a bench binary that cannot restore its
+  // own checkpoints has nothing meaningful to measure.
+  if (!structnet::crash_recovery_gate(smoke ? 15 : 40)) return 1;
+  structnet::delivery_vs_loss_table(smoke);
+  structnet::percolation_table(smoke);
+  structnet::checkpoint_throughput_table(smoke);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

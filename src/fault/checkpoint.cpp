@@ -1,0 +1,166 @@
+#include "fault/checkpoint.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+namespace {
+
+constexpr std::string_view kMagic = "structnet-checkpoint 1";
+
+/// Splits `line` into exactly `count` unsigned fields. Returns an empty
+/// string on success, else the reason.
+std::string parse_fields(const std::string& line, std::uint64_t* out,
+                         std::size_t count) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    if (p == end) return "expected " + std::to_string(count) + " fields";
+    const auto [next, ec] = std::from_chars(p, end, out[i]);
+    if (ec == std::errc::result_out_of_range) return "number out of range";
+    if (ec != std::errc() || (next < end && *next != ' ' && *next != '\t')) {
+      return "invalid number";
+    }
+    p = next;
+  }
+  while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  if (p != end) return "trailing data";
+  return {};
+}
+
+bool fits_u32(std::uint64_t x) {
+  return x <= std::numeric_limits<std::uint32_t>::max();
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const StreamEngine& engine) {
+  const DynamicGraph& g = engine.graph();
+  const Graph initial = g.snapshot_at(0).materialize();
+  os << kMagic << '\n';
+  os << initial.vertex_count() << ' ' << initial.edge_count() << ' '
+     << g.epoch() << ' ' << engine.accepted() << ' ' << engine.rejected()
+     << '\n';
+  const auto& counts = engine.reject_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    os << counts[i] << (i + 1 < counts.size() ? ' ' : '\n');
+  }
+  for (const Graph::Edge& e : initial.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+  for (const Event& ev : g.log()) {
+    os << static_cast<unsigned>(ev.kind) << ' ' << ev.u << ' ' << ev.v << ' '
+       << ev.time << ' ' << ev.new_time << '\n';
+  }
+}
+
+CheckpointResult read_checkpoint(std::istream& is) {
+  CheckpointResult result;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](std::string why) {
+    result.line = lineno;
+    result.error = std::move(why);
+    result.engine.reset();
+    return result;
+  };
+  // Skips blank lines; false at end of stream.
+  const auto next_line = [&]() {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+    }
+    ++lineno;
+    return false;
+  };
+
+  if (!next_line()) return fail("missing magic line");
+  if (line != kMagic) return fail("bad magic (want '" + std::string(kMagic) + "')");
+
+  if (!next_line()) return fail("missing header (n0 m0 epoch accepted rejected)");
+  std::uint64_t header[5];
+  if (auto err = parse_fields(line, header, 5); !err.empty()) {
+    return fail("header: " + err);
+  }
+  const auto [n0, m0, epoch, accepted, rejected] =
+      std::tuple{header[0], header[1], header[2], header[3], header[4]};
+  if (!fits_u32(n0)) return fail("header: vertex count exceeds 32-bit ids");
+
+  if (!next_line()) return fail("missing reject-count line");
+  std::uint64_t raw_counts[kRejectReasonCount];
+  if (auto err = parse_fields(line, raw_counts, kRejectReasonCount);
+      !err.empty()) {
+    return fail("reject counts: " + err);
+  }
+  std::array<std::uint64_t, kRejectReasonCount> counts{};
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) counts[i] = raw_counts[i];
+
+  Graph initial(static_cast<std::size_t>(n0));
+  for (std::uint64_t i = 0; i < m0; ++i) {
+    if (!next_line()) {
+      return fail("truncated: expected " + std::to_string(m0) +
+                  " initial edges, got " + std::to_string(i));
+    }
+    std::uint64_t uv[2];
+    if (auto err = parse_fields(line, uv, 2); !err.empty()) {
+      return fail("initial edge: " + err);
+    }
+    if (uv[0] >= n0 || uv[1] >= n0) return fail("initial edge: vertex out of range");
+    if (uv[0] == uv[1]) return fail("initial edge: self loop");
+    if (initial.add_edge_unique(static_cast<VertexId>(uv[0]),
+                                static_cast<VertexId>(uv[1])) == kInvalidEdge) {
+      return fail("initial edge: duplicate");
+    }
+  }
+
+  DynamicGraph graph(initial);
+  for (std::uint64_t i = 0; i < epoch; ++i) {
+    if (!next_line()) {
+      return fail("truncated: expected " + std::to_string(epoch) +
+                  " logged events, got " + std::to_string(i));
+    }
+    std::uint64_t f[5];
+    if (auto err = parse_fields(line, f, 5); !err.empty()) {
+      return fail("event: " + err);
+    }
+    if (f[0] > static_cast<std::uint64_t>(EventKind::kNodeLeave)) {
+      return fail("event: unknown kind " + std::to_string(f[0]));
+    }
+    if (!fits_u32(f[1]) || !fits_u32(f[2]) || !fits_u32(f[3]) ||
+        !fits_u32(f[4])) {
+      return fail("event: field exceeds 32-bit range");
+    }
+    const Event ev{static_cast<EventKind>(f[0]), static_cast<VertexId>(f[1]),
+                   static_cast<VertexId>(f[2]), static_cast<TimeUnit>(f[3]),
+                   static_cast<TimeUnit>(f[4])};
+    // The log is exactly the accepted history; a replay rejection means
+    // the checkpoint is internally inconsistent.
+    if (!graph.apply(ev).accepted) {
+      return fail("event: log replay rejected event " + std::to_string(i));
+    }
+  }
+
+  StreamEngine engine{std::move(graph)};
+  engine.restore_counters(accepted, rejected, counts);
+  result.engine.emplace(std::move(engine));
+  result.line = 0;
+  result.error.clear();
+  return result;
+}
+
+}  // namespace structnet

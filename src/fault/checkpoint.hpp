@@ -1,0 +1,48 @@
+// StreamEngine checkpoint / restore — crash recovery for the streaming
+// dynamic-graph engine.
+//
+// A DynamicGraph is fully determined by its epoch-0 state plus the
+// normalized accepted-event log, so that pair IS the checkpoint. The
+// format is a line-oriented text stream (versioned, diff-able, and
+// valid input for the same tooling the contact traces use):
+//
+//   structnet-checkpoint 1
+//   <n0> <m0> <epoch> <accepted> <rejected>
+//   <reject_counts[0..kRejectReasonCount)>        (one line)
+//   <u> <v>                                       (m0 initial edges)
+//   <kind> <u> <v> <time> <new_time>              (epoch logged events)
+//
+// Restore rebuilds the initial graph, replays the log through
+// DynamicGraph::apply — the log is exactly the accepted history, so
+// every replayed event must be accepted again; a replay rejection marks
+// a corrupted checkpoint — and reinstates the engine counters. The
+// restored engine has NO observers: re-attach them and StreamEngine's
+// recompute-on-attach synchronizes each one to the restored graph.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "stream/engine.hpp"
+
+namespace structnet {
+
+/// Writes the engine's checkpoint (graph history + counters).
+void write_checkpoint(std::ostream& os, const StreamEngine& engine);
+
+/// Outcome of a restore: `engine` engaged on success, otherwise `line`
+/// (1-based, 0 = stream-level) and `error` pin the failure.
+struct CheckpointResult {
+  std::optional<StreamEngine> engine;
+  std::size_t line = 0;
+  std::string error;
+
+  bool ok() const { return engine.has_value(); }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Parses a checkpoint and rebuilds the engine (no observers attached).
+CheckpointResult read_checkpoint(std::istream& is);
+
+}  // namespace structnet

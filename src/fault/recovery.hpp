@@ -1,0 +1,46 @@
+// Crash-recovery harness: kill the streaming engine mid-stream, restore
+// it from its checkpoint, and prove the restored world is the same one.
+//
+// The harness runs an event stream twice:
+//   * uninterrupted: one engine with Core + MIS observers absorbs every
+//     event incrementally;
+//   * crashed: a second engine absorbs events [0, kill_at), writes a
+//     checkpoint, and is destroyed ("crash"); a fresh engine restores
+//     from the checkpoint, re-attaches FRESH observers (synchronized by
+//     StreamEngine's recompute-on-attach), and absorbs the tail.
+// Equivalence asks for identical event logs, identical materialized
+// graphs, identical engine counters, identical observer state — and,
+// as the recompute_all cross-check, that the survivors' incremental
+// state equals its own from-scratch recompute.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "stream/event.hpp"
+
+namespace structnet {
+
+struct RecoveryOutcome {
+  std::size_t events = 0;        // total events in the stream
+  std::size_t kill_at = 0;       // events absorbed before the crash
+  bool graph_match = false;      // log + materialized graph + liveness
+  bool counters_match = false;   // accepted / rejected / per-reason
+  bool cores_match = false;      // CoreObserver state (and == recompute)
+  bool mis_match = false;        // MisObserver state on alive vertices
+
+  bool ok() const {
+    return graph_match && counters_match && cores_match && mis_match;
+  }
+};
+
+/// Runs the crash-restore-replay experiment described above over
+/// `events` on an initially `initial_vertices`-vertex empty graph.
+/// `kill_at` is clamped to the stream length; `mis_seed` seeds both
+/// runs' MIS priorities (they must match for state comparison).
+RecoveryOutcome run_crash_recovery(std::size_t initial_vertices,
+                                   std::span<const Event> events,
+                                   std::size_t kill_at,
+                                   std::uint64_t mis_seed = 7);
+
+}  // namespace structnet

@@ -1,0 +1,125 @@
+#include "fault/robustness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "layering/nsf.hpp"
+#include "stream/engine.hpp"
+#include "stream/observers.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Largest connected component among alive vertices, straight off the
+/// dynamic adjacency (no materialization).
+std::size_t largest_alive_component(const DynamicGraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> stack;
+  std::size_t best = 0;
+  for (VertexId s = 0; s < n; ++s) {
+    if (seen[s] || !g.alive(s)) continue;
+    std::size_t size = 0;
+    seen[s] = true;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const VertexId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+std::vector<VertexId> removal_order(const Graph& g, RemovalOrder order,
+                                    std::uint64_t seed) {
+  std::vector<VertexId> vertices(g.vertex_count());
+  std::iota(vertices.begin(), vertices.end(), VertexId{0});
+  switch (order) {
+    case RemovalOrder::kRandom: {
+      Rng rng(seed);
+      rng.shuffle(vertices);
+      break;
+    }
+    case RemovalOrder::kDegree:
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [&](VertexId a, VertexId b) {
+                         return g.degree(a) != g.degree(b)
+                                    ? g.degree(a) > g.degree(b)
+                                    : a < b;
+                       });
+      break;
+    case RemovalOrder::kCore: {
+      const auto core = core_numbers(g);
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [&](VertexId a, VertexId b) {
+                         if (core[a] != core[b]) return core[a] > core[b];
+                         if (g.degree(a) != g.degree(b)) {
+                           return g.degree(a) > g.degree(b);
+                         }
+                         return a < b;
+                       });
+      break;
+    }
+  }
+  return vertices;
+}
+
+}  // namespace
+
+std::string_view to_string(RemovalOrder order) {
+  switch (order) {
+    case RemovalOrder::kRandom:
+      return "random";
+    case RemovalOrder::kDegree:
+      return "degree";
+    case RemovalOrder::kCore:
+      return "core";
+  }
+  return "unknown";
+}
+
+PercolationCurve percolation_curve(const Graph& g, RemovalOrder order,
+                                   std::uint64_t seed, std::size_t samples,
+                                   double nsf_stop_fraction) {
+  PercolationCurve curve;
+  curve.order = order;
+  const std::size_t n = g.vertex_count();
+  const auto victims = removal_order(g, order, seed);
+
+  StreamEngine engine{DynamicGraph(g)};
+  CoreObserver cores(nsf_stop_fraction);
+  engine.attach(&cores);
+
+  const std::size_t step = std::max<std::size_t>(1, samples ? n / samples : n);
+  const auto sample = [&](std::size_t removed) {
+    const DynamicGraph& dg = engine.graph();
+    curve.removed.push_back(removed);
+    curve.fraction_removed.push_back(
+        n == 0 ? 0.0
+               : static_cast<double>(removed) / static_cast<double>(n));
+    curve.largest_component.push_back(largest_alive_component(dg));
+    const auto members = cores.nsf_members(dg);
+    curve.nsf_survivors.push_back(static_cast<std::size_t>(
+        std::count(members.begin(), members.end(), true)));
+  };
+
+  sample(0);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    engine.apply(Event::node_leave(victims[i]));
+    const std::size_t removed = i + 1;
+    if (removed % step == 0 || removed == victims.size()) sample(removed);
+  }
+  return curve;
+}
+
+}  // namespace structnet

@@ -1,0 +1,55 @@
+// Static robustness kernels: node-removal percolation curves.
+//
+// How fast do the paper's useful structures dissolve when nodes die?
+// percolation_curve() removes vertices one at a time — uniformly at
+// random, or targeted at hubs (static degree order) or at the dense
+// backbone (core-number order) — and samples two survival series:
+//
+//   * largest alive connected component (the classic percolation
+//     observable);
+//   * surviving NSF membership (core_membership of the live cores,
+//     the "top stop_fraction peers" layer of Fig. 3 (b)).
+//
+// Removals are driven through a StreamEngine as NodeLeave events with
+// the incremental CoreObserver attached, so the NSF series costs the
+// incremental repair work per removal instead of a from-scratch core
+// decomposition per sample — the same machinery the churn tests gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace structnet {
+
+enum class RemovalOrder : std::uint8_t {
+  kRandom,  // uniform shuffle (seeded)
+  kDegree,  // static degree, hubs first (ties by id)
+  kCore,    // core number, densest first (ties by degree then id)
+};
+
+std::string_view to_string(RemovalOrder order);
+
+/// One sampled survival curve. Entry 0 is the intact graph; the last
+/// entry has every vertex removed.
+struct PercolationCurve {
+  RemovalOrder order = RemovalOrder::kRandom;
+  std::vector<std::size_t> removed;            // cumulative removals
+  std::vector<double> fraction_removed;        // removed / n
+  std::vector<std::size_t> largest_component;  // LCC among alive vertices
+  std::vector<std::size_t> nsf_survivors;      // alive NSF members
+};
+
+/// Removes every vertex of `g` in the given order, sampling the curve at
+/// ~`samples` evenly spaced removal counts (plus the endpoints). `seed`
+/// drives the kRandom shuffle (ignored otherwise); `nsf_stop_fraction`
+/// is the CoreObserver's NSF membership knob.
+PercolationCurve percolation_curve(const Graph& g, RemovalOrder order,
+                                   std::uint64_t seed = 0,
+                                   std::size_t samples = 20,
+                                   double nsf_stop_fraction = 0.5);
+
+}  // namespace structnet

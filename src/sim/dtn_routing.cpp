@@ -2,11 +2,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
+#include "fault/fault_plan.hpp"
 #include "parallel/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace structnet {
+
+namespace {
+
+/// Per-directed-pair retransmit state under a FaultPlan.
+struct PairRetry {
+  std::size_t attempts = 0;
+  TimeUnit next_allowed = 0;  // kNeverTime once the pair gave up
+};
+
+/// Backoff delay after the pair's k-th consecutive failure (k >= 1):
+/// min(base * factor^(k-1), cap), saturating instead of overflowing.
+TimeUnit backoff_delay(const RetryPolicy& retry, std::size_t failures) {
+  const TimeUnit factor = std::max<TimeUnit>(retry.backoff_factor, 1);
+  TimeUnit delay = retry.backoff_base;
+  for (std::size_t i = 1; i < failures; ++i) {
+    if (factor > 1 && delay > retry.backoff_cap / factor) {
+      return retry.backoff_cap;
+    }
+    delay *= factor;
+  }
+  return std::min(delay, retry.backoff_cap);
+}
+
+std::uint64_t pair_slot(VertexId holder, VertexId other) {
+  return (static_cast<std::uint64_t>(holder) << 32) | other;
+}
+
+}  // namespace
 
 RoutingOutcome simulate_routing(const TemporalGraph& trace, VertexId source,
                                 VertexId destination, TimeUnit t0,
@@ -30,6 +60,10 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
     return outcome;
   }
   Rng loss_rng(faults.loss_seed);
+  const FaultPlan* plan = faults.plan;
+  // Retransmit state per directed (holder, receiver) pair; populated only
+  // when a plan-induced handover failure occurs.
+  std::unordered_map<std::uint64_t, PairRetry> retry_state;
   const TimeUnit deadline =
       faults.ttl == kNeverTime || t0 > kNeverTime - faults.ttl
           ? kNeverTime
@@ -55,6 +89,10 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
       progressed = false;
       ++passes;
       for (const EdgeId e : unit) {
+        if (plan != nullptr &&
+            !plan->link_up(trace.edge_u(e), trace.edge_v(e), t)) {
+          continue;  // outage / blackout: the contact never happens
+        }
         const std::pair<VertexId, VertexId> directions[] = {
             {trace.edge_u(e), trace.edge_v(e)},
             {trace.edge_v(e), trace.edge_u(e)}};
@@ -64,7 +102,42 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
               loss_rng.bernoulli(faults.loss_probability)) {
             continue;  // the radio handover failed; copy stays put
           }
+          PairRetry* pair = nullptr;
+          if (plan != nullptr) {
+            const auto it = retry_state.find(pair_slot(holder, other));
+            if (it != retry_state.end()) {
+              if (t < it->second.next_allowed) continue;  // backing off
+              pair = &it->second;
+            }
+          }
+          // The loss draw is a pure function of (seed, {u, v}, t), so a
+          // failed attempt cannot succeed at the same t: retries wait at
+          // least one unit even with no backoff configured.
+          const bool lost =
+              plan != nullptr && plan->transmission_lost(holder, other, t);
+          const auto attempt_failed = [&] {
+            ++outcome.transmissions;  // the radio attempt is still burned
+            PairRetry& state =
+                pair != nullptr ? *pair : retry_state[pair_slot(holder, other)];
+            ++state.attempts;
+            if (faults.retry.max_attempts != 0 &&
+                state.attempts >= faults.retry.max_attempts) {
+              state.next_allowed = kNeverTime;  // pair gave up for good
+              return;
+            }
+            const TimeUnit delay = std::max<TimeUnit>(
+                backoff_delay(faults.retry, state.attempts), 1);
+            state.next_allowed =
+                t > kNeverTime - delay ? kNeverTime : t + delay;
+          };
+          const auto attempt_succeeded = [&] {
+            if (pair != nullptr) retry_state.erase(pair_slot(holder, other));
+          };
           if (other == destination) {
+            if (lost) {
+              attempt_failed();
+              continue;
+            }
             outcome.delivered = true;
             outcome.delivery_time = t;
             outcome.hops = hops[holder] + 1;
@@ -78,6 +151,11 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
               break;
             case ForwardDecision::kCopy: {
               if (budget[holder] == 0) {  // unbounded replication
+                if (lost) {
+                  attempt_failed();
+                  break;
+                }
+                attempt_succeeded();
                 has[other] = true;
                 budget[other] = 0;
                 hops[other] = hops[holder] + 1;
@@ -85,6 +163,11 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
                 ++outcome.transmissions;
                 progressed = true;
               } else if (budget[holder] > 1) {  // binary spray
+                if (lost) {
+                  attempt_failed();
+                  break;
+                }
+                attempt_succeeded();
                 const std::size_t give = budget[holder] / 2;
                 budget[holder] -= give;
                 has[other] = true;
@@ -97,6 +180,11 @@ RoutingOutcome simulate_routing(const TemporalCsr& trace, VertexId source,
               break;
             }
             case ForwardDecision::kMove: {
+              if (lost) {
+                attempt_failed();
+                break;
+              }
+              attempt_succeeded();
               has[holder] = false;
               has[other] = true;
               budget[other] = budget[holder];
@@ -131,6 +219,12 @@ RoutingTrialStats simulate_routing_trials(
       [&](std::size_t trial) {
         SimulationFaults f = faults;
         f.loss_seed = derive_seed(faults.loss_seed, trial);
+        FaultPlan trial_plan;
+        if (faults.plan != nullptr) {
+          // Same schedule, decorrelated loss draws per replica.
+          trial_plan = faults.plan->split(trial);
+          f.plan = &trial_plan;
+        }
         stats.outcomes[trial] = simulate_routing(
             csr, source, destination, t0, strategy, initial_copies, f);
       },

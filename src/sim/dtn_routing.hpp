@@ -29,6 +29,8 @@
 
 namespace structnet {
 
+class FaultPlan;  // fault/fault_plan.hpp
+
 /// Outcome of a single-message simulation.
 struct RoutingOutcome {
   bool delivered = false;
@@ -50,6 +52,24 @@ enum class ForwardDecision {
 using Strategy = std::function<ForwardDecision(
     VertexId holder, VertexId contact, TimeUnit t, std::size_t copies_held)>;
 
+/// Bounded-retransmit policy for plan-induced handover failures: after a
+/// failed attempt the directed pair (holder, receiver) backs off
+///   delay(k) = min(backoff_base * backoff_factor^(k-1), backoff_cap)
+/// time units after its k-th failure, and gives up for good once
+/// max_attempts attempts burned. Defaults are "retry at the next contact
+/// time, forever". Only consulted when SimulationFaults::plan is set —
+/// the legacy loss_probability process stays silent and retry-free.
+struct RetryPolicy {
+  /// Attempts allowed per directed pair (0 = unbounded).
+  std::size_t max_attempts = 0;
+  /// First-failure backoff delay (0 = next contact time).
+  TimeUnit backoff_base = 0;
+  /// Exponential growth of the delay per further failure (>= 1).
+  TimeUnit backoff_factor = 2;
+  /// Upper bound on any single backoff delay.
+  TimeUnit backoff_cap = kNeverTime;
+};
+
 /// Failure-injection knobs for the simulator.
 struct SimulationFaults {
   /// Message time-to-live: delivery must happen strictly before
@@ -60,6 +80,14 @@ struct SimulationFaults {
   double loss_probability = 0.0;
   /// Seed for the loss process (deterministic runs).
   std::uint64_t loss_seed = 0;
+  /// Optional composed fault schedule (not owned; must outlive the
+  /// simulation). Schedule faults (outages, blackouts) suppress the
+  /// contact outright; a transmission-loss draw burns a transmission
+  /// (radio cost) but delivers nothing and engages `retry`. In
+  /// simulate_routing_trials, trial i runs under plan->split(i).
+  const FaultPlan* plan = nullptr;
+  /// Retry/backoff for plan-induced transmission failures.
+  RetryPolicy retry;
 };
 
 /// Runs the contact trace from t0 with the given strategy. Contacts at

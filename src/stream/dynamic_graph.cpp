@@ -53,6 +53,26 @@ void apply_to_state(std::vector<std::vector<VertexId>>& adjacency,
 
 }  // namespace
 
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kUnknownVertex:
+      return "unknown_vertex";
+    case RejectReason::kDeadVertex:
+      return "dead_vertex";
+    case RejectReason::kSelfLoop:
+      return "self_loop";
+    case RejectReason::kDuplicateEdge:
+      return "duplicate_edge";
+    case RejectReason::kMissingEdge:
+      return "missing_edge";
+    case RejectReason::kAlreadyAlive:
+      return "already_alive";
+  }
+  return "unknown";
+}
+
 DynamicGraph::DynamicGraph(const Graph& g) {
   adjacency_.resize(g.vertex_count());
   for (std::size_t v = 0; v < g.vertex_count(); ++v) {
@@ -78,48 +98,61 @@ bool DynamicGraph::has_edge(VertexId u, VertexId v) const {
 EventEffect DynamicGraph::apply(const Event& event) {
   EventEffect effect;
   const std::size_t n = vertex_count();
-  const auto valid_alive = [&](VertexId x) { return x < n && alive_[x]; };
   Event logged = event;
+  const auto reject = [&](RejectReason why) {
+    effect.reject = why;
+    return effect;
+  };
+  // Endpoint validity collapsed to a reason: unknown id beats dead beats
+  // self loop, checked u-then-v, so every reject has one stable cause.
+  const auto endpoint_reject = [&](VertexId u, VertexId v) {
+    if (u >= n || v >= n) return RejectReason::kUnknownVertex;
+    if (!alive_[u] || !alive_[v]) return RejectReason::kDeadVertex;
+    if (u == v) return RejectReason::kSelfLoop;
+    return RejectReason::kNone;
+  };
 
   switch (event.kind) {
-    case EventKind::kEdgeInsert:
-      if (!valid_alive(event.u) || !valid_alive(event.v) ||
-          event.u == event.v || has_edge(event.u, event.v)) {
-        return effect;
+    case EventKind::kEdgeInsert: {
+      const RejectReason why = endpoint_reject(event.u, event.v);
+      if (why != RejectReason::kNone) return reject(why);
+      if (has_edge(event.u, event.v)) {
+        return reject(RejectReason::kDuplicateEdge);
       }
       ++edge_count_;
       break;
+    }
     case EventKind::kEdgeDelete:
-      if (event.u >= n || event.v >= n || !has_edge(event.u, event.v)) {
-        return effect;
+      if (event.u >= n || event.v >= n) {
+        return reject(RejectReason::kUnknownVertex);
+      }
+      if (!has_edge(event.u, event.v)) {
+        return reject(RejectReason::kMissingEdge);
       }
       --edge_count_;
       break;
     case EventKind::kContactAdd:
-      if (!valid_alive(event.u) || !valid_alive(event.v) ||
-          event.u == event.v) {
-        return effect;
-      }
+    case EventKind::kContactRelabel: {
+      const RejectReason why = endpoint_reject(event.u, event.v);
+      if (why != RejectReason::kNone) return reject(why);
       break;
-    case EventKind::kContactRelabel:
-      if (!valid_alive(event.u) || !valid_alive(event.v) ||
-          event.u == event.v) {
-        return effect;
-      }
-      break;
+    }
     case EventKind::kNodeJoin:
       if (event.u == kInvalidVertex || event.u == n) {
         logged.u = static_cast<VertexId>(n);  // fresh id, normalized
       } else if (event.u < n && !alive_[event.u]) {
         logged.u = event.u;  // revival
+      } else if (event.u < n) {
+        return reject(RejectReason::kAlreadyAlive);
       } else {
-        return effect;
+        return reject(RejectReason::kUnknownVertex);  // gap beyond fresh id
       }
       effect.vertex = logged.u;
       ++alive_count_;
       break;
     case EventKind::kNodeLeave:
-      if (!valid_alive(event.u)) return effect;
+      if (event.u >= n) return reject(RejectReason::kUnknownVertex);
+      if (!alive_[event.u]) return reject(RejectReason::kDeadVertex);
       for (VertexId w : adjacency_[event.u]) {
         effect.removed_edges.push_back(Graph::Edge{event.u, w});
       }

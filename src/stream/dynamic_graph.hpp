@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/graph.hpp"
@@ -21,11 +22,29 @@ namespace structnet {
 
 class DynamicGraph;
 
+/// Why a submitted event was rejected. kNone marks accepted events; the
+/// rest form the per-reason taxonomy StreamEngine counts.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,        // accepted
+  kUnknownVertex,   // an endpoint id beyond vertex_count()
+  kDeadVertex,      // an endpoint departed and was not revived
+  kSelfLoop,        // u == v
+  kDuplicateEdge,   // EdgeInsert of an edge already present
+  kMissingEdge,     // EdgeDelete of an edge not present
+  kAlreadyAlive,    // NodeJoin revival target is alive (or a gap id)
+};
+inline constexpr std::size_t kRejectReasonCount = 7;
+
+/// Short stable name for logs / bench JSON ("none", "unknown_vertex", ...).
+std::string_view to_string(RejectReason reason);
+
 /// What an accepted event actually did, in normalized form. Observers
 /// receive this alongside the event so they never re-derive effects
 /// (e.g. which edges a NodeLeave dropped) from mutated state.
 struct EventEffect {
   bool accepted = false;
+  /// Why the event was rejected (kNone when accepted).
+  RejectReason reject = RejectReason::kNone;
   /// NodeJoin: the id the node received (fresh or revived).
   VertexId vertex = kInvalidVertex;
   /// NodeLeave: the incident edges that were removed, in adjacency order.
@@ -80,6 +99,11 @@ class DynamicGraph {
 
   /// O(1) snapshot of the current epoch.
   GraphSnapshot snapshot() const { return GraphSnapshot(this, epoch()); }
+  /// O(1) snapshot of any past epoch (at <= epoch()). snapshot_at(0) is
+  /// the initial state — what a checkpoint stores alongside the log.
+  GraphSnapshot snapshot_at(std::uint64_t at) const {
+    return GraphSnapshot(this, at);
+  }
   /// The current static graph (== snapshot().materialize()).
   Graph materialize() const { return materialize_at(epoch()); }
 

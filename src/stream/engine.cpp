@@ -24,6 +24,7 @@ bool StreamEngine::apply(const Event& event) {
   const EventEffect effect = graph_.apply(event);
   if (!effect.accepted) {
     ++rejected_;
+    ++reject_counts_[static_cast<std::size_t>(effect.reject)];
     return false;
   }
   ++accepted_;
@@ -41,6 +42,14 @@ std::size_t StreamEngine::recompute_all(std::size_t threads) {
       0, observers_.size(), /*grain=*/1,
       [&](std::size_t i) { observers_[i]->recompute(graph_); }, threads);
   return observers_.size();
+}
+
+void StreamEngine::restore_counters(
+    std::uint64_t accepted, std::uint64_t rejected,
+    const std::array<std::uint64_t, kRejectReasonCount>& reject_counts) {
+  accepted_ = accepted;
+  rejected_ = rejected;
+  reject_counts_ = reject_counts;
 }
 
 std::size_t StreamEngine::apply_batch(std::span<const Event> events) {

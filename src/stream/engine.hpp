@@ -4,10 +4,11 @@
 // observer; apply_batch() applies a span of events and then signals
 // on_batch_end once, which is what batching-aware observers (lazy cache
 // invalidation, deferred fixups) key off. Rejected events are counted
-// and NOT delivered to observers, so observers only ever see events the
-// graph actually absorbed.
+// per RejectReason and NOT delivered to observers, so observers only
+// ever see events the graph actually absorbed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -50,11 +51,28 @@ class StreamEngine {
   std::uint64_t accepted() const { return accepted_; }
   std::uint64_t rejected() const { return rejected_; }
 
+  /// Per-reason reject counts, indexed by RejectReason (slot kNone is
+  /// always 0; the other slots sum to rejected()).
+  const std::array<std::uint64_t, kRejectReasonCount>& reject_counts() const {
+    return reject_counts_;
+  }
+  std::uint64_t rejected(RejectReason why) const {
+    return reject_counts_[static_cast<std::size_t>(why)];
+  }
+
+  /// Overwrites the acceptance statistics. Rejected events never enter
+  /// the graph log, so a restored engine cannot re-derive them — the
+  /// checkpoint reader (fault/checkpoint.hpp) carries them explicitly.
+  void restore_counters(
+      std::uint64_t accepted, std::uint64_t rejected,
+      const std::array<std::uint64_t, kRejectReasonCount>& reject_counts);
+
  private:
   DynamicGraph graph_;
   std::vector<StreamObserver*> observers_;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::array<std::uint64_t, kRejectReasonCount> reject_counts_{};
 };
 
 }  // namespace structnet

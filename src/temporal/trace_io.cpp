@@ -1,9 +1,44 @@
 #include "temporal/trace_io.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <string>
+#include <tuple>
+#include <utility>
 
 namespace structnet {
+
+namespace {
+
+/// Splits `line` into exactly `count` unsigned fields. Returns an empty
+/// string on success, else the reason.
+std::string parse_fields(const std::string& line, std::uint64_t* out,
+                         std::size_t count) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    if (p == end) return "expected " + std::to_string(count) + " fields";
+    const auto [next, ec] = std::from_chars(p, end, out[i]);
+    if (ec == std::errc::result_out_of_range) return "number out of range";
+    if (ec != std::errc() || (next < end && *next != ' ' && *next != '\t')) {
+      return "invalid number";
+    }
+    p = next;
+  }
+  while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  if (p != end) return "trailing data";
+  return {};
+}
+
+bool fits_u32(std::uint64_t x) {
+  return x <= std::numeric_limits<std::uint32_t>::max();
+}
+
+}  // namespace
 
 void write_contact_trace(std::ostream& os, const TemporalGraph& eg) {
   std::size_t m = 0;
@@ -14,19 +49,63 @@ void write_contact_trace(std::ostream& os, const TemporalGraph& eg) {
   }
 }
 
-std::optional<TemporalGraph> read_contact_trace(std::istream& is) {
-  std::size_t n = 0, m = 0;
-  TimeUnit horizon = 0;
-  if (!(is >> n >> horizon >> m)) return std::nullopt;
-  TemporalGraph eg(n, horizon);
-  for (std::size_t i = 0; i < m; ++i) {
-    VertexId u = 0, v = 0;
-    TimeUnit t = 0;
-    if (!(is >> u >> v >> t)) return std::nullopt;
-    if (u >= n || v >= n || u == v || t >= horizon) return std::nullopt;
-    eg.add_contact(u, v, t);
+TraceParseResult parse_contact_trace(std::istream& is) {
+  TraceParseResult result;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](std::string why) {
+    result.line = lineno;
+    result.error = std::move(why);
+    result.graph.reset();
+    return result;
+  };
+  // Skips blank lines; false at end of stream.
+  const auto next_line = [&]() {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+    }
+    ++lineno;
+    return false;
+  };
+
+  if (!next_line()) return fail("missing header (n horizon m)");
+  std::uint64_t header[3];
+  if (auto err = parse_fields(line, header, 3); !err.empty()) {
+    return fail("header: " + err);
   }
-  return eg;
+  const auto [n, horizon, m] = std::tuple{header[0], header[1], header[2]};
+  if (!fits_u32(n)) return fail("header: vertex count exceeds 32-bit ids");
+  if (!fits_u32(horizon)) return fail("header: horizon exceeds 32-bit time");
+
+  TemporalGraph eg(static_cast<std::size_t>(n),
+                   static_cast<TimeUnit>(horizon));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_line()) {
+      return fail("truncated: expected " + std::to_string(m) +
+                  " contacts, got " + std::to_string(i));
+    }
+    std::uint64_t f[3];
+    if (auto err = parse_fields(line, f, 3); !err.empty()) {
+      return fail("contact: " + err);
+    }
+    if (f[0] >= n || f[1] >= n) return fail("contact: vertex out of range");
+    if (f[0] == f[1]) return fail("contact: self contact");
+    if (f[2] >= horizon) return fail("contact: time beyond horizon");
+    eg.add_contact(static_cast<VertexId>(f[0]), static_cast<VertexId>(f[1]),
+                   static_cast<TimeUnit>(f[2]));
+  }
+  result.graph.emplace(std::move(eg));
+  result.line = 0;
+  result.error.clear();
+  return result;
+}
+
+std::optional<TemporalGraph> read_contact_trace(std::istream& is) {
+  return parse_contact_trace(is).graph;
 }
 
 }  // namespace structnet

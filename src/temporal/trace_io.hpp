@@ -3,10 +3,17 @@
 //
 // Format: a header line `n horizon m` followed by m lines `u v t`
 // (whitespace separated, one contact per line, duplicates tolerated).
+// Blank lines are skipped.
+//
+// parse_contact_trace reports malformed input with the 1-based line
+// number and a human-readable reason; read_contact_trace is the
+// optional-returning shim for callers that only care about success.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
+#include <string>
 
 #include "temporal/temporal_graph.hpp"
 
@@ -15,8 +22,23 @@ namespace structnet {
 /// Writes the trace as a contact list.
 void write_contact_trace(std::ostream& os, const TemporalGraph& eg);
 
-/// Parses a contact list; std::nullopt on malformed input (bad counts,
-/// out-of-range vertices or times, self-contacts).
+/// Outcome of parsing a contact list. On failure `graph` is empty and
+/// (line, error) point at the offending input line; on success `line`
+/// is 0 and `error` empty.
+struct TraceParseResult {
+  std::optional<TemporalGraph> graph;
+  std::size_t line = 0;  // 1-based line number of the failure
+  std::string error;
+
+  bool ok() const { return graph.has_value(); }
+};
+
+/// Parses a contact list, reporting where and why malformed input fails
+/// (bad counts, out-of-range vertices or times, self-contacts,
+/// truncation).
+TraceParseResult parse_contact_trace(std::istream& is);
+
+/// Shim over parse_contact_trace: std::nullopt on malformed input.
 std::optional<TemporalGraph> read_contact_trace(std::istream& is);
 
 }  // namespace structnet

@@ -1,0 +1,529 @@
+// Fault subsystem: deterministic fault plans, degraded traces, lossy
+// routing with retry/backoff, stream checkpoint/restore, crash
+// recovery, and node-removal percolation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
+#include "fault/robustness.hpp"
+#include "sim/dtn_routing.hpp"
+#include "stream/engine.hpp"
+#include "stream/observers.hpp"
+#include "temporal/temporal_csr.hpp"
+#include "temporal/temporal_graph.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlanTest, LossDrawIsPureFunctionOfContact) {
+  FaultPlan plan(99);
+  plan.set_contact_loss(0.5);
+  // Re-querying any contact, in any order, gives the same answer; the
+  // draw is symmetric in the endpoints.
+  std::vector<bool> forward, backward;
+  for (TimeUnit t = 0; t < 64; ++t) {
+    forward.push_back(plan.transmission_lost(3, 7, t));
+  }
+  for (TimeUnit t = 64; t-- > 0;) {
+    backward.push_back(plan.transmission_lost(7, 3, t));
+  }
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i], backward[forward.size() - 1 - i]) << "t=" << i;
+  }
+  // Different contacts decorrelate: at p=0.5 over 64 units, identical
+  // draw sequences for two distinct pairs would be astronomically rare.
+  std::vector<bool> other_pair;
+  for (TimeUnit t = 0; t < 64; ++t) {
+    other_pair.push_back(plan.transmission_lost(3, 8, t));
+  }
+  EXPECT_NE(forward, other_pair);
+}
+
+TEST(FaultPlanTest, LossRateTracksProbability) {
+  for (const double p : {0.0, 0.25, 0.75, 1.0}) {
+    FaultPlan plan(5);
+    plan.set_contact_loss(p);
+    std::size_t lost = 0;
+    const std::size_t total = 20'000;
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto u = static_cast<VertexId>(i % 140);
+      const auto v = static_cast<VertexId>((i / 140) % 140 + 140);
+      if (plan.transmission_lost(u, v, static_cast<TimeUnit>(i))) ++lost;
+    }
+    const double rate = static_cast<double>(lost) / total;
+    EXPECT_NEAR(rate, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(FaultPlanTest, ScheduleWindows) {
+  FaultPlan plan;
+  plan.add_outage({2, 5, 9});                              // node 2 down [5,9)
+  plan.add_blackout({0, 1, 3, 6});                         // link (0,1) dark
+  plan.add_blackout({kInvalidVertex, kInvalidVertex, 20, 22});  // everything
+
+  EXPECT_TRUE(plan.node_up(2, 4));
+  EXPECT_FALSE(plan.node_up(2, 5));
+  EXPECT_FALSE(plan.node_up(2, 8));
+  EXPECT_TRUE(plan.node_up(2, 9));
+  EXPECT_TRUE(plan.node_up(3, 7));  // other nodes unaffected
+
+  EXPECT_TRUE(plan.link_up(0, 1, 2));
+  EXPECT_FALSE(plan.link_up(0, 1, 3));
+  EXPECT_FALSE(plan.link_up(1, 0, 5));  // symmetric
+  EXPECT_TRUE(plan.link_up(0, 1, 6));
+  EXPECT_TRUE(plan.link_up(0, 3, 4));  // other links unaffected
+
+  // A down endpoint takes the link down with it.
+  EXPECT_FALSE(plan.link_up(2, 3, 6));
+  // The global blackout covers every link.
+  EXPECT_FALSE(plan.link_up(0, 3, 20));
+  EXPECT_FALSE(plan.link_up(5, 9, 21));
+  EXPECT_TRUE(plan.link_up(5, 9, 22));
+}
+
+TEST(FaultPlanTest, SplitKeepsScheduleDecorrelatesLoss) {
+  FaultPlan plan(17);
+  plan.set_contact_loss(0.5).add_outage({1, 2, 4});
+  const FaultPlan replica = plan.split(3);
+  EXPECT_EQ(replica.contact_loss(), plan.contact_loss());
+  EXPECT_FALSE(replica.node_up(1, 3));  // schedule carried over
+  EXPECT_NE(replica.seed(), plan.seed());
+  bool differs = false;
+  for (TimeUnit t = 0; t < 64 && !differs; ++t) {
+    differs = plan.transmission_lost(0, 1, t) !=
+              replica.transmission_lost(0, 1, t);
+  }
+  EXPECT_TRUE(differs);  // p=0.5 over 64 draws: disagreement is certain
+}
+
+TemporalGraph random_trace(std::size_t n, TimeUnit horizon,
+                           std::size_t contacts, std::uint64_t seed) {
+  Rng rng(seed);
+  TemporalGraph eg(n, horizon);
+  std::size_t added = 0;
+  while (added < contacts) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    if (u == v) continue;
+    eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(horizon)));
+    ++added;
+  }
+  return eg;
+}
+
+TEST(FaultPlanTest, DegradedTraceMatchesContactFilter) {
+  const TemporalGraph trace = random_trace(16, 24, 150, 3);
+  FaultPlan plan(21);
+  plan.set_contact_loss(0.3).add_outage({4, 0, 24}).add_blackout({1, 2, 5, 15});
+
+  const TemporalGraph degraded = plan.degraded(trace);
+  EXPECT_EQ(degraded.vertex_count(), trace.vertex_count());
+  EXPECT_EQ(degraded.horizon(), trace.horizon());
+
+  // Exactly the working contacts survive (incl. endpoint-up checks).
+  std::size_t works = 0;
+  for (const Contact& c : trace.contacts()) {
+    const bool kept = plan.link_up(c.u, c.v, c.t) &&
+                      !plan.transmission_lost(c.u, c.v, c.t);
+    if (kept) ++works;
+    EXPECT_EQ(degraded.has_contact(c.u, c.v, c.t), kept)
+        << c.u << "-" << c.v << "@" << c.t;
+  }
+  EXPECT_EQ(degraded.contacts().size(), works);
+  EXPECT_LT(works, trace.contacts().size());  // the plan actually bites
+  EXPECT_GT(works, 0u);
+
+  // The CSR path and a second evaluation both agree bit-for-bit.
+  EXPECT_EQ(degraded, plan.degraded(TemporalCsr(trace)));
+  EXPECT_EQ(degraded, plan.degraded(trace));
+
+  // A no-fault plan degrades nothing.
+  EXPECT_EQ(FaultPlan(21).degraded(trace), trace);
+}
+
+// ------------------------------------------------------- routing faults
+
+/// Contacts between 0 and 1 at every unit of [0, horizon).
+TemporalGraph pair_trace(TimeUnit horizon) {
+  TemporalGraph eg(2, horizon);
+  for (TimeUnit t = 0; t < horizon; ++t) eg.add_contact(0, 1, t);
+  return eg;
+}
+
+TEST(FaultRoutingTest, CertainLossBurnsOneTransmissionPerContact) {
+  const TemporalGraph trace = pair_trace(10);
+  FaultPlan plan(1);
+  plan.set_contact_loss(1.0);
+  SimulationFaults faults;
+  faults.plan = &plan;
+  const RoutingOutcome out =
+      simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.transmissions, 10u);  // one failed attempt per unit
+}
+
+TEST(FaultRoutingTest, MaxAttemptsBoundsTheBurn) {
+  const TemporalGraph trace = pair_trace(10);
+  FaultPlan plan(1);
+  plan.set_contact_loss(1.0);
+  SimulationFaults faults;
+  faults.plan = &plan;
+  faults.retry.max_attempts = 2;
+  const RoutingOutcome out =
+      simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.transmissions, 2u);  // then the pair gives up for good
+}
+
+TEST(FaultRoutingTest, ExponentialBackoffSpacesAttempts) {
+  const TemporalGraph trace = pair_trace(10);
+  FaultPlan plan(1);
+  plan.set_contact_loss(1.0);
+  SimulationFaults faults;
+  faults.plan = &plan;
+  faults.retry.backoff_base = 2;
+  faults.retry.backoff_factor = 2;
+  const RoutingOutcome out =
+      simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_FALSE(out.delivered);
+  // Attempts at t = 0, 2, 6; the next would be t = 14, past the horizon.
+  EXPECT_EQ(out.transmissions, 3u);
+}
+
+TEST(FaultRoutingTest, RetryDeliversOnceTheDrawSpares) {
+  // Find a seed whose loss draw fails (0,1) at t=0 but spares t=1.
+  std::uint64_t seed = 0;
+  for (;; ++seed) {
+    FaultPlan probe(seed);
+    probe.set_contact_loss(0.5);
+    if (probe.transmission_lost(0, 1, 0) &&
+        !probe.transmission_lost(0, 1, 1)) {
+      break;
+    }
+  }
+  FaultPlan plan(seed);
+  plan.set_contact_loss(0.5);
+  SimulationFaults faults;
+  faults.plan = &plan;
+  const RoutingOutcome out =
+      simulate_routing(pair_trace(10), 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.delivery_time, 1u);   // first attempt burned, retry lands
+  EXPECT_EQ(out.transmissions, 2u);
+}
+
+TEST(FaultRoutingTest, ScheduleFaultsSuppressWithoutRadioCost) {
+  const TemporalGraph trace = pair_trace(10);
+  SimulationFaults faults;
+
+  FaultPlan blackout;
+  blackout.add_blackout({kInvalidVertex, kInvalidVertex, 0, 10});
+  faults.plan = &blackout;
+  RoutingOutcome out =
+      simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.transmissions, 0u);  // the contacts never happened
+
+  FaultPlan outage;
+  outage.add_outage({1, 0, 10});
+  faults.plan = &outage;
+  out = simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.transmissions, 0u);
+
+  // A window leaves the remaining contacts usable.
+  FaultPlan window;
+  window.add_blackout({0, 1, 0, 4});
+  faults.plan = &window;
+  out = simulate_routing(trace, 0, 1, 0, direct_strategy(), 1, faults);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(out.delivery_time, 4u);
+  EXPECT_EQ(out.transmissions, 1u);
+}
+
+void expect_same_outcome(const RoutingOutcome& a, const RoutingOutcome& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.delivery_time, b.delivery_time) << what;
+  EXPECT_EQ(a.hops, b.hops) << what;
+  EXPECT_EQ(a.copies, b.copies) << what;
+  EXPECT_EQ(a.transmissions, b.transmissions) << what;
+}
+
+TEST(FaultRoutingTest, EmptyPlanMatchesNoPlan) {
+  const TemporalGraph trace = random_trace(12, 30, 120, 9);
+  const FaultPlan empty;
+  SimulationFaults with_plan;
+  with_plan.plan = &empty;
+  const RoutingOutcome a =
+      simulate_routing(trace, 0, 11, 0, epidemic_strategy(), 0, {});
+  const RoutingOutcome b =
+      simulate_routing(trace, 0, 11, 0, epidemic_strategy(), 0, with_plan);
+  expect_same_outcome(a, b, "empty plan");
+  EXPECT_TRUE(a.delivered);
+}
+
+TEST(FaultRoutingTest, TrialsBitIdenticalAcrossThreadCounts) {
+  const TemporalGraph trace = random_trace(24, 40, 400, 13);
+  FaultPlan plan(77);
+  plan.set_contact_loss(0.6)
+      .add_outage({5, 10, 20})
+      .add_blackout({2, 3, 0, 15});
+  SimulationFaults faults;
+  faults.plan = &plan;
+  faults.ttl = 12;
+  faults.retry.max_attempts = 3;
+  faults.retry.backoff_base = 1;
+  const std::size_t trials = 48;
+
+  const RoutingTrialStats base = simulate_routing_trials(
+      trace, 0, 23, 0, epidemic_strategy(), 0, faults, trials, 1);
+  EXPECT_GT(base.delivered, 0u);
+  EXPECT_LT(base.delivered, trials);  // the plan actually bites
+  for (const std::size_t threads : {2u, 8u}) {
+    const RoutingTrialStats other = simulate_routing_trials(
+        trace, 0, 23, 0, epidemic_strategy(), 0, faults, trials, threads);
+    ASSERT_EQ(other.outcomes.size(), base.outcomes.size());
+    for (std::size_t i = 0; i < trials; ++i) {
+      expect_same_outcome(base.outcomes[i], other.outcomes[i],
+                          "trial " + std::to_string(i) + " threads " +
+                              std::to_string(threads));
+    }
+    EXPECT_EQ(other.delivered, base.delivered);
+    EXPECT_EQ(other.delivery_ratio, base.delivery_ratio);
+    EXPECT_EQ(other.mean_delivery_time, base.mean_delivery_time);
+    EXPECT_EQ(other.mean_transmissions, base.mean_transmissions);
+  }
+}
+
+TEST(FaultRoutingTest, DeliveryRatioDegradesWithLoss) {
+  const TemporalGraph trace = random_trace(20, 30, 250, 29);
+  double previous = 1.1;
+  for (const double loss : {0.0, 0.5, 0.95}) {
+    FaultPlan plan(4);
+    plan.set_contact_loss(loss);
+    SimulationFaults faults;
+    faults.plan = &plan;
+    faults.ttl = 12;
+    const RoutingTrialStats stats = simulate_routing_trials(
+        trace, 0, 19, 0, spray_and_wait_strategy(), 4, faults, 64);
+    EXPECT_LE(stats.delivery_ratio, previous + 1e-12) << "loss=" << loss;
+    previous = stats.delivery_ratio;
+  }
+}
+
+// ----------------------------------------------------------- checkpoint
+
+std::vector<Event> churn_stream(std::size_t n, std::size_t count, Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(count);
+  while (events.size() < count) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    const double dice = rng.uniform01();
+    if (dice < 0.35) {
+      events.push_back(Event::edge_insert(u, v));
+    } else if (dice < 0.6) {
+      events.push_back(Event::edge_delete(u, v));
+    } else if (dice < 0.75) {
+      events.push_back(Event::contact_add(
+          u, v, static_cast<TimeUnit>(rng.index(16))));
+    } else if (dice < 0.88) {
+      events.push_back(Event::node_leave(u));
+    } else {
+      events.push_back(Event::node_join(u));  // revival attempt
+    }
+  }
+  return events;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEngineState) {
+  Rng rng(31);
+  const Graph seed = erdos_renyi(32, 0.15, rng);
+  StreamEngine engine{DynamicGraph(seed)};
+  for (const Event& e : churn_stream(32, 300, rng)) engine.apply(e);
+  ASSERT_GT(engine.accepted(), 0u);
+  ASSERT_GT(engine.rejected(), 0u);  // the mix provokes rejections
+
+  std::stringstream buffer;
+  write_checkpoint(buffer, engine);
+  const CheckpointResult restored = read_checkpoint(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.error << " at line " << restored.line;
+
+  const DynamicGraph& a = engine.graph();
+  const DynamicGraph& b = restored.engine->graph();
+  EXPECT_EQ(a.log(), b.log());
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(a.vertex_count(), b.vertex_count());
+  EXPECT_EQ(a.alive_count(), b.alive_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.materialize(), b.materialize());
+  // Epoch-0 state survives too (snapshots reach back before the crash).
+  EXPECT_EQ(a.snapshot_at(0).materialize(), b.snapshot_at(0).materialize());
+  EXPECT_EQ(restored.engine->accepted(), engine.accepted());
+  EXPECT_EQ(restored.engine->rejected(), engine.rejected());
+  EXPECT_EQ(restored.engine->reject_counts(), engine.reject_counts());
+}
+
+TEST(CheckpointTest, RoundTripEmptyEngine) {
+  StreamEngine engine{DynamicGraph(std::size_t{0})};
+  std::stringstream buffer;
+  write_checkpoint(buffer, engine);
+  const CheckpointResult restored = read_checkpoint(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.error;
+  EXPECT_EQ(restored.engine->graph().vertex_count(), 0u);
+  EXPECT_EQ(restored.engine->graph().epoch(), 0u);
+}
+
+TEST(CheckpointTest, RejectsMalformedInput) {
+  const struct {
+    const char* name;
+    const char* text;
+    std::size_t line;
+    const char* error_contains;
+  } cases[] = {
+      {"empty", "", 1, "missing magic"},
+      {"bad magic", "structnet-checkpoint 9\n", 1, "bad magic"},
+      {"short header", "structnet-checkpoint 1\n3 1\n", 2, "header"},
+      {"junk header", "structnet-checkpoint 1\n3 x 0 0 0\n", 2,
+       "invalid number"},
+      {"missing counts", "structnet-checkpoint 1\n3 0 0 0 0\n", 3,
+       "reject-count"},
+      {"short counts", "structnet-checkpoint 1\n3 0 0 0 0\n0 0 0\n", 3,
+       "reject counts"},
+      {"truncated edges",
+       "structnet-checkpoint 1\n3 2 0 0 0\n0 0 0 0 0 0 0\n0 1\n", 5,
+       "truncated"},
+      {"edge out of range",
+       "structnet-checkpoint 1\n3 1 0 0 0\n0 0 0 0 0 0 0\n0 9\n", 4,
+       "out of range"},
+      {"self-loop edge",
+       "structnet-checkpoint 1\n3 1 0 0 0\n0 0 0 0 0 0 0\n1 1\n", 4,
+       "self loop"},
+      {"duplicate edge",
+       "structnet-checkpoint 1\n3 2 0 0 0\n0 0 0 0 0 0 0\n0 1\n1 0\n", 5,
+       "duplicate"},
+      {"truncated events",
+       "structnet-checkpoint 1\n3 0 2 2 0\n0 0 0 0 0 0 0\n0 0 1 0 0\n", 5,
+       "truncated"},
+      {"unknown event kind",
+       "structnet-checkpoint 1\n3 0 1 1 0\n0 0 0 0 0 0 0\n9 0 1 0 0\n", 4,
+       "unknown kind"},
+      // An EdgeDelete of a missing edge can never sit in an accepted log.
+      {"inconsistent log",
+       "structnet-checkpoint 1\n3 0 1 1 0\n0 0 0 0 0 0 0\n1 0 1 0 0\n", 4,
+       "replay rejected"},
+  };
+  for (const auto& c : cases) {
+    std::stringstream in(c.text);
+    const CheckpointResult result = read_checkpoint(in);
+    EXPECT_FALSE(result.ok()) << c.name;
+    EXPECT_EQ(result.line, c.line) << c.name << ": " << result.error;
+    EXPECT_NE(result.error.find(c.error_contains), std::string::npos)
+        << c.name << ": got '" << result.error << "'";
+  }
+}
+
+// ------------------------------------------------------- crash recovery
+
+TEST(CrashRecoveryTest, HundredRandomizedChurnStreams) {
+  const std::size_t n = 24;
+  const std::size_t stream_length = 160;
+  for (std::uint64_t run = 0; run < 100; ++run) {
+    Rng rng(derive_seed(1234, run));
+    const auto events = churn_stream(n, stream_length, rng);
+    const std::size_t kill_at = rng.index(stream_length + 1);
+    const RecoveryOutcome out =
+        run_crash_recovery(n, events, kill_at, derive_seed(99, run));
+    EXPECT_TRUE(out.graph_match) << "run " << run << " kill " << kill_at;
+    EXPECT_TRUE(out.counters_match) << "run " << run << " kill " << kill_at;
+    EXPECT_TRUE(out.cores_match) << "run " << run << " kill " << kill_at;
+    EXPECT_TRUE(out.mis_match) << "run " << run << " kill " << kill_at;
+  }
+}
+
+TEST(CrashRecoveryTest, SurvivesEdgeKillPoints) {
+  Rng rng(7);
+  const auto events = churn_stream(16, 80, rng);
+  for (const std::size_t kill_at : {std::size_t{0}, events.size()}) {
+    const RecoveryOutcome out = run_crash_recovery(16, events, kill_at);
+    EXPECT_TRUE(out.ok()) << "kill_at " << kill_at;
+    EXPECT_EQ(out.kill_at, kill_at);
+  }
+}
+
+// ---------------------------------------------------------- percolation
+
+TEST(PercolationTest, CurveShapeAndEndpoints) {
+  Rng rng(3);
+  const Graph g = erdos_renyi(120, 0.06, rng);
+  const PercolationCurve curve =
+      percolation_curve(g, RemovalOrder::kRandom, /*seed=*/8, /*samples=*/12);
+  ASSERT_GE(curve.removed.size(), 2u);
+  ASSERT_EQ(curve.removed.size(), curve.largest_component.size());
+  ASSERT_EQ(curve.removed.size(), curve.nsf_survivors.size());
+  ASSERT_EQ(curve.removed.size(), curve.fraction_removed.size());
+  EXPECT_EQ(curve.removed.front(), 0u);
+  EXPECT_EQ(curve.removed.back(), g.vertex_count());
+  EXPECT_EQ(curve.fraction_removed.back(), 1.0);
+  EXPECT_GT(curve.largest_component.front(), 0u);
+  EXPECT_EQ(curve.largest_component.back(), 0u);  // nobody left
+  EXPECT_EQ(curve.nsf_survivors.back(), 0u);
+  // Removing vertices can only shrink the largest component.
+  for (std::size_t i = 1; i < curve.largest_component.size(); ++i) {
+    EXPECT_LE(curve.largest_component[i], curve.largest_component[i - 1]);
+  }
+}
+
+TEST(PercolationTest, TargetedRemovalBeatsRandom) {
+  Rng rng(19);
+  const auto seq = power_law_degree_sequence(300, 2.5, 2, 40, rng);
+  const Graph g = configuration_model(seq, rng);
+
+  const PercolationCurve random =
+      percolation_curve(g, RemovalOrder::kRandom, 5, 15);
+  const PercolationCurve degree =
+      percolation_curve(g, RemovalOrder::kDegree, 5, 15);
+  const PercolationCurve core = percolation_curve(g, RemovalOrder::kCore, 5, 15);
+  ASSERT_EQ(degree.removed, random.removed);  // same sampling grid
+  ASSERT_EQ(core.removed, random.removed);
+
+  // Hub-targeted attacks dissolve the giant component at least as fast
+  // as random failures at every sampled removal count (area test on a
+  // scale-free substrate, the paper's robustness contrast).
+  std::size_t random_area = 0, degree_area = 0, core_area = 0;
+  for (std::size_t i = 0; i < random.removed.size(); ++i) {
+    random_area += random.largest_component[i];
+    degree_area += degree.largest_component[i];
+    core_area += core.largest_component[i];
+  }
+  EXPECT_LT(degree_area, random_area);
+  EXPECT_LT(core_area, random_area);
+
+  EXPECT_EQ(to_string(RemovalOrder::kRandom), "random");
+  EXPECT_EQ(to_string(RemovalOrder::kDegree), "degree");
+  EXPECT_EQ(to_string(RemovalOrder::kCore), "core");
+}
+
+TEST(PercolationTest, RandomOrderIsSeedDeterministic) {
+  Rng rng(23);
+  const Graph g = erdos_renyi(80, 0.08, rng);
+  const PercolationCurve a = percolation_curve(g, RemovalOrder::kRandom, 42, 10);
+  const PercolationCurve b = percolation_curve(g, RemovalOrder::kRandom, 42, 10);
+  EXPECT_EQ(a.largest_component, b.largest_component);
+  EXPECT_EQ(a.nsf_survivors, b.nsf_survivors);
+  const PercolationCurve c = percolation_curve(g, RemovalOrder::kRandom, 43, 10);
+  EXPECT_NE(a.largest_component, c.largest_component);  // seed matters
+}
+
+}  // namespace
+}  // namespace structnet

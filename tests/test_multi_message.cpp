@@ -40,6 +40,45 @@ TEST(TraceIo, RejectsMalformed) {
   EXPECT_FALSE(read_contact_trace(bad4).has_value());
 }
 
+// The line-oriented parser pinpoints malformed input: 1-based line
+// number plus a reason (the optional-returning shim above stays).
+TEST(TraceIo, ParseResultReportsLineAndReason) {
+  const struct {
+    const char* name;
+    const char* text;
+    std::size_t line;
+    const char* error_contains;
+  } cases[] = {
+      {"empty", "", 1, "missing header"},
+      {"short header", "3 5\n", 1, "header"},
+      {"junk header", "3 x 1\n", 1, "invalid number"},
+      {"header overflow", "3 99999999999 1\n0 1 2\n", 1, "horizon"},
+      {"trailing field", "3 5 1 9\n0 1 2\n", 1, "trailing data"},
+      {"vertex out of range", "3 5 1\n0 9 2\n", 2, "vertex out of range"},
+      {"self contact", "3 5 1\n1 1 2\n", 2, "self contact"},
+      {"time beyond horizon", "3 5 1\n0 1 7\n", 2, "time beyond horizon"},
+      {"truncated", "3 5 2\n0 1 2\n", 3, "truncated"},
+      {"junk contact", "3 5 1\n0 1 x\n", 2, "invalid number"},
+  };
+  for (const auto& c : cases) {
+    std::stringstream in(c.text);
+    const TraceParseResult result = parse_contact_trace(in);
+    EXPECT_FALSE(result.ok()) << c.name;
+    EXPECT_EQ(result.line, c.line) << c.name << ": " << result.error;
+    EXPECT_NE(result.error.find(c.error_contains), std::string::npos)
+        << c.name << ": got '" << result.error << "'";
+  }
+
+  // Success path: blank lines tolerated, (line, error) reset.
+  std::stringstream good("3 5 2\n\n0 1 2\n0 2 4\n");
+  const TraceParseResult result = parse_contact_trace(good);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.line, 0u);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_TRUE(result.graph->has_contact(0, 1, 2));
+  EXPECT_TRUE(result.graph->has_contact(0, 2, 4));
+}
+
 TemporalGraph chain_trace() {
   TemporalGraph eg(4, 12);
   eg.add_contact(0, 1, 1);

@@ -373,5 +373,46 @@ TEST(MisObserverTest, JoinLeaveReviveKeepsInvariant) {
   EXPECT_EQ(mis.mis().vertex_count(), 21u);
 }
 
+// Per-reason rejection taxonomy: every reject is counted under exactly
+// one RejectReason and the counts reconcile with rejected().
+TEST(StreamEngineTest, CountsRejectionsPerReason) {
+  StreamEngine engine{DynamicGraph(std::size_t{3})};
+  const auto count = [&](RejectReason why) { return engine.rejected(why); };
+
+  ASSERT_TRUE(engine.apply(Event::edge_insert(0, 1)));
+  EXPECT_FALSE(engine.apply(Event::edge_insert(0, 1)));  // duplicate
+  EXPECT_FALSE(engine.apply(Event::edge_insert(2, 2)));  // self loop
+  EXPECT_FALSE(engine.apply(Event::edge_insert(0, 9)));  // unknown id
+  EXPECT_FALSE(engine.apply(Event::edge_delete(1, 2)));  // missing edge
+  ASSERT_TRUE(engine.apply(Event::node_leave(2)));
+  EXPECT_FALSE(engine.apply(Event::edge_insert(0, 2)));  // dead endpoint
+  EXPECT_FALSE(engine.apply(Event::contact_add(2, 0, 5)));  // dead too
+  EXPECT_FALSE(engine.apply(Event::node_leave(2)));      // already dead
+  EXPECT_FALSE(engine.apply(Event::node_join(0)));       // already alive
+  EXPECT_FALSE(engine.apply(Event::node_join(7)));       // gap beyond fresh
+
+  EXPECT_EQ(count(RejectReason::kDuplicateEdge), 1u);
+  EXPECT_EQ(count(RejectReason::kSelfLoop), 1u);
+  EXPECT_EQ(count(RejectReason::kUnknownVertex), 2u);
+  EXPECT_EQ(count(RejectReason::kMissingEdge), 1u);
+  EXPECT_EQ(count(RejectReason::kDeadVertex), 3u);
+  EXPECT_EQ(count(RejectReason::kAlreadyAlive), 1u);
+  EXPECT_EQ(count(RejectReason::kNone), 0u);  // accepted events never count
+
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : engine.reject_counts()) sum += c;
+  EXPECT_EQ(sum, engine.rejected());
+  EXPECT_EQ(engine.rejected(), 9u);
+  EXPECT_EQ(engine.accepted(), 2u);
+
+  EXPECT_EQ(to_string(RejectReason::kNone), "none");
+  EXPECT_EQ(to_string(RejectReason::kUnknownVertex), "unknown_vertex");
+  EXPECT_EQ(to_string(RejectReason::kDeadVertex), "dead_vertex");
+  EXPECT_EQ(to_string(RejectReason::kSelfLoop), "self_loop");
+  EXPECT_EQ(to_string(RejectReason::kDuplicateEdge), "duplicate_edge");
+  EXPECT_EQ(to_string(RejectReason::kMissingEdge), "missing_edge");
+  EXPECT_EQ(to_string(RejectReason::kAlreadyAlive), "already_alive");
+}
+
 }  // namespace
 }  // namespace structnet
