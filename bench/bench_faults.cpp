@@ -80,6 +80,7 @@ bool crash_recovery_gate(std::size_t runs) {
   BenchJson("fault_crash_recovery")
       .field("runs", std::uint64_t(runs))
       .field("passed", std::uint64_t(passed))
+      .threads(1)
       .emit();
   std::cout << "crash-recovery gate: " << passed << "/" << runs
             << " randomized streams recovered exactly\n";
@@ -142,6 +143,7 @@ void delivery_vs_loss_table(bool smoke) {
           .field("delivery_ratio", stats.delivery_ratio)
           .field("median_delay", med)
           .field("mean_transmissions", stats.mean_transmissions)
+          .threads()
           .emit();
     }
   }
@@ -177,6 +179,7 @@ void percolation_table(bool smoke) {
             .field("largest_component",
                    std::uint64_t(curve.largest_component[i]))
             .field("nsf_survivors", std::uint64_t(curve.nsf_survivors[i]))
+            .threads(1)
             .emit();
       }
     });
@@ -184,6 +187,7 @@ void percolation_table(bool smoke) {
         .field("order", to_string(order))
         .field("n", std::uint64_t(n))
         .field("ns_per_op", ns)
+        .threads(1)
         .emit();
   }
   t.print(std::cout,
@@ -232,6 +236,7 @@ void checkpoint_throughput_table(bool smoke) {
       .field("bytes", std::uint64_t(payload.size()))
       .field("write_events_per_sec", logged * 1e9 / write_ns)
       .field("restore_events_per_sec", logged * 1e9 / restore_ns)
+      .threads(1)
       .emit();
 }
 

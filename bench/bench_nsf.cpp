@@ -141,7 +141,7 @@ void json_lines() {
     for (const std::size_t threads : {std::size_t{1}, hardware_threads()}) {
       BenchJson("nsf_report")
           .field("n", std::uint64_t(n))
-          .field("threads", std::uint64_t(threads))
+          .threads(threads)
           .field("ns_per_op", time_ns_per_op(3, [&](std::size_t) {
                    benchmark::DoNotOptimize(nsf_report(g, 0.5, 0.15, threads));
                  }))

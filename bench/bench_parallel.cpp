@@ -69,7 +69,7 @@ void sweep(const std::string& name, std::uint64_t n, Table& table, Run&& run,
                    identical ? "yes" : "NO"});
     BenchJson(name)
         .field("n", n)
-        .field("threads", std::uint64_t(threads))
+        .threads(threads)
         .field("ns_per_op", ns)
         .field("speedup_vs_serial", speedup)
         .field("identical_to_serial", std::uint64_t(identical))

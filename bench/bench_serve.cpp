@@ -1,0 +1,232 @@
+// Query-serving benchmark: the broker's three levers measured head-on.
+//
+//   * cache on/off — ns per query for same-epoch repeats; the epoch-keyed
+//     result cache must be >= 10x faster than uncached re-execution.
+//   * throughput vs offered load — queries/sec through submit+flush at
+//     increasing batch sizes, serial and default-parallel.
+//   * shed rate vs queue bound — fraction of a fixed burst shed by
+//     admission control as max_queue shrinks (backpressure, not blocking).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/broker.hpp"
+#include "serve/query.hpp"
+#include "stream/engine.hpp"
+#include "stream/observers.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+constexpr std::size_t kNodes = 256;
+constexpr TimeUnit kHorizon = 64;
+
+/// Engine + temporal view filled with a random contact workload.
+struct ServeFixture {
+  StreamEngine engine;
+  TemporalViewObserver view{kNodes, kHorizon};
+
+  explicit ServeFixture(std::uint64_t seed = 17)
+      : engine{DynamicGraph(kNodes)} {
+    engine.attach(&view);
+    Rng rng(seed);
+    std::vector<Event> events;
+    for (std::size_t i = 0; i < 6'000; ++i) {
+      const auto u = static_cast<VertexId>(rng.index(kNodes));
+      const auto v = static_cast<VertexId>(rng.index(kNodes));
+      if (rng.uniform01() < 0.25) {
+        events.push_back(Event::edge_insert(u, v));
+      } else {
+        events.push_back(Event::contact_add(
+            u, v, static_cast<TimeUnit>(rng.index(kHorizon))));
+      }
+    }
+    engine.apply_batch(events);
+  }
+};
+
+/// Submits `queries` and flushes until every future resolves; returns
+/// ns per query.
+double drive(QueryBroker& broker, const std::vector<Query>& queries) {
+  return time_ns_per_op(1, [&](std::size_t) {
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(queries.size());
+    for (const Query& q : queries) futures.push_back(broker.submit(q));
+    while (broker.queue_depth() > 0) broker.flush();
+    for (auto& f : futures) f.get();
+  }) / static_cast<double>(queries.size());
+}
+
+std::vector<Query> distinct_temporal_queries(std::size_t count) {
+  std::vector<Query> qs;
+  qs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    qs.emplace_back(TemporalDistancesQuery{
+        static_cast<VertexId>(i % kNodes),
+        static_cast<TimeUnit>((i / kNodes) % kHorizon)});
+  }
+  return qs;
+}
+
+void cache_speedup_table() {
+  ServeFixture fx;
+  Table t({"queries", "uncached_ns_per_q", "cached_ns_per_q", "speedup"});
+  for (const std::size_t count : {std::size_t{64}, std::size_t{256}}) {
+    const std::vector<Query> queries = distinct_temporal_queries(count);
+
+    BrokerConfig off;
+    off.threads = 1;
+    off.cache_bytes = 0;  // every repeat re-executes
+    QueryBroker uncached(fx.engine, &fx.view, off);
+    (void)drive(uncached, queries);  // warm the shared contact index
+    const double cold_ns = drive(uncached, queries);
+
+    BrokerConfig on;
+    on.threads = 1;
+    QueryBroker cached(fx.engine, &fx.view, on);
+    (void)drive(cached, queries);  // first pass fills the cache
+    const double hit_ns = drive(cached, queries);  // same epoch: all hits
+
+    const double speedup = hit_ns > 0.0 ? cold_ns / hit_ns : 0.0;
+    t.add_row({std::to_string(count), std::to_string(cold_ns),
+               std::to_string(hit_ns), std::to_string(speedup)});
+    BenchJson("serve_cache_speedup")
+        .field("n", std::uint64_t(count))
+        .field("uncached_ns_per_query", cold_ns)
+        .field("cached_ns_per_query", hit_ns)
+        .field("speedup", speedup)
+        .threads(1)
+        .emit();
+  }
+  t.print(std::cout, "result cache: same-epoch repeats, on vs off");
+}
+
+void throughput_table() {
+  Table t({"offered", "threads", "ns_per_query", "queries_per_sec"});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    ServeFixture fx;
+    BrokerConfig cfg;
+    cfg.threads = threads;
+    cfg.cache_bytes = 0;  // measure execution, not hits
+    cfg.max_queue = 8192;
+    QueryBroker broker(fx.engine, &fx.view, cfg);
+    for (const std::size_t offered :
+         {std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+      const std::vector<Query> queries = distinct_temporal_queries(offered);
+      (void)drive(broker, queries);  // warm up (index build, pool spin-up)
+      const double ns = drive(broker, queries);
+      const double qps = ns > 0.0 ? 1e9 / ns : 0.0;
+      t.add_row({std::to_string(offered), std::to_string(threads),
+                 std::to_string(ns), std::to_string(qps)});
+      BenchJson("serve_throughput")
+          .field("n", std::uint64_t(offered))
+          .field("ns_per_op", ns)
+          .field("queries_per_sec", qps)
+          .threads(threads)
+          .emit();
+    }
+  }
+  t.print(std::cout, "serving throughput vs offered load");
+}
+
+void shed_rate_table() {
+  constexpr std::size_t kBurst = 2048;
+  Table t({"max_queue", "offered", "shed", "shed_rate"});
+  for (const std::size_t max_queue :
+       {std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+    ServeFixture fx;
+    BrokerConfig cfg;
+    cfg.threads = 1;
+    cfg.max_queue = max_queue;
+    QueryBroker broker(fx.engine, &fx.view, cfg);
+
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(kBurst);
+    const std::vector<Query> queries = distinct_temporal_queries(kBurst);
+    for (const Query& q : queries) futures.push_back(broker.submit(q));
+    while (broker.queue_depth() > 0) broker.flush();
+    for (auto& f : futures) f.get();
+
+    const ServeStats stats = broker.stats();
+    const double rate =
+        static_cast<double>(stats.shed_queue_full) / double(kBurst);
+    t.add_row({std::to_string(max_queue), std::to_string(kBurst),
+               std::to_string(stats.shed_queue_full), std::to_string(rate)});
+    BenchJson("serve_shed_rate")
+        .field("n", std::uint64_t(max_queue))
+        .field("offered", std::uint64_t(kBurst))
+        .field("shed", stats.shed_queue_full)
+        .field("shed_rate", rate)
+        .threads(1)
+        .emit();
+  }
+  t.print(std::cout, "admission control: shed rate vs queue bound");
+}
+
+void serve_stats_smoke() {
+  // One mixed run whose ServeStats JSON line lands in the BENCH stream.
+  ServeFixture fx;
+  QueryBroker broker(fx.engine, &fx.view);
+  std::vector<std::future<QueryResult>> futures;
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (const Query& q : distinct_temporal_queries(128)) {
+      futures.push_back(broker.submit(q));
+    }
+    futures.push_back(broker.submit(CentralityQuery{}));
+    broker.flush();
+  }
+  for (auto& f : futures) f.get();
+  std::cout << broker.stats().json("serve_stats") << "\n";
+}
+
+void BM_ServeSubmitFlushTemporal(benchmark::State& state) {
+  ServeFixture fx;
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_bytes = 0;
+  QueryBroker broker(fx.engine, &fx.view, cfg);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto f = broker.submit(TemporalDistancesQuery{
+        static_cast<VertexId>(rng.index(kNodes)), 0});
+    broker.flush();
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_ServeSubmitFlushTemporal);
+
+void BM_ServeCachedHit(benchmark::State& state) {
+  ServeFixture fx;
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  QueryBroker broker(fx.engine, &fx.view, cfg);
+  auto warm = broker.submit(TemporalDistancesQuery{0, 0});
+  broker.flush();
+  (void)warm.get();
+  for (auto _ : state) {
+    auto f = broker.submit(TemporalDistancesQuery{0, 0});
+    broker.flush();
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_ServeCachedHit);
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::cache_speedup_table();
+  structnet::throughput_table();
+  structnet::shed_rate_table();
+  structnet::serve_stats_smoke();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

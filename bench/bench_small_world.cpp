@@ -37,6 +37,7 @@ void exponent_sweep() {
         .field("exponent_r", r)
         .field("avg_greedy_hops", hops)
         .field("vs_lattice_baseline", hops / baseline)
+        .threads(1)
         .emit();
   }
   t.print(std::cout,
@@ -74,6 +75,7 @@ void size_sweep() {
         .field("hops_r2", h2)
         .field("hops_r0", h0)
         .field("hops_r2_per_log2n_sq", h2 / (log2n * log2n))
+        .threads(1)
         .emit();
   }
   t.print(std::cout,
@@ -147,7 +149,7 @@ void greedy_route_timing() {
   });
   BenchJson("smallworld_greedy_route")
       .field("n", std::uint64_t(lattice.node_count()))
-      .field("threads", std::uint64_t(1))
+      .threads(1)
       .field("ns_per_route", ns)
       .emit();
 }

@@ -113,6 +113,7 @@ void incremental_vs_naive_table() {
         .field("n", std::uint64_t(n))
         .field("ns_per_op", incr_ns)
         .field("speedup_vs_naive", speedup)
+        .threads(1)
         .emit();
     bench_json_line("stream_naive_recompute", n, naive_ns);
 
@@ -121,7 +122,7 @@ void incremental_vs_naive_table() {
     for (const std::size_t threads : {std::size_t{1}, hardware_threads()}) {
       BenchJson("stream_recompute_all")
           .field("n", std::uint64_t(n))
-          .field("threads", std::uint64_t(threads))
+          .threads(threads)
           .field("ns_per_op", time_ns_per_op(3, [&](std::size_t) {
                    benchmark::DoNotOptimize(engine.recompute_all(threads));
                  }))

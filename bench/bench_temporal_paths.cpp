@@ -232,14 +232,14 @@ void csr_sweep_speedup_table() {
       .field("impl", "legacy")
       .field("n", std::uint64_t(n))
       .field("contacts", std::uint64_t(csr.contact_count()))
-      .field("threads", std::uint64_t(1))
+      .threads(1)
       .field("ns_per_sweep", legacy_ns)
       .emit();
   BenchJson("temporal_ea_sweep")
       .field("impl", "csr")
       .field("n", std::uint64_t(n))
       .field("contacts", std::uint64_t(csr.contact_count()))
-      .field("threads", std::uint64_t(1))
+      .threads(1)
       .field("ns_per_sweep", csr_ns)
       .field("speedup_vs_legacy", speedup)
       .field("results_match", match ? "yes" : "no")
@@ -287,7 +287,7 @@ void journey_kernel_speedup_table() {
     BenchJson(kernel)
         .field("n", std::uint64_t(eg.vertex_count()))
         .field("contacts", std::uint64_t(csr.contact_count()))
-        .field("threads", std::uint64_t(1))
+        .threads(1)
         .field("legacy_ns_per_query", legacy_ns)
         .field("csr_ns_per_query", csr_ns)
         .field("speedup_vs_legacy", speedup)

@@ -4,111 +4,83 @@
 // machine-readable JSON lines so BENCH_*.json trajectories can be
 // captured by simply grepping stdout for lines starting with '{'. The
 // canonical record is {"bench": <name>, "n": <size>, "ns_per_op": <ns>}
-// plus any extra fields a bench wants to attach.
+// plus any extra fields a bench wants to attach; records that exercise
+// the parallel layer also carry a "threads" field (stamped uniformly
+// via BenchJson::threads so trajectories never guess the concurrency a
+// number was measured at).
 #pragma once
 
 #include <chrono>
-#include <cmath>
 #include <cstdint>
-#include <cstdio>
+#include <cstdlib>
 #include <iostream>
-#include <sstream>
-#include <string>
 #include <string_view>
-#include <utility>
+#include <thread>
+
+#include "util/json_line.hpp"
 
 namespace structnet {
+
+/// Default value of the "threads" BENCH JSON field: STRUCTNET_THREADS
+/// from the environment when set, else hardware concurrency — the same
+/// resolution rule as parallel::resolve_threads(0), duplicated here so
+/// every bench binary can stamp its lines without linking the parallel
+/// layer.
+inline std::uint64_t bench_default_threads() {
+  if (const char* env = std::getenv("STRUCTNET_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 /// Builder for one JSON benchmark line. Field order is insertion order;
 /// `bench` always comes first.
 class BenchJson {
  public:
-  explicit BenchJson(std::string_view bench) {
-    out_ << "{\"bench\": ";
-    append_string(bench);
-  }
+  explicit BenchJson(std::string_view bench) { line_.field("bench", bench); }
 
   BenchJson& field(std::string_view key, double value) {
-    append_key(key);
-    // Default stream formatting rounds to 6 significant digits and
-    // flips to scientific notation for large values (ns_per_op easily
-    // exceeds 1e6), silently corrupting BENCH_*.json trajectories. Emit
-    // fixed notation with 6 fractional digits instead; non-finite
-    // doubles have no JSON spelling, so they become null.
-    if (!std::isfinite(value)) {
-      out_ << "null";
-      return *this;
-    }
-    char buf[352];  // fixed notation of the largest double fits
-    std::snprintf(buf, sizeof(buf), "%.6f", value);
-    out_ << buf;
+    line_.field(key, value);
     return *this;
   }
   BenchJson& field(std::string_view key, std::uint64_t value) {
-    append_key(key);
-    out_ << value;
+    line_.field(key, value);
     return *this;
   }
   BenchJson& field(std::string_view key, std::string_view value) {
-    append_key(key);
-    append_string(value);
+    line_.field(key, value);
+    return *this;
+  }
+
+  /// Stamps the uniform "threads" field: the concurrency the measurement
+  /// ran at, or (when 0) the default every kernel resolves to.
+  BenchJson& threads(std::uint64_t value = 0) {
+    line_.field("threads", value > 0 ? value : bench_default_threads());
     return *this;
   }
 
   /// Prints the record as a single line (flushed so partial runs still
   /// leave parseable output).
-  void emit(std::ostream& os = std::cout) {
-    os << out_.str() << "}" << std::endl;
-  }
+  void emit(std::ostream& os = std::cout) { line_.emit(os); }
 
  private:
-  void append_key(std::string_view key) {
-    out_ << ", ";
-    append_string(key);
-    out_ << ": ";
-  }
-
-  /// JSON string literal with quote/backslash/control escaping.
-  void append_string(std::string_view s) {
-    out_ << '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"':
-          out_ << "\\\"";
-          break;
-        case '\\':
-          out_ << "\\\\";
-          break;
-        case '\n':
-          out_ << "\\n";
-          break;
-        case '\t':
-          out_ << "\\t";
-          break;
-        case '\r':
-          out_ << "\\r";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(c));
-            out_ << buf;
-          } else {
-            out_ << c;
-          }
-      }
-    }
-    out_ << '"';
-  }
-
-  std::ostringstream out_;
+  JsonLineWriter line_;
 };
 
-/// Convenience for the canonical record shape.
+/// Convenience for the canonical record shape. `threads` is the
+/// concurrency the measured operation actually used — most canonical
+/// one-kernel measurements are serial, hence the default of 1; pass 0
+/// for "whatever the parallel layer resolves to by default".
 inline void bench_json_line(std::string_view bench, std::uint64_t n,
-                            double ns_per_op) {
-  BenchJson(bench).field("n", n).field("ns_per_op", ns_per_op).emit();
+                            double ns_per_op, std::uint64_t threads = 1) {
+  BenchJson(bench)
+      .field("n", n)
+      .field("ns_per_op", ns_per_op)
+      .threads(threads)
+      .emit();
 }
 
 /// Wall-clock timing of `ops` repetitions of `fn`; returns ns per op.

@@ -20,27 +20,30 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSTRUCTNET_SANITIZE=ON >/dev/null
   cmake --build build-asan -j"$jobs"
   ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation'
+    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats'
 
-  echo "== sanitizer pass (TSan): parallel + stream tests =="
+  echo "== sanitizer pass (TSan): parallel + stream + serve tests =="
   cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|FaultRouting'
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|FaultRouting|QueryBroker|ServeChurn'
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   echo "== bench smoke (Release): every BENCH JSON line must parse =="
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j"$jobs" \
-    --target bench_temporal_paths bench_small_world bench_faults
+    --target bench_temporal_paths bench_small_world bench_faults bench_serve
   # The '^$'-style no-match filter skips the registered google-benchmark
   # loops but still runs each binary's experiment tables, which is where
   # the machine-readable JSON lines come from.
   # bench_faults doubles as the crash-recovery smoke: its --smoke mode
   # replays randomized churn streams through checkpoint/restore and
   # exits nonzero on any divergence, before emitting its BENCH JSON.
-  for b in bench_temporal_paths bench_small_world bench_faults; do
+  # bench_serve's tables double as the serving smoke: cache on/off,
+  # throughput vs load, and shed-rate sweeps all run before the JSON
+  # validation below sees their lines.
+  for b in bench_temporal_paths bench_small_world bench_faults bench_serve; do
     extra=()
     [[ "$b" == bench_faults ]] && extra=(--smoke)
     ./build-bench/bench/"$b" "${extra[@]}" \

@@ -1,0 +1,512 @@
+#include "serve/broker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "centrality/centrality.hpp"
+#include "layering/nsf.hpp"
+#include "parallel/parallel.hpp"
+
+namespace structnet {
+
+namespace {
+
+/// Backtracks the via chain of the last earliest-arrival sweep into a
+/// realized journey (same reconstruction journeys.cpp uses).
+Journey journey_from_workspace(const TemporalWorkspace& ws, VertexId source,
+                               VertexId target) {
+  Journey j;
+  VertexId cur = target;
+  while (cur != source) {
+    const JourneyHop hop = ws.via(cur);
+    assert(hop.from != kInvalidVertex);
+    j.hops.push_back(hop);
+    cur = hop.from;
+  }
+  std::reverse(j.hops.begin(), j.hops.end());
+  return j;
+}
+
+Strategy make_strategy(RoutingStrategy strategy) {
+  switch (strategy) {
+    case RoutingStrategy::kDirect:
+      return direct_strategy();
+    case RoutingStrategy::kEpidemic:
+      return epidemic_strategy();
+    case RoutingStrategy::kSprayAndWait:
+      return spray_and_wait_strategy();
+  }
+  return direct_strategy();
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return to <= from
+             ? 0
+             : static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(to -
+                                                                        from)
+                       .count());
+}
+
+}  // namespace
+
+QueryBroker::QueryBroker(StreamEngine& engine, TemporalViewObserver* temporal,
+                         BrokerConfig config)
+    : engine_(engine),
+      temporal_(temporal),
+      config_(config),
+      cache_(config.cache_bytes) {
+  engine_.attach(this);
+}
+
+QueryBroker::~QueryBroker() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stopping_ = true;  // new submissions shed with kShutdown from here on
+  }
+  stop();  // drains the queue when the dispatcher was running
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    leftovers.swap(queue_);
+  }
+  for (Pending& p : leftovers) {
+    QueryResult result;
+    result.status = QueryStatus::kRejected;
+    result.cause = RejectCause::kShutdown;
+    p.promise.set_value(std::move(result));
+  }
+  if (!leftovers.empty()) {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    stats_.rejected_shutdown += leftovers.size();
+  }
+  engine_.detach(this);
+}
+
+std::future<QueryResult> QueryBroker::submit(Query query,
+                                             SubmitOptions options) {
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  const Clock::time_point now = Clock::now();
+
+  RejectCause shed = RejectCause::kNone;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) {
+      shed = RejectCause::kShutdown;
+    } else if (queue_.size() >= config_.max_queue) {
+      shed = RejectCause::kQueueFull;  // backpressure: shed, never block
+    } else {
+      Pending p;
+      p.query = std::move(query);
+      p.promise = std::move(promise);
+      p.submitted = now;
+      p.has_deadline = options.deadline.count() > 0;
+      p.deadline = now + options.deadline;
+      queue_.push_back(std::move(p));
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+      queue_cv_.notify_one();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    ++stats_.submitted;
+    if (shed == RejectCause::kQueueFull) ++stats_.shed_queue_full;
+    if (shed == RejectCause::kShutdown) ++stats_.rejected_shutdown;
+    if (shed == RejectCause::kNone) ++stats_.admitted;
+  }
+  if (shed != RejectCause::kNone) {
+    QueryResult result;
+    result.status = QueryStatus::kRejected;
+    result.cause = shed;
+    promise.set_value(std::move(result));
+  }
+  return future;
+}
+
+std::optional<RejectCause> QueryBroker::validate(const Query& query) const {
+  const bool temporal = query_is_temporal(query);
+  if (temporal && temporal_ == nullptr) return RejectCause::kInvalidArgument;
+  const std::size_t n = temporal ? temporal_->view().vertex_count()
+                                 : engine_.graph().vertex_count();
+  const auto in_range = [n](VertexId v) { return v < n; };
+  bool ok = true;
+  std::visit(
+      [&](const auto& q) {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, TemporalDistancesQuery>) {
+          ok = in_range(q.source);
+        } else if constexpr (std::is_same_v<T, FastestJourneyQuery> ||
+                             std::is_same_v<T, MinHopJourneyQuery>) {
+          ok = in_range(q.source) && in_range(q.target);
+        } else if constexpr (std::is_same_v<T, NsfReportQuery>) {
+          ok = std::isfinite(q.stop_fraction) && q.stop_fraction > 0.0 &&
+               q.stop_fraction <= 1.0 && std::isfinite(q.ks_threshold) &&
+               q.ks_threshold >= 0.0;
+        } else if constexpr (std::is_same_v<T, CentralityQuery>) {
+          ok = true;
+        } else if constexpr (std::is_same_v<T, RoutingTrialsQuery>) {
+          ok = in_range(q.source) && in_range(q.destination) &&
+               std::isfinite(q.loss_probability);
+        }
+      },
+      query);
+  return ok ? std::nullopt : std::make_optional(RejectCause::kInvalidArgument);
+}
+
+QueryPayload QueryBroker::execute_payload(const Query& query,
+                                          TemporalWorkspace& ws) {
+  // Per-query kernels run serial (threads = 1): the batch is already
+  // sharded across the pool one query per shard, and serial kernels
+  // keep results trivially thread-count-invariant.
+  return std::visit(
+      [&](const auto& q) -> QueryPayload {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, TemporalDistancesQuery>) {
+          csr_earliest_arrival(*csr_, q.source, q.t_start, ws);
+          EarliestArrival ea = ws.to_earliest_arrival();
+          return QueryPayload(std::move(ea.completion));
+        } else if constexpr (std::is_same_v<T, FastestJourneyQuery>) {
+          // Mirrors fastest_journey() exactly, minus the per-call CSR
+          // build: one profile pass finds the span-minimal departure,
+          // one earliest-arrival sweep materializes a journey.
+          if (q.source == q.target) {
+            return QueryPayload(std::optional<Journey>(Journey{}));
+          }
+          const auto fd =
+              csr_fastest_departure(*csr_, q.source, q.target, q.t_start, ws);
+          if (!fd) return QueryPayload(std::optional<Journey>());
+          csr_earliest_arrival(*csr_, q.source, fd->first, ws, q.target);
+          assert(ws.arrival(q.target) != kNeverTime);
+          return QueryPayload(std::optional<Journey>(
+              journey_from_workspace(ws, q.source, q.target)));
+        } else if constexpr (std::is_same_v<T, MinHopJourneyQuery>) {
+          return QueryPayload(
+              csr_minimum_hop_journey(*csr_, q.source, q.target, q.t_start,
+                                      ws));
+        } else if constexpr (std::is_same_v<T, NsfReportQuery>) {
+          return QueryPayload(
+              nsf_report(*graph_, q.stop_fraction, q.ks_threshold, 1));
+        } else if constexpr (std::is_same_v<T, CentralityQuery>) {
+          switch (q.measure) {
+            case CentralityMeasure::kDegree:
+              return QueryPayload(degree_centrality(*graph_));
+            case CentralityMeasure::kCloseness:
+              return QueryPayload(closeness_centrality(*graph_));
+            case CentralityMeasure::kBetweenness:
+              return QueryPayload(betweenness_centrality(*graph_));
+            case CentralityMeasure::kClustering:
+              return QueryPayload(clustering_coefficients(*graph_));
+          }
+          return QueryPayload(degree_centrality(*graph_));
+        } else {  // RoutingTrialsQuery
+          SimulationFaults faults;
+          faults.ttl = q.ttl;
+          faults.loss_probability = q.loss_probability;
+          faults.loss_seed = q.loss_seed;
+          faults.plan = q.plan;
+          faults.retry = q.retry;
+          return QueryPayload(simulate_routing_trials(
+              *csr_, q.source, q.destination, q.t0, make_strategy(q.strategy),
+              q.initial_copies, faults, q.trials, 1));
+        }
+      },
+      query);
+}
+
+void QueryBroker::resolve(Pending& pending, QueryResult result,
+                          Clock::time_point now) {
+  if (result.status == QueryStatus::kOk) {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    stats_.latency[static_cast<std::size_t>(kind_of(pending.query))].add(
+        elapsed_ns(pending.submitted, now));
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+std::size_t QueryBroker::flush() {
+  std::lock_guard<std::mutex> exec_lk(exec_mu_);
+
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (batch.empty()) return 0;
+
+  const std::uint64_t epoch = engine_.graph().epoch();
+  const Clock::time_point gate_now = Clock::now();
+
+  // Phase 1 — admission gate + cache, in submission order. Queries that
+  // survive land on the execution list; in-batch duplicates of a
+  // cacheable fingerprint execute once and alias the first instance.
+  std::vector<std::size_t> exec;
+  std::vector<std::string> exec_fp;
+  std::vector<char> exec_cacheable;
+  std::unordered_map<std::string, std::size_t> first_of;  // fp -> exec index
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;  // batch, exec
+  bool need_csr = false, need_graph = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (!config_.deterministic && p.has_deadline && gate_now > p.deadline) {
+      QueryResult result;
+      result.status = QueryStatus::kTimedOut;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        ++stats_.timed_out;
+      }
+      resolve(p, std::move(result), gate_now);
+      continue;
+    }
+    if (const auto cause = validate(p.query)) {
+      QueryResult result;
+      result.status = QueryStatus::kRejected;
+      result.cause = *cause;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        ++stats_.rejected_invalid;
+      }
+      resolve(p, std::move(result), gate_now);
+      continue;
+    }
+    const bool cacheable =
+        config_.cache_bytes > 0 && query_cacheable(p.query);
+    std::string fp = cacheable ? query_fingerprint(p.query) : std::string();
+    if (cacheable) {
+      // Batch dedup first: a duplicate of an earlier miss in this batch
+      // waits for that execution instead of running (or probing the
+      // cache — the first instance already missed) again, so hit/miss
+      // counts don't depend on how submissions split into batches.
+      if (const auto it = first_of.find(fp); it != first_of.end()) {
+        aliases.emplace_back(i, it->second);
+        continue;
+      }
+      std::optional<QueryPayload> hit;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        hit = cache_.lookup(fp, epoch);
+      }
+      if (hit) {
+        QueryResult result;
+        result.status = QueryStatus::kOk;
+        result.epoch = epoch;
+        result.from_cache = true;
+        result.payload = std::move(*hit);
+        resolve(p, std::move(result), Clock::now());
+        continue;
+      }
+      first_of.emplace(fp, exec.size());
+    }
+    need_csr = need_csr || query_is_temporal(p.query);
+    need_graph = need_graph || !query_is_temporal(p.query);
+    exec.push_back(i);
+    exec_fp.push_back(std::move(fp));
+    exec_cacheable.push_back(cacheable ? 1 : 0);
+  }
+
+  // Phase 2 — batch plan: ONE contact index and ONE materialized graph
+  // per epoch, shared by every query in the batch (and reused across
+  // batches while the epoch holds still).
+  if (need_csr) {
+    if (!csr_valid_ || csr_epoch_ != epoch) {
+      csr_.emplace(temporal_->view());
+      csr_epoch_ = epoch;
+      csr_valid_ = true;
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      ++stats_.csr_builds;
+    } else {
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      ++stats_.csr_reuses;
+    }
+  }
+  if (need_graph) {
+    if (!graph_valid_ || graph_epoch_ != epoch) {
+      graph_.emplace(engine_.graph().materialize());
+      graph_epoch_ = epoch;
+      graph_valid_ = true;
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      ++stats_.graph_builds;
+    } else {
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      ++stats_.graph_reuses;
+    }
+  }
+
+  // Phase 3 — execute the misses, one query per shard. Shard boundaries
+  // are a pure function of the batch, so any thread count computes the
+  // same per-query results (see parallel/parallel.hpp).
+  std::vector<QueryPayload> payloads(exec.size());
+  if (!exec.empty()) {
+    const std::size_t slots = resolve_threads(config_.threads);
+    if (workspaces_.size() < slots) workspaces_.resize(slots);
+    parallel_for_shards(
+        0, exec.size(), /*grain=*/1, config_.threads,
+        [&](std::size_t shard, std::size_t lo, std::size_t hi,
+            std::size_t worker) {
+          (void)shard;
+          for (std::size_t i = lo; i < hi; ++i) {
+            payloads[i] =
+                execute_payload(batch[exec[i]].query, workspaces_[worker]);
+          }
+        });
+  }
+
+  // Phase 4 — cache fill + resolution, in submission order.
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    Pending& p = batch[exec[i]];
+    const Clock::time_point now = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      ++stats_.executed;
+      if (exec_cacheable[i]) cache_.insert(exec_fp[i], epoch, payloads[i]);
+    }
+    if (!config_.deterministic && p.has_deadline && now > p.deadline) {
+      // Finished past the deadline: the caller asked not to wait this
+      // long, so the (valid, now cached) payload is dropped.
+      QueryResult result;
+      result.status = QueryStatus::kTimedOut;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        ++stats_.timed_out;
+      }
+      resolve(p, std::move(result), now);
+      continue;
+    }
+    QueryResult result;
+    result.status = QueryStatus::kOk;
+    result.epoch = epoch;
+    result.payload = std::move(payloads[i]);
+    resolve(p, std::move(result), now);
+  }
+
+  // Phase 5 — resolve in-batch duplicates from the freshly filled cache
+  // (a lookup, so the hit is visible in the cache counters).
+  for (const auto& [batch_idx, exec_idx] : aliases) {
+    Pending& p = batch[batch_idx];
+    const Clock::time_point now = Clock::now();
+    std::optional<QueryPayload> hit;
+    {
+      std::lock_guard<std::mutex> lk(serve_mu_);
+      hit = cache_.lookup(exec_fp[exec_idx], epoch);
+    }
+    if (!config_.deterministic && p.has_deadline && now > p.deadline) {
+      QueryResult result;
+      result.status = QueryStatus::kTimedOut;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        ++stats_.timed_out;
+      }
+      resolve(p, std::move(result), now);
+      continue;
+    }
+    QueryResult result;
+    result.status = QueryStatus::kOk;
+    result.epoch = epoch;
+    result.from_cache = hit.has_value();
+    // A pathologically small budget can evict the entry before the
+    // duplicate reads it back; recompute serially in that case.
+    result.payload = hit ? std::move(*hit)
+                         : execute_payload(p.query, workspaces_.front());
+    resolve(p, std::move(result), now);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    ++stats_.batches;
+  }
+  return batch.size();
+}
+
+std::size_t QueryBroker::apply_events(std::span<const Event> events) {
+  std::lock_guard<std::mutex> exec_lk(exec_mu_);
+  return engine_.apply_batch(events);
+}
+
+void QueryBroker::start() {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  if (dispatching_ || stopping_) return;
+  dispatching_ = true;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void QueryBroker::stop() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    dispatching_ = false;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+bool QueryBroker::dispatching() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return dispatching_;
+}
+
+void QueryBroker::dispatch_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [&] { return !dispatching_ || !queue_.empty(); });
+      // Drain before exiting so stop() implies "all admitted queries
+      // resolved".
+      if (!dispatching_ && queue_.empty()) return;
+    }
+    flush();
+  }
+}
+
+std::size_t QueryBroker::queue_depth() const {
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  return queue_.size();
+}
+
+ServeStats QueryBroker::stats() const {
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    out = stats_;
+    const ResultCache::Stats& c = cache_.stats();
+    out.cache_hits = c.hits;
+    out.cache_misses = c.misses;
+    out.cache_evictions = c.evictions;
+    out.cache_invalidations = c.invalidations;
+    out.cache_bytes = c.bytes;
+    out.cache_entries = c.entries;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    out.queue_depth = queue_.size();
+    out.max_queue_depth = max_queue_depth_;
+  }
+  return out;
+}
+
+void QueryBroker::on_event(const DynamicGraph& g, const Event& event,
+                           const EventEffect& effect) {
+  (void)event;
+  (void)effect;
+  // The engine advanced: entries below the new epoch can never be hit
+  // again (epoch monotonicity), so release their bytes eagerly.
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  cache_.invalidate_before(g.epoch());
+}
+
+void QueryBroker::recompute(const DynamicGraph& g) {
+  // Attach-time synchronization: nothing derived to rebuild, but any
+  // stale cache entries (attach after churn) are released.
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  cache_.invalidate_before(g.epoch());
+}
+
+}  // namespace structnet

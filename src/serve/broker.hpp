@@ -1,0 +1,186 @@
+// The query-serving front-end: a QueryBroker accepts typed queries
+// against a StreamEngine-owned graph, batches them, executes batches on
+// the parallel ThreadPool, and resolves futures — with an epoch-keyed
+// result cache, admission control, and a metrics surface.
+//
+// Dataflow per flush():
+//
+//   submit() ----> bounded queue ----> [flush] deadline / validity gate
+//                                         |        (Rejected / TimedOut)
+//                                         v
+//                                   result cache (fingerprint, epoch)
+//                                     hit |   | miss
+//                                         |   v
+//                                         |  batch plan: ONE TemporalCsr
+//                                         |  + ONE materialized Graph per
+//                                         |  epoch, shared by the batch
+//                                         |   v
+//                                         |  parallel_for over queries
+//                                         v   v
+//                                     futures resolve, cache fills
+//
+// Guarantees:
+//
+//   * Admission is non-blocking: a full queue sheds the query with a
+//     typed Rejected(kQueueFull) result instead of blocking the caller,
+//     so producers can never deadlock against the executor.
+//   * Per-query deadlines are wall-clock: an expired query resolves
+//     TimedOut — checked before execution (never starts) and after
+//     (result discarded) — instead of blocking the batch.
+//   * Determinism: with config.deterministic set, a fixed submission
+//     order yields bit-identical results at ANY thread count. Batch
+//     sharding comes from the parallel layer's fixed (range, grain)
+//     split, every kernel behind a query kind is thread-count-invariant,
+//     and cached payloads are the exact bytes an execution would have
+//     produced; deterministic mode additionally disables the only
+//     wall-clock-dependent behavior (deadline shedding).
+//   * Epoch consistency: every query in a batch executes against the
+//     same epoch E (the engine's epoch at flush), and the result says
+//     so. The broker registers itself as a StreamObserver: each
+//     accepted event invalidates cache entries below the new epoch.
+//
+// Threading contract: submit() is safe from any thread. flush() /
+// apply_events() serialize on an internal executor lock; in dispatcher
+// mode (start()/stop()) graph mutations MUST go through apply_events()
+// so they cannot race a batch reading the engine.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/query.hpp"
+#include "serve/result_cache.hpp"
+#include "stream/engine.hpp"
+#include "stream/observers.hpp"
+#include "temporal/temporal_csr.hpp"
+
+namespace structnet {
+
+struct BrokerConfig {
+  /// Bounded admission queue; submissions beyond this are shed with
+  /// Rejected(kQueueFull).
+  std::size_t max_queue = 1024;
+  /// Largest batch one flush executes (the rest stays queued).
+  std::size_t max_batch = 256;
+  /// Thread count for batch execution: 0 = default resolution
+  /// (STRUCTNET_THREADS / hardware), 1 = serial.
+  std::size_t threads = 0;
+  /// Result-cache byte budget; 0 disables caching entirely.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Disables wall-clock deadline enforcement so a fixed submission
+  /// order yields bit-identical results at any thread count.
+  bool deterministic = false;
+};
+
+struct SubmitOptions {
+  /// Wall-clock budget measured from submission; zero = no deadline.
+  std::chrono::nanoseconds deadline{0};
+};
+
+class QueryBroker final : public StreamObserver {
+ public:
+  /// `temporal` is the engine observer whose TemporalGraph view serves
+  /// temporal queries (may be null: temporal queries then reject).
+  /// Neither reference is owned; both must outlive the broker. The
+  /// broker attaches itself to the engine for cache invalidation and
+  /// detaches in the destructor.
+  QueryBroker(StreamEngine& engine, TemporalViewObserver* temporal,
+              BrokerConfig config = {});
+  ~QueryBroker() override;
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  /// Enqueues a query; never blocks. The future resolves on a later
+  /// flush (or immediately when shed / shutting down).
+  std::future<QueryResult> submit(Query query, SubmitOptions options = {});
+
+  /// Executes one batch (up to config.max_batch queued queries, in
+  /// submission order) on the calling thread + pool. Returns the number
+  /// of queries resolved. Safe to call concurrently with submit();
+  /// serialized against apply_events() and the dispatcher.
+  std::size_t flush();
+
+  /// Applies graph events through the engine under the executor lock,
+  /// so updates serialize with batch execution (the required mutation
+  /// path while the dispatcher runs). Returns accepted events.
+  std::size_t apply_events(std::span<const Event> events);
+
+  /// Starts / stops the background dispatcher thread, which flushes
+  /// whenever the queue is non-empty. stop() drains the queue before
+  /// returning. Idempotent.
+  void start();
+  void stop();
+  bool dispatching() const;
+
+  std::size_t queue_depth() const;
+  const BrokerConfig& config() const { return config_; }
+
+  /// Consistent snapshot of all serving metrics (includes cache stats
+  /// and queue gauges).
+  ServeStats stats() const;
+
+  // StreamObserver: the engine's epoch/invalidation hook.
+  std::string_view name() const override { return "serve"; }
+  void on_event(const DynamicGraph& g, const Event& event,
+                const EventEffect& effect) override;
+  void recompute(const DynamicGraph& g) override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Query query;
+    std::promise<QueryResult> promise;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  // meaningful iff has_deadline
+    bool has_deadline = false;
+  };
+
+  void dispatch_loop();
+  /// Validity gate: nullopt when servable, else the reject cause.
+  std::optional<RejectCause> validate(const Query& query) const;
+  /// Executes one query against the epoch-shared snapshots.
+  QueryPayload execute_payload(const Query& query, TemporalWorkspace& ws);
+  void resolve(Pending& pending, QueryResult result, Clock::time_point now);
+
+  StreamEngine& engine_;
+  TemporalViewObserver* temporal_;
+  const BrokerConfig config_;
+
+  // -- admission queue (queue_mu_)
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::size_t max_queue_depth_ = 0;  // high-water mark
+  bool stopping_ = false;
+  bool dispatching_ = false;
+  std::thread dispatcher_;
+
+  // -- executor state: only touched under exec_mu_
+  std::mutex exec_mu_;
+  std::optional<TemporalCsr> csr_;        // shared same-epoch contact index
+  std::uint64_t csr_epoch_ = 0;
+  bool csr_valid_ = false;
+  std::optional<Graph> graph_;            // shared same-epoch static graph
+  std::uint64_t graph_epoch_ = 0;
+  bool graph_valid_ = false;
+  std::vector<TemporalWorkspace> workspaces_;  // one per worker slot
+
+  // -- metrics + cache (serve_mu_; acquired after exec_mu_ / queue_mu_,
+  //    never the other way around)
+  mutable std::mutex serve_mu_;
+  ServeStats stats_;
+  ResultCache cache_;
+};
+
+}  // namespace structnet

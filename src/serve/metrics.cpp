@@ -1,0 +1,93 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "util/json_line.hpp"
+
+namespace structnet {
+
+void LatencyHistogram::add(std::uint64_t ns) {
+  const std::size_t width = std::bit_width(ns);  // 0 for ns == 0
+  const std::size_t bucket =
+      width == 0 ? 0 : std::min<std::size_t>(width - 1, kBuckets - 1);
+  ++bucket_[bucket];
+  ++count_;
+  sum_ns_ += ns;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+std::uint64_t LatencyHistogram::quantile_upper_ns(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket_[i];
+    if (seen > rank || (seen == count_ && seen >= rank)) {
+      return std::uint64_t{1} << (i + 1);  // bucket upper edge
+    }
+  }
+  return std::uint64_t{1} << kBuckets;
+}
+
+std::string ServeStats::json(std::string_view label) const {
+  JsonLineWriter line;
+  line.field("bench", label)
+      .field("submitted", submitted)
+      .field("admitted", admitted)
+      .field("shed_queue_full", shed_queue_full)
+      .field("rejected_invalid", rejected_invalid)
+      .field("rejected_shutdown", rejected_shutdown)
+      .field("timed_out", timed_out)
+      .field("executed", executed)
+      .field("batches", batches)
+      .field("csr_builds", csr_builds)
+      .field("csr_reuses", csr_reuses)
+      .field("graph_builds", graph_builds)
+      .field("graph_reuses", graph_reuses)
+      .field("cache_hits", cache_hits)
+      .field("cache_misses", cache_misses)
+      .field("cache_evictions", cache_evictions)
+      .field("cache_invalidations", cache_invalidations)
+      .field("cache_hit_ratio", cache_hit_ratio())
+      .field("cache_bytes", std::uint64_t(cache_bytes))
+      .field("cache_entries", std::uint64_t(cache_entries))
+      .field("queue_depth", std::uint64_t(queue_depth))
+      .field("max_queue_depth", std::uint64_t(max_queue_depth));
+  for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+    const LatencyHistogram& h = latency[k];
+    if (h.count() == 0) continue;
+    const std::string prefix(to_string(static_cast<QueryKind>(k)));
+    line.field(prefix + "_count", h.count())
+        .field(prefix + "_mean_us", h.mean_ns() / 1e3)
+        .field(prefix + "_p99_us",
+               static_cast<double>(h.quantile_upper_ns(0.99)) / 1e3);
+  }
+  return line.str();
+}
+
+void ServeStats::print(std::ostream& os) const {
+  os << "serve: submitted=" << submitted << " admitted=" << admitted
+     << " executed=" << executed << " batches=" << batches
+     << " shed=" << shed_queue_full << " invalid=" << rejected_invalid
+     << " timed_out=" << timed_out << "\n"
+     << "cache: hits=" << cache_hits << " misses=" << cache_misses
+     << " hit_ratio=" << cache_hit_ratio() << " evictions=" << cache_evictions
+     << " invalidations=" << cache_invalidations << " bytes=" << cache_bytes
+     << " entries=" << cache_entries << "\n"
+     << "amortization: csr_builds=" << csr_builds
+     << " csr_reuses=" << csr_reuses << " graph_builds=" << graph_builds
+     << " graph_reuses=" << graph_reuses << "\n";
+  for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+    const LatencyHistogram& h = latency[k];
+    if (h.count() == 0) continue;
+    os << "latency[" << to_string(static_cast<QueryKind>(k))
+       << "]: count=" << h.count() << " mean_us=" << h.mean_ns() / 1e3
+       << " p99_us<=" << static_cast<double>(h.quantile_upper_ns(0.99)) / 1e3
+       << " max_us=" << static_cast<double>(h.max_ns()) / 1e3 << "\n";
+  }
+}
+
+}  // namespace structnet

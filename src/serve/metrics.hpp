@@ -1,0 +1,101 @@
+// Serving metrics: counters, gauges, and per-query-kind latency
+// histograms, printable as one machine-readable JSON line in the same
+// shape the bench binaries emit (util/json_line.hpp — grep stdout for
+// lines starting with '{').
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "serve/query.hpp"
+
+namespace structnet {
+
+/// Power-of-two latency histogram over nanoseconds: bucket i counts
+/// samples with bit_width(ns) == i + 1 (i.e. ns in [2^i, 2^(i+1))),
+/// bucket 0 also absorbing ns == 0. 40 buckets cover ~18 minutes.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void add(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+  /// Upper edge (ns) of the bucket holding quantile q in [0, 1] — an
+  /// upper bound on the true quantile; 0 when empty.
+  std::uint64_t quantile_upper_ns(double q) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return bucket_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> bucket_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// One snapshot of the broker's serving counters. Returned by value
+/// from QueryBroker::stats(), so readers never race the serving path.
+struct ServeStats {
+  // Admission.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t timed_out = 0;
+
+  // Execution.
+  std::uint64_t executed = 0;
+  std::uint64_t batches = 0;
+  /// Per-epoch snapshot amortization: index/graph builds vs reuses.
+  std::uint64_t csr_builds = 0;
+  std::uint64_t csr_reuses = 0;
+  std::uint64_t graph_builds = 0;
+  std::uint64_t graph_reuses = 0;
+
+  // Result cache.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::size_t cache_bytes = 0;
+  std::size_t cache_entries = 0;
+
+  // Queue gauges.
+  std::size_t queue_depth = 0;
+  std::size_t max_queue_depth = 0;
+
+  /// Submission-to-resolution latency per query kind (kOk and cache-hit
+  /// resolutions only; rejected/timed-out queries are counted above).
+  std::array<LatencyHistogram, kQueryKindCount> latency{};
+
+  double cache_hit_ratio() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// One JSON line: {"bench": <label>, "submitted": ..., ...} with
+  /// per-kind count / mean / p99 latency fields in microseconds — the
+  /// same record shape the bench binaries emit, so BENCH trajectories
+  /// can capture serving runs unchanged.
+  std::string json(std::string_view label = "serve_stats") const;
+
+  /// Human-readable multi-line summary.
+  void print(std::ostream& os) const;
+};
+
+}  // namespace structnet

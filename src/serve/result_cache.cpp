@@ -1,0 +1,80 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace structnet {
+
+std::string ResultCache::make_key(const std::string& fingerprint,
+                                  std::uint64_t epoch) {
+  return fingerprint + '@' + std::to_string(epoch);
+}
+
+std::optional<QueryPayload> ResultCache::lookup(const std::string& fingerprint,
+                                                std::uint64_t epoch) {
+  const auto it = index_.find(make_key(fingerprint, epoch));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Refresh recency: move the entry to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->payload;
+}
+
+void ResultCache::insert(const std::string& fingerprint, std::uint64_t epoch,
+                         const QueryPayload& payload) {
+  std::string key = make_key(fingerprint, epoch);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    stats_.bytes -= it->second->bytes;
+    it->second->payload = payload;
+    it->second->bytes = payload_bytes(payload);
+    stats_.bytes += it->second->bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    const std::size_t bytes = payload_bytes(payload);
+    lru_.push_front(Entry{key, epoch, payload, bytes});
+    index_.emplace(std::move(key), lru_.begin());
+    stats_.bytes += bytes;
+    min_epoch_ = lru_.size() == 1 ? epoch : std::min(min_epoch_, epoch);
+  }
+  ++stats_.inserts;
+  while (stats_.bytes > budget_ && !lru_.empty()) {
+    erase_entry(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::invalidate_before(std::uint64_t epoch) {
+  if (lru_.empty() || min_epoch_ >= epoch) return;
+  std::uint64_t min_left = ~std::uint64_t{0};
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->epoch < epoch) {
+      const auto doomed = it++;
+      erase_entry(doomed);
+      ++stats_.invalidations;
+    } else {
+      min_left = std::min(min_left, it->epoch);
+      ++it;
+    }
+  }
+  min_epoch_ = lru_.empty() ? 0 : min_left;
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::clear() {
+  lru_.clear();
+  index_.clear();
+  min_epoch_ = 0;
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+void ResultCache::erase_entry(Lru::iterator it) {
+  stats_.bytes -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace structnet

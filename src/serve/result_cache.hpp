@@ -1,0 +1,86 @@
+// Epoch-keyed LRU result cache of the serving layer.
+//
+// Key = (query fingerprint, DynamicGraph epoch). Because the epoch is
+// strictly monotone over accepted events (see DynamicGraph::epoch), a
+// key can never alias two graph states: entries stored at an older
+// epoch are simply unreachable once the engine advances. The broker's
+// stream-observer hook calls invalidate_before() on every accepted
+// event so stale entries also stop occupying the byte budget, and the
+// eviction policy (least-recently-used first) bounds resident bytes by
+// the configured budget.
+//
+// The cache is not internally synchronized; the broker guards it with
+// its own mutex (lookups/inserts happen under the serve lock).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/query.hpp"
+
+namespace structnet {
+
+class ResultCache {
+ public:
+  /// `byte_budget` bounds the estimated resident payload bytes; inserts
+  /// evict least-recently-used entries until the budget holds.
+  explicit ResultCache(std::size_t byte_budget = std::size_t{64} << 20)
+      : budget_(byte_budget) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;       // budget-driven LRU drops
+    std::uint64_t invalidations = 0;   // epoch-advance drops
+    std::size_t bytes = 0;             // current resident estimate
+    std::size_t entries = 0;
+  };
+
+  /// The payload cached for (fingerprint, epoch), refreshing its LRU
+  /// position; std::nullopt on miss. Hit/miss counters update.
+  std::optional<QueryPayload> lookup(const std::string& fingerprint,
+                                     std::uint64_t epoch);
+
+  /// Caches a payload under (fingerprint, epoch), then evicts LRU
+  /// entries until the byte budget holds (the new entry itself may be
+  /// evicted when it alone exceeds the budget). Re-inserting an
+  /// existing key refreshes its payload and LRU position.
+  void insert(const std::string& fingerprint, std::uint64_t epoch,
+              const QueryPayload& payload);
+
+  /// Drops every entry with epoch < `epoch` — the engine advanced, so
+  /// those keys can never be looked up again. O(1) when nothing is
+  /// stale.
+  void invalidate_before(std::uint64_t epoch);
+
+  void clear();
+
+  std::size_t byte_budget() const { return budget_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;  // fingerprint + '@' + epoch
+    std::uint64_t epoch = 0;
+    QueryPayload payload;
+    std::size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;  // front = most recently used
+
+  static std::string make_key(const std::string& fingerprint,
+                              std::uint64_t epoch);
+  void erase_entry(Lru::iterator it);
+
+  std::size_t budget_;
+  Lru lru_;
+  std::unordered_map<std::string, Lru::iterator> index_;
+  /// Smallest epoch present (0 when empty) — the invalidate fast path.
+  std::uint64_t min_epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace structnet

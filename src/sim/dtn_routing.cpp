@@ -206,14 +206,23 @@ RoutingTrialStats simulate_routing_trials(
     TimeUnit t0, const Strategy& strategy, std::size_t initial_copies,
     const SimulationFaults& faults, std::size_t trials,
     std::size_t threads) {
+  // Build the contact index once; every replica walks the same CSR
+  // instead of re-bucketing the trace per trial.
+  const TemporalCsr csr(trace);
+  return simulate_routing_trials(csr, source, destination, t0, strategy,
+                                 initial_copies, faults, trials, threads);
+}
+
+RoutingTrialStats simulate_routing_trials(
+    const TemporalCsr& csr, VertexId source, VertexId destination,
+    TimeUnit t0, const Strategy& strategy, std::size_t initial_copies,
+    const SimulationFaults& faults, std::size_t trials,
+    std::size_t threads) {
   RoutingTrialStats stats;
   stats.outcomes.resize(trials);
-  // Build the contact index once; every replica walks the same CSR
-  // instead of re-bucketing the trace per trial. Each trial writes only
-  // its own slot; the per-trial loss seed is a pure function of
-  // (faults.loss_seed, trial), so the schedule cannot change any
-  // replica's draw sequence.
-  const TemporalCsr csr(trace);
+  // Each trial writes only its own slot; the per-trial loss seed is a
+  // pure function of (faults.loss_seed, trial), so the schedule cannot
+  // change any replica's draw sequence.
   parallel_for(
       0, trials, /*grain=*/1,
       [&](std::size_t trial) {

@@ -136,6 +136,18 @@ RoutingTrialStats simulate_routing_trials(
     const SimulationFaults& faults, std::size_t trials,
     std::size_t threads = 0);
 
+/// Same trial sweep over a prebuilt contact index — what the serving
+/// layer uses to amortize one TemporalCsr build across every routing
+/// ensemble in a same-epoch batch (the TemporalGraph overload above
+/// builds the index once per call and delegates here). Identical
+/// results: the CSR per-unit edge order equals trace order, so every
+/// replica's contact sequence and loss-RNG draws are unchanged.
+RoutingTrialStats simulate_routing_trials(
+    const TemporalCsr& trace, VertexId source, VertexId destination,
+    TimeUnit t0, const Strategy& strategy, std::size_t initial_copies,
+    const SimulationFaults& faults, std::size_t trials,
+    std::size_t threads = 0);
+
 // ----------------------------------------------------- stock strategies
 
 /// Direct delivery (strategy constant).

@@ -163,6 +163,8 @@ EventEffect DynamicGraph::apply(const Event& event) {
 
   apply_to_state(adjacency_, alive_, logged);
   log_.push_back(logged);
+  ++epoch_;  // exactly one bump per accepted event (monotonicity guarantee)
+  assert(epoch_ == log_.size());
   effect.accepted = true;
   return effect;
 }

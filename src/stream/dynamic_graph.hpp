@@ -87,8 +87,19 @@ class DynamicGraph {
   std::size_t degree(VertexId v) const { return adjacency_[v].size(); }
   bool has_edge(VertexId u, VertexId v) const;
 
-  /// Number of accepted events so far (== current epoch).
-  std::uint64_t epoch() const { return log_.size(); }
+  /// Number of accepted events so far (== current epoch), served from a
+  /// dedicated counter so hot paths (serving-layer cache keys, observer
+  /// invalidation hooks) never touch the log container.
+  ///
+  /// Monotonicity guarantee: the epoch starts at 0, every ACCEPTED event
+  /// advances it by exactly one, and rejected events leave it (and the
+  /// graph) untouched — so epoch() is strictly monotone over accepted
+  /// events and two reads returning the same value bracket an interval
+  /// with no graph change. The serve-layer result cache relies on this:
+  /// a (query fingerprint, epoch) key can never alias two different
+  /// graph states. apply() asserts the counter stays in lock-step with
+  /// the event log.
+  std::uint64_t epoch() const { return epoch_; }
   /// The normalized log of accepted events (index = epoch at application).
   const std::vector<Event>& log() const { return log_; }
 
@@ -120,6 +131,8 @@ class DynamicGraph {
   std::size_t alive_count_ = 0;
   std::size_t edge_count_ = 0;
   std::vector<Event> log_;
+  /// == log_.size(); kept separately as the epoch() fast path.
+  std::uint64_t epoch_ = 0;
 
   /// Replay state for snapshot materialisation: the adjacency as of
   /// `epoch`, rolled forward on demand (copy-on-read).

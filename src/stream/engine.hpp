@@ -26,6 +26,11 @@ class StreamEngine {
   DynamicGraph& graph() { return graph_; }
   const DynamicGraph& graph() const { return graph_; }
 
+  /// The graph's current epoch (see DynamicGraph::epoch for the
+  /// monotonicity guarantee) — the version key the serving layer caches
+  /// results under.
+  std::uint64_t epoch() const { return graph_.epoch(); }
+
   /// Registers an observer (not owned; must outlive the engine or be
   /// detached first). The observer is synchronized to the current graph
   /// via its recompute() path on attach.

@@ -1,0 +1,575 @@
+// Query-serving layer: result-cache semantics, broker admission control
+// and per-kind correctness, and — the load-bearing guarantee — served
+// results bit-identical to fresh uncached recomputes at the same epoch,
+// at any thread count, under interleaved churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "centrality/centrality.hpp"
+#include "core/generators.hpp"
+#include "fault/fault_plan.hpp"
+#include "layering/nsf.hpp"
+#include "serve/broker.hpp"
+#include "serve/query.hpp"
+#include "serve/result_cache.hpp"
+#include "sim/dtn_routing.hpp"
+#include "stream/engine.hpp"
+#include "stream/observers.hpp"
+#include "temporal/journeys.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+QueryPayload make_payload(std::vector<TimeUnit> v) {
+  return QueryPayload(std::move(v));
+}
+
+TEST(ResultCacheTest, HitsMissesAndLruEviction) {
+  ResultCache cache(payload_bytes(make_payload({1, 2, 3})) * 2);
+
+  EXPECT_FALSE(cache.lookup("a", 1).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.insert("a", 1, make_payload({1, 2, 3}));
+  cache.insert("b", 1, make_payload({4, 5, 6}));
+  ASSERT_TRUE(cache.lookup("a", 1).has_value());
+  EXPECT_TRUE(payload_equal(*cache.lookup("a", 1), make_payload({1, 2, 3})));
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // "a" was refreshed by the lookups, so inserting "c" evicts "b".
+  cache.insert("c", 1, make_payload({7, 8, 9}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup("a", 1).has_value());
+  EXPECT_FALSE(cache.lookup("b", 1).has_value());
+  EXPECT_TRUE(cache.lookup("c", 1).has_value());
+}
+
+TEST(ResultCacheTest, EpochIsPartOfTheKey) {
+  ResultCache cache(1 << 20);
+  cache.insert("q", 3, make_payload({1}));
+  EXPECT_FALSE(cache.lookup("q", 4).has_value());
+  EXPECT_TRUE(cache.lookup("q", 3).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateBeforeDropsOnlyStaleEpochs) {
+  ResultCache cache(1 << 20);
+  cache.insert("a", 1, make_payload({1}));
+  cache.insert("b", 2, make_payload({2}));
+  cache.insert("c", 5, make_payload({3}));
+  cache.invalidate_before(5);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_FALSE(cache.lookup("a", 1).has_value());
+  EXPECT_FALSE(cache.lookup("b", 2).has_value());
+  EXPECT_TRUE(cache.lookup("c", 5).has_value());
+  // Fast path: nothing below 5 remains, so this is a no-op.
+  cache.invalidate_before(5);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(ResultCacheTest, InsertReplacesExistingKey) {
+  ResultCache cache(1 << 20);
+  cache.insert("k", 1, make_payload({1, 2}));
+  cache.insert("k", 1, make_payload({9}));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_TRUE(payload_equal(*cache.lookup("k", 1), make_payload({9})));
+}
+
+TEST(ResultCacheTest, QueryFingerprintsDistinguishKindsAndValues) {
+  const Query a = TemporalDistancesQuery{3, 7};
+  const Query b = TemporalDistancesQuery{3, 8};
+  const Query c = FastestJourneyQuery{3, 7, 0};
+  EXPECT_NE(query_fingerprint(a), query_fingerprint(b));
+  EXPECT_NE(query_fingerprint(a), query_fingerprint(c));
+  EXPECT_EQ(query_fingerprint(a),
+            query_fingerprint(Query(TemporalDistancesQuery{3, 7})));
+
+  FaultPlan plan;
+  RoutingTrialsQuery rt;
+  EXPECT_TRUE(query_cacheable(Query(rt)));
+  rt.plan = &plan;
+  EXPECT_FALSE(query_cacheable(Query(rt)));
+}
+
+// ------------------------------------------------------------- fixture
+
+/// A small engine + temporal view with deterministic churn material.
+struct ServeRig {
+  static constexpr std::size_t kNodes = 24;
+  static constexpr TimeUnit kHorizon = 16;
+
+  StreamEngine engine;
+  TemporalViewObserver view{kNodes, kHorizon};
+
+  explicit ServeRig(std::uint64_t seed = 7) : engine{DynamicGraph(kNodes)} {
+    engine.attach(&view);
+    Rng rng(seed);
+    std::vector<Event> events;
+    for (std::size_t i = 0; i < 120; ++i) {
+      const auto u = static_cast<VertexId>(rng.index(kNodes));
+      const auto v = static_cast<VertexId>(rng.index(kNodes));
+      if (rng.uniform01() < 0.5) {
+        events.push_back(Event::edge_insert(u, v));
+      } else {
+        events.push_back(Event::contact_add(
+            u, v, static_cast<TimeUnit>(rng.index(kHorizon))));
+      }
+    }
+    engine.apply_batch(events);
+  }
+};
+
+QueryResult run_one(QueryBroker& broker, Query q, SubmitOptions opt = {}) {
+  auto f = broker.submit(std::move(q), opt);
+  broker.flush();
+  return f.get();
+}
+
+TEST(QueryBrokerTest, EachKindMatchesDirectComputation) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  const TemporalGraph& tg = rig.view.view();
+  const Graph g = rig.engine.graph().materialize();
+  const std::uint64_t epoch = rig.engine.graph().epoch();
+
+  {
+    auto r = run_one(broker, TemporalDistancesQuery{2, 1});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_EQ(r.epoch, epoch);
+    EXPECT_EQ(std::get<std::vector<TimeUnit>>(r.payload),
+              earliest_arrival(tg, 2, 1).completion);
+  }
+  {
+    auto r = run_one(broker, FastestJourneyQuery{0, 5, 0});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_EQ(std::get<std::optional<Journey>>(r.payload),
+              fastest_journey(tg, 0, 5, 0));
+  }
+  {
+    auto r = run_one(broker, MinHopJourneyQuery{1, 9, 0});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_EQ(std::get<std::optional<Journey>>(r.payload),
+              minimum_hop_journey(tg, 1, 9, 0));
+  }
+  {
+    auto r = run_one(broker, NsfReportQuery{0.5, 0.15});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    const auto& served = std::get<NsfReport>(r.payload);
+    EXPECT_TRUE(payload_equal(r.payload,
+                              QueryPayload(nsf_report(g, 0.5, 0.15, 1))));
+    EXPECT_EQ(served.sizes.front(), g.vertex_count());
+  }
+  for (const auto measure :
+       {CentralityMeasure::kDegree, CentralityMeasure::kCloseness,
+        CentralityMeasure::kBetweenness, CentralityMeasure::kClustering}) {
+    auto r = run_one(broker, CentralityQuery{measure});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    std::vector<double> expect;
+    switch (measure) {
+      case CentralityMeasure::kDegree: expect = degree_centrality(g); break;
+      case CentralityMeasure::kCloseness:
+        expect = closeness_centrality(g);
+        break;
+      case CentralityMeasure::kBetweenness:
+        expect = betweenness_centrality(g);
+        break;
+      case CentralityMeasure::kClustering:
+        expect = clustering_coefficients(g);
+        break;
+    }
+    EXPECT_EQ(std::get<std::vector<double>>(r.payload), expect);
+  }
+  {
+    RoutingTrialsQuery q;
+    q.source = 0;
+    q.destination = 7;
+    q.strategy = RoutingStrategy::kEpidemic;
+    q.trials = 8;
+    q.loss_probability = 0.2;
+    q.loss_seed = 99;
+    auto r = run_one(broker, q);
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    SimulationFaults faults;
+    faults.loss_probability = 0.2;
+    faults.loss_seed = 99;
+    const RoutingTrialStats expect = simulate_routing_trials(
+        tg, 0, 7, 0, epidemic_strategy(), 1, faults, 8, 1);
+    EXPECT_TRUE(payload_equal(r.payload, QueryPayload(expect)));
+  }
+
+  const ServeStats stats = broker.stats();
+  EXPECT_EQ(stats.executed, stats.admitted);
+  EXPECT_EQ(stats.csr_builds, 1u);   // one contact index for all batches
+  EXPECT_EQ(stats.graph_builds, 1u); // one materialization likewise
+  EXPECT_GT(stats.csr_reuses + stats.graph_reuses, 0u);
+}
+
+TEST(QueryBrokerTest, CacheHitIsBitIdenticalAndFlagged) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+
+  const Query q = TemporalDistancesQuery{4, 0};
+  const auto first = run_one(broker, q);
+  const auto second = run_one(broker, q);
+  ASSERT_EQ(first.status, QueryStatus::kOk);
+  ASSERT_EQ(second.status, QueryStatus::kOk);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_TRUE(payload_equal(first.payload, second.payload));
+  EXPECT_EQ(broker.stats().cache_hits, 1u);
+}
+
+TEST(QueryBrokerTest, EngineAdvanceInvalidatesCache) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+
+  const Query q = TemporalDistancesQuery{0, 0};
+  ASSERT_FALSE(run_one(broker, q).from_cache);
+  ASSERT_TRUE(run_one(broker, q).from_cache);
+
+  // Mutate through the broker: epoch bumps, cache entries below it die.
+  const Event event = Event::contact_add(0, 1, 2);
+  ASSERT_EQ(broker.apply_events({&event, 1}), 1u);
+
+  const auto after = run_one(broker, q);
+  ASSERT_EQ(after.status, QueryStatus::kOk);
+  EXPECT_FALSE(after.from_cache);
+  EXPECT_EQ(after.epoch, rig.engine.graph().epoch());
+  EXPECT_GT(broker.stats().cache_invalidations, 0u);
+
+  // And the new result reflects the new contact.
+  EXPECT_EQ(std::get<std::vector<TimeUnit>>(after.payload),
+            earliest_arrival(rig.view.view(), 0, 0).completion);
+}
+
+TEST(QueryBrokerTest, SaturatedQueueShedsInsteadOfBlocking) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.max_queue = 4;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (VertexId s = 0; s < 10; ++s) {
+    futures.push_back(broker.submit(TemporalDistancesQuery{s, 0}));
+  }
+  // Submissions 5..10 must already be resolved (shed), not blocked.
+  std::size_t shed = 0;
+  for (std::size_t i = 4; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto r = futures[i].get();
+    EXPECT_EQ(r.status, QueryStatus::kRejected);
+    EXPECT_EQ(r.cause, RejectCause::kQueueFull);
+    ++shed;
+  }
+  EXPECT_EQ(shed, 6u);
+
+  broker.flush();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[i].get().status, QueryStatus::kOk);
+  }
+  const ServeStats stats = broker.stats();
+  EXPECT_EQ(stats.shed_queue_full, 6u);
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.max_queue_depth, 4u);
+}
+
+TEST(QueryBrokerTest, ExpiredDeadlineResolvesTimedOut) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+
+  SubmitOptions opt;
+  opt.deadline = std::chrono::nanoseconds(1);
+  auto f = broker.submit(TemporalDistancesQuery{0, 0}, opt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  broker.flush();
+  EXPECT_EQ(f.get().status, QueryStatus::kTimedOut);
+  EXPECT_EQ(broker.stats().timed_out, 1u);
+
+  // Deterministic mode ignores the wall clock entirely.
+  BrokerConfig det;
+  det.deterministic = true;
+  QueryBroker dbroker(rig.engine, &rig.view, det);
+  auto g = dbroker.submit(TemporalDistancesQuery{0, 0}, opt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dbroker.flush();
+  EXPECT_EQ(g.get().status, QueryStatus::kOk);
+}
+
+TEST(QueryBrokerTest, InvalidArgumentsAreRejectedTyped) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+
+  auto r = run_one(broker, TemporalDistancesQuery{ServeRig::kNodes + 5, 0});
+  EXPECT_EQ(r.status, QueryStatus::kRejected);
+  EXPECT_EQ(r.cause, RejectCause::kInvalidArgument);
+
+  auto nan = run_one(broker, NsfReportQuery{-1.0, 0.15});
+  EXPECT_EQ(nan.status, QueryStatus::kRejected);
+  EXPECT_EQ(nan.cause, RejectCause::kInvalidArgument);
+
+  // A broker without a temporal view rejects temporal queries but still
+  // serves static ones.
+  QueryBroker blind(rig.engine, nullptr);
+  EXPECT_EQ(run_one(blind, TemporalDistancesQuery{0, 0}).cause,
+            RejectCause::kInvalidArgument);
+  EXPECT_EQ(run_one(blind, CentralityQuery{}).status, QueryStatus::kOk);
+}
+
+TEST(QueryBrokerTest, ShutdownResolvesLeftoverQueries) {
+  ServeRig rig;
+  std::future<QueryResult> orphan;
+  {
+    QueryBroker broker(rig.engine, &rig.view);
+    orphan = broker.submit(TemporalDistancesQuery{0, 0});
+    // No flush: the destructor must still resolve the promise.
+  }
+  const auto r = orphan.get();
+  EXPECT_EQ(r.status, QueryStatus::kRejected);
+  EXPECT_EQ(r.cause, RejectCause::kShutdown);
+}
+
+TEST(QueryBrokerTest, PlanBearingRoutingQueriesBypassCache) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+
+  FaultPlan plan(11);
+  plan.set_contact_loss(0.3);
+  RoutingTrialsQuery q;
+  q.source = 0;
+  q.destination = 3;
+  q.trials = 4;
+  q.plan = &plan;
+  const auto a = run_one(broker, q);
+  const auto b = run_one(broker, q);
+  ASSERT_EQ(a.status, QueryStatus::kOk);
+  ASSERT_EQ(b.status, QueryStatus::kOk);
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_FALSE(b.from_cache);  // same query, still never cached
+  EXPECT_TRUE(payload_equal(a.payload, b.payload));  // but deterministic
+  EXPECT_EQ(broker.stats().cache_hits, 0u);
+}
+
+TEST(QueryBrokerTest, DispatcherDrainsOnStop) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.max_queue = 4096;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+  broker.start();
+  EXPECT_TRUE(broker.dispatching());
+
+  std::vector<std::future<QueryResult>> futures;
+  for (std::size_t i = 0; i < 200; ++i) {
+    futures.push_back(broker.submit(
+        TemporalDistancesQuery{static_cast<VertexId>(i % ServeRig::kNodes),
+                               static_cast<TimeUnit>(i % 4)}));
+  }
+  broker.stop();  // drains: every admitted future is resolved after this
+  EXPECT_FALSE(broker.dispatching());
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  }
+  EXPECT_GT(broker.stats().cache_hits, 0u);  // duplicates in the mix
+}
+
+TEST(ServeStatsTest, JsonLineIsMachineReadable) {
+  ServeRig rig;
+  QueryBroker broker(rig.engine, &rig.view);
+  (void)run_one(broker, TemporalDistancesQuery{0, 0});
+  (void)run_one(broker, TemporalDistancesQuery{0, 0});
+
+  const std::string line = broker.stats().json("serve_smoke");
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"bench\": \"serve_smoke\""), std::string::npos);
+  EXPECT_NE(line.find("\"cache_hits\": 1"), std::string::npos);
+  EXPECT_NE(line.find("temporal_distances_count"), std::string::npos);
+}
+
+// -------------------------------------------------------------- churn
+
+/// The acceptance gate: interleave churn with a query mix; at every
+/// checkpoint, served results (cache on, batched, parallel) must be
+/// bit-identical to fresh uncached recomputes at the same epoch, and
+/// identical across thread counts 1 / 2 / 8.
+struct ChurnRun {
+  std::vector<QueryPayload> payloads;
+  ServeStats stats;
+};
+
+ChurnRun churn_run(std::size_t threads) {
+  constexpr std::size_t kNodes = 32;
+  constexpr TimeUnit kHorizon = 20;
+  StreamEngine engine{DynamicGraph(kNodes)};
+  TemporalViewObserver view(kNodes, kHorizon);
+  engine.attach(&view);
+
+  BrokerConfig cfg;
+  cfg.threads = threads;
+  cfg.deterministic = true;
+  QueryBroker broker(engine, &view, cfg);
+
+  Rng rng(2024);
+  ChurnRun run;
+  for (std::size_t round = 0; round < 12; ++round) {
+    // Churn: a batch of mixed events (same sequence at every thread
+    // count: the RNG draws are independent of `threads`).
+    std::vector<Event> batch;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const auto u = static_cast<VertexId>(rng.index(kNodes));
+      const auto v = static_cast<VertexId>(rng.index(kNodes));
+      const double dice = rng.uniform01();
+      if (dice < 0.35) {
+        batch.push_back(Event::edge_insert(u, v));
+      } else if (dice < 0.55) {
+        batch.push_back(Event::edge_delete(u, v));
+      } else if (dice < 0.85) {
+        batch.push_back(Event::contact_add(
+            u, v, static_cast<TimeUnit>(rng.index(kHorizon))));
+      } else {
+        batch.push_back(Event::contact_relabel(
+            u, v, static_cast<TimeUnit>(rng.index(kHorizon)),
+            static_cast<TimeUnit>(rng.index(kHorizon))));
+      }
+    }
+    broker.apply_events(batch);
+
+    // Query mix for this round — includes a duplicate to exercise the
+    // cache inside the equivalence gate.
+    std::vector<Query> queries;
+    const auto s = static_cast<VertexId>(rng.index(kNodes));
+    const auto t = static_cast<VertexId>(rng.index(kNodes));
+    queries.emplace_back(TemporalDistancesQuery{s, 0});
+    queries.emplace_back(TemporalDistancesQuery{s, 0});  // cache hit
+    queries.emplace_back(FastestJourneyQuery{s, t, 0});
+    queries.emplace_back(MinHopJourneyQuery{t, s, 0});
+    queries.emplace_back(CentralityQuery{CentralityMeasure::kDegree});
+    if (round % 3 == 0) {
+      queries.emplace_back(NsfReportQuery{0.5, 0.15});
+      RoutingTrialsQuery rt;
+      rt.source = s;
+      rt.destination = t;
+      rt.trials = 4;
+      rt.loss_probability = 0.15;
+      rt.loss_seed = 7 + round;
+      queries.emplace_back(rt);
+    }
+
+    std::vector<std::future<QueryResult>> futures;
+    for (const Query& q : queries) futures.push_back(broker.submit(q));
+    broker.flush();
+
+    const std::uint64_t epoch = engine.graph().epoch();
+    const TemporalGraph& tg = view.view();
+    const Graph g = engine.graph().materialize();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      QueryResult r = futures[i].get();
+      EXPECT_EQ(r.status, QueryStatus::kOk) << "round " << round;
+      EXPECT_EQ(r.epoch, epoch) << "round " << round;
+
+      // Fresh, uncached, serial recompute through the public API.
+      QueryPayload fresh = std::visit(
+          [&](const auto& q) -> QueryPayload {
+            using T = std::decay_t<decltype(q)>;
+            if constexpr (std::is_same_v<T, TemporalDistancesQuery>) {
+              return earliest_arrival(tg, q.source, q.t_start).completion;
+            } else if constexpr (std::is_same_v<T, FastestJourneyQuery>) {
+              return fastest_journey(tg, q.source, q.target, q.t_start);
+            } else if constexpr (std::is_same_v<T, MinHopJourneyQuery>) {
+              return minimum_hop_journey(tg, q.source, q.target, q.t_start);
+            } else if constexpr (std::is_same_v<T, NsfReportQuery>) {
+              return nsf_report(g, q.stop_fraction, q.ks_threshold, 1);
+            } else if constexpr (std::is_same_v<T, CentralityQuery>) {
+              return degree_centrality(g);
+            } else {
+              SimulationFaults faults;
+              faults.loss_probability = q.loss_probability;
+              faults.loss_seed = q.loss_seed;
+              return simulate_routing_trials(tg, q.source, q.destination,
+                                             q.t0, epidemic_strategy(), 1,
+                                             faults, q.trials, 1);
+            }
+          },
+          queries[i]);
+      EXPECT_TRUE(payload_equal(r.payload, fresh))
+          << "round " << round << " query " << i << " threads " << threads;
+      run.payloads.push_back(std::move(r.payload));
+    }
+  }
+  run.stats = broker.stats();
+  return run;
+}
+
+TEST(ServeChurnTest, ServedEqualsFreshRecomputeAtAnyThreadCount) {
+  const ChurnRun serial = churn_run(1);
+  EXPECT_GT(serial.stats.cache_hits, 0u);  // the duplicate query hits
+  EXPECT_GT(serial.stats.executed, 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const ChurnRun parallel_run = churn_run(threads);
+    ASSERT_EQ(parallel_run.payloads.size(), serial.payloads.size());
+    for (std::size_t i = 0; i < serial.payloads.size(); ++i) {
+      EXPECT_TRUE(
+          payload_equal(serial.payloads[i], parallel_run.payloads[i]))
+          << "payload " << i << " differs at threads=" << threads;
+    }
+    EXPECT_EQ(parallel_run.stats.cache_hits, serial.stats.cache_hits);
+    EXPECT_EQ(parallel_run.stats.executed, serial.stats.executed);
+  }
+}
+
+TEST(ServeChurnTest, ConcurrentSubmitAndApplyNeverDeadlocks) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.max_queue = 64;  // small queue: shedding is expected and fine
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+  broker.start();
+
+  std::atomic<bool> go{true};
+  std::thread mutator([&] {
+    Rng rng(5);
+    while (go.load()) {
+      const auto u = static_cast<VertexId>(rng.index(ServeRig::kNodes));
+      const auto v = static_cast<VertexId>(rng.index(ServeRig::kNodes));
+      const Event e = Event::contact_add(
+          u, v, static_cast<TimeUnit>(rng.index(ServeRig::kHorizon)));
+      broker.apply_events({&e, 1});
+    }
+  });
+
+  std::vector<std::future<QueryResult>> futures;
+  Rng rng(6);
+  for (std::size_t i = 0; i < 500; ++i) {
+    futures.push_back(broker.submit(TemporalDistancesQuery{
+        static_cast<VertexId>(rng.index(ServeRig::kNodes)), 0}));
+  }
+  go.store(false);
+  mutator.join();
+  broker.stop();
+
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (r.status == QueryStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.cause, RejectCause::kQueueFull);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 500u);
+  EXPECT_GT(ok, 0u);
+}
+
+}  // namespace
+}  // namespace structnet

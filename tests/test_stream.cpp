@@ -31,6 +31,39 @@ TEST(DynamicGraphTest, AppliesAndRejectsEvents) {
   EXPECT_EQ(g.edge_count(), 0u);
 }
 
+// Epoch monotonicity is what makes (query fingerprint, epoch) a sound
+// result-cache key: every ACCEPTED event must advance the epoch by
+// exactly one, every rejected event must leave it untouched, and the
+// fast-path accessor must stay in lockstep with the event log.
+TEST(DynamicGraphTest, EpochAdvancesExactlyOncePerAcceptedEvent) {
+  Rng rng(11);
+  DynamicGraph g(8);
+  EXPECT_EQ(g.epoch(), 0u);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(g.vertex_count()));
+    const auto v = static_cast<VertexId>(rng.index(g.vertex_count()));
+    Event e;
+    switch (rng.index(6)) {
+      case 0: e = Event::edge_insert(u, v); break;
+      case 1: e = Event::edge_delete(u, v); break;
+      case 2: e = Event::contact_add(u, v, static_cast<TimeUnit>(i % 16)); break;
+      case 3: e = Event::node_leave(u); break;
+      case 4: e = Event::node_join(u); break;
+      default: e = Event::edge_insert(u, u); break;  // always rejected
+    }
+    const std::uint64_t before = g.epoch();
+    const bool ok = g.apply(e).accepted;
+    ASSERT_EQ(g.epoch(), before + (ok ? 1 : 0))
+        << "event " << i << (ok ? " accepted" : " rejected");
+    accepted += ok ? 1 : 0;
+    ASSERT_EQ(g.epoch(), g.log().size());  // fast path == log length
+  }
+  EXPECT_EQ(g.epoch(), accepted);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, 400u);  // the mix provokes rejections too
+}
+
 TEST(DynamicGraphTest, NodeJoinAssignsAndRevives) {
   DynamicGraph g(2);
   const auto fresh = g.apply(Event::node_join());
