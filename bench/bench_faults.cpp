@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "core/generators.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
@@ -295,5 +296,6 @@ int main(int argc, char** argv) {
   structnet::checkpoint_throughput_table(smoke);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "core/generators.hpp"
 #include "layering/nsf.hpp"
 #include "parallel/parallel.hpp"
@@ -174,5 +175,6 @@ int main(int argc, char** argv) {
   structnet::speedup_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

@@ -9,12 +9,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/broker.hpp"
 #include "serve/query.hpp"
 #include "stream/engine.hpp"
@@ -186,6 +191,91 @@ void serve_stats_smoke() {
   std::cout << broker.stats().json("serve_stats") << "\n";
 }
 
+/// `bench_serve --smoke`: one deterministic traced serving run. Installs
+/// a TraceSink, drives a mixed workload at threads=1 (every span lands
+/// on one tid, fully nested admission -> plan -> kernel -> cache),
+/// cross-checks ServeStats against the broker's registry snapshot
+/// value-for-value, and writes the Chrome trace JSON to the path in
+/// $STRUCTNET_TRACE_OUT (when set). Returns a process exit code.
+int traced_smoke() {
+  obs::TraceSink sink;
+  sink.install();
+  int rc = 0;
+  {
+    ServeFixture fx;
+    BrokerConfig cfg;
+    cfg.threads = 1;
+    cfg.deterministic = true;
+    QueryBroker broker(fx.engine, &fx.view, cfg);
+    std::vector<std::future<QueryResult>> futures;
+    for (std::size_t round = 0; round < 3; ++round) {
+      for (const Query& q : distinct_temporal_queries(64)) {
+        futures.push_back(broker.submit(q));
+      }
+      futures.push_back(broker.submit(CentralityQuery{}));
+      broker.flush();
+    }
+    for (auto& f : futures) f.get();
+
+    const ServeStats stats = broker.stats();
+    const obs::MetricsRegistry::Snapshot snap = broker.metrics().snapshot();
+    const auto check = [&](std::string_view name, std::uint64_t legacy) {
+      const std::uint64_t reg = snap.counter_value(name);
+      if (reg != legacy) {
+        std::cerr << "smoke: registry/" << name << " = " << reg
+                  << " but ServeStats says " << legacy << "\n";
+        rc = 1;
+      }
+    };
+    check("serve.submitted", stats.submitted);
+    check("serve.admitted", stats.admitted);
+    check("serve.shed_queue_full", stats.shed_queue_full);
+    check("serve.rejected_invalid", stats.rejected_invalid);
+    check("serve.timed_out", stats.timed_out);
+    check("serve.executed", stats.executed);
+    check("serve.batches", stats.batches);
+    check("serve.csr_builds", stats.csr_builds);
+    check("serve.csr_reuses", stats.csr_reuses);
+    check("serve.cache.hits", stats.cache_hits);
+    check("serve.cache.misses", stats.cache_misses);
+    check("serve.cache.evictions", stats.cache_evictions);
+    check("serve.cache.invalidations", stats.cache_invalidations);
+    if (static_cast<std::int64_t>(stats.cache_bytes) !=
+        snap.gauge_value("serve.cache.bytes")) {
+      std::cerr << "smoke: cache byte gauge disagrees with ServeStats\n";
+      rc = 1;
+    }
+    std::cout << stats.json("serve_smoke") << "\n";
+    broker.metrics().emit_json(std::cout, "serve_smoke");
+  }
+  obs::TraceSink::uninstall();
+
+  if (const char* path = std::getenv("STRUCTNET_TRACE_OUT")) {
+    std::ofstream out(path);
+    out << sink.chrome_trace_json() << "\n";
+    if (!out) {
+      std::cerr << "smoke: failed writing trace to " << path << "\n";
+      rc = 1;
+    }
+  }
+  std::cout << "smoke: trace_events=" << sink.size()
+            << " dropped=" << sink.dropped() << "\n";
+  for (const obs::SpanStats& s : sink.aggregate()) {
+    BenchJson("serve_smoke_span")
+        .field("name", s.name)
+        .field("count", s.count)
+        .field("total_us", static_cast<double>(s.total_ns) / 1e3)
+        .field("max_us", static_cast<double>(s.max_ns) / 1e3)
+        .threads(1)
+        .emit();
+  }
+  if (obs::kEnabled && sink.size() == 0) {
+    std::cerr << "smoke: tracing compiled in but no spans were recorded\n";
+    rc = 1;
+  }
+  return rc;
+}
+
 void BM_ServeSubmitFlushTemporal(benchmark::State& state) {
   ServeFixture fx;
   BrokerConfig cfg;
@@ -222,11 +312,20 @@ BENCHMARK(BM_ServeCachedHit);
 }  // namespace structnet
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // Traced smoke only: deterministic, single-threaded, no tables.
+      const int rc = structnet::traced_smoke();
+      structnet::obs::emit_json(std::cout);
+      return rc;
+    }
+  }
   structnet::cache_speedup_table();
   structnet::throughput_table();
   structnet::shed_rate_table();
   structnet::serve_stats_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "remapping/small_world.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -185,5 +186,6 @@ int main(int argc, char** argv) {
   structnet::greedy_route_timing();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "core/generators.hpp"
 #include "labeling/dynamic_mis.hpp"
 #include "layering/nsf.hpp"
@@ -226,5 +227,6 @@ int main(int argc, char** argv) {
   structnet::replay_throughput_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

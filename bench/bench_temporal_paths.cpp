@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "mobility/contact_trace.hpp"
 #include "mobility/mobility_models.hpp"
 #include "temporal/fig2_example.hpp"
@@ -374,5 +375,6 @@ int main(int argc, char** argv) {
   structnet::journey_kernel_speedup_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
   return 0;
 }

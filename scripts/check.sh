@@ -5,6 +5,7 @@
 #   scripts/check.sh          # plain build + full ctest, then ASan/UBSan + TSan
 #   SKIP_SANITIZE=1 scripts/check.sh   # skip the sanitizer passes
 #   SKIP_BENCH=1 scripts/check.sh      # skip the Release bench smoke
+#   SKIP_OBS_OFF=1 scripts/check.sh    # skip the STRUCTNET_OBS=OFF build
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,17 +21,25 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSTRUCTNET_SANITIZE=ON >/dev/null
   cmake --build build-asan -j"$jobs"
   ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats'
+    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry|ObsTrace'
 
-  echo "== sanitizer pass (TSan): parallel + stream + serve tests =="
+  echo "== sanitizer pass (TSan): parallel + stream + serve + obs tests =="
   cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|FaultRouting|QueryBroker|ServeChurn'
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|FaultRouting|QueryBroker|ServeChurn|ObsCounter|ObsRegistry|ObsTrace'
+fi
+
+if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then
+  echo "== STRUCTNET_OBS=OFF build: stubbed obs layer must stay green =="
+  cmake -B build-obs-off -S . -DSTRUCTNET_OBS=OFF >/dev/null
+  cmake --build build-obs-off -j"$jobs"
+  ctest --test-dir build-obs-off --output-on-failure -j"$jobs" \
+    -R 'ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry'
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== bench smoke (Release): every BENCH JSON line must parse =="
+  echo "== bench smoke (Release): every BENCH/METRICS JSON line must parse =="
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j"$jobs" \
     --target bench_temporal_paths bench_small_world bench_faults bench_serve
@@ -56,11 +65,53 @@ if not lines:
     sys.exit(name + ": no BENCH JSON lines emitted")
 for l in lines:
     rec = json.loads(l)
-    if "bench" not in rec:
-        sys.exit(name + ": JSON line missing bench key: " + l)
-print(name + ": " + str(len(lines)) + " BENCH JSON lines parse")
+    if "bench" not in rec and "metrics" not in rec:
+        sys.exit(name + ": JSON line missing bench/metrics key: " + l)
+print(name + ": " + str(len(lines)) + " BENCH/METRICS JSON lines parse")
 ' "$b"
   done
+
+  echo "== obs smoke: traced serving run must emit a valid Chrome trace =="
+  # bench_serve --smoke installs a TraceSink, drives a deterministic
+  # single-threaded workload, cross-checks ServeStats against the
+  # broker registry (exits nonzero on any mismatch), and writes the
+  # Chrome trace_event JSON to $STRUCTNET_TRACE_OUT.
+  trace_out="$(mktemp)"
+  STRUCTNET_TRACE_OUT="$trace_out" ./build-bench/bench/bench_serve --smoke |
+    python3 -c '
+import json, sys
+lines = [l.strip() for l in sys.stdin if l.startswith("{")]
+if not lines:
+    sys.exit("bench_serve --smoke: no JSON lines emitted")
+for l in lines:
+    rec = json.loads(l)
+    if "bench" not in rec and "metrics" not in rec:
+        sys.exit("bench_serve --smoke: JSON line missing bench/metrics key: " + l)
+print("bench_serve --smoke: " + str(len(lines)) + " JSON lines parse")
+'
+  python3 - "$trace_out" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+if not events:
+    sys.exit("obs smoke: empty Chrome trace")
+names = {e["name"] for e in events}
+need = ["serve.flush", "serve.admission", "serve.plan",
+        "serve.execute", "serve.cache"]
+missing = [n for n in need if n not in names]
+if missing:
+    sys.exit("obs smoke: trace missing spans: " + ", ".join(missing))
+if not any(n.startswith("serve.kernel.") for n in names):
+    sys.exit("obs smoke: trace has no per-query kernel spans")
+for e in events:
+    for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+        if key not in e:
+            sys.exit("obs smoke: trace event missing field " + key)
+print("obs smoke: %d trace events, %d span names, nesting OK"
+      % (len(events), len(names)))
+PYEOF
+  rm -f "$trace_out"
 fi
 
 echo "check.sh: OK"

@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "core/graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace structnet {
 
@@ -47,6 +49,10 @@ bool fits_u32(std::uint64_t x) {
 }  // namespace
 
 void write_checkpoint(std::ostream& os, const StreamEngine& engine) {
+  STRUCTNET_OBS_SPAN("fault.checkpoint_write");
+  static obs::Counter& writes =
+      obs::MetricsRegistry::global().counter("fault.checkpoint_writes");
+  writes.add();
   const DynamicGraph& g = engine.graph();
   const Graph initial = g.snapshot_at(0).materialize();
   os << kMagic << '\n';
@@ -67,6 +73,10 @@ void write_checkpoint(std::ostream& os, const StreamEngine& engine) {
 }
 
 CheckpointResult read_checkpoint(std::istream& is) {
+  STRUCTNET_OBS_SPAN("fault.checkpoint_read");
+  static obs::Counter& reads =
+      obs::MetricsRegistry::global().counter("fault.checkpoint_reads");
+  reads.add();
   CheckpointResult result;
   std::string line;
   std::size_t lineno = 0;

@@ -4,6 +4,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace structnet {
@@ -97,7 +99,17 @@ bool FaultPlan::transmission_lost(VertexId u, VertexId v, TimeUnit t) const {
   return draw < contact_loss_;
 }
 
+namespace {
+obs::Counter& degraded_builds_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fault.degraded_builds");
+  return c;
+}
+}  // namespace
+
 TemporalGraph FaultPlan::degraded(const TemporalGraph& trace) const {
+  STRUCTNET_OBS_SPAN("fault.degraded_build");
+  degraded_builds_counter().add();
   TemporalGraph out(trace.vertex_count(), trace.horizon());
   for (const auto& edge : trace.edges()) {
     for (const TimeUnit t : edge.labels) {
@@ -108,6 +120,8 @@ TemporalGraph FaultPlan::degraded(const TemporalGraph& trace) const {
 }
 
 TemporalGraph FaultPlan::degraded(const TemporalCsr& trace) const {
+  STRUCTNET_OBS_SPAN("fault.degraded_build");
+  degraded_builds_counter().add();
   TemporalGraph out(trace.vertex_count(), trace.horizon());
   for (EdgeId e = 0; e < trace.edge_count(); ++e) {
     const VertexId u = trace.edge_u(e);

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json_line.hpp"
+
+namespace structnet::obs {
+
+namespace detail {
+
+std::uint32_t this_thread_shard() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace detail
+
+std::uint64_t histogram_quantile_upper(
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets,
+    std::uint64_t count, std::uint64_t max_value, double q) {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank: the smallest rank r with r >= q * count, at least 1.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  rank = std::max<std::uint64_t>(1, std::min(rank, count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i == kHistogramBuckets - 1) {
+        // Open-ended bucket: samples may exceed the nominal edge, so the
+        // only always-valid upper bound is the recorded maximum.
+        return max_value;
+      }
+      // A hard bucket edge, tightened by the distribution's maximum.
+      return std::min(histogram_bucket_edge(i), max_value);
+    }
+  }
+  return max_value;  // unreachable when counts are consistent
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+namespace {
+
+template <typename Vec>
+auto find_named(const Vec& v, std::string_view name) {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  return it != v.end() && it->first == name ? it : v.end();
+}
+
+}  // namespace
+
+std::uint64_t MetricsRegistry::Snapshot::counter_value(
+    std::string_view name) const {
+  const auto it = find_named(counters, name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::Snapshot::gauge_value(
+    std::string_view name) const {
+  const auto it = find_named(gauges, name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* MetricsRegistry::Snapshot::histogram_snapshot(
+    std::string_view name) const {
+  const auto it = find_named(histograms, name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::emit_json(std::ostream& os,
+                                std::string_view label) const {
+  const Snapshot s = snapshot();
+  for (const auto& [name, value] : s.counters) {
+    JsonLineWriter line;
+    line.field("metrics", label)
+        .field("name", name)
+        .field("type", "counter")
+        .field("value", value);
+    line.emit(os);
+  }
+  for (const auto& [name, value] : s.gauges) {
+    JsonLineWriter line;
+    line.field("metrics", label)
+        .field("name", name)
+        .field("type", "gauge")
+        .field("value", static_cast<std::uint64_t>(value < 0 ? 0 : value));
+    line.emit(os);
+  }
+  for (const auto& [name, h] : s.histograms) {
+    JsonLineWriter line;
+    line.field("metrics", label)
+        .field("name", name)
+        .field("type", "histogram")
+        .field("count", h.count)
+        .field("mean", h.mean())
+        .field("p50", h.quantile_upper(0.50))
+        .field("p99", h.quantile_upper(0.99))
+        .field("max", h.max);
+    line.emit(os);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumented layers (the leaked ThreadPool's
+  // workers included) may bump counters during static teardown.
+  static auto* g = new MetricsRegistry();
+  return *g;
+}
+
+void emit_json(std::ostream& os) {
+  MetricsRegistry::global().emit_json(os, "global");
+}
+
+}  // namespace structnet::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#if STRUCTNET_OBS_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+namespace structnet::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_active_sink{nullptr};
+
+/// Events buffered per thread between sink flushes. Small enough to
+/// stay cache-resident, large enough that a flush (one sink mutex
+/// acquisition) amortizes over many spans.
+constexpr std::size_t kFlushThreshold = 256;
+
+struct ThreadTraceBuffer {
+  std::vector<TraceEvent> buf;
+  std::uint32_t tid;
+  std::uint32_t depth = 0;
+
+  ThreadTraceBuffer() {
+    static std::atomic<std::uint32_t> next_tid{0};
+    tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    buf.reserve(kFlushThreshold);
+  }
+  ~ThreadTraceBuffer() { flush(); }
+
+  void flush() {
+    if (buf.empty()) return;
+    if (TraceSink* sink = g_active_sink.load(std::memory_order_acquire)) {
+      sink->append(buf.data(), buf.size());
+    }
+    buf.clear();
+  }
+};
+
+ThreadTraceBuffer& tl_buffer() {
+  thread_local ThreadTraceBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool trace_enabled() {
+  return g_active_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+namespace detail {
+
+std::uint64_t span_begin() {
+  if (g_active_sink.load(std::memory_order_relaxed) == nullptr) return 0;
+  ++tl_buffer().depth;
+  const std::uint64_t t = now_ns();
+  return t == 0 ? 1 : t;  // 0 is the "inactive" sentinel
+}
+
+void span_end(const char* name, std::uint64_t start_ns) {
+  const std::uint64_t end = now_ns();
+  ThreadTraceBuffer& tl = tl_buffer();
+  if (tl.depth > 0) --tl.depth;
+  TraceEvent ev;
+  ev.name = name;
+  ev.tid = tl.tid;
+  ev.depth = tl.depth;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end > start_ns ? end - start_ns : 0;
+  tl.buf.push_back(ev);
+  // Flush on buffer pressure and whenever nesting unwinds to the top,
+  // so a quiesced process has every completed span in the sink.
+  if (tl.buf.size() >= kFlushThreshold || tl.depth == 0) tl.flush();
+}
+
+}  // namespace detail
+
+TraceSink::TraceSink(std::size_t max_events)
+    : cap_(max_events), t0_(now_ns()) {
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+TraceSink::~TraceSink() {
+  TraceSink* self = this;
+  g_active_sink.compare_exchange_strong(self, nullptr,
+                                        std::memory_order_acq_rel);
+}
+
+void TraceSink::install() {
+  g_active_sink.store(this, std::memory_order_release);
+}
+
+void TraceSink::uninstall() {
+  g_active_sink.store(nullptr, std::memory_order_release);
+}
+
+void TraceSink::append(const TraceEvent* ev, std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (events_.size() >= cap_) {
+      dropped_ += n - i;
+      return;
+    }
+    events_.push_back(ev[i]);
+  }
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::string TraceSink::chrome_trace_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    const double ts_us =
+        ev.start_ns >= t0_ ? static_cast<double>(ev.start_ns - t0_) / 1e3 : 0.0;
+    const double dur_us = static_cast<double>(ev.dur_ns) / 1e3;
+    // Span names are identifier-like literals (see trace.hpp), so no
+    // JSON escaping is needed beyond trusting the instrumentation.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"args\": {\"depth\": %u}}",
+                  first ? "" : ", ", ev.name, ev.tid, ts_us, dur_us, ev.depth);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<SpanStats> TraceSink::aggregate() const {
+  const std::vector<TraceEvent> evs = events();
+  std::map<std::string, SpanStats> by_name;
+  for (const TraceEvent& ev : evs) {
+    SpanStats& s = by_name[ev.name];
+    if (s.count == 0) s.name = ev.name;
+    ++s.count;
+    s.total_ns += ev.dur_ns;
+    s.max_ns = std::max(s.max_ns, ev.dur_ns);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace structnet::obs
+
+#endif  // STRUCTNET_OBS_ENABLED

@@ -1,0 +1,164 @@
+// Tracing layer: RAII spans with monotonic timestamps, per-thread
+// buffers, and a bounded in-memory TraceSink exportable as Chrome
+// trace_event JSON (chrome://tracing, Perfetto) and as aggregate
+// per-span-name statistics.
+//
+// Cost model:
+//
+//   * No sink installed (the default): a Span is one relaxed atomic
+//     load and a branch — the instrumented kernels stay within the
+//     "obs ON but idle" overhead budget.
+//   * Sink installed: two steady-clock reads per span plus one append
+//     into a per-thread buffer. Buffers flush into the sink (one mutex
+//     acquisition) when full or whenever the thread's span nesting
+//     returns to depth zero, so at quiescence (every top-level span
+//     closed) the sink holds every completed span.
+//   * Span names must be string literals (or otherwise outlive the
+//     sink) — the buffer stores the pointer, never a copy.
+//
+// Nesting is tracked per thread: each event carries its depth, and the
+// Chrome export's duration ("X") events nest naturally by time
+// containment within a tid.
+//
+// Lifecycle contract: install() publishes the sink process-wide;
+// uninstall (or the sink's destructor) must only run when no span is in
+// flight — the intended shape is install → run the traced region →
+// join/quiesce → export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // STRUCTNET_OBS_ENABLED / kEnabled
+
+namespace structnet::obs {
+
+/// One completed span. `name` is a borrowed pointer (see header note).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;    // per-thread sequential id
+  std::uint32_t depth = 0;  // nesting depth at begin (0 = top-level)
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Aggregate statistics for one span name.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+#if STRUCTNET_OBS_ENABLED
+
+/// Monotonic nanoseconds (steady clock).
+std::uint64_t now_ns();
+
+class TraceSink {
+ public:
+  /// Holds at most `max_events` completed spans; the overflow is
+  /// counted in dropped(), never blocks the tracing threads.
+  explicit TraceSink(std::size_t max_events = std::size_t{1} << 20);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Publishes this sink as the process-wide active sink (replacing any
+  /// previous one). Spans begun after this record into it.
+  void install();
+  /// Clears the active sink; subsequent spans are free no-ops again.
+  static void uninstall();
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+  /// Completed spans flushed so far (see header note for when buffers
+  /// flush), in flush order.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  /// Timestamps are microseconds relative to sink construction.
+  std::string chrome_trace_json() const;
+
+  /// Per-span-name aggregates, name-sorted.
+  std::vector<SpanStats> aggregate() const;
+
+  // Internal: bulk append from a thread buffer.
+  void append(const TraceEvent* ev, std::size_t n);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::size_t cap_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t t0_;
+};
+
+/// True when a sink is installed — the gate the instrumented layers use
+/// before taking timestamps.
+bool trace_enabled();
+
+namespace detail {
+/// Begins a span: returns the start timestamp, or 0 when no sink is
+/// installed (the span records nothing).
+std::uint64_t span_begin();
+void span_end(const char* name, std::uint64_t start_ns);
+}  // namespace detail
+
+/// RAII span: records [construction, destruction) under `name` when a
+/// sink is installed. `name` must outlive the sink (use literals).
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name), start_(detail::span_begin()) {}
+  ~Span() {
+    if (start_ != 0) detail::span_end(name_, start_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_;
+};
+
+#else  // !STRUCTNET_OBS_ENABLED — empty inline stubs
+
+inline std::uint64_t now_ns() { return 0; }
+inline bool trace_enabled() { return false; }
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t = 0) {}
+  void install() {}
+  static void uninstall() {}
+  std::size_t size() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  std::vector<TraceEvent> events() const { return {}; }
+  std::string chrome_trace_json() const { return "{\"traceEvents\": []}"; }
+  std::vector<SpanStats> aggregate() const { return {}; }
+  void append(const TraceEvent*, std::size_t) {}
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // STRUCTNET_OBS_ENABLED
+
+}  // namespace structnet::obs
+
+// Statement macro for hot paths: declares a scoped span when the obs
+// layer is compiled in, vanishes entirely when it is not.
+#define STRUCTNET_OBS_CAT_(a, b) a##b
+#define STRUCTNET_OBS_CAT(a, b) STRUCTNET_OBS_CAT_(a, b)
+#if STRUCTNET_OBS_ENABLED
+#define STRUCTNET_OBS_SPAN(name) \
+  ::structnet::obs::Span STRUCTNET_OBS_CAT(structnet_obs_span_, __LINE__)(name)
+#else
+#define STRUCTNET_OBS_SPAN(name) ((void)0)
+#endif

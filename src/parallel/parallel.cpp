@@ -5,12 +5,35 @@
 #include <map>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace structnet {
 
 namespace {
 
 thread_local bool tl_in_worker = false;
 thread_local std::size_t tl_worker_index = 0;
+
+/// Pool metrics, published into the global registry. Busy/idle are
+/// histograms of per-stint durations (one work_on call / one cv wait),
+/// so the snapshot exposes both totals (sum) and shape.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& shards;
+  obs::Histogram& busy_ns;
+  obs::Histogram& idle_ns;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::MetricsRegistry::global().counter("parallel.jobs"),
+        obs::MetricsRegistry::global().counter("parallel.shards"),
+        obs::MetricsRegistry::global().histogram("parallel.worker_busy_ns"),
+        obs::MetricsRegistry::global().histogram("parallel.worker_idle_ns"),
+    };
+    return m;
+  }
+};
 
 std::size_t env_default_threads() {
   if (const char* env = std::getenv("STRUCTNET_THREADS")) {
@@ -70,7 +93,13 @@ void ThreadPool::worker_loop(std::size_t worker) {
     Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if constexpr (obs::kEnabled) {
+        const std::uint64_t wait_start = obs::now_ns();
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        PoolMetrics::get().idle_ns.record(obs::now_ns() - wait_start);
+      } else {
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      }
       if (stop_) return;
       seen = generation_;
       job = current_;
@@ -87,6 +116,9 @@ void ThreadPool::worker_loop(std::size_t worker) {
 }
 
 void ThreadPool::work_on(Job& job, std::size_t worker) {
+  STRUCTNET_OBS_SPAN("parallel.work");
+  const std::uint64_t busy_start = obs::kEnabled ? obs::now_ns() : 0;
+  std::size_t shards_done = 0;
   const bool was_in_worker = tl_in_worker;
   const std::size_t was_index = tl_worker_index;
   tl_in_worker = true;
@@ -94,6 +126,7 @@ void ThreadPool::work_on(Job& job, std::size_t worker) {
   while (true) {
     const std::size_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
     if (shard >= job.shards) break;
+    ++shards_done;
     try {
       (*job.fn)(shard, worker);
     } catch (...) {
@@ -107,12 +140,18 @@ void ThreadPool::work_on(Job& job, std::size_t worker) {
   }
   tl_in_worker = was_in_worker;
   tl_worker_index = was_index;
+  if constexpr (obs::kEnabled) {
+    PoolMetrics& m = PoolMetrics::get();
+    m.busy_ns.record(obs::now_ns() - busy_start);
+    if (shards_done > 0) m.shards.add(shards_done);
+  }
 }
 
 void ThreadPool::run_shards(
     std::size_t shards,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (shards == 0) return;
+  if constexpr (obs::kEnabled) PoolMetrics::get().jobs.add();
   if (tl_in_worker || workers_.empty()) {
     // Nested (or degenerate single-thread pool): run inline, keeping the
     // enclosing worker slot so worker-indexed accumulators stay valid.

@@ -42,6 +42,9 @@ Strategy make_strategy(RoutingStrategy strategy) {
   return direct_strategy();
 }
 
+/// Duration helper that can never go negative: a fake clock (or a
+/// platform with a non-monotonic steady_clock bug) that hands back
+/// to <= from yields 0, not a wrapped-around huge unsigned value.
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
                          std::chrono::steady_clock::time_point to) {
   return to <= from
@@ -52,14 +55,46 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
                        .count());
 }
 
+/// Span names for the per-query kernel traces, indexed by QueryKind.
+/// Literal pointers: the trace layer borrows, never copies, names.
+constexpr const char* kKernelSpanName[kQueryKindCount] = {
+    "serve.kernel.temporal_distances", "serve.kernel.fastest_journey",
+    "serve.kernel.min_hop_journey",    "serve.kernel.nsf_report",
+    "serve.kernel.centrality",         "serve.kernel.routing_trials",
+};
+
 }  // namespace
+
+QueryBroker::Metrics::Metrics(obs::MetricsRegistry& r)
+    : submitted(r.counter("serve.submitted")),
+      admitted(r.counter("serve.admitted")),
+      shed_queue_full(r.counter("serve.shed_queue_full")),
+      rejected_invalid(r.counter("serve.rejected_invalid")),
+      rejected_shutdown(r.counter("serve.rejected_shutdown")),
+      timed_out(r.counter("serve.timed_out")),
+      executed(r.counter("serve.executed")),
+      batches(r.counter("serve.batches")),
+      csr_builds(r.counter("serve.csr_builds")),
+      csr_reuses(r.counter("serve.csr_reuses")),
+      graph_builds(r.counter("serve.graph_builds")),
+      graph_reuses(r.counter("serve.graph_reuses")),
+      queue_depth(r.gauge("serve.queue_depth")),
+      max_queue_depth(r.gauge("serve.max_queue_depth")),
+      queue_wait_ns(r.histogram("serve.queue_wait_ns")) {
+  for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+    std::string name = "serve.latency.";
+    name += to_string(static_cast<QueryKind>(k));
+    latency[k] = &r.histogram(name);
+  }
+}
 
 QueryBroker::QueryBroker(StreamEngine& engine, TemporalViewObserver* temporal,
                          BrokerConfig config)
     : engine_(engine),
       temporal_(temporal),
       config_(config),
-      cache_(config.cache_bytes) {
+      metrics_(registry_),
+      cache_(config.cache_bytes, &registry_, "serve.cache") {
   engine_.attach(this);
 }
 
@@ -80,18 +115,17 @@ QueryBroker::~QueryBroker() {
     result.cause = RejectCause::kShutdown;
     p.promise.set_value(std::move(result));
   }
-  if (!leftovers.empty()) {
-    std::lock_guard<std::mutex> lk(serve_mu_);
-    stats_.rejected_shutdown += leftovers.size();
-  }
+  metrics_.rejected_shutdown.add(leftovers.size());
+  metrics_.queue_depth.set(0);
   engine_.detach(this);
 }
 
 std::future<QueryResult> QueryBroker::submit(Query query,
                                              SubmitOptions options) {
+  STRUCTNET_OBS_SPAN("serve.submit");
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
-  const Clock::time_point now = Clock::now();
+  const Clock::time_point now = clock_now();
 
   RejectCause shed = RejectCause::kNone;
   {
@@ -109,17 +143,17 @@ std::future<QueryResult> QueryBroker::submit(Query query,
       p.deadline = now + options.deadline;
       queue_.push_back(std::move(p));
       max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+      metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+      metrics_.max_queue_depth.set(
+          static_cast<std::int64_t>(max_queue_depth_));
       queue_cv_.notify_one();
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lk(serve_mu_);
-    ++stats_.submitted;
-    if (shed == RejectCause::kQueueFull) ++stats_.shed_queue_full;
-    if (shed == RejectCause::kShutdown) ++stats_.rejected_shutdown;
-    if (shed == RejectCause::kNone) ++stats_.admitted;
-  }
+  metrics_.submitted.add();
+  if (shed == RejectCause::kQueueFull) metrics_.shed_queue_full.add();
+  if (shed == RejectCause::kShutdown) metrics_.rejected_shutdown.add();
+  if (shed == RejectCause::kNone) metrics_.admitted.add();
   if (shed != RejectCause::kNone) {
     QueryResult result;
     result.status = QueryStatus::kRejected;
@@ -161,6 +195,8 @@ std::optional<RejectCause> QueryBroker::validate(const Query& query) const {
 
 QueryPayload QueryBroker::execute_payload(const Query& query,
                                           TemporalWorkspace& ws) {
+  STRUCTNET_OBS_SPAN(
+      kKernelSpanName[static_cast<std::size_t>(kind_of(query))]);
   // Per-query kernels run serial (threads = 1): the batch is already
   // sharded across the pool one query per shard, and serial kernels
   // keep results trivially thread-count-invariant.
@@ -222,14 +258,14 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
 void QueryBroker::resolve(Pending& pending, QueryResult result,
                           Clock::time_point now) {
   if (result.status == QueryStatus::kOk) {
-    std::lock_guard<std::mutex> lk(serve_mu_);
-    stats_.latency[static_cast<std::size_t>(kind_of(pending.query))].add(
+    metrics_.latency[static_cast<std::size_t>(kind_of(pending.query))]->record(
         elapsed_ns(pending.submitted, now));
   }
   pending.promise.set_value(std::move(result));
 }
 
 std::size_t QueryBroker::flush() {
+  STRUCTNET_OBS_SPAN("serve.flush");
   std::lock_guard<std::mutex> exec_lk(exec_mu_);
 
   std::vector<Pending> batch;
@@ -241,11 +277,12 @@ std::size_t QueryBroker::flush() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   if (batch.empty()) return 0;
 
   const std::uint64_t epoch = engine_.graph().epoch();
-  const Clock::time_point gate_now = Clock::now();
+  const Clock::time_point gate_now = clock_now();
 
   // Phase 1 — admission gate + cache, in submission order. Queries that
   // survive land on the execution list; in-batch duplicates of a
@@ -256,89 +293,92 @@ std::size_t QueryBroker::flush() {
   std::unordered_map<std::string, std::size_t> first_of;  // fp -> exec index
   std::vector<std::pair<std::size_t, std::size_t>> aliases;  // batch, exec
   bool need_csr = false, need_graph = false;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    Pending& p = batch[i];
-    if (!config_.deterministic && p.has_deadline && gate_now > p.deadline) {
-      QueryResult result;
-      result.status = QueryStatus::kTimedOut;
-      {
-        std::lock_guard<std::mutex> lk(serve_mu_);
-        ++stats_.timed_out;
-      }
-      resolve(p, std::move(result), gate_now);
-      continue;
-    }
-    if (const auto cause = validate(p.query)) {
-      QueryResult result;
-      result.status = QueryStatus::kRejected;
-      result.cause = *cause;
-      {
-        std::lock_guard<std::mutex> lk(serve_mu_);
-        ++stats_.rejected_invalid;
-      }
-      resolve(p, std::move(result), gate_now);
-      continue;
-    }
-    const bool cacheable =
-        config_.cache_bytes > 0 && query_cacheable(p.query);
-    std::string fp = cacheable ? query_fingerprint(p.query) : std::string();
-    if (cacheable) {
-      // Batch dedup first: a duplicate of an earlier miss in this batch
-      // waits for that execution instead of running (or probing the
-      // cache — the first instance already missed) again, so hit/miss
-      // counts don't depend on how submissions split into batches.
-      if (const auto it = first_of.find(fp); it != first_of.end()) {
-        aliases.emplace_back(i, it->second);
-        continue;
-      }
-      std::optional<QueryPayload> hit;
-      {
-        std::lock_guard<std::mutex> lk(serve_mu_);
-        hit = cache_.lookup(fp, epoch);
-      }
-      if (hit) {
+  {
+    STRUCTNET_OBS_SPAN("serve.admission");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = batch[i];
+      metrics_.queue_wait_ns.record(elapsed_ns(p.submitted, gate_now));
+      // A deadline that expires exactly at dequeue has no budget left:
+      // classify at >= (the old > let a zero-remaining query through).
+      if (!config_.deterministic && p.has_deadline &&
+          gate_now >= p.deadline) {
         QueryResult result;
-        result.status = QueryStatus::kOk;
-        result.epoch = epoch;
-        result.from_cache = true;
-        result.payload = std::move(*hit);
-        resolve(p, std::move(result), Clock::now());
+        result.status = QueryStatus::kTimedOut;
+        metrics_.timed_out.add();
+        resolve(p, std::move(result), gate_now);
         continue;
       }
-      first_of.emplace(fp, exec.size());
+      if (const auto cause = validate(p.query)) {
+        QueryResult result;
+        result.status = QueryStatus::kRejected;
+        result.cause = *cause;
+        metrics_.rejected_invalid.add();
+        resolve(p, std::move(result), gate_now);
+        continue;
+      }
+      const bool cacheable =
+          config_.cache_bytes > 0 && query_cacheable(p.query);
+      std::string fp = cacheable ? query_fingerprint(p.query) : std::string();
+      if (cacheable) {
+        // Batch dedup first: a duplicate of an earlier miss in this
+        // batch waits for that execution instead of running (or probing
+        // the cache — the first instance already missed) again, so
+        // hit/miss counts don't depend on how submissions split into
+        // batches.
+        if (const auto it = first_of.find(fp); it != first_of.end()) {
+          aliases.emplace_back(i, it->second);
+          continue;
+        }
+        std::optional<QueryPayload> hit;
+        {
+          std::lock_guard<std::mutex> lk(serve_mu_);
+          hit = cache_.lookup(fp, epoch);
+        }
+        if (hit) {
+          QueryResult result;
+          result.status = QueryStatus::kOk;
+          result.epoch = epoch;
+          result.from_cache = true;
+          result.payload = std::move(*hit);
+          resolve(p, std::move(result), clock_now());
+          continue;
+        }
+        first_of.emplace(fp, exec.size());
+      }
+      need_csr = need_csr || query_is_temporal(p.query);
+      need_graph = need_graph || !query_is_temporal(p.query);
+      exec.push_back(i);
+      exec_fp.push_back(std::move(fp));
+      exec_cacheable.push_back(cacheable ? 1 : 0);
     }
-    need_csr = need_csr || query_is_temporal(p.query);
-    need_graph = need_graph || !query_is_temporal(p.query);
-    exec.push_back(i);
-    exec_fp.push_back(std::move(fp));
-    exec_cacheable.push_back(cacheable ? 1 : 0);
   }
 
   // Phase 2 — batch plan: ONE contact index and ONE materialized graph
   // per epoch, shared by every query in the batch (and reused across
   // batches while the epoch holds still).
-  if (need_csr) {
-    if (!csr_valid_ || csr_epoch_ != epoch) {
-      csr_.emplace(temporal_->view());
-      csr_epoch_ = epoch;
-      csr_valid_ = true;
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      ++stats_.csr_builds;
-    } else {
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      ++stats_.csr_reuses;
+  {
+    STRUCTNET_OBS_SPAN("serve.plan");
+    if (need_csr) {
+      if (!csr_valid_ || csr_epoch_ != epoch) {
+        STRUCTNET_OBS_SPAN("serve.plan.csr_build");
+        csr_.emplace(temporal_->view());
+        csr_epoch_ = epoch;
+        csr_valid_ = true;
+        metrics_.csr_builds.add();
+      } else {
+        metrics_.csr_reuses.add();
+      }
     }
-  }
-  if (need_graph) {
-    if (!graph_valid_ || graph_epoch_ != epoch) {
-      graph_.emplace(engine_.graph().materialize());
-      graph_epoch_ = epoch;
-      graph_valid_ = true;
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      ++stats_.graph_builds;
-    } else {
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      ++stats_.graph_reuses;
+    if (need_graph) {
+      if (!graph_valid_ || graph_epoch_ != epoch) {
+        STRUCTNET_OBS_SPAN("serve.plan.graph_build");
+        graph_.emplace(engine_.graph().materialize());
+        graph_epoch_ = epoch;
+        graph_valid_ = true;
+        metrics_.graph_builds.add();
+      } else {
+        metrics_.graph_reuses.add();
+      }
     }
   }
 
@@ -347,6 +387,7 @@ std::size_t QueryBroker::flush() {
   // same per-query results (see parallel/parallel.hpp).
   std::vector<QueryPayload> payloads(exec.size());
   if (!exec.empty()) {
+    STRUCTNET_OBS_SPAN("serve.execute");
     const std::size_t slots = resolve_threads(config_.threads);
     if (workspaces_.size() < slots) workspaces_.resize(slots);
     parallel_for_shards(
@@ -361,73 +402,68 @@ std::size_t QueryBroker::flush() {
         });
   }
 
-  // Phase 4 — cache fill + resolution, in submission order.
-  for (std::size_t i = 0; i < exec.size(); ++i) {
-    Pending& p = batch[exec[i]];
-    const Clock::time_point now = Clock::now();
-    {
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      ++stats_.executed;
-      if (exec_cacheable[i]) cache_.insert(exec_fp[i], epoch, payloads[i]);
-    }
-    if (!config_.deterministic && p.has_deadline && now > p.deadline) {
-      // Finished past the deadline: the caller asked not to wait this
-      // long, so the (valid, now cached) payload is dropped.
-      QueryResult result;
-      result.status = QueryStatus::kTimedOut;
-      {
-        std::lock_guard<std::mutex> lk(serve_mu_);
-        ++stats_.timed_out;
-      }
-      resolve(p, std::move(result), now);
-      continue;
-    }
-    QueryResult result;
-    result.status = QueryStatus::kOk;
-    result.epoch = epoch;
-    result.payload = std::move(payloads[i]);
-    resolve(p, std::move(result), now);
-  }
-
-  // Phase 5 — resolve in-batch duplicates from the freshly filled cache
-  // (a lookup, so the hit is visible in the cache counters).
-  for (const auto& [batch_idx, exec_idx] : aliases) {
-    Pending& p = batch[batch_idx];
-    const Clock::time_point now = Clock::now();
-    std::optional<QueryPayload> hit;
-    {
-      std::lock_guard<std::mutex> lk(serve_mu_);
-      hit = cache_.lookup(exec_fp[exec_idx], epoch);
-    }
-    if (!config_.deterministic && p.has_deadline && now > p.deadline) {
-      QueryResult result;
-      result.status = QueryStatus::kTimedOut;
-      {
-        std::lock_guard<std::mutex> lk(serve_mu_);
-        ++stats_.timed_out;
-      }
-      resolve(p, std::move(result), now);
-      continue;
-    }
-    QueryResult result;
-    result.status = QueryStatus::kOk;
-    result.epoch = epoch;
-    result.from_cache = hit.has_value();
-    // A pathologically small budget can evict the entry before the
-    // duplicate reads it back; recompute serially in that case.
-    result.payload = hit ? std::move(*hit)
-                         : execute_payload(p.query, workspaces_.front());
-    resolve(p, std::move(result), now);
-  }
-
   {
-    std::lock_guard<std::mutex> lk(serve_mu_);
-    ++stats_.batches;
+    STRUCTNET_OBS_SPAN("serve.cache");
+    // Phase 4 — cache fill + resolution, in submission order.
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      Pending& p = batch[exec[i]];
+      const Clock::time_point now = clock_now();
+      metrics_.executed.add();
+      if (exec_cacheable[i]) {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        cache_.insert(exec_fp[i], epoch, payloads[i]);
+      }
+      if (!config_.deterministic && p.has_deadline && now >= p.deadline) {
+        // Finished past the deadline: the caller asked not to wait this
+        // long, so the (valid, now cached) payload is dropped.
+        QueryResult result;
+        result.status = QueryStatus::kTimedOut;
+        metrics_.timed_out.add();
+        resolve(p, std::move(result), now);
+        continue;
+      }
+      QueryResult result;
+      result.status = QueryStatus::kOk;
+      result.epoch = epoch;
+      result.payload = std::move(payloads[i]);
+      resolve(p, std::move(result), now);
+    }
+
+    // Phase 5 — resolve in-batch duplicates from the freshly filled
+    // cache (a lookup, so the hit is visible in the cache counters).
+    for (const auto& [batch_idx, exec_idx] : aliases) {
+      Pending& p = batch[batch_idx];
+      const Clock::time_point now = clock_now();
+      std::optional<QueryPayload> hit;
+      {
+        std::lock_guard<std::mutex> lk(serve_mu_);
+        hit = cache_.lookup(exec_fp[exec_idx], epoch);
+      }
+      if (!config_.deterministic && p.has_deadline && now >= p.deadline) {
+        QueryResult result;
+        result.status = QueryStatus::kTimedOut;
+        metrics_.timed_out.add();
+        resolve(p, std::move(result), now);
+        continue;
+      }
+      QueryResult result;
+      result.status = QueryStatus::kOk;
+      result.epoch = epoch;
+      result.from_cache = hit.has_value();
+      // A pathologically small budget can evict the entry before the
+      // duplicate reads it back; recompute serially in that case.
+      result.payload = hit ? std::move(*hit)
+                           : execute_payload(p.query, workspaces_.front());
+      resolve(p, std::move(result), now);
+    }
   }
+
+  metrics_.batches.add();
   return batch.size();
 }
 
 std::size_t QueryBroker::apply_events(std::span<const Event> events) {
+  STRUCTNET_OBS_SPAN("serve.apply_events");
   std::lock_guard<std::mutex> exec_lk(exec_mu_);
   return engine_.apply_batch(events);
 }
@@ -472,17 +508,34 @@ std::size_t QueryBroker::queue_depth() const {
 }
 
 ServeStats QueryBroker::stats() const {
+  // Reconstructed from the registry metrics: ServeStats and a registry
+  // snapshot read the same cells, so the two views agree value-for-value.
   ServeStats out;
+  out.submitted = metrics_.submitted.value();
+  out.admitted = metrics_.admitted.value();
+  out.shed_queue_full = metrics_.shed_queue_full.value();
+  out.rejected_invalid = metrics_.rejected_invalid.value();
+  out.rejected_shutdown = metrics_.rejected_shutdown.value();
+  out.timed_out = metrics_.timed_out.value();
+  out.executed = metrics_.executed.value();
+  out.batches = metrics_.batches.value();
+  out.csr_builds = metrics_.csr_builds.value();
+  out.csr_reuses = metrics_.csr_reuses.value();
+  out.graph_builds = metrics_.graph_builds.value();
+  out.graph_reuses = metrics_.graph_reuses.value();
   {
     std::lock_guard<std::mutex> lk(serve_mu_);
-    out = stats_;
-    const ResultCache::Stats& c = cache_.stats();
+    const ResultCache::Stats c = cache_.stats();
     out.cache_hits = c.hits;
     out.cache_misses = c.misses;
     out.cache_evictions = c.evictions;
     out.cache_invalidations = c.invalidations;
     out.cache_bytes = c.bytes;
     out.cache_entries = c.entries;
+  }
+  for (std::size_t k = 0; k < kQueryKindCount; ++k) {
+    out.latency[k] =
+        LatencyHistogram::from_snapshot(metrics_.latency[k]->snapshot());
   }
   {
     std::lock_guard<std::mutex> lk(queue_mu_);

@@ -57,6 +57,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/metrics.hpp"
 #include "serve/query.hpp"
 #include "serve/result_cache.hpp"
@@ -80,6 +82,11 @@ struct BrokerConfig {
   /// Disables wall-clock deadline enforcement so a fixed submission
   /// order yields bit-identical results at any thread count.
   bool deterministic = false;
+  /// Clock seam: when set, every wall-clock read (submission stamps,
+  /// deadline expiry, latency accounting) goes through this function
+  /// instead of steady_clock::now(), so deadline classification is
+  /// testable without sleeps. Null = the real monotonic clock.
+  std::chrono::steady_clock::time_point (*now_fn)() = nullptr;
 };
 
 struct SubmitOptions {
@@ -126,8 +133,14 @@ class QueryBroker final : public StreamObserver {
   const BrokerConfig& config() const { return config_; }
 
   /// Consistent snapshot of all serving metrics (includes cache stats
-  /// and queue gauges).
+  /// and queue gauges). Reconstructed from the metrics registry, so it
+  /// matches metrics() value-for-value.
   ServeStats stats() const;
+
+  /// The broker-owned metrics registry backing every serving counter,
+  /// gauge, and latency histogram (including the result cache's, under
+  /// "serve.cache.*"). Snapshot/emit_json are safe while serving.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
 
   // StreamObserver: the engine's epoch/invalidation hook.
   std::string_view name() const override { return "serve"; }
@@ -145,6 +158,32 @@ class QueryBroker final : public StreamObserver {
     Clock::time_point deadline;  // meaningful iff has_deadline
     bool has_deadline = false;
   };
+
+  /// Pinned references into registry_, resolved once at construction so
+  /// the serving hot path never takes the registry lock.
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& r);
+    obs::Counter& submitted;
+    obs::Counter& admitted;
+    obs::Counter& shed_queue_full;
+    obs::Counter& rejected_invalid;
+    obs::Counter& rejected_shutdown;
+    obs::Counter& timed_out;
+    obs::Counter& executed;
+    obs::Counter& batches;
+    obs::Counter& csr_builds;
+    obs::Counter& csr_reuses;
+    obs::Counter& graph_builds;
+    obs::Counter& graph_reuses;
+    obs::Gauge& queue_depth;
+    obs::Gauge& max_queue_depth;
+    obs::Histogram& queue_wait_ns;
+    std::array<obs::Histogram*, kQueryKindCount> latency{};
+  };
+
+  Clock::time_point clock_now() const {
+    return config_.now_fn != nullptr ? config_.now_fn() : Clock::now();
+  }
 
   void dispatch_loop();
   /// Validity gate: nullopt when servable, else the reject cause.
@@ -176,10 +215,14 @@ class QueryBroker final : public StreamObserver {
   bool graph_valid_ = false;
   std::vector<TemporalWorkspace> workspaces_;  // one per worker slot
 
-  // -- metrics + cache (serve_mu_; acquired after exec_mu_ / queue_mu_,
-  //    never the other way around)
+  // -- metrics + cache. Counters/gauges/histograms are lock-free
+  //    registry metrics; serve_mu_ only guards the cache *structure*
+  //    (acquired after exec_mu_ / queue_mu_, never the other way
+  //    around). Declaration order matters: cache_ registers its
+  //    counters into registry_.
+  obs::MetricsRegistry registry_;
+  Metrics metrics_;
   mutable std::mutex serve_mu_;
-  ServeStats stats_;
   ResultCache cache_;
 };
 

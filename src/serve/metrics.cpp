@@ -9,27 +9,28 @@
 namespace structnet {
 
 void LatencyHistogram::add(std::uint64_t ns) {
-  const std::size_t width = std::bit_width(ns);  // 0 for ns == 0
-  const std::size_t bucket =
-      width == 0 ? 0 : std::min<std::size_t>(width - 1, kBuckets - 1);
-  ++bucket_[bucket];
+  ++bucket_[obs::histogram_bucket(ns)];
   ++count_;
   sum_ns_ += ns;
   max_ns_ = std::max(max_ns_, ns);
 }
 
+LatencyHistogram LatencyHistogram::from_snapshot(
+    const obs::HistogramSnapshot& s) {
+  LatencyHistogram h;
+  h.bucket_ = s.buckets;
+  h.count_ = s.count;
+  h.sum_ns_ = s.sum;
+  h.max_ns_ = s.max;
+  return h;
+}
+
 std::uint64_t LatencyHistogram::quantile_upper_ns(double q) const {
-  if (count_ == 0) return 0;
-  q = std::min(1.0, std::max(0.0, q));
-  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += bucket_[i];
-    if (seen > rank || (seen == count_ && seen >= rank)) {
-      return std::uint64_t{1} << (i + 1);  // bucket upper edge
-    }
-  }
-  return std::uint64_t{1} << kBuckets;
+  // One implementation of the nearest-rank bound, shared with the
+  // registry histograms (fixes the legacy floor-rank off-by-one, which
+  // made p99 of exactly 100 samples report the 100th instead of the
+  // 99th, and the saturated-bucket edge lie for clamped samples).
+  return obs::histogram_quantile_upper(bucket_, count_, max_ns_, q);
 }
 
 std::string ServeStats::json(std::string_view label) const {

@@ -10,18 +10,28 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "serve/query.hpp"
 
 namespace structnet {
 
 /// Power-of-two latency histogram over nanoseconds: bucket i counts
 /// samples with bit_width(ns) == i + 1 (i.e. ns in [2^i, 2^(i+1))),
-/// bucket 0 also absorbing ns == 0. 40 buckets cover ~18 minutes.
+/// bucket 0 also absorbing ns == 0, and the LAST bucket absorbing every
+/// sample at or above 2^(kBuckets-1) (values saturate into it — they
+/// are never dropped). 40 buckets cover ~18 minutes.
+///
+/// The bucket geometry is the obs layer's (obs::histogram_bucket), so a
+/// registry histogram snapshot converts losslessly via from_snapshot().
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 40;
+  static constexpr std::size_t kBuckets = obs::kHistogramBuckets;
 
   void add(std::uint64_t ns);
+
+  /// A LatencyHistogram with exactly the counts of a registry histogram
+  /// snapshot — how ServeStats materializes broker latency metrics.
+  static LatencyHistogram from_snapshot(const obs::HistogramSnapshot& s);
 
   std::uint64_t count() const { return count_; }
   std::uint64_t max_ns() const { return max_ns_; }
@@ -30,8 +40,11 @@ class LatencyHistogram {
                        : static_cast<double>(sum_ns_) /
                              static_cast<double>(count_);
   }
-  /// Upper edge (ns) of the bucket holding quantile q in [0, 1] — an
-  /// upper bound on the true quantile; 0 when empty.
+  /// Nearest-rank quantile upper bound: an upper bound (ns) on the
+  /// sample at rank ceil(q * count), q in [0, 1]. Bounded by the bucket
+  /// upper edge tightened by max_ns(); when the rank falls in the
+  /// saturated last bucket the bound is max_ns() itself (the edge would
+  /// under-report clamped samples). 0 when empty.
   std::uint64_t quantile_upper_ns(double q) const;
 
   const std::array<std::uint64_t, kBuckets>& buckets() const {

@@ -4,21 +4,53 @@
 
 namespace structnet {
 
+namespace {
+
+std::string metric_name(std::string_view prefix, std::string_view leaf) {
+  std::string name(prefix);
+  name += '.';
+  name += leaf;
+  return name;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t byte_budget,
+                         obs::MetricsRegistry* registry,
+                         std::string_view prefix)
+    : budget_(byte_budget),
+      owned_registry_(registry == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      registry_(registry != nullptr ? registry : owned_registry_.get()),
+      hits_(registry_->counter(metric_name(prefix, "hits"))),
+      misses_(registry_->counter(metric_name(prefix, "misses"))),
+      inserts_(registry_->counter(metric_name(prefix, "inserts"))),
+      evictions_(registry_->counter(metric_name(prefix, "evictions"))),
+      invalidations_(registry_->counter(metric_name(prefix, "invalidations"))),
+      bytes_gauge_(registry_->gauge(metric_name(prefix, "bytes"))),
+      entries_gauge_(registry_->gauge(metric_name(prefix, "entries"))) {}
+
 std::string ResultCache::make_key(const std::string& fingerprint,
                                   std::uint64_t epoch) {
   return fingerprint + '@' + std::to_string(epoch);
+}
+
+void ResultCache::publish_gauges() {
+  bytes_gauge_.set(static_cast<std::int64_t>(bytes_));
+  entries_gauge_.set(static_cast<std::int64_t>(lru_.size()));
 }
 
 std::optional<QueryPayload> ResultCache::lookup(const std::string& fingerprint,
                                                 std::uint64_t epoch) {
   const auto it = index_.find(make_key(fingerprint, epoch));
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_.add();
     return std::nullopt;
   }
   // Refresh recency: move the entry to the front of the LRU list.
   lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
+  hits_.add();
   return it->second->payload;
 }
 
@@ -26,24 +58,26 @@ void ResultCache::insert(const std::string& fingerprint, std::uint64_t epoch,
                          const QueryPayload& payload) {
   std::string key = make_key(fingerprint, epoch);
   if (const auto it = index_.find(key); it != index_.end()) {
-    stats_.bytes -= it->second->bytes;
+    // Same-key overwrite: swap the byte charge atomically with the
+    // payload so an eviction triggered below never double-counts.
+    bytes_ -= it->second->bytes;
     it->second->payload = payload;
     it->second->bytes = payload_bytes(payload);
-    stats_.bytes += it->second->bytes;
+    bytes_ += it->second->bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     const std::size_t bytes = payload_bytes(payload);
     lru_.push_front(Entry{key, epoch, payload, bytes});
     index_.emplace(std::move(key), lru_.begin());
-    stats_.bytes += bytes;
+    bytes_ += bytes;
     min_epoch_ = lru_.size() == 1 ? epoch : std::min(min_epoch_, epoch);
   }
-  ++stats_.inserts;
-  while (stats_.bytes > budget_ && !lru_.empty()) {
+  inserts_.add();
+  while (bytes_ > budget_ && !lru_.empty()) {
     erase_entry(std::prev(lru_.end()));
-    ++stats_.evictions;
+    evictions_.add();
   }
-  stats_.entries = lru_.size();
+  publish_gauges();
 }
 
 void ResultCache::invalidate_before(std::uint64_t epoch) {
@@ -53,28 +87,53 @@ void ResultCache::invalidate_before(std::uint64_t epoch) {
     if (it->epoch < epoch) {
       const auto doomed = it++;
       erase_entry(doomed);
-      ++stats_.invalidations;
+      invalidations_.add();
     } else {
       min_left = std::min(min_left, it->epoch);
       ++it;
     }
   }
   min_epoch_ = lru_.empty() ? 0 : min_left;
-  stats_.entries = lru_.size();
+  publish_gauges();
 }
 
 void ResultCache::clear() {
   lru_.clear();
   index_.clear();
   min_epoch_ = 0;
-  stats_.bytes = 0;
-  stats_.entries = 0;
+  bytes_ = 0;
+  publish_gauges();
 }
 
 void ResultCache::erase_entry(Lru::iterator it) {
-  stats_.bytes -= it->bytes;
+  bytes_ -= it->bytes;
   index_.erase(it->key);
   lru_.erase(it);
+  // An emptied cache holds no epoch, so the hint must not keep the old
+  // minimum (a later insert at a smaller epoch would min() against it
+  // and stay correct, but the reset keeps the fast path exact).
+  if (lru_.empty()) min_epoch_ = 0;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.inserts = inserts_.value();
+  s.evictions = evictions_.value();
+  s.invalidations = invalidations_.value();
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+ResultCache::Recount ResultCache::recount() const {
+  Recount r;
+  for (const Entry& e : lru_) {
+    r.bytes += payload_bytes(e.payload);
+    ++r.entries;
+  }
+  return r;
 }
 
 }  // namespace structnet

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel.hpp"
 
 namespace structnet {
@@ -21,19 +23,30 @@ void StreamEngine::detach(StreamObserver* observer) {
 }
 
 bool StreamEngine::apply(const Event& event) {
+  STRUCTNET_OBS_SPAN("stream.apply");
+  static obs::Counter& accepted_ctr =
+      obs::MetricsRegistry::global().counter("stream.events_accepted");
+  static obs::Counter& rejected_ctr =
+      obs::MetricsRegistry::global().counter("stream.events_rejected");
   const EventEffect effect = graph_.apply(event);
   if (!effect.accepted) {
     ++rejected_;
     ++reject_counts_[static_cast<std::size_t>(effect.reject)];
+    rejected_ctr.add();
     return false;
   }
   ++accepted_;
+  accepted_ctr.add();
   for (StreamObserver* obs : observers_) obs->on_event(graph_, event, effect);
   return true;
 }
 
 std::size_t StreamEngine::recompute_all(std::size_t threads) {
+  STRUCTNET_OBS_SPAN("stream.recompute_all");
   if (observers_.empty()) return 0;
+  static obs::Counter& recomputes =
+      obs::MetricsRegistry::global().counter("stream.observer_recomputes");
+  recomputes.add(observers_.size());
   // Warm the snapshot cache to the current epoch first: once warmed,
   // concurrent materialize() calls from observer recomputes only read
   // the cached replay state (no replay, no cache mutation).
@@ -53,6 +66,7 @@ void StreamEngine::restore_counters(
 }
 
 std::size_t StreamEngine::apply_batch(std::span<const Event> events) {
+  STRUCTNET_OBS_SPAN("stream.apply_batch");
   std::size_t ok = 0;
   for (const Event& e : events) ok += apply(e);
   for (StreamObserver* obs : observers_) obs->on_batch_end(graph_);

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace structnet {
 
 TemporalCsr::TemporalCsr(const TemporalGraph& eg)
     : n_(eg.vertex_count()), horizon_(eg.horizon()) {
+  STRUCTNET_OBS_SPAN("temporal.csr_build");
+  static obs::Counter& builds =
+      obs::MetricsRegistry::global().counter("temporal.csr_builds");
+  builds.add();
   const std::size_t m = eg.edge_count();
   edge_u_.resize(m);
   edge_v_.resize(m);
@@ -170,6 +177,10 @@ EarliestArrival TemporalWorkspace::to_earliest_arrival() const {
 void csr_earliest_arrival(const TemporalCsr& csr, VertexId source,
                           TimeUnit t_start, TemporalWorkspace& ws,
                           VertexId stop_at) {
+  STRUCTNET_OBS_SPAN("temporal.csr_earliest_arrival");
+  static obs::Counter& calls = obs::MetricsRegistry::global().counter(
+      "temporal.csr_earliest_arrival_calls");
+  calls.add();
   assert(source < csr.vertex_count());
   ws.bind(csr);
   ws.begin_sweep();
@@ -272,6 +283,10 @@ void csr_earliest_arrival(const TemporalCsr& csr, VertexId source,
 std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
     const TemporalCsr& csr, VertexId source, VertexId target, TimeUnit t_start,
     TemporalWorkspace& ws) {
+  STRUCTNET_OBS_SPAN("temporal.csr_fastest_departure");
+  static obs::Counter& calls = obs::MetricsRegistry::global().counter(
+      "temporal.csr_fastest_departure_calls");
+  calls.add();
   assert(source < csr.vertex_count() && target < csr.vertex_count());
   assert(source != target);
   ws.bind(csr);
@@ -353,6 +368,10 @@ std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr& csr,
                                                VertexId source, VertexId target,
                                                TimeUnit t_start,
                                                TemporalWorkspace& ws) {
+  STRUCTNET_OBS_SPAN("temporal.csr_minimum_hop_journey");
+  static obs::Counter& calls = obs::MetricsRegistry::global().counter(
+      "temporal.csr_minimum_hop_journey_calls");
+  calls.add();
   assert(source < csr.vertex_count() && target < csr.vertex_count());
   if (source == target) return Journey{};
   ws.bind(csr);

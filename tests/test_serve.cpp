@@ -571,5 +571,217 @@ TEST(ServeChurnTest, ConcurrentSubmitAndApplyNeverDeadlocks) {
   EXPECT_GT(ok, 0u);
 }
 
+// ---------------------------------------------- accounting regressions
+
+TEST(ResultCacheTest, ChurnKeepsByteAccountingExact) {
+  // Deterministic churn across every mutation path — same-key
+  // overwrites (shrinking and growing), budget evictions, epoch
+  // invalidations, clear — asserting after every operation that the
+  // tracked bytes/entries equal a full recount of the live entries.
+  Rng rng(99);
+  ResultCache cache(/*byte_budget=*/600);
+  const auto assert_exact = [&](const char* where, std::size_t step) {
+    const ResultCache::Recount r = cache.recount();
+    const ResultCache::Stats s = cache.stats();
+    ASSERT_EQ(s.bytes, r.bytes) << where << " step " << step;
+    ASSERT_EQ(s.entries, r.entries) << where << " step " << step;
+    ASSERT_LE(s.bytes, cache.byte_budget()) << where << " step " << step;
+  };
+  std::uint64_t epoch = 1;
+  for (std::size_t step = 0; step < 500; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55) {
+      // Insert / overwrite under a handful of keys so overwrites with a
+      // different payload size happen constantly.
+      const std::string key = "k" + std::to_string(rng.index(6));
+      std::vector<TimeUnit> payload(rng.index(40));
+      for (TimeUnit& t : payload) t = static_cast<TimeUnit>(rng.index(100));
+      cache.insert(key, epoch, QueryPayload(std::move(payload)));
+      assert_exact("insert", step);
+    } else if (roll < 0.75) {
+      (void)cache.lookup("k" + std::to_string(rng.index(8)), epoch);
+      assert_exact("lookup", step);
+    } else if (roll < 0.92) {
+      ++epoch;
+      if (rng.uniform01() < 0.5) cache.invalidate_before(epoch);
+      assert_exact("advance", step);
+    } else {
+      cache.clear();
+      assert_exact("clear", step);
+    }
+  }
+  // Drain and confirm the empty cache accounts to zero.
+  cache.invalidate_before(epoch + 1);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.recount().bytes, 0u);
+}
+
+TEST(LatencyHistogramTest, PercentileEdgeCases) {
+  // Empty: every quantile is 0.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.quantile_upper_ns(0.99), 0u);
+  EXPECT_EQ(empty.quantile_upper_ns(0.0), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_ns(), 0.0);
+
+  // Single sample: every quantile bounds it tightly (max-tightened).
+  LatencyHistogram one;
+  one.add(777);
+  EXPECT_EQ(one.quantile_upper_ns(0.0), 777u);
+  EXPECT_EQ(one.quantile_upper_ns(0.99), 777u);
+  EXPECT_EQ(one.quantile_upper_ns(1.0), 777u);
+
+  // p99 of exactly 100 samples is the 99th order statistic, not the
+  // 100th (the legacy floor-rank off-by-one): 99 small samples in
+  // [16, 32) and one huge outlier must keep p99 at the small bucket.
+  LatencyHistogram hundred;
+  for (int i = 0; i < 99; ++i) hundred.add(20);
+  hundred.add(1'000'000);
+  ASSERT_EQ(hundred.count(), 100u);
+  EXPECT_LE(hundred.quantile_upper_ns(0.99), 32u);
+  EXPECT_EQ(hundred.quantile_upper_ns(1.0), 1'000'000u);
+
+  // Samples at/above 2^39 clamp into the last bucket but are never
+  // dropped, and quantiles landing there report the recorded max (the
+  // bucket edge would lie low).
+  LatencyHistogram sat;
+  const std::uint64_t huge = (std::uint64_t{1} << 62) + 5;
+  sat.add(huge);
+  sat.add(huge);
+  EXPECT_EQ(sat.count(), 2u);
+  EXPECT_EQ(sat.max_ns(), huge);
+  EXPECT_EQ(sat.quantile_upper_ns(0.5), huge);
+  EXPECT_EQ(sat.quantile_upper_ns(0.99), huge);
+
+  // Bucket-boundary off-by-one: 2^k lands in bucket k, so a quantile
+  // resolving to that bucket is bounded by 2^(k+1), not 2^k.
+  LatencyHistogram edge;
+  edge.add(16);  // bucket 4: [16, 32)
+  EXPECT_EQ(edge.quantile_upper_ns(1.0), 16u);  // tightened by max
+  edge.add(31);
+  EXPECT_EQ(edge.quantile_upper_ns(1.0), 31u);  // still inside bucket 4
+}
+
+// ------------------------------------------------- deterministic clock
+
+std::atomic<std::int64_t> g_fake_now_ns{0};
+
+std::chrono::steady_clock::time_point fake_now() {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(g_fake_now_ns.load()));
+}
+
+TEST(QueryBrokerTest, DeadlineExpiringExactlyAtDequeueTimesOut) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.now_fn = &fake_now;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  SubmitOptions opt;
+  opt.deadline = std::chrono::nanoseconds(100);
+
+  // Zero budget remaining at the admission gate: boundary-exact expiry.
+  g_fake_now_ns.store(0);
+  auto exact = broker.submit(TemporalDistancesQuery{0, 0}, opt);
+  g_fake_now_ns.store(100);  // now == deadline
+  broker.flush();
+  EXPECT_EQ(exact.get().status, QueryStatus::kTimedOut);
+
+  // One nanosecond of budget left: runs and resolves Ok.
+  g_fake_now_ns.store(1000);
+  auto alive = broker.submit(TemporalDistancesQuery{0, 0}, opt);
+  g_fake_now_ns.store(1099);  // now < deadline (1100)
+  broker.flush();
+  EXPECT_EQ(alive.get().status, QueryStatus::kOk);
+  EXPECT_EQ(broker.stats().timed_out, 1u);
+}
+
+TEST(QueryBrokerTest, BackwardsClockYieldsZeroLatencyNotUnderflow) {
+  // A non-monotonic clock (or a fake one stepping backwards) must never
+  // wrap the unsigned latency into ~2^64 ns.
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.now_fn = &fake_now;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  g_fake_now_ns.store(1'000'000);
+  auto f = broker.submit(TemporalDistancesQuery{0, 0});
+  g_fake_now_ns.store(500);  // clock stepped backwards before the flush
+  broker.flush();
+  EXPECT_EQ(f.get().status, QueryStatus::kOk);
+
+  const ServeStats stats = broker.stats();
+  const LatencyHistogram& h =
+      stats.latency[static_cast<std::size_t>(QueryKind::kTemporalDistances)];
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+// ------------------------------------------- registry / legacy surface
+
+TEST(QueryBrokerTest, StatsMatchesRegistrySnapshotBitForBit) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  cfg.deterministic = true;
+  cfg.max_queue = 4;  // force shedding
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (std::size_t round = 0; round < 3; ++round) {
+    futures.push_back(
+        broker.submit(TemporalDistancesQuery{ServeRig::kNodes + 9, 0}));
+    for (std::size_t i = 0; i < 8; ++i) {  // queue bound 4: the rest shed
+      futures.push_back(broker.submit(
+          TemporalDistancesQuery{static_cast<VertexId>(i % 3), 0}));
+    }
+    broker.flush();
+    broker.flush();
+  }
+  for (auto& f : futures) f.get();
+
+  const ServeStats stats = broker.stats();
+  const obs::MetricsRegistry::Snapshot snap = broker.metrics().snapshot();
+  EXPECT_EQ(stats.submitted, snap.counter_value("serve.submitted"));
+  EXPECT_EQ(stats.admitted, snap.counter_value("serve.admitted"));
+  EXPECT_EQ(stats.shed_queue_full,
+            snap.counter_value("serve.shed_queue_full"));
+  EXPECT_EQ(stats.rejected_invalid,
+            snap.counter_value("serve.rejected_invalid"));
+  EXPECT_EQ(stats.timed_out, snap.counter_value("serve.timed_out"));
+  EXPECT_EQ(stats.executed, snap.counter_value("serve.executed"));
+  EXPECT_EQ(stats.batches, snap.counter_value("serve.batches"));
+  EXPECT_EQ(stats.csr_builds, snap.counter_value("serve.csr_builds"));
+  EXPECT_EQ(stats.csr_reuses, snap.counter_value("serve.csr_reuses"));
+  EXPECT_EQ(stats.cache_hits, snap.counter_value("serve.cache.hits"));
+  EXPECT_EQ(stats.cache_misses, snap.counter_value("serve.cache.misses"));
+  EXPECT_EQ(stats.cache_evictions,
+            snap.counter_value("serve.cache.evictions"));
+  EXPECT_EQ(stats.cache_invalidations,
+            snap.counter_value("serve.cache.invalidations"));
+  EXPECT_EQ(static_cast<std::int64_t>(stats.cache_bytes),
+            snap.gauge_value("serve.cache.bytes"));
+  EXPECT_EQ(static_cast<std::int64_t>(stats.cache_entries),
+            snap.gauge_value("serve.cache.entries"));
+  EXPECT_EQ(static_cast<std::int64_t>(stats.max_queue_depth),
+            snap.gauge_value("serve.max_queue_depth"));
+
+  // Latency histograms reconstruct from the same registry cells.
+  const obs::HistogramSnapshot* lat =
+      snap.histogram_snapshot("serve.latency.temporal_distances");
+  ASSERT_NE(lat, nullptr);
+  const LatencyHistogram& h =
+      stats.latency[static_cast<std::size_t>(QueryKind::kTemporalDistances)];
+  EXPECT_EQ(h.count(), lat->count);
+  EXPECT_EQ(h.max_ns(), lat->max);
+  EXPECT_EQ(h.buckets(), lat->buckets);
+
+  // There was real traffic behind the equalities.
+  EXPECT_GT(stats.shed_queue_full, 0u);
+  EXPECT_GT(stats.rejected_invalid, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
 }  // namespace
 }  // namespace structnet
