@@ -175,6 +175,97 @@ void shed_rate_table() {
   t.print(std::cout, "admission control: shed rate vs queue bound");
 }
 
+/// Interleaved churn + temporal queries: the delta planner folds events
+/// into its overlay while the legacy planner rebuilds the contact index
+/// on every epoch change. Same event/query sequence in both modes, so
+/// the served payloads must agree byte-for-byte.
+void churn_serving_table() {
+  struct Mode {
+    double ns_per_round = 0.0;
+    ServeStats stats;
+    std::vector<TimeUnit> probe;
+  };
+  constexpr std::size_t kRounds = 40, kChurn = 60, kQueries = 4;
+  const auto run = [&](bool delta_index) {
+    ServeFixture fx(29);
+    BrokerConfig cfg;
+    cfg.threads = 1;
+    cfg.cache_bytes = 0;  // measure planning + execution, not hits
+    cfg.deterministic = true;
+    cfg.delta_index = delta_index;
+    QueryBroker broker(fx.engine, &fx.view, cfg);
+
+    Rng rng(5);
+    Mode m;
+    m.ns_per_round =
+        time_ns_per_op(kRounds, [&](std::size_t) {
+          std::vector<Event> batch;
+          batch.reserve(kChurn);
+          for (std::size_t i = 0; i < kChurn; ++i) {
+            const auto u = static_cast<VertexId>(rng.index(kNodes));
+            auto v = static_cast<VertexId>(rng.index(kNodes));
+            if (u == v) v = static_cast<VertexId>((v + 1) % kNodes);
+            const auto t = static_cast<TimeUnit>(rng.index(kHorizon));
+            if (rng.uniform01() < 0.2) {
+              batch.push_back(Event::contact_relabel(
+                  u, v, t, static_cast<TimeUnit>(rng.index(kHorizon))));
+            } else {
+              batch.push_back(Event::contact_add(u, v, t));
+            }
+          }
+          broker.apply_events(batch);
+          std::vector<std::future<QueryResult>> futures;
+          for (std::size_t q = 0; q < kQueries; ++q) {
+            futures.push_back(broker.submit(TemporalDistancesQuery{
+                static_cast<VertexId>(rng.index(kNodes)), 0}));
+          }
+          broker.flush();
+          for (auto& f : futures) f.get();
+        });
+    auto probe = broker.submit(TemporalDistancesQuery{7, 0});
+    broker.flush();
+    m.probe = std::get<std::vector<TimeUnit>>(probe.get().payload);
+    m.stats = broker.stats();
+    return m;
+  };
+
+  const Mode delta = run(true);
+  const Mode legacy = run(false);
+  const bool match = delta.probe == legacy.probe;
+  const double speedup = delta.ns_per_round > 0.0
+                             ? legacy.ns_per_round / delta.ns_per_round
+                             : 0.0;
+  Table t({"planner", "us_per_round", "csr_builds", "csr_delta_appends",
+           "csr_compactions", "results_match"});
+  t.add_row({"legacy", Table::num(legacy.ns_per_round / 1e3, 1),
+             Table::num(legacy.stats.csr_builds),
+             Table::num(legacy.stats.csr_delta_appends),
+             Table::num(legacy.stats.csr_compactions), match ? "yes" : "NO"});
+  t.add_row({"delta", Table::num(delta.ns_per_round / 1e3, 1),
+             Table::num(delta.stats.csr_builds),
+             Table::num(delta.stats.csr_delta_appends),
+             Table::num(delta.stats.csr_compactions), match ? "yes" : "NO"});
+  t.print(std::cout, "churn serving: delta-advance planning vs legacy "
+                     "rebuild-per-epoch (" +
+                         std::to_string(kChurn) + " events + " +
+                         std::to_string(kQueries) + " queries per round)");
+  for (const Mode* m : {&delta, &legacy}) {
+    BenchJson("serve_churn")
+        .field("impl", m == &delta ? "delta" : "legacy")
+        .field("n", std::uint64_t(kRounds))
+        .threads(1)
+        .field("ns_per_round", m->ns_per_round)
+        .field("csr_builds", m->stats.csr_builds)
+        .field("csr_reuses", m->stats.csr_reuses)
+        .field("csr_delta_appends", m->stats.csr_delta_appends)
+        .field("csr_compactions", m->stats.csr_compactions)
+        .field("speedup_vs_legacy",
+               m == &delta ? speedup : 1.0)
+        .field("results_match", match ? "yes" : "no")
+        .emit();
+  }
+}
+
 void serve_stats_smoke() {
   // One mixed run whose ServeStats JSON line lands in the BENCH stream.
   ServeFixture fx;
@@ -236,6 +327,8 @@ int traced_smoke() {
     check("serve.batches", stats.batches);
     check("serve.csr_builds", stats.csr_builds);
     check("serve.csr_reuses", stats.csr_reuses);
+    check("serve.csr_delta_appends", stats.csr_delta_appends);
+    check("serve.csr_compactions", stats.csr_compactions);
     check("serve.cache.hits", stats.cache_hits);
     check("serve.cache.misses", stats.cache_misses);
     check("serve.cache.evictions", stats.cache_evictions);
@@ -323,6 +416,7 @@ int main(int argc, char** argv) {
   structnet::cache_speedup_table();
   structnet::throughput_table();
   structnet::shed_rate_table();
+  structnet::churn_serving_table();
   structnet::serve_stats_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

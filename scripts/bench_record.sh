@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Record benchmark results: run the Release temporal + serving benches
+# and append their machine-readable JSON lines, stamped with the date
+# and commit, to BENCH_temporal.json and BENCH_serve.json at the repo
+# root (one JSON object per line, append-only history).
+#
+#   scripts/bench_record.sh            # build, run, append both files
+#   SKIP_BUILD=1 scripts/bench_record.sh   # reuse existing build-bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j"$jobs" \
+    --target bench_temporal_paths bench_serve
+fi
+
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+record() {
+  local bin="$1" out="$2"
+  # The no-match filter skips registered google-benchmark loops; the
+  # experiment tables (the JSON source) always run.
+  ./build-bench/bench/"$bin" --benchmark_filter='^structnet_smoke_none$' \
+    2>/dev/null |
+    python3 -c '
+import json, sys
+stamp, commit = sys.argv[1], sys.argv[2]
+n = 0
+for line in sys.stdin:
+    line = line.strip()
+    if not line.startswith("{"):
+        continue
+    rec = json.loads(line)
+    rec["date"] = stamp
+    rec["commit"] = commit
+    print(json.dumps(rec))
+    n += 1
+if n == 0:
+    sys.exit("no BENCH JSON lines from bench run")
+' "$stamp" "$commit" >>"$out"
+  echo "bench_record: appended $(grep -c "\"date\": \"$stamp\"" "$out") \
+lines from $bin to $out"
+}
+
+record bench_temporal_paths BENCH_temporal.json
+record bench_serve BENCH_serve.json
+echo "bench_record: OK ($stamp, $commit)"

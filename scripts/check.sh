@@ -21,13 +21,13 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSTRUCTNET_SANITIZE=ON >/dev/null
   cmake --build build-asan -j"$jobs"
   ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry|ObsTrace'
+    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|TemporalDelta|DeltaCsrObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CrashRecovery|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry|ObsTrace'
 
   echo "== sanitizer pass (TSan): parallel + stream + serve + obs tests =="
   cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|FaultRouting|QueryBroker|ServeChurn|ObsCounter|ObsRegistry|ObsTrace'
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|TemporalDelta|DeltaCsrObserver|FaultRouting|QueryBroker|ServeChurn|ObsCounter|ObsRegistry|ObsTrace'
 fi
 
 if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then
@@ -35,7 +35,7 @@ if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then
   cmake -B build-obs-off -S . -DSTRUCTNET_OBS=OFF >/dev/null
   cmake --build build-obs-off -j"$jobs"
   ctest --test-dir build-obs-off --output-on-failure -j"$jobs" \
-    -R 'ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry'
+    -R 'ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|TemporalDelta|DeltaCsrObserver|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry'
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
@@ -52,11 +52,13 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   # bench_serve's tables double as the serving smoke: cache on/off,
   # throughput vs load, and shed-rate sweeps all run before the JSON
   # validation below sees their lines.
+  bench_out="$(mktemp -d)"
   for b in bench_temporal_paths bench_small_world bench_faults bench_serve; do
     extra=()
     [[ "$b" == bench_faults ]] && extra=(--smoke)
     ./build-bench/bench/"$b" "${extra[@]}" \
       --benchmark_filter='^structnet_smoke_none$' 2>/dev/null |
+      tee "$bench_out/$b.out" |
       python3 -c '
 import json, sys
 name = sys.argv[1]
@@ -70,6 +72,51 @@ for l in lines:
 print(name + ": " + str(len(lines)) + " BENCH/METRICS JSON lines parse")
 ' "$b"
   done
+
+  echo "== churn gate: delta planner amortizes CSR builds at >= 10x =="
+  # Kernel-level: folding 1% churn into the delta overlay must beat a
+  # full rebuild by >= 10x with bit-identical kernel results.
+  # Serve-level: under a churn workload the delta broker's serve.csr_builds
+  # stays bounded by 1 + compactions while serve.csr_delta_appends grows;
+  # the legacy broker rebuilds every epoch.
+  python3 - "$bench_out/bench_temporal_paths.out" "$bench_out/bench_serve.out" <<'PYEOF'
+import json, sys
+
+def recs(path):
+    with open(path) as f:
+        return [json.loads(l) for l in f if l.strip().startswith("{")]
+
+churn = [r for r in recs(sys.argv[1])
+         if r.get("bench") == "churn_index_maintenance"]
+if not churn:
+    sys.exit("churn gate: no churn_index_maintenance record")
+c = churn[0]
+if c["results_match"] != "yes":
+    sys.exit("churn gate: delta kernels diverged from rebuilt CSR")
+if c["speedup_vs_rebuild"] < 10.0:
+    sys.exit("churn gate: planning speedup %.2fx < 10x"
+             % c["speedup_vs_rebuild"])
+
+serve = {r["impl"]: r for r in recs(sys.argv[2])
+         if r.get("bench") == "serve_churn"}
+d, l = serve.get("delta"), serve.get("legacy")
+if d is None or l is None:
+    sys.exit("churn gate: missing serve_churn delta/legacy records")
+if d["results_match"] != "yes":
+    sys.exit("churn gate: delta serving results diverged from legacy")
+if d["csr_delta_appends"] == 0:
+    sys.exit("churn gate: delta planner recorded no csr_delta_appends")
+if d["csr_builds"] > 1 + d["csr_compactions"]:
+    sys.exit("churn gate: csr_builds %d exceeds 1 + compactions %d"
+             % (d["csr_builds"], d["csr_compactions"]))
+if l["csr_builds"] <= d["csr_builds"]:
+    sys.exit("churn gate: legacy builds %d not above delta builds %d"
+             % (l["csr_builds"], d["csr_builds"]))
+print("churn gate: %.1fx planning speedup; delta builds %d vs legacy %d, "
+      "%d delta appends" % (c["speedup_vs_rebuild"], d["csr_builds"],
+                            l["csr_builds"], d["csr_delta_appends"]))
+PYEOF
+  rm -rf "$bench_out"
 
   echo "== obs smoke: traced serving run must emit a valid Chrome trace =="
   # bench_serve --smoke installs a TraceSink, drives a deterministic

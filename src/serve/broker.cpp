@@ -76,6 +76,8 @@ QueryBroker::Metrics::Metrics(obs::MetricsRegistry& r)
       batches(r.counter("serve.batches")),
       csr_builds(r.counter("serve.csr_builds")),
       csr_reuses(r.counter("serve.csr_reuses")),
+      csr_delta_appends(r.counter("serve.csr_delta_appends")),
+      csr_compactions(r.counter("serve.csr_compactions")),
       graph_builds(r.counter("serve.graph_builds")),
       graph_reuses(r.counter("serve.graph_reuses")),
       queue_depth(r.gauge("serve.queue_depth")),
@@ -96,6 +98,17 @@ QueryBroker::QueryBroker(StreamEngine& engine, TemporalViewObserver* temporal,
       metrics_(registry_),
       cache_(config.cache_bytes, &registry_, "serve.cache") {
   engine_.attach(this);
+  if (temporal_ != nullptr && config_.delta_index) {
+    // Attached after the temporal view (which the owner attached before
+    // constructing the broker), so attach-time recompute() adopts the
+    // view's current state and later events fold behind it. The observer
+    // writes the same registry cells Metrics pinned above
+    // (serve.csr_builds / serve.csr_delta_appends / serve.csr_compactions).
+    delta_obs_.emplace(*temporal_, config_.csr_compact_ratio, &registry_,
+                       "serve");
+    engine_.attach(&*delta_obs_);
+    delta_csr_ = &delta_obs_->index();
+  }
 }
 
 QueryBroker::~QueryBroker() {
@@ -117,6 +130,7 @@ QueryBroker::~QueryBroker() {
   }
   metrics_.rejected_shutdown.add(leftovers.size());
   metrics_.queue_depth.set(0);
+  if (delta_obs_) engine_.detach(&*delta_obs_);
   engine_.detach(this);
 }
 
@@ -200,11 +214,21 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
   // Per-query kernels run serial (threads = 1): the batch is already
   // sharded across the pool one query per shard, and serial kernels
   // keep results trivially thread-count-invariant.
+  //
+  // Temporal kernels dispatch to whichever contact index the planner
+  // maintains — the delta overlay (default) or the legacy per-epoch
+  // TemporalCsr. Both expose the same iteration interface, and the
+  // kernels are bit-identical across the two (see temporal_delta.hpp).
+  const auto on_index = [this](auto&& kernel) -> decltype(auto) {
+    return delta_csr_ != nullptr ? kernel(*delta_csr_) : kernel(*csr_);
+  };
   return std::visit(
       [&](const auto& q) -> QueryPayload {
         using T = std::decay_t<decltype(q)>;
         if constexpr (std::is_same_v<T, TemporalDistancesQuery>) {
-          csr_earliest_arrival(*csr_, q.source, q.t_start, ws);
+          on_index([&](const auto& index) {
+            return csr_earliest_arrival(index, q.source, q.t_start, ws);
+          });
           EarliestArrival ea = ws.to_earliest_arrival();
           return QueryPayload(std::move(ea.completion));
         } else if constexpr (std::is_same_v<T, FastestJourneyQuery>) {
@@ -214,17 +238,23 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
           if (q.source == q.target) {
             return QueryPayload(std::optional<Journey>(Journey{}));
           }
-          const auto fd =
-              csr_fastest_departure(*csr_, q.source, q.target, q.t_start, ws);
+          const auto fd = on_index([&](const auto& index) {
+            return csr_fastest_departure(index, q.source, q.target, q.t_start,
+                                         ws);
+          });
           if (!fd) return QueryPayload(std::optional<Journey>());
-          csr_earliest_arrival(*csr_, q.source, fd->first, ws, q.target);
+          on_index([&](const auto& index) {
+            return csr_earliest_arrival(index, q.source, fd->first, ws,
+                                        q.target);
+          });
           assert(ws.arrival(q.target) != kNeverTime);
           return QueryPayload(std::optional<Journey>(
               journey_from_workspace(ws, q.source, q.target)));
         } else if constexpr (std::is_same_v<T, MinHopJourneyQuery>) {
-          return QueryPayload(
-              csr_minimum_hop_journey(*csr_, q.source, q.target, q.t_start,
-                                      ws));
+          return QueryPayload(on_index([&](const auto& index) {
+            return csr_minimum_hop_journey(index, q.source, q.target,
+                                           q.t_start, ws);
+          }));
         } else if constexpr (std::is_same_v<T, NsfReportQuery>) {
           return QueryPayload(
               nsf_report(*graph_, q.stop_fraction, q.ks_threshold, 1));
@@ -247,8 +277,12 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
           faults.loss_seed = q.loss_seed;
           faults.plan = q.plan;
           faults.retry = q.retry;
+          // The plan phase force-folded the delta for this batch, so the
+          // base is the full current index.
+          const TemporalCsr& index =
+              delta_csr_ != nullptr ? delta_csr_->base() : *csr_;
           return QueryPayload(simulate_routing_trials(
-              *csr_, q.source, q.destination, q.t0, make_strategy(q.strategy),
+              index, q.source, q.destination, q.t0, make_strategy(q.strategy),
               q.initial_copies, faults, q.trials, 1));
         }
       },
@@ -292,7 +326,7 @@ std::size_t QueryBroker::flush() {
   std::vector<char> exec_cacheable;
   std::unordered_map<std::string, std::size_t> first_of;  // fp -> exec index
   std::vector<std::pair<std::size_t, std::size_t>> aliases;  // batch, exec
-  bool need_csr = false, need_graph = false;
+  bool need_csr = false, need_graph = false, need_full_csr = false;
   {
     STRUCTNET_OBS_SPAN("serve.admission");
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -347,6 +381,10 @@ std::size_t QueryBroker::flush() {
       }
       need_csr = need_csr || query_is_temporal(p.query);
       need_graph = need_graph || !query_is_temporal(p.query);
+      // Routing simulation runs against the full base index, so a batch
+      // carrying one forces the delta planner to fold its overlay.
+      need_full_csr = need_full_csr ||
+                      std::holds_alternative<RoutingTrialsQuery>(p.query);
       exec.push_back(i);
       exec_fp.push_back(std::move(fp));
       exec_cacheable.push_back(cacheable ? 1 : 0);
@@ -359,7 +397,14 @@ std::size_t QueryBroker::flush() {
   {
     STRUCTNET_OBS_SPAN("serve.plan");
     if (need_csr) {
-      if (!csr_valid_ || csr_epoch_ != epoch) {
+      if (delta_obs_) {
+        // Delta-advance planning: the observer has been folding accepted
+        // contact events all along, so the merged index already sits at
+        // this epoch. Only a fired compaction policy — or a routing
+        // query, which simulates against the full base — pays a rebuild.
+        STRUCTNET_OBS_SPAN("serve.plan.delta_advance");
+        if (!delta_obs_->advance(need_full_csr)) metrics_.csr_reuses.add();
+      } else if (!csr_valid_ || csr_epoch_ != epoch) {
         STRUCTNET_OBS_SPAN("serve.plan.csr_build");
         csr_.emplace(temporal_->view());
         csr_epoch_ = epoch;
@@ -521,6 +566,8 @@ ServeStats QueryBroker::stats() const {
   out.batches = metrics_.batches.value();
   out.csr_builds = metrics_.csr_builds.value();
   out.csr_reuses = metrics_.csr_reuses.value();
+  out.csr_delta_appends = metrics_.csr_delta_appends.value();
+  out.csr_compactions = metrics_.csr_compactions.value();
   out.graph_builds = metrics_.graph_builds.value();
   out.graph_reuses = metrics_.graph_reuses.value();
   {

@@ -11,7 +11,9 @@
 //                                   result cache (fingerprint, epoch)
 //                                     hit |   | miss
 //                                         |   v
-//                                         |  batch plan: ONE TemporalCsr
+//                                         |  batch plan: delta-advance the
+//                                         |  contact index (legacy mode:
+//                                         |  ONE TemporalCsr per epoch)
 //                                         |  + ONE materialized Graph per
 //                                         |  epoch, shared by the batch
 //                                         |   v
@@ -62,9 +64,11 @@
 #include "serve/metrics.hpp"
 #include "serve/query.hpp"
 #include "serve/result_cache.hpp"
+#include "stream/csr_observer.hpp"
 #include "stream/engine.hpp"
 #include "stream/observers.hpp"
 #include "temporal/temporal_csr.hpp"
+#include "temporal/temporal_delta.hpp"
 
 namespace structnet {
 
@@ -82,6 +86,15 @@ struct BrokerConfig {
   /// Disables wall-clock deadline enforcement so a fixed submission
   /// order yields bit-identical results at any thread count.
   bool deterministic = false;
+  /// Incremental contact-index maintenance: accepted contact events fold
+  /// into a DeltaTemporalCsr overlay (via a DeltaCsrObserver the broker
+  /// attaches behind the temporal view) and batch planning advances the
+  /// delta instead of rebuilding the TemporalCsr on every epoch change.
+  /// Off = legacy rebuild-on-epoch-change planning.
+  bool delta_index = true;
+  /// Delta/base size ratio beyond which planning folds the overlay into
+  /// a fresh base (see DeltaTemporalCsr::needs_compaction).
+  double csr_compact_ratio = 0.25;
   /// Clock seam: when set, every wall-clock read (submission stamps,
   /// deadline expiry, latency accounting) goes through this function
   /// instead of steady_clock::now(), so deadline classification is
@@ -173,6 +186,8 @@ class QueryBroker final : public StreamObserver {
     obs::Counter& batches;
     obs::Counter& csr_builds;
     obs::Counter& csr_reuses;
+    obs::Counter& csr_delta_appends;
+    obs::Counter& csr_compactions;
     obs::Counter& graph_builds;
     obs::Counter& graph_reuses;
     obs::Gauge& queue_depth;
@@ -207,9 +222,15 @@ class QueryBroker final : public StreamObserver {
 
   // -- executor state: only touched under exec_mu_
   std::mutex exec_mu_;
-  std::optional<TemporalCsr> csr_;        // shared same-epoch contact index
+  std::optional<TemporalCsr> csr_;        // legacy same-epoch contact index
   std::uint64_t csr_epoch_ = 0;
   bool csr_valid_ = false;
+  /// Delta-maintained contact index (config.delta_index): the observer
+  /// folds accepted contact events as they stream in, so planning only
+  /// compacts (never rebuilds per epoch). delta_csr_ aliases its index
+  /// and doubles as the "delta mode on" flag in execute_payload.
+  std::optional<DeltaCsrObserver> delta_obs_;
+  const DeltaTemporalCsr* delta_csr_ = nullptr;
   std::optional<Graph> graph_;            // shared same-epoch static graph
   std::uint64_t graph_epoch_ = 0;
   bool graph_valid_ = false;

@@ -46,6 +46,8 @@ std::string ServeStats::json(std::string_view label) const {
       .field("batches", batches)
       .field("csr_builds", csr_builds)
       .field("csr_reuses", csr_reuses)
+      .field("csr_delta_appends", csr_delta_appends)
+      .field("csr_compactions", csr_compactions)
       .field("graph_builds", graph_builds)
       .field("graph_reuses", graph_reuses)
       .field("cache_hits", cache_hits)
@@ -79,7 +81,10 @@ void ServeStats::print(std::ostream& os) const {
      << " invalidations=" << cache_invalidations << " bytes=" << cache_bytes
      << " entries=" << cache_entries << "\n"
      << "amortization: csr_builds=" << csr_builds
-     << " csr_reuses=" << csr_reuses << " graph_builds=" << graph_builds
+     << " csr_reuses=" << csr_reuses
+     << " csr_delta_appends=" << csr_delta_appends
+     << " csr_compactions=" << csr_compactions
+     << " graph_builds=" << graph_builds
      << " graph_reuses=" << graph_reuses << "\n";
   for (std::size_t k = 0; k < kQueryKindCount; ++k) {
     const LatencyHistogram& h = latency[k];

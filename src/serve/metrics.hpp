@@ -75,6 +75,11 @@ struct ServeStats {
   /// Per-epoch snapshot amortization: index/graph builds vs reuses.
   std::uint64_t csr_builds = 0;
   std::uint64_t csr_reuses = 0;
+  /// Incremental index maintenance (delta mode): contact events folded
+  /// into the overlay, and delta-into-base compactions (each compaction
+  /// also counts as a build above).
+  std::uint64_t csr_delta_appends = 0;
+  std::uint64_t csr_compactions = 0;
   std::uint64_t graph_builds = 0;
   std::uint64_t graph_reuses = 0;
 

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "temporal/temporal_kernels.hpp"
 
 namespace structnet {
 
@@ -29,6 +30,39 @@ TemporalCsr::TemporalCsr(const TemporalGraph& eg)
     for (TimeUnit t : edge.labels) ++time_count[t];
   }
 
+  // Per-edge label arrays: a straight copy (TemporalGraph keeps each
+  // label set sorted ascending already).
+  edge_label_offsets_.assign(m + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    edge_label_offsets_[e + 1] =
+        edge_label_offsets_[e] + eg.edge(e).labels.size();
+  }
+  edge_labels_.resize(contact_count_);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto& labels = eg.edge(e).labels;
+    std::copy(labels.begin(), labels.end(),
+              edge_labels_.begin() + edge_label_offsets_[e]);
+  }
+
+  // Global stream: per-unit spans in edge id order (edge ids visited
+  // ascending), matching the legacy bucket_by_time bucket contents.
+  time_offsets_.assign(static_cast<std::size_t>(horizon_) + 1, 0);
+  for (TimeUnit t = 0; t < horizon_; ++t) {
+    time_offsets_[t + 1] = time_offsets_[t] + time_count[t];
+  }
+  stream_edge_.resize(contact_count_);
+  std::vector<std::size_t> tfill(time_offsets_.begin(),
+                                 time_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    for (TimeUnit t : eg.edge(e).labels) stream_edge_[tfill[t]++] = e;
+  }
+
+  // Per-vertex contact regions, (time, edge id)-sorted, via a counting
+  // pass instead of a per-vertex comparison sort: one chronological walk
+  // over the finished stream visits contacts in globally ascending
+  // (t, e), so appending each contact to both endpoint regions fills
+  // every region already in the required order. O(C) instead of the
+  // previous O(C log C) stable_sort per vertex.
   vertex_offsets_.assign(n_ + 1, 0);
   for (std::size_t v = 0; v < n_; ++v) {
     vertex_offsets_[v + 1] = vertex_offsets_[v] + vertex_deg[v];
@@ -36,47 +70,20 @@ TemporalCsr::TemporalCsr(const TemporalGraph& eg)
   contact_time_.resize(2 * contact_count_);
   contact_neighbor_.resize(2 * contact_count_);
   contact_edge_.resize(2 * contact_count_);
-
-  // Fill each vertex region in (edge id, label) order, then stable-sort
-  // by time so ties keep edge id order — the per-unit scan order the
-  // earliest-arrival closure depends on. incident_edges() lists edge
-  // ids ascending (edges append on creation), so one pass over it per
-  // vertex fills the region already edge-sorted.
   std::vector<std::size_t> fill(vertex_offsets_.begin(),
                                 vertex_offsets_.end() - 1);
-  std::vector<std::size_t> order;
-  std::vector<TimeUnit> tt;
-  std::vector<VertexId> nn;
-  std::vector<EdgeId> ee;
-  for (std::size_t v = 0; v < n_; ++v) {
-    for (EdgeId e : eg.incident_edges(v)) {
-      const auto& edge = eg.edge(e);
-      const VertexId other = edge.u == v ? edge.v : edge.u;
-      for (TimeUnit t : edge.labels) {
-        const std::size_t i = fill[v]++;
-        contact_time_[i] = t;
-        contact_neighbor_[i] = other;
-        contact_edge_[i] = e;
-      }
+  for (TimeUnit t = 0; t < horizon_; ++t) {
+    for (const EdgeId e : edges_at(t)) {
+      const VertexId u = edge_u_[e], v = edge_v_[e];
+      std::size_t i = fill[u]++;
+      contact_time_[i] = t;
+      contact_neighbor_[i] = v;
+      contact_edge_[i] = e;
+      i = fill[v]++;
+      contact_time_[i] = t;
+      contact_neighbor_[i] = u;
+      contact_edge_[i] = e;
     }
-    const std::size_t lo = vertex_offsets_[v], hi = vertex_offsets_[v + 1];
-    order.resize(hi - lo);
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = lo + i;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return contact_time_[a] < contact_time_[b];
-                     });
-    tt.resize(hi - lo);
-    nn.resize(hi - lo);
-    ee.resize(hi - lo);
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      tt[i] = contact_time_[order[i]];
-      nn[i] = contact_neighbor_[order[i]];
-      ee[i] = contact_edge_[order[i]];
-    }
-    std::copy(tt.begin(), tt.end(), contact_time_.begin() + lo);
-    std::copy(nn.begin(), nn.end(), contact_neighbor_.begin() + lo);
-    std::copy(ee.begin(), ee.end(), contact_edge_.begin() + lo);
   }
 
   // Distinct-edge adjacency (edges that still carry labels only) and
@@ -106,30 +113,6 @@ TemporalCsr::TemporalCsr(const TemporalGraph& eg)
       adj_neighbor_[i] = edge.u == v ? edge.v : edge.u;
     }
   }
-  edge_label_offsets_.assign(m + 1, 0);
-  for (EdgeId e = 0; e < m; ++e) {
-    edge_label_offsets_[e + 1] =
-        edge_label_offsets_[e] + eg.edge(e).labels.size();
-  }
-  edge_labels_.resize(contact_count_);
-  for (EdgeId e = 0; e < m; ++e) {
-    const auto& labels = eg.edge(e).labels;
-    std::copy(labels.begin(), labels.end(),
-              edge_labels_.begin() + edge_label_offsets_[e]);
-  }
-
-  // Global stream: per-unit spans in edge id order (edge ids visited
-  // ascending), matching the legacy bucket_by_time bucket contents.
-  time_offsets_.assign(static_cast<std::size_t>(horizon_) + 1, 0);
-  for (TimeUnit t = 0; t < horizon_; ++t) {
-    time_offsets_[t + 1] = time_offsets_[t] + time_count[t];
-  }
-  stream_edge_.resize(contact_count_);
-  std::vector<std::size_t> tfill(time_offsets_.begin(),
-                                 time_offsets_.end() - 1);
-  for (EdgeId e = 0; e < m; ++e) {
-    for (TimeUnit t : eg.edge(e).labels) stream_edge_[tfill[t]++] = e;
-  }
 }
 
 std::size_t TemporalCsr::first_contact_at(VertexId v, TimeUnit t) const {
@@ -146,9 +129,9 @@ std::size_t TemporalCsr::first_contact_after(VertexId v, TimeUnit t) const {
       std::upper_bound(lo, hi, t) - contact_time_.begin());
 }
 
-void TemporalWorkspace::bind(const TemporalCsr& csr) {
-  if (n_ == csr.vertex_count()) return;
-  n_ = csr.vertex_count();
+void TemporalWorkspace::bind(std::size_t n) {
+  if (n_ == n) return;
+  n_ = n;
   // epoch_/tick_ keep counting monotonically: zeroed stamps are always
   // stale relative to the next begin_sweep()/next_tick().
   stamp_.assign(n_, 0);
@@ -181,103 +164,7 @@ void csr_earliest_arrival(const TemporalCsr& csr, VertexId source,
   static obs::Counter& calls = obs::MetricsRegistry::global().counter(
       "temporal.csr_earliest_arrival_calls");
   calls.add();
-  assert(source < csr.vertex_count());
-  ws.bind(csr);
-  ws.begin_sweep();
-  ws.reached_ = 0;
-  ws.set_arrival(source, t_start, JourneyHop{});
-  if (stop_at != kInvalidVertex && stop_at == source) return;
-
-  // seeds_ holds the still-unreached vertices that can ever be reached
-  // (vertices with no contacts stay at kNeverTime in the legacy kernel
-  // too); the sweep is done the moment it drains.
-  const std::size_t n = csr.vertex_count();
-  ws.seeds_.clear();
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto id = static_cast<VertexId>(v);
-    if (id != source && csr.contacts_begin(id) != csr.contacts_end(id)) {
-      ws.seeds_.push_back(id);
-    }
-  }
-
-  for (TimeUnit t = t_start; t < csr.horizon() && !ws.seeds_.empty(); ++t) {
-    const auto unit = csr.edges_at(t);
-    if (unit.empty()) continue;
-
-    // A unit fires nothing unless some edge starts it with exactly one
-    // reached endpoint (every cascade needs a first firing), i.e. some
-    // unreached vertex has a contact at t with a reached neighbor.
-    // Probe through whichever side is smaller: the unreached list (one
-    // lower_bound + walk each) or the unit's edge span.
-    bool active = false;
-    if (ws.seeds_.size() < unit.size()) {
-      for (const VertexId w : ws.seeds_) {
-        for (std::size_t i = csr.first_contact_at(w, t);
-             i < csr.contacts_end(w) && csr.contact_time(i) == t; ++i) {
-          if (ws.reached(csr.contact_neighbor(i))) {
-            active = true;
-            break;
-          }
-        }
-        if (active) break;
-      }
-    } else {
-      for (const EdgeId e : unit) {
-        if (ws.reached(csr.edge_u(e)) != ws.reached(csr.edge_v(e))) {
-          active = true;
-          break;
-        }
-      }
-    }
-    if (!active) continue;
-
-    // Legacy fixed point in the span's edge id order (= the legacy
-    // bucket scan order, so the firing sequence and via hops match
-    // exactly). The first pass covers the whole span; edges that fire
-    // or already have both endpoints reached can never fire again, so
-    // re-scan passes keep only the both-unreached remainder.
-    ws.local_edges_.clear();
-    bool changed = false;
-    for (const EdgeId e : unit) {
-      const VertexId u = csr.edge_u(e), v = csr.edge_v(e);
-      const bool ru = ws.reached(u), rv = ws.reached(v);
-      if (ru && !rv) {
-        ws.set_arrival(v, t, JourneyHop{u, v, t});
-        changed = true;
-      } else if (rv && !ru) {
-        ws.set_arrival(u, t, JourneyHop{v, u, t});
-        changed = true;
-      } else if (!ru && !rv) {
-        ws.local_edges_.push_back(e);
-      }
-    }
-    while (changed) {
-      changed = false;
-      std::size_t live = 0;
-      for (const EdgeId e : ws.local_edges_) {
-        const VertexId u = csr.edge_u(e), v = csr.edge_v(e);
-        const bool ru = ws.reached(u), rv = ws.reached(v);
-        if (ru && !rv) {
-          ws.set_arrival(v, t, JourneyHop{u, v, t});
-          changed = true;
-        } else if (rv && !ru) {
-          ws.set_arrival(u, t, JourneyHop{v, u, t});
-          changed = true;
-        } else if (!ru && !rv) {
-          ws.local_edges_[live++] = e;
-        }
-      }
-      ws.local_edges_.resize(live);
-    }
-
-    if (stop_at != kInvalidVertex && ws.reached(stop_at)) return;
-
-    std::size_t keep = 0;
-    for (const VertexId w : ws.seeds_) {
-      if (!ws.reached(w)) ws.seeds_[keep++] = w;
-    }
-    ws.seeds_.resize(keep);
-  }
+  detail::WorkspaceOps::earliest_arrival(csr, source, t_start, ws, stop_at);
 }
 
 std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
@@ -287,81 +174,8 @@ std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
   static obs::Counter& calls = obs::MetricsRegistry::global().counter(
       "temporal.csr_fastest_departure_calls");
   calls.add();
-  assert(source < csr.vertex_count() && target < csr.vertex_count());
-  assert(source != target);
-  ws.bind(csr);
-  ws.begin_sweep();
-  ws.reached_ = 0;
-
-  // Profile state, per vertex x: arrival_[x] (epoch-stamped) holds the
-  // latest departure d(x) such that some journey source -> x departing
-  // at d(x) >= t_start has arrived by the time unit being processed.
-  // Each unit merges d() over the unit's snapshot components (union-
-  // find, values on roots), with the source contributing "depart now".
-  // Whenever d(target) strictly improves to d at unit t, a journey
-  // departing at d arrives exactly at t, so t - d is a candidate span;
-  // the minimum over these events is the fastest-journey span.
-  std::optional<std::pair<TimeUnit, TimeUnit>> best;
-  TimeUnit best_span = kNeverTime;
-
-  for (TimeUnit t = t_start; t < csr.horizon(); ++t) {
-    const auto bucket = csr.edges_at(t);
-    if (bucket.empty()) continue;
-    const std::uint64_t tick = ws.next_tick();
-    ws.touched_.clear();
-
-    // find() with per-unit lazy init: a fresh vertex becomes its own
-    // root carrying its current d() (the source contributes t, which
-    // dominates any earlier departure it may hold).
-    const auto find = [&](VertexId x) {
-      if (ws.vertex_tick_[x] != tick) {
-        ws.vertex_tick_[x] = tick;
-        ws.parent_[x] = x;
-        ws.touched_.push_back(x);
-        if (x == source) {
-          ws.value_tick_[x] = tick;
-          ws.value_[x] = t;
-        } else if (ws.stamp_[x] == ws.epoch_) {
-          ws.value_tick_[x] = tick;
-          ws.value_[x] = ws.arrival_[x];
-        }
-      }
-      while (ws.parent_[x] != x) {
-        ws.parent_[x] = ws.parent_[ws.parent_[x]];
-        x = ws.parent_[x];
-      }
-      return x;
-    };
-
-    for (EdgeId e : bucket) {
-      const VertexId ru = find(csr.edge_u(e)), rv = find(csr.edge_v(e));
-      if (ru == rv) continue;
-      ws.parent_[ru] = rv;
-      if (ws.value_tick_[ru] == tick &&
-          (ws.value_tick_[rv] != tick || ws.value_[ru] > ws.value_[rv])) {
-        ws.value_tick_[rv] = tick;
-        ws.value_[rv] = ws.value_[ru];
-      }
-    }
-
-    for (VertexId x : ws.touched_) {
-      const VertexId r = find(x);
-      if (ws.value_tick_[r] != tick) continue;
-      const TimeUnit d = ws.value_[r];
-      if (ws.stamp_[x] == ws.epoch_ && ws.arrival_[x] >= d) continue;
-      ws.stamp_[x] = ws.epoch_;
-      ws.arrival_[x] = d;
-      if (x == target) {
-        const TimeUnit span = t - d;
-        if (span < best_span) {
-          best_span = span;
-          best = {d, t};
-        }
-      }
-    }
-    if (best_span == 0) break;
-  }
-  return best;
+  return detail::WorkspaceOps::fastest_departure(csr, source, target, t_start,
+                                                 ws);
 }
 
 std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr& csr,
@@ -372,95 +186,7 @@ std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr& csr,
   static obs::Counter& calls = obs::MetricsRegistry::global().counter(
       "temporal.csr_minimum_hop_journey_calls");
   calls.add();
-  assert(source < csr.vertex_count() && target < csr.vertex_count());
-  if (source == target) return Journey{};
-  ws.bind(csr);
-  ws.begin_sweep();
-  ws.reached_ = 0;
-
-  const std::size_t n = csr.vertex_count();
-  // ready(v) lives in arrival_ (epoch-stamped; unreached = kNeverTime).
-  ws.set_arrival(source, t_start, JourneyHop{});
-  ws.seeds_.assign(1, source);  // current frontier
-  ws.via_flat_.clear();
-  ws.layer_off_.assign(1, 0);
-
-  for (std::size_t h = 0; h + 1 < n + 1; ++h) {
-    // Per-layer candidate state in value_ (stamped by value_tick_):
-    // value_[w] = best next-ready so far, value_edge_[w] = its edge id
-    // (legacy takes the FIRST strict improvement in edge id scan order,
-    // i.e. the minimal (label, edge id) pair among strict improvers —
-    // the two directions of an edge target different vertices, so edge
-    // id alone breaks ties). Only vertices improved in the previous
-    // layer can strictly improve anything (an older ready[from] already
-    // produced the same candidate one layer earlier), so relaxing only
-    // frontier-incident contacts matches the full Bellman-Ford scan.
-    const std::uint64_t tick = ws.next_tick();
-    ws.newly_.clear();
-    for (VertexId v : ws.seeds_) {
-      const TimeUnit rv = ws.arrival_[v];
-      // One candidate per distinct incident edge: its first label at or
-      // after ready(v) (later labels of the same edge lose the (label,
-      // edge id) comparison to it, so skipping them changes nothing).
-      for (std::size_t i = csr.incident_begin(v); i < csr.incident_end(v);
-           ++i) {
-        const EdgeId e = csr.incident_edge(i);
-        const auto labels = csr.edge_labels(e);
-        const auto it = std::lower_bound(labels.begin(), labels.end(), rv);
-        if (it == labels.end()) continue;
-        const TimeUnit t = *it;
-        const VertexId w = csr.incident_neighbor(i);
-        if (ws.value_tick_[w] == tick) {
-          if (t < ws.value_[w] ||
-              (t == ws.value_[w] && e < ws.value_edge_[w])) {
-            ws.value_[w] = t;
-            ws.value_edge_[w] = e;
-            ws.hop_cand_[w] = JourneyHop{v, w, t};
-          }
-        } else if (!(ws.reached(w)) || t < ws.arrival_[w]) {
-          ws.value_tick_[w] = tick;
-          ws.value_[w] = t;
-          ws.value_edge_[w] = e;
-          ws.hop_cand_[w] = JourneyHop{v, w, t};
-          ws.newly_.push_back(w);
-        }
-      }
-    }
-    if (ws.newly_.empty()) return std::nullopt;
-
-    std::sort(ws.newly_.begin(), ws.newly_.end());
-    bool target_hit = false;
-    for (VertexId w : ws.newly_) {
-      if (w == target && !ws.reached(w)) target_hit = true;
-      if (!ws.reached(w)) {
-        ws.set_arrival(w, ws.value_[w], ws.hop_cand_[w]);
-      } else {
-        ws.arrival_[w] = ws.value_[w];
-      }
-      ws.via_flat_.emplace_back(w, ws.hop_cand_[w]);
-    }
-    ws.layer_off_.push_back(ws.via_flat_.size());
-
-    if (target_hit) {
-      Journey j;
-      VertexId cur = target;
-      for (std::size_t layer = ws.layer_off_.size() - 1; layer-- > 0;) {
-        if (cur == source) break;
-        const auto lo = ws.via_flat_.begin() + ws.layer_off_[layer];
-        const auto hi = ws.via_flat_.begin() + ws.layer_off_[layer + 1];
-        const auto it = std::lower_bound(
-            lo, hi, cur, [](const auto& p, VertexId v) { return p.first < v; });
-        if (it == hi || it->first != cur) continue;  // reached earlier layer
-        j.hops.push_back(it->second);
-        cur = it->second.from;
-      }
-      assert(cur == source);
-      std::reverse(j.hops.begin(), j.hops.end());
-      return j;
-    }
-    ws.seeds_.swap(ws.newly_);
-  }
-  return std::nullopt;
+  return detail::WorkspaceOps::minimum_hop(csr, source, target, t_start, ws);
 }
 
 }  // namespace structnet

@@ -48,13 +48,27 @@
 // This is what lets the converted callers (temporal betweenness walks
 // via chains!) keep legacy-identical results.
 //
-// Rebuild-on-mutation contract: TemporalCsr is an immutable snapshot of
-// the TemporalGraph it was built from. Mutating the graph (add_contact,
-// remove_label, ...) does NOT invalidate the index lazily — callers
-// must rebuild. The intended pattern is build-once per analysis, reuse
-// across all sources/queries.
+// Rebuild-on-mutation contract (revised): TemporalCsr itself is an
+// immutable snapshot of the TemporalGraph it was built from — mutating
+// the graph (add_contact, remove_label, ...) does NOT invalidate the
+// index lazily, and callers that hold a bare TemporalCsr must rebuild.
+// For churny callers the intended pattern is no longer rebuild-per-
+// mutation: DeltaTemporalCsr (temporal_delta.hpp) wraps an immutable
+// base TemporalCsr plus compact sorted delta arrays, absorbs
+// add_contact/remove_label in O(log delta) each, serves the same three
+// kernels bit-identically through a merged base+delta view, and folds
+// the delta into a fresh base only when a size-ratio compaction policy
+// triggers. Build-once-per-analysis remains the right pattern for
+// static traces; DeltaTemporalCsr is the right pattern when the trace
+// keeps evolving under a query stream (see QueryBroker).
+//
+// The kernels themselves are templates over the index (internal header
+// temporal_kernels.hpp, instantiated for TemporalCsr here and for
+// DeltaTemporalCsr in temporal_delta.cpp); the public csr_* functions
+// below are the TemporalCsr instantiations.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -66,6 +80,10 @@
 #include "temporal/temporal_graph.hpp"
 
 namespace structnet {
+
+namespace detail {
+struct WorkspaceOps;
+}  // namespace detail
 
 /// Immutable cache-friendly index over a TemporalGraph's contacts.
 class TemporalCsr {
@@ -120,6 +138,47 @@ class TemporalCsr {
             time_offsets_[t + 1] - time_offsets_[t]};
   }
 
+  // ---- kernel iteration interface (shared shape with DeltaTemporalCsr;
+  //      contract documented in temporal_kernels.hpp)
+
+  bool has_contacts(VertexId v) const {
+    return vertex_offsets_[v] != vertex_offsets_[v + 1];
+  }
+  std::size_t unit_size(TimeUnit t) const {
+    return time_offsets_[t + 1] - time_offsets_[t];
+  }
+  /// Any contact of v at exactly time t whose neighbor satisfies pred?
+  template <class Pred>
+  bool find_contact_at(VertexId v, TimeUnit t, Pred&& pred) const {
+    for (std::size_t i = first_contact_at(v, t);
+         i < vertex_offsets_[v + 1] && contact_time_[i] == t; ++i) {
+      if (pred(contact_neighbor_[i])) return true;
+    }
+    return false;
+  }
+  /// f(EdgeId) over unit t in ascending edge id order; f returns false
+  /// to stop early.
+  template <class Fn>
+  void for_each_edge_at(TimeUnit t, Fn&& f) const {
+    for (const EdgeId e : edges_at(t)) {
+      if (!f(e)) return;
+    }
+  }
+  /// f(EdgeId, VertexId neighbor) over v's distinct incident edges in
+  /// ascending edge id order; f returns false to stop early.
+  template <class Fn>
+  void for_each_incident(VertexId v, Fn&& f) const {
+    for (std::size_t i = adj_offsets_[v]; i < adj_offsets_[v + 1]; ++i) {
+      if (!f(adj_edge_[i], adj_neighbor_[i])) return;
+    }
+  }
+  /// Earliest label of e at or after t (kNeverTime when none).
+  TimeUnit first_label_at(EdgeId e, TimeUnit t) const {
+    const auto labels = edge_labels(e);
+    const auto it = std::lower_bound(labels.begin(), labels.end(), t);
+    return it == labels.end() ? kNeverTime : *it;
+  }
+
  private:
   std::size_t n_ = 0;
   TimeUnit horizon_ = 0;
@@ -163,16 +222,9 @@ class TemporalWorkspace {
   EarliestArrival to_earliest_arrival() const;
 
  private:
-  friend void csr_earliest_arrival(const TemporalCsr&, VertexId, TimeUnit,
-                                   TemporalWorkspace&, VertexId);
-  friend std::optional<std::pair<TimeUnit, TimeUnit>> csr_fastest_departure(
-      const TemporalCsr&, VertexId, VertexId, TimeUnit, TemporalWorkspace&);
-  friend std::optional<Journey> csr_minimum_hop_journey(const TemporalCsr&,
-                                                        VertexId, VertexId,
-                                                        TimeUnit,
-                                                        TemporalWorkspace&);
+  friend struct detail::WorkspaceOps;
 
-  void bind(const TemporalCsr& csr);
+  void bind(std::size_t n);
   std::uint64_t begin_sweep() { return ++epoch_; }
   std::uint64_t next_tick() { return ++tick_; }
   bool reached(VertexId v) const { return stamp_[v] == epoch_; }

@@ -1,0 +1,329 @@
+// Internal: the temporal-path kernel bodies, templated over the contact
+// index they read. Two instantiations exist — the immutable TemporalCsr
+// and the base+delta DeltaTemporalCsr overlay — and both must replay the
+// legacy fixed point bit-for-bit, so the kernels only touch the index
+// through a narrow iteration interface that hides the memory layout:
+//
+//   vertex_count() / horizon() / edge_u(e) / edge_v(e)
+//   has_contacts(v)          — v has at least one live contact
+//   unit_size(t)             — number of live contacts during unit t
+//   find_contact_at(v, t, p) — any contact of v at exactly t with p(nbr)?
+//   for_each_edge_at(t, f)   — live edges of unit t, ASCENDING edge id
+//                              (the legacy bucket scan order); f returns
+//                              false to stop early
+//   for_each_incident(v, f)  — distinct incident edges of v, ASCENDING
+//                              edge id; edges with no live labels may
+//                              appear (they can never produce a
+//                              candidate); f returns false to stop
+//   first_label_at(e, t)     — earliest live label of e at or after t,
+//                              kNeverTime when none
+//
+// Ascending-edge-id iteration is the load-bearing requirement: it is
+// what makes the same-unit closure fire in the legacy sequence and the
+// min-hop (label, edge id) tie-breaks resolve identically on every
+// index. Included only by temporal_csr.cpp / temporal_delta.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "temporal/temporal_csr.hpp"
+
+namespace structnet::detail {
+
+// The single friend of TemporalWorkspace: every kernel body lives here
+// as a static member template so one friend declaration covers all
+// index instantiations.
+struct WorkspaceOps {
+  template <class Index>
+  static void earliest_arrival(const Index& csr, VertexId source,
+                               TimeUnit t_start, TemporalWorkspace& ws,
+                               VertexId stop_at);
+  template <class Index>
+  static std::optional<std::pair<TimeUnit, TimeUnit>> fastest_departure(
+      const Index& csr, VertexId source, VertexId target, TimeUnit t_start,
+      TemporalWorkspace& ws);
+  template <class Index>
+  static std::optional<Journey> minimum_hop(const Index& csr, VertexId source,
+                                            VertexId target, TimeUnit t_start,
+                                            TemporalWorkspace& ws);
+};
+
+template <class Index>
+void WorkspaceOps::earliest_arrival(const Index& csr, VertexId source,
+                                    TimeUnit t_start, TemporalWorkspace& ws,
+                                    VertexId stop_at) {
+  assert(source < csr.vertex_count());
+  ws.bind(csr.vertex_count());
+  ws.begin_sweep();
+  ws.reached_ = 0;
+  ws.set_arrival(source, t_start, JourneyHop{});
+  if (stop_at != kInvalidVertex && stop_at == source) return;
+
+  // seeds_ holds the still-unreached vertices that can ever be reached
+  // (vertices with no contacts stay at kNeverTime in the legacy kernel
+  // too); the sweep is done the moment it drains.
+  const std::size_t n = csr.vertex_count();
+  ws.seeds_.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<VertexId>(v);
+    if (id != source && csr.has_contacts(id)) ws.seeds_.push_back(id);
+  }
+
+  for (TimeUnit t = t_start; t < csr.horizon() && !ws.seeds_.empty(); ++t) {
+    const std::size_t unit_size = csr.unit_size(t);
+    if (unit_size == 0) continue;
+
+    // A unit fires nothing unless some edge starts it with exactly one
+    // reached endpoint (every cascade needs a first firing), i.e. some
+    // unreached vertex has a contact at t with a reached neighbor.
+    // Probe through whichever side is smaller: the unreached list (one
+    // lower_bound + walk each) or the unit's edge span.
+    bool active = false;
+    if (ws.seeds_.size() < unit_size) {
+      for (const VertexId w : ws.seeds_) {
+        if (csr.find_contact_at(
+                w, t, [&](VertexId nbr) { return ws.reached(nbr); })) {
+          active = true;
+          break;
+        }
+      }
+    } else {
+      csr.for_each_edge_at(t, [&](EdgeId e) {
+        if (ws.reached(csr.edge_u(e)) != ws.reached(csr.edge_v(e))) {
+          active = true;
+          return false;
+        }
+        return true;
+      });
+    }
+    if (!active) continue;
+
+    // Legacy fixed point in ascending edge id order (= the legacy
+    // bucket scan order, so the firing sequence and via hops match
+    // exactly). The first pass covers the whole unit; edges that fire
+    // or already have both endpoints reached can never fire again, so
+    // re-scan passes keep only the both-unreached remainder.
+    ws.local_edges_.clear();
+    bool changed = false;
+    csr.for_each_edge_at(t, [&](EdgeId e) {
+      const VertexId u = csr.edge_u(e), v = csr.edge_v(e);
+      const bool ru = ws.reached(u), rv = ws.reached(v);
+      if (ru && !rv) {
+        ws.set_arrival(v, t, JourneyHop{u, v, t});
+        changed = true;
+      } else if (rv && !ru) {
+        ws.set_arrival(u, t, JourneyHop{v, u, t});
+        changed = true;
+      } else if (!ru && !rv) {
+        ws.local_edges_.push_back(e);
+      }
+      return true;
+    });
+    while (changed) {
+      changed = false;
+      std::size_t live = 0;
+      for (const EdgeId e : ws.local_edges_) {
+        const VertexId u = csr.edge_u(e), v = csr.edge_v(e);
+        const bool ru = ws.reached(u), rv = ws.reached(v);
+        if (ru && !rv) {
+          ws.set_arrival(v, t, JourneyHop{u, v, t});
+          changed = true;
+        } else if (rv && !ru) {
+          ws.set_arrival(u, t, JourneyHop{v, u, t});
+          changed = true;
+        } else if (!ru && !rv) {
+          ws.local_edges_[live++] = e;
+        }
+      }
+      ws.local_edges_.resize(live);
+    }
+
+    if (stop_at != kInvalidVertex && ws.reached(stop_at)) return;
+
+    std::size_t keep = 0;
+    for (const VertexId w : ws.seeds_) {
+      if (!ws.reached(w)) ws.seeds_[keep++] = w;
+    }
+    ws.seeds_.resize(keep);
+  }
+}
+
+template <class Index>
+std::optional<std::pair<TimeUnit, TimeUnit>> WorkspaceOps::fastest_departure(
+    const Index& csr, VertexId source, VertexId target, TimeUnit t_start,
+    TemporalWorkspace& ws) {
+  assert(source < csr.vertex_count() && target < csr.vertex_count());
+  assert(source != target);
+  ws.bind(csr.vertex_count());
+  ws.begin_sweep();
+  ws.reached_ = 0;
+
+  // Profile state, per vertex x: arrival_[x] (epoch-stamped) holds the
+  // latest departure d(x) such that some journey source -> x departing
+  // at d(x) >= t_start has arrived by the time unit being processed.
+  // Each unit merges d() over the unit's snapshot components (union-
+  // find, values on roots), with the source contributing "depart now".
+  // Whenever d(target) strictly improves to d at unit t, a journey
+  // departing at d arrives exactly at t, so t - d is a candidate span;
+  // the minimum over these events is the fastest-journey span.
+  std::optional<std::pair<TimeUnit, TimeUnit>> best;
+  TimeUnit best_span = kNeverTime;
+
+  for (TimeUnit t = t_start; t < csr.horizon(); ++t) {
+    if (csr.unit_size(t) == 0) continue;
+    const std::uint64_t tick = ws.next_tick();
+    ws.touched_.clear();
+
+    // find() with per-unit lazy init: a fresh vertex becomes its own
+    // root carrying its current d() (the source contributes t, which
+    // dominates any earlier departure it may hold).
+    const auto find = [&](VertexId x) {
+      if (ws.vertex_tick_[x] != tick) {
+        ws.vertex_tick_[x] = tick;
+        ws.parent_[x] = x;
+        ws.touched_.push_back(x);
+        if (x == source) {
+          ws.value_tick_[x] = tick;
+          ws.value_[x] = t;
+        } else if (ws.stamp_[x] == ws.epoch_) {
+          ws.value_tick_[x] = tick;
+          ws.value_[x] = ws.arrival_[x];
+        }
+      }
+      while (ws.parent_[x] != x) {
+        ws.parent_[x] = ws.parent_[ws.parent_[x]];
+        x = ws.parent_[x];
+      }
+      return x;
+    };
+
+    csr.for_each_edge_at(t, [&](EdgeId e) {
+      const VertexId ru = find(csr.edge_u(e)), rv = find(csr.edge_v(e));
+      if (ru == rv) return true;
+      ws.parent_[ru] = rv;
+      if (ws.value_tick_[ru] == tick &&
+          (ws.value_tick_[rv] != tick || ws.value_[ru] > ws.value_[rv])) {
+        ws.value_tick_[rv] = tick;
+        ws.value_[rv] = ws.value_[ru];
+      }
+      return true;
+    });
+
+    for (VertexId x : ws.touched_) {
+      const VertexId r = find(x);
+      if (ws.value_tick_[r] != tick) continue;
+      const TimeUnit d = ws.value_[r];
+      if (ws.stamp_[x] == ws.epoch_ && ws.arrival_[x] >= d) continue;
+      ws.stamp_[x] = ws.epoch_;
+      ws.arrival_[x] = d;
+      if (x == target) {
+        const TimeUnit span = t - d;
+        if (span < best_span) {
+          best_span = span;
+          best = {d, t};
+        }
+      }
+    }
+    if (best_span == 0) break;
+  }
+  return best;
+}
+
+template <class Index>
+std::optional<Journey> WorkspaceOps::minimum_hop(const Index& csr,
+                                                 VertexId source,
+                                                 VertexId target,
+                                                 TimeUnit t_start,
+                                                 TemporalWorkspace& ws) {
+  assert(source < csr.vertex_count() && target < csr.vertex_count());
+  if (source == target) return Journey{};
+  ws.bind(csr.vertex_count());
+  ws.begin_sweep();
+  ws.reached_ = 0;
+
+  const std::size_t n = csr.vertex_count();
+  // ready(v) lives in arrival_ (epoch-stamped; unreached = kNeverTime).
+  ws.set_arrival(source, t_start, JourneyHop{});
+  ws.seeds_.assign(1, source);  // current frontier
+  ws.via_flat_.clear();
+  ws.layer_off_.assign(1, 0);
+
+  for (std::size_t h = 0; h + 1 < n + 1; ++h) {
+    // Per-layer candidate state in value_ (stamped by value_tick_):
+    // value_[w] = best next-ready so far, value_edge_[w] = its edge id
+    // (legacy takes the FIRST strict improvement in edge id scan order,
+    // i.e. the minimal (label, edge id) pair among strict improvers —
+    // the two directions of an edge target different vertices, so edge
+    // id alone breaks ties). Only vertices improved in the previous
+    // layer can strictly improve anything (an older ready[from] already
+    // produced the same candidate one layer earlier), so relaxing only
+    // frontier-incident contacts matches the full Bellman-Ford scan.
+    const std::uint64_t tick = ws.next_tick();
+    ws.newly_.clear();
+    for (VertexId v : ws.seeds_) {
+      const TimeUnit rv = ws.arrival_[v];
+      // One candidate per distinct incident edge: its first live label
+      // at or after ready(v) (later labels of the same edge lose the
+      // (label, edge id) comparison to it, so skipping them changes
+      // nothing).
+      csr.for_each_incident(v, [&](EdgeId e, VertexId w) {
+        const TimeUnit t = csr.first_label_at(e, rv);
+        if (t == kNeverTime) return true;
+        if (ws.value_tick_[w] == tick) {
+          if (t < ws.value_[w] ||
+              (t == ws.value_[w] && e < ws.value_edge_[w])) {
+            ws.value_[w] = t;
+            ws.value_edge_[w] = e;
+            ws.hop_cand_[w] = JourneyHop{v, w, t};
+          }
+        } else if (!(ws.reached(w)) || t < ws.arrival_[w]) {
+          ws.value_tick_[w] = tick;
+          ws.value_[w] = t;
+          ws.value_edge_[w] = e;
+          ws.hop_cand_[w] = JourneyHop{v, w, t};
+          ws.newly_.push_back(w);
+        }
+        return true;
+      });
+    }
+    if (ws.newly_.empty()) return std::nullopt;
+
+    std::sort(ws.newly_.begin(), ws.newly_.end());
+    bool target_hit = false;
+    for (VertexId w : ws.newly_) {
+      if (w == target && !ws.reached(w)) target_hit = true;
+      if (!ws.reached(w)) {
+        ws.set_arrival(w, ws.value_[w], ws.hop_cand_[w]);
+      } else {
+        ws.arrival_[w] = ws.value_[w];
+      }
+      ws.via_flat_.emplace_back(w, ws.hop_cand_[w]);
+    }
+    ws.layer_off_.push_back(ws.via_flat_.size());
+
+    if (target_hit) {
+      Journey j;
+      VertexId cur = target;
+      for (std::size_t layer = ws.layer_off_.size() - 1; layer-- > 0;) {
+        if (cur == source) break;
+        const auto lo = ws.via_flat_.begin() + ws.layer_off_[layer];
+        const auto hi = ws.via_flat_.begin() + ws.layer_off_[layer + 1];
+        const auto it = std::lower_bound(
+            lo, hi, cur, [](const auto& p, VertexId v) { return p.first < v; });
+        if (it == hi || it->first != cur) continue;  // reached earlier layer
+        j.hops.push_back(it->second);
+        cur = it->second.from;
+      }
+      assert(cur == source);
+      std::reverse(j.hops.begin(), j.hops.end());
+      return j;
+    }
+    ws.seeds_.swap(ws.newly_);
+  }
+  return std::nullopt;
+}
+
+}  // namespace structnet::detail

@@ -407,7 +407,7 @@ struct ChurnRun {
   ServeStats stats;
 };
 
-ChurnRun churn_run(std::size_t threads) {
+ChurnRun churn_run(std::size_t threads, bool delta_index = true) {
   constexpr std::size_t kNodes = 32;
   constexpr TimeUnit kHorizon = 20;
   StreamEngine engine{DynamicGraph(kNodes)};
@@ -417,6 +417,7 @@ ChurnRun churn_run(std::size_t threads) {
   BrokerConfig cfg;
   cfg.threads = threads;
   cfg.deterministic = true;
+  cfg.delta_index = delta_index;
   QueryBroker broker(engine, &view, cfg);
 
   Rng rng(2024);
@@ -754,6 +755,10 @@ TEST(QueryBrokerTest, StatsMatchesRegistrySnapshotBitForBit) {
   EXPECT_EQ(stats.batches, snap.counter_value("serve.batches"));
   EXPECT_EQ(stats.csr_builds, snap.counter_value("serve.csr_builds"));
   EXPECT_EQ(stats.csr_reuses, snap.counter_value("serve.csr_reuses"));
+  EXPECT_EQ(stats.csr_delta_appends,
+            snap.counter_value("serve.csr_delta_appends"));
+  EXPECT_EQ(stats.csr_compactions,
+            snap.counter_value("serve.csr_compactions"));
   EXPECT_EQ(stats.cache_hits, snap.counter_value("serve.cache.hits"));
   EXPECT_EQ(stats.cache_misses, snap.counter_value("serve.cache.misses"));
   EXPECT_EQ(stats.cache_evictions,
@@ -781,6 +786,66 @@ TEST(QueryBrokerTest, StatsMatchesRegistrySnapshotBitForBit) {
   EXPECT_GT(stats.shed_queue_full, 0u);
   EXPECT_GT(stats.rejected_invalid, 0u);
   EXPECT_GT(stats.cache_hits, 0u);
+}
+
+// The executor's per-worker TemporalWorkspaces persist across batches;
+// a NodeJoin between batches grows the vertex space, and the next sweep
+// must re-bind them to the new count instead of reading stale bounds.
+TEST(QueryBrokerTest, WorkspaceRebindsAfterVertexGrowthBetweenBatches) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.threads = 2;
+  cfg.deterministic = true;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  // Batch 1 binds every worker workspace to the current vertex count.
+  {
+    auto r = run_one(broker, TemporalDistancesQuery{0, 0});
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+  }
+  const std::size_t old_n = rig.view.view().vertex_count();
+
+  // Grow the vertex space between batches; contacts touch the newcomer.
+  const std::vector<Event> growth{Event::node_join()};
+  ASSERT_EQ(broker.apply_events(growth), 1u);
+  const auto fresh_v = static_cast<VertexId>(old_n);
+  const std::vector<Event> contacts{Event::contact_add(fresh_v, 0, 1),
+                                    Event::contact_add(fresh_v, 3, 2)};
+  ASSERT_EQ(broker.apply_events(contacts), 2u);
+  ASSERT_EQ(rig.view.view().vertex_count(), old_n + 1);
+
+  // Batch 2 sweeps from (and to) the grown vertex.
+  auto r1 = run_one(broker, TemporalDistancesQuery{fresh_v, 0});
+  ASSERT_EQ(r1.status, QueryStatus::kOk);
+  EXPECT_EQ(std::get<std::vector<TimeUnit>>(r1.payload),
+            earliest_arrival(rig.view.view(), fresh_v, 0).completion);
+  auto r2 = run_one(broker, FastestJourneyQuery{0, fresh_v, 0});
+  ASSERT_EQ(r2.status, QueryStatus::kOk);
+  EXPECT_EQ(std::get<std::optional<Journey>>(r2.payload),
+            fastest_journey(rig.view.view(), 0, fresh_v, 0));
+}
+
+// Delta-advance planning must be indistinguishable from legacy
+// rebuild-on-epoch-change planning in every served byte — only the
+// amortization counters may differ, and they differ in the delta
+// planner's favor.
+TEST(ServeChurnTest, DeltaPlannerMatchesLegacyRebuildBitForBit) {
+  const ChurnRun delta = churn_run(1, /*delta_index=*/true);
+  const ChurnRun legacy = churn_run(1, /*delta_index=*/false);
+  ASSERT_EQ(delta.payloads.size(), legacy.payloads.size());
+  for (std::size_t i = 0; i < delta.payloads.size(); ++i) {
+    EXPECT_TRUE(payload_equal(delta.payloads[i], legacy.payloads[i]))
+        << "payload " << i;
+  }
+
+  // Counter shape: the legacy planner rebuilds on every epoch change;
+  // the delta planner pays one attach-time build plus compactions while
+  // the fold counter absorbs the churn.
+  EXPECT_EQ(legacy.stats.csr_delta_appends, 0u);
+  EXPECT_EQ(legacy.stats.csr_compactions, 0u);
+  EXPECT_GT(delta.stats.csr_delta_appends, 0u);
+  EXPECT_EQ(delta.stats.csr_builds, 1u + delta.stats.csr_compactions);
+  EXPECT_LT(delta.stats.csr_builds, legacy.stats.csr_builds);
 }
 
 }  // namespace

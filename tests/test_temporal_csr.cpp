@@ -8,11 +8,13 @@
 #include <algorithm>
 #include <vector>
 
+#include "parallel/parallel.hpp"
 #include "sim/dtn_routing.hpp"
 #include "temporal/journeys.hpp"
 #include "temporal/temporal_centrality.hpp"
 #include "temporal/smallworld_metrics.hpp"
 #include "temporal/temporal_csr.hpp"
+#include "temporal/temporal_delta.hpp"
 #include "util/rng.hpp"
 
 namespace structnet {
@@ -368,6 +370,221 @@ TEST(TemporalCsrDtn, TrialsBitIdenticalAcrossThreadCounts) {
     }
     EXPECT_EQ(got.delivery_ratio, base.delivery_ratio);
     EXPECT_EQ(got.mean_delivery_time, base.mean_delivery_time);
+  }
+}
+
+// ---- DeltaTemporalCsr: delta overlay vs fresh rebuild ----
+
+// Merged base+delta iteration must reproduce a fresh TemporalCsr's
+// layout exactly: same per-unit edge streams (same order), same unit
+// sizes, same per-vertex contact-bearing flags, same live labels.
+void expect_delta_layout_equal(const TemporalGraph& eg,
+                               const DeltaTemporalCsr& delta) {
+  const TemporalCsr fresh(eg);
+  ASSERT_EQ(delta.vertex_count(), fresh.vertex_count());
+  ASSERT_EQ(delta.edge_count(), fresh.edge_count());
+  ASSERT_EQ(delta.contact_count(), fresh.contact_count());
+  for (TimeUnit t = 0; t < eg.horizon(); ++t) {
+    const auto want = fresh.edges_at(t);
+    std::vector<EdgeId> got;
+    delta.for_each_edge_at(t, [&](EdgeId e) {
+      got.push_back(e);
+      return true;
+    });
+    ASSERT_EQ(got.size(), want.size()) << "t=" << t;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "t=" << t << " i=" << i;
+    }
+    EXPECT_EQ(delta.unit_size(t), want.size()) << "t=" << t;
+  }
+  for (VertexId v = 0; v < fresh.vertex_count(); ++v) {
+    EXPECT_EQ(delta.has_contacts(v), fresh.has_contacts(v)) << "v=" << v;
+  }
+  for (EdgeId e = 0; e < fresh.edge_count(); ++e) {
+    for (TimeUnit t = 0; t <= eg.horizon(); ++t) {
+      EXPECT_EQ(delta.first_label_at(e, t), fresh.first_label_at(e, t))
+          << "e=" << e << " t=" << t;
+    }
+  }
+}
+
+// All three kernels on the delta overlay vs a fresh rebuild, including
+// via hops and journey hops (bit-identity, not just values).
+void expect_delta_kernels_equal(const TemporalGraph& eg,
+                                const DeltaTemporalCsr& delta,
+                                TemporalWorkspace& wsa, TemporalWorkspace& wsb,
+                                VertexId source, TimeUnit t_start, Rng& rng) {
+  const TemporalCsr fresh(eg);
+  csr_earliest_arrival(fresh, source, t_start, wsa);
+  csr_earliest_arrival(delta, source, t_start, wsb);
+  for (VertexId v = 0; v < eg.vertex_count(); ++v) {
+    ASSERT_EQ(wsb.arrival(v), wsa.arrival(v))
+        << "s=" << source << " t_start=" << t_start << " v=" << v;
+    ASSERT_EQ(wsb.via(v), wsa.via(v))
+        << "s=" << source << " t_start=" << t_start << " v=" << v;
+  }
+  for (int pick = 0; pick < 4; ++pick) {
+    auto target = static_cast<VertexId>(rng.index(eg.vertex_count()));
+    if (target == source) {
+      target = static_cast<VertexId>((target + 1) % eg.vertex_count());
+    }
+    if (target == source) continue;
+    ASSERT_EQ(csr_fastest_departure(delta, source, target, t_start, wsb),
+              csr_fastest_departure(fresh, source, target, t_start, wsa))
+        << "fastest s=" << source << " tgt=" << target;
+    const auto ja = csr_minimum_hop_journey(fresh, source, target, t_start,
+                                            wsa);
+    const auto jb = csr_minimum_hop_journey(delta, source, target, t_start,
+                                            wsb);
+    ASSERT_EQ(jb.has_value(), ja.has_value())
+        << "minhop s=" << source << " tgt=" << target;
+    if (ja) ASSERT_EQ(jb->hops, ja->hops) << "minhop s=" << source;
+  }
+}
+
+TEST(TemporalDeltaChurn, MixedEventsBitIdenticalToFreshRebuild) {
+  // ~1k mixed add_contact / remove_label events folded into the delta
+  // while the same mutations run on the TemporalGraph; the overlay must
+  // stay bit-identical to a fresh rebuild after every event (sampled
+  // kernels; periodic full layout + all-sources sweeps), across forced
+  // compaction boundaries and with t_start > 0.
+  Rng rng(113);
+  EgParams p;
+  p.n = 18;
+  p.horizon = 12;
+  p.edges = 30;
+  p.labels_per_edge = 2;
+  p.emptied_edges = 2;
+  TemporalGraph eg = random_eg(rng, p);
+  DeltaTemporalCsr delta(eg);
+  TemporalWorkspace wsa, wsb;
+
+  std::size_t compactions = 0, accepted = 0;
+  for (int step = 0; step < 1000; ++step) {
+    const auto u = static_cast<VertexId>(rng.index(p.n));
+    auto v = static_cast<VertexId>(rng.index(p.n));
+    if (u == v) v = static_cast<VertexId>((v + 1) % p.n);
+    const auto t = static_cast<TimeUnit>(rng.index(p.horizon));
+    if (rng.index(10) < 7) {
+      const bool expect_new = !eg.has_contact(u, v, t);
+      eg.add_contact(u, v, t);
+      EXPECT_EQ(delta.add_contact(u, v, t), expect_new) << "step " << step;
+      accepted += expect_new;
+    } else {
+      const bool removed = eg.remove_label(u, v, t);
+      EXPECT_EQ(delta.remove_contact(u, v, t), removed) << "step " << step;
+      accepted += removed;
+    }
+    // Aggressive compaction policy so the suite crosses many
+    // compaction boundaries (delta drained back into the base).
+    if (delta.needs_compaction(0.02, 8)) {
+      delta.rebase(eg);
+      ++compactions;
+      EXPECT_TRUE(delta.delta_empty());
+    }
+    if (step % 20 == 0) {
+      const auto s = static_cast<VertexId>(rng.index(p.n));
+      const auto t0 = static_cast<TimeUnit>(rng.index(4));
+      expect_delta_kernels_equal(eg, delta, wsa, wsb, s, t0, rng);
+    }
+    if (step % 250 == 249) {
+      expect_delta_layout_equal(eg, delta);
+      for (VertexId s = 0; s < eg.vertex_count(); ++s) {
+        expect_delta_kernels_equal(eg, delta, wsa, wsb, s, 0, rng);
+      }
+    }
+  }
+  EXPECT_GT(accepted, 400u);
+  EXPECT_GT(compactions, 2u);
+  expect_delta_layout_equal(eg, delta);
+}
+
+TEST(TemporalDeltaChurn, ResurrectionAndDuplicateSemantics) {
+  TemporalGraph eg(4, 6);
+  eg.add_contact(0, 1, 2);
+  eg.add_contact(1, 2, 3);
+  DeltaTemporalCsr delta(eg);
+
+  // Every op is mirrored into the graph so the final fresh rebuild
+  // sees the same history (incl. edge records left behind by drained
+  // labels — both sides keep them for id stability).
+  // Duplicate of a live base contact is rejected, like the graph.
+  EXPECT_FALSE(delta.add_contact(0, 1, 2));
+  EXPECT_TRUE(delta.delta_empty());
+  // Tombstone a base contact, then resurrect it: delta drains to zero.
+  EXPECT_TRUE(delta.remove_contact(0, 1, 2));
+  eg.remove_label(0, 1, 2);
+  EXPECT_EQ(delta.delta_size(), 1u);
+  EXPECT_FALSE(delta.remove_contact(0, 1, 2));  // already dead
+  EXPECT_TRUE(delta.add_contact(0, 1, 2));      // resurrect
+  eg.add_contact(0, 1, 2);
+  EXPECT_TRUE(delta.delta_empty());
+  // Delta-added contact: duplicate rejected, removal erases outright.
+  EXPECT_TRUE(delta.add_contact(2, 3, 1));
+  eg.add_contact(2, 3, 1);
+  EXPECT_FALSE(delta.add_contact(3, 2, 1));
+  EXPECT_EQ(delta.delta_size(), 1u);
+  EXPECT_TRUE(delta.remove_contact(2, 3, 1));
+  eg.remove_label(2, 3, 1);
+  EXPECT_TRUE(delta.delta_empty());
+  // Removing a contact that never existed fails on both paths.
+  EXPECT_FALSE(delta.remove_contact(0, 3, 4));
+  EXPECT_FALSE(delta.remove_contact(0, 1, 5));
+
+  expect_delta_layout_equal(eg, delta);
+}
+
+TEST(TemporalDeltaChurn, AllSourcesBitIdenticalAt128Threads) {
+  // After a churn burst, all-sources earliest arrival over the delta
+  // overlay must be bit-identical to the fresh rebuild at 1, 2, and 8
+  // threads (per-worker workspaces, fixed shard boundaries).
+  Rng rng(131);
+  EgParams p;
+  p.n = 40;
+  p.horizon = 14;
+  p.edges = 90;
+  p.labels_per_edge = 2;
+  TemporalGraph eg = random_eg(rng, p);
+  DeltaTemporalCsr delta(eg);
+  for (int step = 0; step < 300; ++step) {
+    const auto u = static_cast<VertexId>(rng.index(p.n));
+    auto v = static_cast<VertexId>(rng.index(p.n));
+    if (u == v) v = static_cast<VertexId>((v + 1) % p.n);
+    const auto t = static_cast<TimeUnit>(rng.index(p.horizon));
+    if (rng.index(10) < 7) {
+      eg.add_contact(u, v, t);
+      delta.add_contact(u, v, t);
+    } else {
+      eg.remove_label(u, v, t);
+      delta.remove_contact(u, v, t);
+    }
+  }
+
+  const TemporalCsr fresh(eg);
+  const std::size_t n = eg.vertex_count();
+  std::vector<TimeUnit> want(n * n, kNeverTime);
+  {
+    TemporalWorkspace ws;
+    for (VertexId s = 0; s < n; ++s) {
+      csr_earliest_arrival(fresh, s, 1, ws);
+      for (VertexId v = 0; v < n; ++v) want[s * n + v] = ws.arrival(v);
+    }
+  }
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<TemporalWorkspace> pool(resolve_threads(threads));
+    std::vector<TimeUnit> got(n * n, kNeverTime);
+    parallel_for_shards(
+        0, n, 4, threads,
+        [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
+          TemporalWorkspace& ws = pool[worker];
+          for (std::size_t s = lo; s < hi; ++s) {
+            csr_earliest_arrival(delta, static_cast<VertexId>(s), 1, ws);
+            for (VertexId v = 0; v < n; ++v) {
+              got[s * n + v] = ws.arrival(v);
+            }
+          }
+        });
+    EXPECT_EQ(got, want) << "threads=" << threads;
   }
 }
 
