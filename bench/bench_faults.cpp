@@ -8,10 +8,13 @@
 //   bench_faults           # full experiment tables + registered loops
 //   bench_faults --smoke   # reduced sizes; used by scripts/check.sh
 #include <benchmark/benchmark.h>
+#include <stdlib.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -24,6 +27,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/recovery.hpp"
 #include "fault/robustness.hpp"
+#include "fault/wal.hpp"
 #include "mobility/edge_markovian.hpp"
 #include "sim/dtn_routing.hpp"
 #include "stream/engine.hpp"
@@ -241,6 +245,208 @@ void checkpoint_throughput_table(bool smoke) {
       .emit();
 }
 
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/structnet-bench-wal-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::cerr << "mkdtemp failed for WAL bench\n";
+    std::exit(1);
+  }
+  return std::string(tmpl);
+}
+
+/// WAL append throughput across the group-commit x fsync grid. Each
+/// cell appends the same pre-built event stream through a WalAppender
+/// into a fresh directory and reports sustained events/sec; fsync rows
+/// use a smaller stream (each flush pays a disk barrier).
+void wal_throughput_table(bool smoke) {
+  Rng rng(53);
+  const std::size_t n = 256;
+  const std::size_t fast_count = smoke ? 4'000 : 100'000;
+  const std::size_t fsync_count = smoke ? 400 : 4'000;
+  std::vector<Event> events;
+  events.reserve(fast_count);
+  for (std::size_t i = 0; i < fast_count; ++i) {
+    events.push_back(Event::contact_add(
+        static_cast<VertexId>(rng.index(n)),
+        static_cast<VertexId>(rng.index(n)),
+        static_cast<TimeUnit>(rng.index(64))));
+  }
+
+  Table t({"group_commit", "fsync", "events", "events_per_sec",
+           "mb_per_sec", "segments"});
+  for (const std::size_t group : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{0}}) {
+    for (const bool fsync_on : {true, false}) {
+      const std::size_t count = fsync_on ? fsync_count : fast_count;
+      const std::string dir = make_temp_dir();
+      WalConfig cfg;
+      cfg.dir = dir;
+      cfg.segment_bytes = std::size_t{1} << 20;
+      cfg.group_commit = group;
+      cfg.fsync_on_flush = fsync_on;
+      std::uint64_t segments = 0;
+      const double total_ns = time_ns_per_op(1, [&](std::size_t) {
+        WalAppender wal(cfg);
+        for (std::size_t i = 0; i < count; ++i) wal.append(events[i]);
+        wal.sync();
+        segments = wal.segments_opened();
+      });
+      std::filesystem::remove_all(dir);
+      const double per_sec = static_cast<double>(count) * 1e9 / total_ns;
+      const double bytes =
+          static_cast<double>(count * kWalRecordBytes);
+      t.add_row({Table::num(std::uint64_t(group)), fsync_on ? "on" : "off",
+                 Table::num(std::uint64_t(count)), Table::num(per_sec, 0),
+                 Table::num(bytes * 1e9 / total_ns / 1e6, 1),
+                 Table::num(segments)});
+      BenchJson("fault_wal")
+          .field("group_commit", std::uint64_t(group))
+          .field("fsync", fsync_on ? 1.0 : 0.0)
+          .field("events", std::uint64_t(count))
+          .field("events_per_sec", per_sec)
+          .field("segments", segments)
+          .threads(1)
+          .emit();
+    }
+  }
+  t.print(std::cout,
+          "WAL append throughput (group-commit x fsync; 1 MiB segments)");
+}
+
+/// Recovery time: replaying the whole history from the WAL alone vs
+/// replaying only the suffix past a checkpoint anchor.
+void wal_recovery_table(bool smoke) {
+  Rng rng(59);
+  const std::size_t n = smoke ? 512 : 4'096;
+  const std::size_t event_count = smoke ? 4'000 : 40'000;
+  const auto events = churn_stream(n, event_count, rng);
+  const std::size_t anchor_at = event_count * 9 / 10;
+
+  Table t({"mode", "accepted", "replayed", "recover_ms",
+           "replay_events_per_sec"});
+  for (const bool checkpointed : {false, true}) {
+    const std::string dir = make_temp_dir();
+    WalConfig cfg;
+    cfg.dir = dir;
+    cfg.group_commit = 0;
+    cfg.fsync_on_flush = false;
+    std::uint64_t accepted = 0;
+    {
+      StreamEngine engine{DynamicGraph(n)};
+      WalAppender wal(cfg);
+      engine.attach(&wal);
+      engine.apply_batch({events.data(), anchor_at});
+      if (checkpointed) {
+        wal.sync();
+        if (checkpoint_now(dir, engine).empty()) {
+          std::cerr << "checkpoint_now failed in WAL recovery bench\n";
+          std::exit(1);
+        }
+      }
+      engine.apply_batch(
+          {events.data() + anchor_at, event_count - anchor_at});
+      wal.sync();
+      accepted = engine.graph().epoch();
+      engine.detach(&wal);
+    }
+
+    std::size_t replayed = 0;
+    const double recover_ns = time_ns_per_op(3, [&](std::size_t) {
+      RecoverOutcome out = recover(dir, n);
+      if (!out.ok() || out.engine->graph().epoch() != accepted) {
+        std::cerr << "WAL recovery bench: recover() diverged ("
+                  << out.error << ")\n";
+        std::exit(1);
+      }
+      replayed = out.wal_replayed;
+      benchmark::DoNotOptimize(out.engine->graph().epoch());
+    });
+    std::filesystem::remove_all(dir);
+    const double replay_rate =
+        replayed == 0 ? 0.0
+                      : static_cast<double>(replayed) * 1e9 / recover_ns;
+    const char* mode = checkpointed ? "checkpointed" : "wal_only";
+    t.add_row({mode, Table::num(accepted), Table::num(std::uint64_t(replayed)),
+               Table::num(recover_ns / 1e6, 2), Table::num(replay_rate, 0)});
+    BenchJson("fault_wal_recovery")
+        .field("mode", mode)
+        .field("accepted", accepted)
+        .field("replayed", std::uint64_t(replayed))
+        .field("recover_ms", recover_ns / 1e6)
+        .field("replay_events_per_sec", replay_rate)
+        .threads(1)
+        .emit();
+  }
+  t.print(std::cout,
+          "Recovery time: full WAL replay vs checkpoint + WAL suffix");
+}
+
+/// WAL crash matrix: truncate the log at EVERY record boundary plus
+/// random byte offsets (and once under a corrupted newest checkpoint);
+/// each cut must recover bit-identically to the durable prefix.
+bool wal_crash_matrix_gate(bool smoke) {
+  const std::size_t n = 24;
+  const std::size_t length = smoke ? 120 : 240;
+  Rng rng(derive_seed(77, 1));
+  const auto events = churn_stream(n, length, rng);
+
+  const WalCrashOutcome probe = run_wal_crash_recovery(
+      n, events, std::numeric_limits<std::size_t>::max());
+  if (!probe.ok()) {
+    std::cerr << "WAL crash matrix: uncut probe run diverged\n";
+    return false;
+  }
+  const std::uint64_t accepted = probe.accepted;
+  const std::size_t total_bytes =
+      kWalHeaderBytes + static_cast<std::size_t>(accepted) * kWalRecordBytes;
+
+  std::vector<std::size_t> cuts;
+  for (std::uint64_t k = 0; k <= accepted; ++k) {
+    cuts.push_back(kWalHeaderBytes +
+                   static_cast<std::size_t>(k) * kWalRecordBytes);
+  }
+  for (int i = 0; i < 10; ++i) cuts.push_back(rng.index(total_bytes + 1));
+
+  std::size_t passed = 0;
+  for (const std::size_t cut : cuts) {
+    const WalCrashOutcome out = run_wal_crash_recovery(n, events, cut);
+    if (!out.ok()) {
+      std::cerr << "WAL crash matrix FAILED at cut " << cut << ": durable="
+                << out.durable << " recovered=" << out.recovered
+                << " graph=" << out.graph_match
+                << " counters=" << out.counters_match
+                << " cores=" << out.cores_match << " mis=" << out.mis_match
+                << '\n';
+      return false;
+    }
+    ++passed;
+  }
+
+  // Corrupted newest checkpoint: recovery must fall back to an older
+  // anchor (or the WAL alone) and still land on the durable prefix.
+  WalCrashOptions opt;
+  opt.checkpoint_every = 10;
+  opt.corrupt_newest_checkpoint = true;
+  const WalCrashOutcome fallback = run_wal_crash_recovery(
+      n, events, std::numeric_limits<std::size_t>::max(), opt);
+  if (!fallback.ok() || fallback.checkpoints_tried < 2) {
+    std::cerr << "WAL crash matrix FAILED: corrupted-checkpoint fallback "
+                 "(tried=" << fallback.checkpoints_tried << ")\n";
+    return false;
+  }
+  ++passed;
+
+  BenchJson("fault_wal_crash_matrix")
+      .field("accepted", accepted)
+      .field("cuts", std::uint64_t(cuts.size() + 1))
+      .field("passed", std::uint64_t(passed))
+      .threads(1)
+      .emit();
+  std::cout << "WAL crash matrix: " << passed << "/" << cuts.size() + 1
+            << " kill points recovered bit-identically\n";
+  return true;
+}
+
 void BM_FaultPlanContactWorks(benchmark::State& state) {
   FaultPlan plan(9);
   plan.set_contact_loss(0.3);
@@ -291,9 +497,12 @@ int main(int argc, char** argv) {
   // The recovery gate runs first: a bench binary that cannot restore its
   // own checkpoints has nothing meaningful to measure.
   if (!structnet::crash_recovery_gate(smoke ? 15 : 40)) return 1;
+  if (!structnet::wal_crash_matrix_gate(smoke)) return 1;
   structnet::delivery_vs_loss_table(smoke);
   structnet::percolation_table(smoke);
   structnet::checkpoint_throughput_table(smoke);
+  structnet::wal_throughput_table(smoke);
+  structnet::wal_recovery_table(smoke);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   structnet::obs::emit_json(std::cout);

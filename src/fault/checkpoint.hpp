@@ -20,9 +20,11 @@
 // recompute-on-attach synchronizes each one to the restored graph.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "stream/engine.hpp"
 
@@ -43,6 +45,40 @@ struct CheckpointResult {
 };
 
 /// Parses a checkpoint and rebuilds the engine (no observers attached).
+///
+/// The reader is hardened against adversarial input: declared counts
+/// are sanity-checked BEFORE any allocation or replay work — the vertex
+/// count against kMaxCheckpointVertices, the edge and event counts
+/// against the bytes actually remaining in a seekable stream (a count
+/// that could not possibly be backed by data is corruption, not work).
 CheckpointResult read_checkpoint(std::istream& is);
+
+/// Hard ceiling on a checkpoint's declared vertex count. A legitimate
+/// million-vertex edgeless graph is a tiny file, so the vertex count
+/// cannot be capped by file size like the edge/event counts are; this
+/// absolute bound (16M, comfortably above any workload here) stops a
+/// forged header from forcing a multi-GB allocation.
+inline constexpr std::uint64_t kMaxCheckpointVertices = 1u << 24;
+
+/// Serializes the engine to `path` crash-atomically: the payload is
+/// written to `<path>.tmp`, flushed and fsync'd, then renamed over
+/// `path` — a kill at any byte offset leaves either the old complete
+/// file or the new complete file, never a torn hybrid. Returns false
+/// (with `*error` set when non-null) on IO failure.
+bool write_checkpoint_file(const std::string& path, const StreamEngine& engine,
+                           std::string* error = nullptr);
+
+/// read_checkpoint over the file at `path`.
+CheckpointResult read_checkpoint_file(const std::string& path);
+
+namespace detail {
+/// The write-temp / fsync / rename primitive behind
+/// write_checkpoint_file. `fail_after_bytes` is a test seam: when fewer
+/// than payload.size(), the write "crashes" after that many bytes —
+/// the temp file is abandoned mid-write and the target is untouched.
+bool atomic_write_file(const std::string& path, std::string_view payload,
+                       std::string* error,
+                       std::size_t fail_after_bytes = std::size_t(-1));
+}  // namespace detail
 
 }  // namespace structnet

@@ -12,11 +12,21 @@
 // graphs, identical engine counters, identical observer state — and,
 // as the recompute_all cross-check, that the survivors' incremental
 // state equals its own from-scratch recompute.
+// The WAL-anchored path (recover / checkpoint_now / the
+// run_wal_crash_recovery harness below) generalizes this to durable
+// state on disk: periodic atomic checkpoint files anchor a checksummed
+// WAL (fault/wal.hpp), and recovery is "newest valid checkpoint +
+// replay the WAL suffix", falling back to older checkpoints when the
+// newest is corrupt.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 
+#include "fault/wal.hpp"
+#include "stream/engine.hpp"
 #include "stream/event.hpp"
 
 namespace structnet {
@@ -42,5 +52,88 @@ RecoveryOutcome run_crash_recovery(std::size_t initial_vertices,
                                    std::span<const Event> events,
                                    std::size_t kill_at,
                                    std::uint64_t mis_seed = 7);
+
+// ------------------------------------------------- durable recovery path
+
+/// Writes an atomic checkpoint file ("checkpoint-<epoch>.ckpt") for the
+/// engine's current state into `dir`, then prunes: checkpoint files
+/// beyond the newest `keep` are deleted, and WAL segments wholly below
+/// the OLDEST kept checkpoint's epoch (still needed by none of the kept
+/// anchors) are pruned. Returns the checkpoint path, or empty on IO
+/// failure.
+std::string checkpoint_now(const std::string& dir, const StreamEngine& engine,
+                           std::size_t keep = 2);
+
+/// Outcome of recover(): the revived engine (no observers attached —
+/// re-attach and recompute-on-attach resynchronizes), plus enough
+/// forensics to see which anchor won and how much WAL was replayed.
+struct RecoverOutcome {
+  std::optional<StreamEngine> engine;
+  std::string checkpoint_path;        // empty: recovered from WAL alone
+  std::uint64_t checkpoint_epoch = 0;
+  std::size_t checkpoints_tried = 0;  // read attempts, including the winner
+  std::size_t wal_replayed = 0;       // WAL records replayed on top
+  WalRecovery wal;                    // the directory scan that anchored it
+  std::string error;                  // set when !ok()
+
+  bool ok() const { return engine.has_value(); }
+  explicit operator bool() const { return ok(); }
+};
+
+/// Rebuilds an engine from the durable state in `dir`: scan the WAL,
+/// load the newest valid checkpoint whose epoch the WAL can extend,
+/// replay the WAL suffix past it; fall back to older checkpoints when
+/// the newest is corrupt or inconsistent, and to an empty
+/// `initial_vertices`-vertex graph + full WAL replay when no checkpoint
+/// survives. Deterministic: the same bytes on disk always yield the
+/// same engine. Rejection-counter caveat: rejected-event totals are
+/// restored from the winning checkpoint — rejections after it are not
+/// WAL-logged (the WAL records accepted events only) and are lost.
+RecoverOutcome recover(const std::string& dir, std::size_t initial_vertices);
+
+/// Knobs for the WAL crash matrix harness below.
+struct WalCrashOptions {
+  /// Write a checkpoint file every N accepted events (0 = none).
+  std::size_t checkpoint_every = 0;
+  /// Corrupt the newest checkpoint file post-crash, forcing recover()
+  /// to fall back to an older anchor (or the WAL alone).
+  bool corrupt_newest_checkpoint = false;
+  std::size_t group_commit = 1;  // WalConfig::group_commit for the run
+  std::uint64_t mis_seed = 7;
+};
+
+/// Outcome of one WAL crash-matrix cell. `ok()` = recovery succeeded
+/// and every facet of the revived engine is bit-identical to a fresh
+/// engine fed the same durable accepted prefix.
+struct WalCrashOutcome {
+  std::size_t accepted = 0;     // events the doomed run accepted
+  std::uint64_t cut_at = 0;     // byte offset the WAL was truncated to
+  std::size_t durable = 0;      // accepted prefix expected to survive
+  std::size_t recovered = 0;    // epoch of the recovered engine
+  std::size_t checkpoints_tried = 0;
+  bool recover_ok = false;      // recover() produced an engine
+  bool graph_match = false;     // log + epoch + graph + liveness
+  bool counters_match = false;  // accepted counter (see caveat above)
+  bool cores_match = false;     // CoreObserver state (and == recompute)
+  bool mis_match = false;       // MisObserver state on alive vertices
+
+  bool ok() const {
+    return recover_ok && recovered == durable && graph_match &&
+           counters_match && cores_match && mis_match;
+  }
+};
+
+/// Runs one crash-matrix cell: drive `events` through a doomed engine
+/// whose WAL (and optional periodic checkpoints) land in a fresh temp
+/// directory, "crash" by truncating the WAL at byte `cut_at_byte`
+/// (clamped; the WAL is written as one segment so every byte offset is
+/// a valid kill point) and optionally corrupting the newest checkpoint,
+/// then recover() and compare against an uncrashed engine fed the
+/// durable accepted prefix. The temp directory is removed before
+/// returning.
+WalCrashOutcome run_wal_crash_recovery(std::size_t initial_vertices,
+                                       std::span<const Event> events,
+                                       std::uint64_t cut_at_byte,
+                                       const WalCrashOptions& options = {});
 
 }  // namespace structnet

@@ -1,0 +1,433 @@
+#include "fault/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace structnet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Declared lengths above this are treated as corruption (kBadLength)
+// rather than honored — a v1 record payload is 17 bytes, so anything
+// near the cap is garbage, but the cap leaves headroom for future
+// record kinds without a format bump.
+constexpr std::uint32_t kMaxRecordLength = 1u << 16;
+
+// CRC32C, Castagnoli polynomial (reflected 0x82F63B78), table-driven.
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v);
+  out[1] = static_cast<unsigned char>(v >> 8);
+  out[2] = static_cast<unsigned char>(v >> 16);
+  out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         static_cast<std::uint64_t>(get_u32(in + 4)) << 32;
+}
+
+std::string segment_name(std::uint64_t first_index) {
+  // Zero-padded to 20 digits (max u64) so lexicographic directory order
+  // equals numeric index order.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.seg",
+                static_cast<unsigned long long>(first_index));
+  return buf;
+}
+
+/// Parses "wal-<digits>.seg"; false for any other file name.
+bool parse_segment_name(const std::string& name, std::uint64_t* index) {
+  if (name.size() != 4 + 20 + 4 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".seg") != 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 4; i < 4 + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  *index = v;
+  return true;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Counter& scan_stop_counter(WalStop stop) {
+  // Pinned per-reason counters: "fault.wal.scan.<reason>".
+  static obs::Counter* counters[kWalStopCount] = {};
+  auto i = static_cast<std::size_t>(stop);
+  if (counters[i] == nullptr) {
+    std::string name = "fault.wal.scan.";
+    name += to_string(stop);
+    counters[i] = &obs::MetricsRegistry::global().counter(name);
+  }
+  return *counters[i];
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void wal_encode_event(const Event& event, unsigned char out[kWalEventBytes]) {
+  out[0] = static_cast<unsigned char>(event.kind);
+  put_u32(out + 1, event.u);
+  put_u32(out + 5, event.v);
+  put_u32(out + 9, event.time);
+  put_u32(out + 13, event.new_time);
+}
+
+bool wal_decode_event(const unsigned char* bytes, Event* out) {
+  if (bytes[0] > static_cast<unsigned char>(EventKind::kNodeLeave)) {
+    return false;
+  }
+  out->kind = static_cast<EventKind>(bytes[0]);
+  out->u = get_u32(bytes + 1);
+  out->v = get_u32(bytes + 5);
+  out->time = get_u32(bytes + 9);
+  out->new_time = get_u32(bytes + 13);
+  return true;
+}
+
+std::string_view to_string(WalStop stop) {
+  switch (stop) {
+    case WalStop::kCleanEnd:
+      return "clean_end";
+    case WalStop::kTornLength:
+      return "torn_length";
+    case WalStop::kTornPayload:
+      return "torn_payload";
+    case WalStop::kBadCrc:
+      return "bad_crc";
+    case WalStop::kBadLength:
+      return "bad_length";
+    case WalStop::kBadEvent:
+      return "bad_event";
+    case WalStop::kBadHeader:
+      return "bad_header";
+  }
+  return "unknown";
+}
+
+WalSegmentScan scan_wal_segment(const std::string& path) {
+  STRUCTNET_OBS_SPAN("fault.wal.scan_segment");
+  WalSegmentScan scan;
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<unsigned char> bytes;
+  if (in) {
+    in.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    bytes.resize(size);
+    if (size != 0) {
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(size));
+    }
+  }
+  if (!in || bytes.size() < kWalHeaderBytes ||
+      std::memcmp(bytes.data(), kWalMagic.data(), kWalMagic.size()) != 0) {
+    scan.stop = WalStop::kBadHeader;
+    scan_stop_counter(scan.stop).add();
+    return scan;
+  }
+  scan.first_index = get_u64(bytes.data() + 8);
+  scan.valid_bytes = kWalHeaderBytes;
+
+  std::size_t off = kWalHeaderBytes;
+  while (off < bytes.size()) {
+    const std::size_t remaining = bytes.size() - off;
+    if (remaining < 8) {
+      scan.stop = WalStop::kTornLength;
+      break;
+    }
+    const std::uint32_t length = get_u32(bytes.data() + off);
+    const std::uint32_t crc = get_u32(bytes.data() + off + 4);
+    if (length == 0 || length > kMaxRecordLength) {
+      scan.stop = WalStop::kBadLength;
+      break;
+    }
+    if (length > remaining - 8) {
+      scan.stop = WalStop::kTornPayload;
+      break;
+    }
+    // The CRC covers the length prefix and the payload so a flipped
+    // length bit cannot redirect the checksum window undetected.
+    std::uint32_t actual = crc32c(bytes.data() + off, 4);
+    actual = crc32c(bytes.data() + off + 8, length, actual);
+    if (actual != crc) {
+      scan.stop = WalStop::kBadCrc;
+      break;
+    }
+    Event event;
+    if (length != kWalEventBytes ||
+        !wal_decode_event(bytes.data() + off + 8, &event)) {
+      scan.stop = WalStop::kBadEvent;
+      break;
+    }
+    scan.events.push_back(event);
+    off += 8 + length;
+    scan.valid_bytes = off;
+  }
+  scan_stop_counter(scan.stop).add();
+  return scan;
+}
+
+WalRecovery scan_wal(const std::string& dir) {
+  STRUCTNET_OBS_SPAN("fault.wal.scan");
+  const std::uint64_t start = now_ns();
+  WalRecovery rec;
+
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t index = 0;
+    if (parse_segment_name(entry.path().filename().string(), &index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  rec.segments = segments.size();
+
+  for (const auto& [index, path] : segments) {
+    WalSegmentScan scan = scan_wal_segment(path);
+    rec.stops[static_cast<std::size_t>(scan.stop)]++;
+    if (scan.stop == WalStop::kBadHeader) {
+      rec.clean = false;
+      rec.detail = "unreadable segment header: " + path;
+      break;
+    }
+    if (scan.first_index != index) {
+      rec.clean = false;
+      rec.detail = "segment name/header index mismatch: " + path;
+      break;
+    }
+    if (rec.segments_used == 0) {
+      rec.first_index = scan.first_index;
+    } else if (scan.first_index != rec.first_index + rec.events.size()) {
+      // Chain gap or overlap: everything from this segment on is not a
+      // contiguous continuation of the recovered prefix.
+      rec.clean = false;
+      rec.detail = "segment chain gap at " + path;
+      break;
+    }
+    rec.events.insert(rec.events.end(), scan.events.begin(),
+                      scan.events.end());
+    rec.segments_used++;
+    if (scan.stop != WalStop::kCleanEnd) {
+      rec.clean = false;
+      rec.detail = std::string("segment ") + path + " stopped: " +
+                   std::string(to_string(scan.stop));
+      break;
+    }
+  }
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("fault.wal.scan.runs").add();
+  registry.counter("fault.wal.scan.events").add(rec.events.size());
+  registry.histogram("fault.wal.scan_ns").record(now_ns() - start);
+  return rec;
+}
+
+std::size_t prune_wal_segments(const std::string& dir,
+                               std::uint64_t min_index) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t index = 0;
+    if (parse_segment_name(entry.path().filename().string(), &index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  // Segment i's records all precede segment i+1's first_index, so it is
+  // disposable iff the NEXT segment starts at or below min_index. The
+  // last segment never qualifies (its tail may still be live).
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first > min_index) break;
+    if (fs::remove(segments[i].second, ec)) removed++;
+  }
+  if (removed != 0) {
+    obs::MetricsRegistry::global()
+        .counter("fault.wal.segments_pruned")
+        .add(removed);
+  }
+  return removed;
+}
+
+WalAppender::WalAppender(WalConfig config, std::uint64_t next_index)
+    : config_(std::move(config)), next_index_(next_index) {
+  buffer_.reserve(kWalRecordBytes *
+                  std::max<std::size_t>(config_.group_commit, 64));
+}
+
+WalAppender::~WalAppender() {
+  try {
+    if (buffered_records_ != 0) flush_buffer(config_.fsync_on_flush);
+  } catch (const WalIoError&) {
+    // Destructor must not throw; the tail loss is what recovery handles.
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalAppender::on_event(const DynamicGraph& g, const Event& event,
+                           const EventEffect& effect) {
+  (void)g;
+  (void)effect;
+  append(event);
+}
+
+void WalAppender::on_batch_end(const DynamicGraph& g) {
+  (void)g;
+  if (buffered_records_ != 0) flush_buffer(config_.fsync_on_flush);
+}
+
+void WalAppender::recompute(const DynamicGraph& g) {
+  if (appended_ == 0 && buffered_records_ == 0) {
+    next_index_ = g.epoch();
+  }
+}
+
+void WalAppender::open_segment() {
+  // Called from flush_buffer, so the buffered records are the ones about
+  // to land in this segment: its first index is next_index_ minus them.
+  const std::uint64_t first_index = next_index_ - buffered_records_;
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  segment_path_ = (fs::path(config_.dir) / segment_name(first_index)).string();
+  fd_ = ::open(segment_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw WalIoError("wal: cannot open segment " + segment_path_ + ": " +
+                     std::strerror(errno));
+  }
+  unsigned char header[kWalHeaderBytes];
+  std::memcpy(header, kWalMagic.data(), kWalMagic.size());
+  put_u64(header + 8, first_index);
+  if (::write(fd_, header, sizeof(header)) !=
+      static_cast<ssize_t>(sizeof(header))) {
+    throw WalIoError("wal: cannot write segment header: " + segment_path_);
+  }
+  segment_written_ = kWalHeaderBytes;
+  segments_opened_++;
+  obs::MetricsRegistry::global().counter("fault.wal.segments_opened").add();
+}
+
+void WalAppender::append(const Event& event) {
+  const std::uint64_t start = now_ns();
+  unsigned char record[kWalRecordBytes];
+  put_u32(record, static_cast<std::uint32_t>(kWalEventBytes));
+  wal_encode_event(event, record + 8);
+  std::uint32_t crc = crc32c(record, 4);
+  crc = crc32c(record + 8, kWalEventBytes, crc);
+  put_u32(record + 4, crc);
+
+  buffer_.insert(buffer_.end(), record, record + kWalRecordBytes);
+  buffered_records_++;
+  next_index_++;
+  appended_++;
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("fault.wal.appends").add();
+  registry.histogram("fault.wal.append_ns").record(now_ns() - start);
+
+  if (config_.group_commit != 0 && buffered_records_ >= config_.group_commit) {
+    flush_buffer(config_.fsync_on_flush);
+  }
+}
+
+void WalAppender::sync() {
+  flush_buffer(/*force_fsync=*/true);
+}
+
+void WalAppender::flush_buffer(bool force_fsync) {
+  STRUCTNET_OBS_SPAN("fault.wal.flush");
+  const std::uint64_t start = now_ns();
+  if (fd_ < 0) open_segment();
+  // Roll before writing so a whole flush group lands in one segment; a
+  // record never straddles two files.
+  if (segment_written_ >= config_.segment_bytes && !buffer_.empty()) {
+    if (force_fsync || config_.fsync_on_flush) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    open_segment();
+  }
+  std::size_t off = 0;
+  while (off < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WalIoError(std::string("wal: write failed: ") +
+                       std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  segment_written_ += buffer_.size();
+  buffer_.clear();
+  buffered_records_ = 0;
+  if ((force_fsync || config_.fsync_on_flush) && ::fsync(fd_) != 0) {
+    throw WalIoError(std::string("wal: fsync failed: ") +
+                     std::strerror(errno));
+  }
+  flushes_++;
+
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("fault.wal.flushes").add();
+  registry.histogram("fault.wal.flush_ns").record(now_ns() - start);
+}
+
+}  // namespace structnet

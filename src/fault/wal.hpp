@@ -1,0 +1,179 @@
+// Durable write-ahead log for the streaming engine — the event log as
+// bytes on disk, so accepted events survive a process crash.
+//
+// A DynamicGraph is fully determined by its epoch-0 state plus the
+// accepted-event log (the same observation the text checkpoint exploits);
+// the WAL makes that log durable *incrementally*: one binary record per
+// accepted event, appended as the event commits, so recovery replays
+// "checkpoint + WAL suffix" instead of losing everything since the last
+// full checkpoint.
+//
+// Segment format (binary, little-endian):
+//
+//   header   : 8-byte magic "SNWAL001" + u64 first_index
+//   record   : u32 payload length | u32 CRC32C(length bytes ‖ payload)
+//              | payload (17 bytes: kind u8, u u32, v u32, time u32,
+//                new_time u32)
+//
+// `first_index` is the 0-based position of the segment's first record in
+// the engine's global accepted-event sequence (== the epoch the engine
+// was at when that record was logged), so a directory of segments chains
+// into one contiguous event suffix and a checkpoint at epoch E anchors
+// replay at record index E.
+//
+// The CRC covers the length prefix too: a corrupted length is detected
+// as a bad CRC when enough bytes remain and as a torn tail when not.
+// The recovery scan (scan_wal_segment / scan_wal) stops at the first
+// invalid record — torn length prefix, torn payload, bad CRC, absurd
+// length, undecodable event — and reports the reason, recovering
+// deterministically to the longest valid record prefix. Per-reason stop
+// counters land in the global metrics registry under "fault.wal.*".
+//
+// WalAppender hooks the StreamEngine observer path: attach it FIRST so
+// every accepted event is logged before any derived structure reacts to
+// it. Appends buffer in memory and flush to the file descriptor every
+// `group_commit` records (plus at every batch end and on sync()),
+// optionally fsync'ing per flush; segments roll at a size threshold. IO
+// failures throw WalIoError — the serving layer treats that as an
+// update-path fault and degrades (serve/health.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/observer.hpp"
+
+namespace structnet {
+
+/// CRC32C (Castagnoli) of `len` bytes, seedable for incremental use.
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+inline constexpr std::size_t kWalHeaderBytes = 16;
+inline constexpr std::size_t kWalEventBytes = 17;
+/// Every v1 record is the same size: 8-byte prefix + encoded event.
+inline constexpr std::size_t kWalRecordBytes = 8 + kWalEventBytes;
+inline constexpr std::string_view kWalMagic = "SNWAL001";
+
+/// Fixed little-endian encoding of one event (kWalEventBytes bytes).
+void wal_encode_event(const Event& event,
+                      unsigned char out[kWalEventBytes]);
+/// Decodes an encoded event; false when the kind byte is invalid.
+bool wal_decode_event(const unsigned char* bytes, Event* out);
+
+/// Why a segment scan stopped (kCleanEnd = consumed every byte).
+enum class WalStop : std::uint8_t {
+  kCleanEnd = 0,   // segment ends exactly at a record boundary
+  kTornLength,     // 1-7 trailing bytes: truncated length/CRC prefix
+  kTornPayload,    // declared length exceeds the remaining bytes
+  kBadCrc,         // checksum mismatch (bit rot / corrupted length)
+  kBadLength,      // absurd declared length (0 or > sanity cap)
+  kBadEvent,       // CRC-valid bytes that do not decode to an event
+  kBadHeader,      // missing/short/mismatched segment header
+};
+inline constexpr std::size_t kWalStopCount = 7;
+std::string_view to_string(WalStop stop);
+
+/// Thrown by WalAppender on IO failure (open/write/fsync/rename).
+struct WalIoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct WalConfig {
+  /// Directory holding the segment files ("wal-<first_index>.seg").
+  std::string dir;
+  /// Roll to a fresh segment once the current one reaches this size.
+  std::size_t segment_bytes = std::size_t{4} << 20;
+  /// Flush (write + optional fsync) every N buffered records; 0 buffers
+  /// until batch end / sync() — the group-commit knob.
+  std::size_t group_commit = 1;
+  /// fsync on every flush (durability) vs OS-buffered writes (speed).
+  bool fsync_on_flush = true;
+};
+
+/// One scanned segment: the valid record prefix plus why the scan
+/// stopped and how many bytes of the file that prefix covers.
+struct WalSegmentScan {
+  std::uint64_t first_index = 0;
+  std::vector<Event> events;
+  WalStop stop = WalStop::kCleanEnd;
+  /// Offset one past the last valid record (== file size iff kCleanEnd).
+  std::uint64_t valid_bytes = 0;
+};
+WalSegmentScan scan_wal_segment(const std::string& path);
+
+/// Directory-level recovery scan: segments sorted by first_index and
+/// chained into one contiguous event run. A torn/corrupt record or a
+/// chain gap drops everything after it (deterministic longest valid
+/// prefix); per-reason stop counts are tallied across segments.
+struct WalRecovery {
+  std::uint64_t first_index = 0;  // global index of events.front()
+  std::vector<Event> events;
+  std::size_t segments = 0;       // segment files seen
+  std::size_t segments_used = 0;  // segments contributing events
+  std::array<std::uint64_t, kWalStopCount> stops{};
+  /// False when any used segment ended non-clean or the chain had a gap.
+  bool clean = true;
+  std::string detail;  // human-readable reason when !clean
+};
+WalRecovery scan_wal(const std::string& dir);
+
+/// Deletes segments whose every record index is below `min_index`
+/// (covered by a durable checkpoint). The newest segment always stays.
+/// Returns the number of segments removed.
+std::size_t prune_wal_segments(const std::string& dir,
+                               std::uint64_t min_index);
+
+class WalAppender final : public StreamObserver {
+ public:
+  /// `next_index` is the global index the next appended record gets —
+  /// the engine's epoch at attach time (recompute-on-attach adopts it
+  /// automatically while the appender is still empty).
+  explicit WalAppender(WalConfig config, std::uint64_t next_index = 0);
+  ~WalAppender() override;  // best-effort flush; never throws
+  WalAppender(const WalAppender&) = delete;
+  WalAppender& operator=(const WalAppender&) = delete;
+
+  // StreamObserver: logs every accepted event, flushes at batch ends.
+  std::string_view name() const override { return "wal"; }
+  void on_event(const DynamicGraph& g, const Event& event,
+                const EventEffect& effect) override;
+  void on_batch_end(const DynamicGraph& g) override;
+  /// Attach-time sync: while nothing has been appended, adopts the
+  /// graph's epoch as the next record index (a WAL cannot backfill
+  /// history — pair it with a checkpoint at or above this epoch).
+  void recompute(const DynamicGraph& g) override;
+
+  /// Appends one record (buffered; flushed per group_commit). Throws
+  /// WalIoError on IO failure.
+  void append(const Event& event);
+  /// Flushes buffered records and fsyncs the segment. Throws WalIoError.
+  void sync();
+
+  std::uint64_t next_index() const { return next_index_; }
+  std::uint64_t appended() const { return appended_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t segments_opened() const { return segments_opened_; }
+  const WalConfig& config() const { return config_; }
+
+ private:
+  void open_segment();
+  void flush_buffer(bool force_fsync);
+
+  WalConfig config_;
+  std::uint64_t next_index_ = 0;
+  int fd_ = -1;
+  std::string segment_path_;
+  std::size_t segment_written_ = 0;  // bytes in the open segment
+  std::vector<unsigned char> buffer_;
+  std::size_t buffered_records_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t segments_opened_ = 0;
+};
+
+}  // namespace structnet

@@ -80,6 +80,12 @@ QueryBroker::Metrics::Metrics(obs::MetricsRegistry& r)
       csr_compactions(r.counter("serve.csr_compactions")),
       graph_builds(r.counter("serve.graph_builds")),
       graph_reuses(r.counter("serve.graph_reuses")),
+      update_faults(r.counter("serve.update.faults")),
+      update_retries(r.counter("serve.update.retries")),
+      update_failures(r.counter("serve.update.failures")),
+      update_probes(r.counter("serve.update.probes")),
+      rejected_read_only(r.counter("serve.update.rejected_read_only")),
+      stale_served(r.counter("serve.stale_served")),
       queue_depth(r.gauge("serve.queue_depth")),
       max_queue_depth(r.gauge("serve.max_queue_depth")),
       queue_wait_ns(r.histogram("serve.queue_wait_ns")) {
@@ -96,6 +102,8 @@ QueryBroker::QueryBroker(StreamEngine& engine, TemporalViewObserver* temporal,
       temporal_(temporal),
       config_(config),
       metrics_(registry_),
+      health_(HealthConfig{config.circuit_threshold, config.probe_backoff},
+              registry_),
       cache_(config.cache_bytes, &registry_, "serve.cache") {
   engine_.attach(this);
   if (temporal_ != nullptr && config_.delta_index) {
@@ -317,6 +325,18 @@ std::size_t QueryBroker::flush() {
 
   const std::uint64_t epoch = engine_.graph().epoch();
   const Clock::time_point gate_now = clock_now();
+  // Health observed once per batch: with the circuit open this epoch is
+  // the last GOOD epoch (updates are failing), so every result in the
+  // batch carries the same staleness annotation.
+  const HealthState health = health_.state();
+  const bool stale = health != HealthState::kHealthy;
+  const auto annotate = [&](QueryResult& result) {
+    result.health = health;
+    result.stale = stale;
+    if (stale && result.status == QueryStatus::kOk) {
+      metrics_.stale_served.add();
+    }
+  };
 
   // Phase 1 — admission gate + cache, in submission order. Queries that
   // survive land on the execution list; in-batch duplicates of a
@@ -374,6 +394,7 @@ std::size_t QueryBroker::flush() {
           result.epoch = epoch;
           result.from_cache = true;
           result.payload = std::move(*hit);
+          annotate(result);
           resolve(p, std::move(result), clock_now());
           continue;
         }
@@ -471,6 +492,7 @@ std::size_t QueryBroker::flush() {
       result.status = QueryStatus::kOk;
       result.epoch = epoch;
       result.payload = std::move(payloads[i]);
+      annotate(result);
       resolve(p, std::move(result), now);
     }
 
@@ -499,6 +521,7 @@ std::size_t QueryBroker::flush() {
       // duplicate reads it back; recompute serially in that case.
       result.payload = hit ? std::move(*hit)
                            : execute_payload(p.query, workspaces_.front());
+      annotate(result);
       resolve(p, std::move(result), now);
     }
   }
@@ -510,7 +533,78 @@ std::size_t QueryBroker::flush() {
 std::size_t QueryBroker::apply_events(std::span<const Event> events) {
   STRUCTNET_OBS_SPAN("serve.apply_events");
   std::lock_guard<std::mutex> exec_lk(exec_mu_);
-  return engine_.apply_batch(events);
+  const Clock::time_point now = clock_now();
+
+  if (health_.state() == HealthState::kReadOnly) {
+    // Circuit open: fast-fail so callers never burn retries against a
+    // known-bad path — unless the dwell elapsed, in which case this
+    // very call doubles as the recovery probe.
+    if (!health_.probe_due(now)) {
+      metrics_.rejected_read_only.add();
+      return 0;
+    }
+    health_.begin_probe(now);
+    metrics_.update_probes.add();
+  }
+
+  // Bounded retry with exponential backoff over the pre-commit fault
+  // seam. The seam sits BEFORE the engine mutates, so a retry can never
+  // double-apply an event (node joins etc. are not idempotent).
+  std::chrono::nanoseconds delay = config_.update_backoff_base;
+  for (std::size_t attempt = 1;
+       config_.update_fault_fn != nullptr && config_.update_fault_fn();
+       ++attempt) {
+    metrics_.update_faults.add();
+    if (attempt >= std::max<std::size_t>(config_.update_max_attempts, 1)) {
+      metrics_.update_failures.add();
+      health_.on_failure(clock_now());
+      // Wake the dispatcher: its watchdog owns the re-probe cadence.
+      queue_cv_.notify_all();
+      return 0;
+    }
+    metrics_.update_retries.add();
+    if (delay.count() > 0) {
+      if (config_.sleep_fn != nullptr) {
+        config_.sleep_fn(delay);
+      } else {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+    delay = std::min(delay * std::max<std::uint32_t>(
+                                 config_.update_backoff_factor, 1),
+                     config_.update_backoff_cap);
+  }
+
+  try {
+    const std::size_t accepted = engine_.apply_batch(events);
+    health_.on_success(clock_now());
+    return accepted;
+  } catch (...) {
+    // An exception out of the engine itself (WAL IO error, observer
+    // failure) is not retryable in place: the batch may be partially
+    // applied, so re-running it would double-apply the prefix. Record
+    // the failure, degrade, and keep serving the last good epoch.
+    metrics_.update_failures.add();
+    health_.on_failure(clock_now());
+    queue_cv_.notify_all();
+    return 0;
+  }
+}
+
+bool QueryBroker::probe() {
+  STRUCTNET_OBS_SPAN("serve.probe");
+  std::lock_guard<std::mutex> exec_lk(exec_mu_);
+  const Clock::time_point now = clock_now();
+  if (!health_.probe_due(now)) return false;
+  health_.begin_probe(now);
+  metrics_.update_probes.add();
+  if (config_.update_fault_fn != nullptr && config_.update_fault_fn()) {
+    metrics_.update_faults.add();
+    health_.on_failure(clock_now());
+    return false;
+  }
+  health_.on_success(clock_now());
+  return true;
 }
 
 void QueryBroker::start() {
@@ -538,11 +632,25 @@ void QueryBroker::dispatch_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return !dispatching_ || !queue_.empty(); });
+      const auto drain = [&] { return !dispatching_ || !queue_.empty(); };
+      if (health_.state() == HealthState::kReadOnly) {
+        // Watchdog mode: wake at the probe cadence even when no queries
+        // arrive, so the circuit re-closes without external traffic.
+        queue_cv_.wait_for(lk, health_.config().probe_backoff, drain);
+      } else {
+        // A circuit trip must also break the untimed wait (apply_events
+        // notifies on failure): wait(pred) re-checks only its predicate,
+        // so without the health clause a parked dispatcher would never
+        // re-evaluate the branch above and the watchdog would starve.
+        queue_cv_.wait(lk, [&] {
+          return drain() || health_.state() == HealthState::kReadOnly;
+        });
+      }
       // Drain before exiting so stop() implies "all admitted queries
       // resolved".
       if (!dispatching_ && queue_.empty()) return;
     }
+    if (health_.state() == HealthState::kReadOnly) probe();
     flush();
   }
 }
@@ -570,6 +678,14 @@ ServeStats QueryBroker::stats() const {
   out.csr_compactions = metrics_.csr_compactions.value();
   out.graph_builds = metrics_.graph_builds.value();
   out.graph_reuses = metrics_.graph_reuses.value();
+  out.health = health_.state();
+  out.health_transitions = health_.transitions();
+  out.update_faults = metrics_.update_faults.value();
+  out.update_retries = metrics_.update_retries.value();
+  out.update_failures = metrics_.update_failures.value();
+  out.update_probes = metrics_.update_probes.value();
+  out.rejected_read_only = metrics_.rejected_read_only.value();
+  out.stale_served = metrics_.stale_served.value();
   {
     std::lock_guard<std::mutex> lk(serve_mu_);
     const ResultCache::Stats c = cache_.stats();

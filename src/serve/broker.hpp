@@ -61,6 +61,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/health.hpp"
 #include "serve/metrics.hpp"
 #include "serve/query.hpp"
 #include "serve/result_cache.hpp"
@@ -100,6 +101,27 @@ struct BrokerConfig {
   /// instead of steady_clock::now(), so deadline classification is
   /// testable without sleeps. Null = the real monotonic clock.
   std::chrono::steady_clock::time_point (*now_fn)() = nullptr;
+
+  // -- self-healing update path (serve/health.hpp)
+
+  /// Bounded retry for transient update faults (RetryPolicy shape):
+  /// attempts per apply_events call, first-retry backoff, exponential
+  /// growth, and a cap on any single delay.
+  std::size_t update_max_attempts = 3;
+  std::chrono::nanoseconds update_backoff_base = std::chrono::microseconds(50);
+  std::uint32_t update_backoff_factor = 2;
+  std::chrono::nanoseconds update_backoff_cap = std::chrono::milliseconds(5);
+  /// Consecutive exhausted updates that trip the circuit to ReadOnly.
+  std::size_t circuit_threshold = 3;
+  /// Dwell time in ReadOnly before the watchdog re-probes the path.
+  std::chrono::nanoseconds probe_backoff = std::chrono::milliseconds(10);
+  /// Fault seam: checked before each update attempt; returning true
+  /// means "the update path is failing right now" (a stand-in for WAL
+  /// IO errors, full disks, ...). The seam sits BEFORE the engine
+  /// mutates, so retries never double-apply events. Null = never fails.
+  bool (*update_fault_fn)() = nullptr;
+  /// Sleep seam for retry backoff; null = std::this_thread::sleep_for.
+  void (*sleep_fn)(std::chrono::nanoseconds) = nullptr;
 };
 
 struct SubmitOptions {
@@ -133,7 +155,28 @@ class QueryBroker final : public StreamObserver {
   /// Applies graph events through the engine under the executor lock,
   /// so updates serialize with batch execution (the required mutation
   /// path while the dispatcher runs). Returns accepted events.
+  ///
+  /// Self-healing: transient faults (config.update_fault_fn) are
+  /// retried up to update_max_attempts with exponential backoff; an
+  /// exhausted update fails the health monitor (Healthy -> Degraded,
+  /// and ReadOnly once circuit_threshold consecutive updates fail).
+  /// While ReadOnly, updates fast-fail (return 0) without touching the
+  /// engine — except when the probe backoff has elapsed, in which case
+  /// the call doubles as the recovery probe. An exception escaping the
+  /// engine itself (e.g. a WAL IO error) also counts as a failure and
+  /// is swallowed: queries must keep serving the last good epoch.
   std::size_t apply_events(std::span<const Event> events);
+
+  /// Watchdog probe: when the circuit is open and the backoff has
+  /// elapsed, re-tests the update path (ReadOnly -> Recovering ->
+  /// Healthy or back). Returns true when the probe ran and succeeded.
+  /// The background dispatcher calls this on its own; exposed for
+  /// dispatcherless (manual flush) serving loops.
+  bool probe();
+
+  /// Lock-free health read; stale/health annotations on results carry
+  /// the same value observed at flush time.
+  HealthState health() const { return health_.state(); }
 
   /// Starts / stops the background dispatcher thread, which flushes
   /// whenever the queue is non-empty. stop() drains the queue before
@@ -190,6 +233,12 @@ class QueryBroker final : public StreamObserver {
     obs::Counter& csr_compactions;
     obs::Counter& graph_builds;
     obs::Counter& graph_reuses;
+    obs::Counter& update_faults;
+    obs::Counter& update_retries;
+    obs::Counter& update_failures;
+    obs::Counter& update_probes;
+    obs::Counter& rejected_read_only;
+    obs::Counter& stale_served;
     obs::Gauge& queue_depth;
     obs::Gauge& max_queue_depth;
     obs::Histogram& queue_wait_ns;
@@ -243,6 +292,9 @@ class QueryBroker final : public StreamObserver {
   //    counters into registry_.
   obs::MetricsRegistry registry_;
   Metrics metrics_;
+  /// Update-path health. Transitions happen under exec_mu_; reads are
+  /// lock-free (flush annotations, stats, the dispatcher watchdog).
+  HealthMonitor health_;
   mutable std::mutex serve_mu_;
   ResultCache cache_;
 };

@@ -1,0 +1,73 @@
+#include "serve/health.hpp"
+
+#include <string>
+
+namespace structnet {
+
+std::string_view to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kReadOnly:
+      return "read_only";
+    case HealthState::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config,
+                             obs::MetricsRegistry& registry,
+                             std::string_view prefix)
+    : config_(config),
+      state_gauge_(registry.gauge(std::string(prefix) + ".state")),
+      transitions_(registry.counter(std::string(prefix) + ".transitions")) {
+  if (config_.circuit_threshold == 0) config_.circuit_threshold = 1;
+  for (std::size_t s = 0; s < kHealthStateCount; ++s) {
+    std::string name(prefix);
+    name += ".to_";
+    name += to_string(static_cast<HealthState>(s));
+    to_state_[s] = &registry.counter(name);
+  }
+  state_gauge_.set(static_cast<std::int64_t>(HealthState::kHealthy));
+}
+
+void HealthMonitor::transition(HealthState to, TimePoint now) {
+  (void)now;
+  if (state() == to) return;
+  state_.store(to, std::memory_order_release);
+  state_gauge_.set(static_cast<std::int64_t>(to));
+  transitions_.add();
+  to_state_[static_cast<std::size_t>(to)]->add();
+}
+
+void HealthMonitor::on_success(TimePoint now) {
+  consecutive_failures_ = 0;
+  transition(HealthState::kHealthy, now);
+}
+
+void HealthMonitor::on_failure(TimePoint now) {
+  ++consecutive_failures_;
+  last_failure_ = now;  // re-arms the probe backoff
+  if (consecutive_failures_ >= config_.circuit_threshold ||
+      state() == HealthState::kRecovering) {
+    // At the threshold — or a failed probe — the circuit (re-)opens.
+    transition(HealthState::kReadOnly, now);
+  } else {
+    transition(HealthState::kDegraded, now);
+  }
+}
+
+bool HealthMonitor::probe_due(TimePoint now) const {
+  return state() == HealthState::kReadOnly &&
+         now - last_failure_ >= config_.probe_backoff;
+}
+
+void HealthMonitor::begin_probe(TimePoint now) {
+  if (state() != HealthState::kReadOnly) return;
+  transition(HealthState::kRecovering, now);
+}
+
+}  // namespace structnet

@@ -50,6 +50,14 @@ std::string ServeStats::json(std::string_view label) const {
       .field("csr_compactions", csr_compactions)
       .field("graph_builds", graph_builds)
       .field("graph_reuses", graph_reuses)
+      .field("health", to_string(health))
+      .field("health_transitions", health_transitions)
+      .field("update_faults", update_faults)
+      .field("update_retries", update_retries)
+      .field("update_failures", update_failures)
+      .field("update_probes", update_probes)
+      .field("rejected_read_only", rejected_read_only)
+      .field("stale_served", stale_served)
       .field("cache_hits", cache_hits)
       .field("cache_misses", cache_misses)
       .field("cache_evictions", cache_evictions)
@@ -85,7 +93,14 @@ void ServeStats::print(std::ostream& os) const {
      << " csr_delta_appends=" << csr_delta_appends
      << " csr_compactions=" << csr_compactions
      << " graph_builds=" << graph_builds
-     << " graph_reuses=" << graph_reuses << "\n";
+     << " graph_reuses=" << graph_reuses << "\n"
+     << "health: state=" << to_string(health)
+     << " transitions=" << health_transitions
+     << " update_faults=" << update_faults
+     << " retries=" << update_retries << " failures=" << update_failures
+     << " probes=" << update_probes
+     << " rejected_read_only=" << rejected_read_only
+     << " stale_served=" << stale_served << "\n";
   for (std::size_t k = 0; k < kQueryKindCount; ++k) {
     const LatencyHistogram& h = latency[k];
     if (h.count() == 0) continue;

@@ -83,6 +83,18 @@ struct ServeStats {
   std::uint64_t graph_builds = 0;
   std::uint64_t graph_reuses = 0;
 
+  // Self-healing update path (serve/health.hpp).
+  HealthState health = HealthState::kHealthy;
+  std::uint64_t health_transitions = 0;
+  std::uint64_t update_faults = 0;
+  std::uint64_t update_retries = 0;
+  std::uint64_t update_failures = 0;
+  std::uint64_t update_probes = 0;
+  std::uint64_t rejected_read_only = 0;
+  /// kOk results served while the broker was not Healthy (annotated
+  /// stale: the epoch they carry is the last good one).
+  std::uint64_t stale_served = 0;
+
   // Result cache.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

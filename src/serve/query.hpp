@@ -23,6 +23,7 @@
 
 #include "core/types.hpp"
 #include "layering/nsf.hpp"
+#include "serve/health.hpp"
 #include "sim/dtn_routing.hpp"
 #include "temporal/journeys.hpp"
 
@@ -166,6 +167,13 @@ struct QueryResult {
   std::uint64_t epoch = 0;
   /// True when served from the result cache rather than executed.
   bool from_cache = false;
+  /// Broker health observed at resolution. A non-Healthy broker keeps
+  /// serving (graceful degradation), but callers can see that `epoch`
+  /// is the last GOOD epoch, not necessarily the freshest stream state.
+  HealthState health = HealthState::kHealthy;
+  /// Staleness annotation: true iff health was not Healthy at flush —
+  /// updates are failing, so the served epoch may lag the real world.
+  bool stale = false;
   QueryPayload payload;
 };
 

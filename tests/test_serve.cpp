@@ -848,5 +848,295 @@ TEST(ServeChurnTest, DeltaPlannerMatchesLegacyRebuildBitForBit) {
   EXPECT_LT(delta.stats.csr_builds, legacy.stats.csr_builds);
 }
 
+// --------------------------------------------- self-healing update path
+
+TEST(HealthMonitorTest, StateMachineFollowsTheDiagram) {
+  obs::MetricsRegistry reg;
+  HealthMonitor hm(HealthConfig{2, std::chrono::nanoseconds(100)}, reg);
+  const auto at = [](std::int64_t ns) {
+    return HealthMonitor::TimePoint(std::chrono::nanoseconds(ns));
+  };
+
+  EXPECT_EQ(hm.state(), HealthState::kHealthy);
+  hm.begin_probe(at(0));  // only legal from ReadOnly: no-op here
+  EXPECT_EQ(hm.state(), HealthState::kHealthy);
+
+  hm.on_failure(at(0));
+  EXPECT_EQ(hm.state(), HealthState::kDegraded);
+  EXPECT_EQ(hm.consecutive_failures(), 1u);
+  hm.on_success(at(1));
+  EXPECT_EQ(hm.state(), HealthState::kHealthy);
+  EXPECT_EQ(hm.consecutive_failures(), 0u);
+
+  // A streak at the threshold trips the circuit.
+  hm.on_failure(at(10));
+  hm.on_failure(at(20));
+  EXPECT_EQ(hm.state(), HealthState::kReadOnly);
+  EXPECT_FALSE(hm.probe_due(at(100)));  // 80ns dwelt < 100ns backoff
+  EXPECT_TRUE(hm.probe_due(at(120)));
+
+  hm.begin_probe(at(120));
+  EXPECT_EQ(hm.state(), HealthState::kRecovering);
+  EXPECT_FALSE(hm.probe_due(at(1000)));  // only due while ReadOnly
+
+  // A failed probe re-opens the circuit and re-arms the backoff.
+  hm.on_failure(at(130));
+  EXPECT_EQ(hm.state(), HealthState::kReadOnly);
+  EXPECT_FALSE(hm.probe_due(at(200)));  // re-armed from 130
+  EXPECT_TRUE(hm.probe_due(at(230)));
+  hm.begin_probe(at(230));
+  hm.on_success(at(240));
+  EXPECT_EQ(hm.state(), HealthState::kHealthy);
+  EXPECT_EQ(hm.consecutive_failures(), 0u);
+
+  // Every transition landed in the registry.
+  const obs::MetricsRegistry::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.gauge_value("serve.health.state"),
+            static_cast<std::int64_t>(HealthState::kHealthy));
+  // H->D, D->H, H->D, D->RO, RO->Rec, Rec->RO, RO->Rec, Rec->H.
+  EXPECT_EQ(hm.transitions(), 8u);
+  EXPECT_EQ(snap.counter_value("serve.health.transitions"), 8u);
+  EXPECT_EQ(snap.counter_value("serve.health.to_degraded"), 2u);
+  EXPECT_EQ(snap.counter_value("serve.health.to_read_only"), 2u);
+  EXPECT_EQ(snap.counter_value("serve.health.to_recovering"), 2u);
+  EXPECT_EQ(snap.counter_value("serve.health.to_healthy"), 2u);
+}
+
+// Fault / sleep seams are function pointers, so the scripts are globals.
+std::atomic<int> g_fault_budget{0};  // fail the next N fault checks
+bool budgeted_fault() {
+  int cur = g_fault_budget.load();
+  while (cur > 0 && !g_fault_budget.compare_exchange_weak(cur, cur - 1)) {
+  }
+  return cur > 0;
+}
+std::atomic<bool> g_fault_on{false};
+bool toggled_fault() { return g_fault_on.load(); }
+std::atomic<std::int64_t> g_slept_ns{0};
+void recording_sleep(std::chrono::nanoseconds d) { g_slept_ns += d.count(); }
+
+TEST(QueryBrokerTest, TransientUpdateFaultRetriesWithBackoffThenApplies) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.update_fault_fn = &budgeted_fault;
+  cfg.sleep_fn = &recording_sleep;
+  cfg.update_max_attempts = 3;
+  cfg.update_backoff_base = std::chrono::nanoseconds(1000);
+  cfg.update_backoff_factor = 2;
+  cfg.update_backoff_cap = std::chrono::milliseconds(5);
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  const std::uint64_t epoch0 = rig.engine.graph().epoch();
+  g_fault_budget.store(2);  // two transient faults, third attempt clean
+  g_slept_ns.store(0);
+  const Event e = Event::contact_add(0, 1, 3);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 1u);
+  EXPECT_EQ(rig.engine.graph().epoch(), epoch0 + 1);  // applied exactly once
+  EXPECT_EQ(broker.health(), HealthState::kHealthy);
+  EXPECT_EQ(g_slept_ns.load(), 1000 + 2000);  // base, then base*factor
+
+  const ServeStats stats = broker.stats();
+  EXPECT_EQ(stats.update_faults, 2u);
+  EXPECT_EQ(stats.update_retries, 2u);
+  EXPECT_EQ(stats.update_failures, 0u);
+  EXPECT_EQ(stats.health_transitions, 0u);
+}
+
+TEST(QueryBrokerTest, PersistentFaultTripsCircuitServesStaleThenHeals) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.now_fn = &fake_now;  // deterministic probe-backoff clock
+  cfg.update_fault_fn = &toggled_fault;
+  cfg.sleep_fn = &recording_sleep;
+  cfg.update_max_attempts = 1;  // no retries: each call is one failure
+  cfg.circuit_threshold = 2;
+  cfg.probe_backoff = std::chrono::nanoseconds(1000);
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  const std::uint64_t good_epoch = rig.engine.graph().epoch();
+  const Event e = Event::contact_add(0, 1, 3);
+
+  // Two exhausted updates: Healthy -> Degraded -> ReadOnly.
+  g_fake_now_ns.store(0);
+  g_fault_on.store(true);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.health(), HealthState::kDegraded);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.health(), HealthState::kReadOnly);
+  EXPECT_EQ(rig.engine.graph().epoch(), good_epoch);  // engine untouched
+
+  // Circuit open, backoff not elapsed: updates fast-fail without
+  // touching the fault seam (no retry burn).
+  g_fake_now_ns.store(500);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.stats().rejected_read_only, 1u);
+
+  // Queries keep serving the last good epoch, annotated stale.
+  const auto stale = run_one(broker, TemporalDistancesQuery{2, 0});
+  ASSERT_EQ(stale.status, QueryStatus::kOk);
+  EXPECT_EQ(stale.epoch, good_epoch);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.health, HealthState::kReadOnly);
+  EXPECT_EQ(std::get<std::vector<TimeUnit>>(stale.payload),
+            earliest_arrival(rig.view.view(), 2, 0).completion);
+  EXPECT_GE(broker.stats().stale_served, 1u);
+
+  // Backoff elapsed but the fault persists: the update doubles as the
+  // probe, fails, and re-opens the circuit (backoff re-armed).
+  g_fake_now_ns.store(2000);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.health(), HealthState::kReadOnly);
+  g_fake_now_ns.store(2500);  // 500ns since the re-arm: not due yet
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.stats().rejected_read_only, 2u);
+
+  // Fault clears, backoff elapses: probe succeeds, the update applies,
+  // and the broker returns to Healthy — results lose the stale mark.
+  g_fault_on.store(false);
+  g_fake_now_ns.store(4000);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 1u);
+  EXPECT_EQ(broker.health(), HealthState::kHealthy);
+  EXPECT_EQ(rig.engine.graph().epoch(), good_epoch + 1);
+  const auto fresh = run_one(broker, TemporalDistancesQuery{2, 0});
+  ASSERT_EQ(fresh.status, QueryStatus::kOk);
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(fresh.health, HealthState::kHealthy);
+  EXPECT_EQ(fresh.epoch, good_epoch + 1);
+
+  // The whole episode is visible in the metrics registry.
+  const ServeStats stats = broker.stats();
+  EXPECT_EQ(stats.update_failures, 3u);  // two trips + one failed probe
+  EXPECT_EQ(stats.update_probes, 2u);    // failed + successful
+  // H->D, D->RO, RO->Rec, Rec->RO, RO->Rec, Rec->H.
+  EXPECT_EQ(stats.health_transitions, 6u);
+  const obs::MetricsRegistry::Snapshot snap = broker.metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("serve.health.transitions"), 6u);
+  EXPECT_EQ(snap.counter_value("serve.update.failures"), 3u);
+  EXPECT_EQ(snap.counter_value("serve.update.rejected_read_only"), 2u);
+  EXPECT_EQ(snap.gauge_value("serve.health.state"),
+            static_cast<std::int64_t>(HealthState::kHealthy));
+}
+
+TEST(QueryBrokerTest, ManualProbeRespectsBackoffAndOutcome) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.now_fn = &fake_now;
+  cfg.update_fault_fn = &toggled_fault;
+  cfg.update_max_attempts = 1;
+  cfg.circuit_threshold = 1;
+  cfg.probe_backoff = std::chrono::nanoseconds(1000);
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  g_fake_now_ns.store(0);
+  g_fault_on.store(true);
+  const Event e = Event::contact_add(0, 1, 3);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  ASSERT_EQ(broker.health(), HealthState::kReadOnly);
+
+  EXPECT_FALSE(broker.probe());  // not due yet: no state change
+  EXPECT_EQ(broker.health(), HealthState::kReadOnly);
+
+  g_fake_now_ns.store(1500);
+  EXPECT_FALSE(broker.probe());  // due, but the fault persists
+  EXPECT_EQ(broker.health(), HealthState::kReadOnly);
+
+  g_fault_on.store(false);
+  g_fake_now_ns.store(3000);
+  EXPECT_TRUE(broker.probe());
+  EXPECT_EQ(broker.health(), HealthState::kHealthy);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 1u);
+}
+
+TEST(QueryBrokerTest, WatchdogHealsCircuitWithoutTraffic) {
+  // Real clock: the background dispatcher must re-probe on its own —
+  // no queries, no update calls — once the fault clears.
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.update_fault_fn = &toggled_fault;
+  cfg.update_max_attempts = 1;
+  cfg.circuit_threshold = 1;
+  cfg.probe_backoff = std::chrono::milliseconds(1);
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+  broker.start();
+
+  g_fault_on.store(true);
+  const Event e = Event::contact_add(0, 1, 3);
+  EXPECT_EQ(broker.apply_events({&e, 1}), 0u);
+  EXPECT_EQ(broker.health(), HealthState::kReadOnly);
+
+  g_fault_on.store(false);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (broker.health() != HealthState::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(broker.health(), HealthState::kHealthy);
+  EXPECT_GE(broker.stats().update_probes, 1u);
+  broker.stop();
+  EXPECT_EQ(broker.apply_events({&e, 1}), 1u);  // path really works again
+}
+
+void run_stop_race(std::size_t threads) {
+  ServeRig rig;
+  BrokerConfig cfg;
+  cfg.threads = threads;
+  cfg.max_queue = 4096;
+  std::vector<std::future<QueryResult>> futures;
+  {
+    QueryBroker broker(rig.engine, &rig.view, cfg);
+    broker.start();
+
+    std::atomic<bool> go{true};
+    std::thread mutator([&] {
+      Rng rng(17);
+      while (go.load()) {
+        std::vector<Event> batch;
+        for (int i = 0; i < 8; ++i) {
+          batch.push_back(Event::contact_add(
+              static_cast<VertexId>(rng.index(ServeRig::kNodes)),
+              static_cast<VertexId>(rng.index(ServeRig::kNodes)),
+              static_cast<TimeUnit>(rng.index(ServeRig::kHorizon))));
+        }
+        broker.apply_events(batch);
+      }
+    });
+
+    Rng rng(18);
+    for (std::size_t i = 0; i < 300; ++i) {
+      futures.push_back(broker.submit(TemporalDistancesQuery{
+          static_cast<VertexId>(rng.index(ServeRig::kNodes)), 0}));
+      if (i == 150) broker.stop();  // stop() races the in-flight updates
+    }
+    go.store(false);
+    mutator.join();
+    // Destructor: whatever the drain left queued resolves as shutdown.
+  }
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "unresolved future at threads=" << threads;
+    const auto r = f.get();
+    if (r.status == QueryStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, QueryStatus::kRejected);
+      ASSERT_TRUE(r.cause == RejectCause::kShutdown ||
+                  r.cause == RejectCause::kQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 300u);
+  EXPECT_GT(ok, 0u) << "threads=" << threads;
+}
+
+TEST(QueryBrokerTest, StopRacingApplyEventsDrainsCleanly) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    run_stop_race(threads);
+  }
+}
+
 }  // namespace
 }  // namespace structnet
