@@ -27,7 +27,7 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|TemporalDelta|DeltaCsrObserver|FaultRouting|QueryBroker|ServeChurn|HealthMonitor|ObsCounter|ObsRegistry|ObsTrace'
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|TemporalDelta|DeltaCsrObserver|FaultRouting|Wal|QueryBroker|ServeChurn|HealthMonitor|ObsCounter|ObsRegistry|ObsTrace'
 fi
 
 if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then

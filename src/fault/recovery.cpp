@@ -179,6 +179,11 @@ RecoverOutcome recover(const std::string& dir,
   registry.counter("fault.recover.runs").add();
 
   RecoverOutcome out;
+  // Heal the log first: truncate a torn tail to its valid prefix and
+  // drop unreachable segments, so a WalAppender resumed at the
+  // recovered index chains cleanly and the NEXT recovery reaches its
+  // records instead of stopping at the old tear.
+  out.wal_repair = repair_wal(dir);
   out.wal = scan_wal(dir);
   const std::uint64_t wal_end = out.wal.first_index + out.wal.events.size();
 

@@ -74,14 +74,18 @@ struct RecoverOutcome {
   std::size_t checkpoints_tried = 0;  // read attempts, including the winner
   std::size_t wal_replayed = 0;       // WAL records replayed on top
   WalRecovery wal;                    // the directory scan that anchored it
+  WalRepair wal_repair;               // what the pre-scan repair healed
   std::string error;                  // set when !ok()
 
   bool ok() const { return engine.has_value(); }
   explicit operator bool() const { return ok(); }
 };
 
-/// Rebuilds an engine from the durable state in `dir`: scan the WAL,
-/// load the newest valid checkpoint whose epoch the WAL can extend,
+/// Rebuilds an engine from the durable state in `dir`: repair the WAL
+/// (truncate a torn tail, drop unreachable segments — so appending can
+/// resume past the tear and the NEXT recovery still sees everything),
+/// scan it, load the newest valid checkpoint whose epoch the WAL can
+/// extend,
 /// replay the WAL suffix past it; fall back to older checkpoints when
 /// the newest is corrupt or inconsistent, and to an empty
 /// `initial_vertices`-vertex graph + full WAL replay when no checkpoint

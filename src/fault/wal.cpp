@@ -97,16 +97,35 @@ std::uint64_t now_ns() {
           .count());
 }
 
-obs::Counter& scan_stop_counter(WalStop stop) {
-  // Pinned per-reason counters: "fault.wal.scan.<reason>".
-  static obs::Counter* counters[kWalStopCount] = {};
-  auto i = static_cast<std::size_t>(stop);
-  if (counters[i] == nullptr) {
-    std::string name = "fault.wal.scan.";
-    name += to_string(stop);
-    counters[i] = &obs::MetricsRegistry::global().counter(name);
+/// Segment files in `dir`, sorted by first_index ascending.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t index = 0;
+    if (parse_segment_name(entry.path().filename().string(), &index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
   }
-  return *counters[i];
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+obs::Counter& scan_stop_counter(WalStop stop) {
+  // Pinned per-reason counters ("fault.wal.scan.<reason>"), resolved
+  // eagerly under the magic-static lock so concurrent scans only ever
+  // read the array.
+  static const std::array<obs::Counter*, kWalStopCount> counters = [] {
+    std::array<obs::Counter*, kWalStopCount> pinned{};
+    for (std::size_t i = 0; i < kWalStopCount; ++i) {
+      std::string name = "fault.wal.scan.";
+      name += to_string(static_cast<WalStop>(i));
+      pinned[i] = &obs::MetricsRegistry::global().counter(name);
+    }
+    return pinned;
+  }();
+  return *counters[static_cast<std::size_t>(stop)];
 }
 
 }  // namespace
@@ -230,15 +249,7 @@ WalRecovery scan_wal(const std::string& dir) {
   const std::uint64_t start = now_ns();
   WalRecovery rec;
 
-  std::vector<std::pair<std::uint64_t, std::string>> segments;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::uint64_t index = 0;
-    if (parse_segment_name(entry.path().filename().string(), &index)) {
-      segments.emplace_back(index, entry.path().string());
-    }
-  }
-  std::sort(segments.begin(), segments.end());
+  const auto segments = list_segments(dir);
   rec.segments = segments.size();
 
   for (const auto& [index, path] : segments) {
@@ -283,15 +294,8 @@ WalRecovery scan_wal(const std::string& dir) {
 
 std::size_t prune_wal_segments(const std::string& dir,
                                std::uint64_t min_index) {
-  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  const auto segments = list_segments(dir);
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::uint64_t index = 0;
-    if (parse_segment_name(entry.path().filename().string(), &index)) {
-      segments.emplace_back(index, entry.path().string());
-    }
-  }
-  std::sort(segments.begin(), segments.end());
 
   // Segment i's records all precede segment i+1's first_index, so it is
   // disposable iff the NEXT segment starts at or below min_index. The
@@ -307,6 +311,58 @@ std::size_t prune_wal_segments(const std::string& dir,
         .add(removed);
   }
   return removed;
+}
+
+WalRepair repair_wal(const std::string& dir) {
+  STRUCTNET_OBS_SPAN("fault.wal.repair");
+  WalRepair rep;
+  bool broken = false;         // break point hit: the rest is unreachable
+  bool chained = false;        // at least one usable segment so far
+  std::uint64_t expected = 0;  // next segment's required first_index
+  for (const auto& [index, path] : list_segments(dir)) {
+    std::error_code ec;
+    if (!broken) {
+      const WalSegmentScan scan = scan_wal_segment(path);
+      const bool usable = scan.stop != WalStop::kBadHeader &&
+                          scan.first_index == index &&
+                          (!chained || scan.first_index == expected);
+      if (usable) {
+        chained = true;
+        expected = scan.first_index + scan.events.size();
+        if (scan.stop == WalStop::kCleanEnd) continue;
+        // Torn/corrupt tail: cut the file back to its valid record
+        // prefix so the segment ends clean and a resumed appender's
+        // next segment (first_index == `expected`) extends the chain.
+        const std::uint64_t size = fs::file_size(path, ec);
+        if (!ec && size > scan.valid_bytes) {
+          fs::resize_file(path, scan.valid_bytes, ec);
+          if (!ec) {
+            rep.segments_truncated++;
+            rep.bytes_discarded += size - scan.valid_bytes;
+          }
+        }
+        broken = true;  // records after the tear are gone either way
+        continue;
+      }
+      broken = true;  // this segment itself is unusable: drop it too
+    }
+    std::error_code size_ec;
+    const std::uint64_t size = fs::file_size(path, size_ec);
+    if (fs::remove(path, ec)) {
+      rep.segments_removed++;
+      if (!size_ec) rep.bytes_discarded += size;
+    }
+  }
+  if (rep.segments_truncated != 0 || rep.segments_removed != 0) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("fault.wal.repair.segments_truncated")
+        .add(rep.segments_truncated);
+    registry.counter("fault.wal.repair.segments_removed")
+        .add(rep.segments_removed);
+    registry.counter("fault.wal.repair.bytes_discarded")
+        .add(rep.bytes_discarded);
+  }
+  return rep;
 }
 
 WalAppender::WalAppender(WalConfig config, std::uint64_t next_index)
@@ -400,7 +456,10 @@ void WalAppender::flush_buffer(bool force_fsync) {
   // Roll before writing so a whole flush group lands in one segment; a
   // record never straddles two files.
   if (segment_written_ >= config_.segment_bytes && !buffer_.empty()) {
-    if (force_fsync || config_.fsync_on_flush) ::fsync(fd_);
+    if ((force_fsync || config_.fsync_on_flush) && ::fsync(fd_) != 0) {
+      throw WalIoError(std::string("wal: fsync failed on segment roll: ") +
+                       std::strerror(errno));
+    }
     ::close(fd_);
     fd_ = -1;
     open_segment();

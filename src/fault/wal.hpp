@@ -28,6 +28,9 @@
 // length, undecodable event — and reports the reason, recovering
 // deterministically to the longest valid record prefix. Per-reason stop
 // counters land in the global metrics registry under "fault.wal.*".
+// repair_wal() makes the disk match that prefix (truncate the tear,
+// drop unreachable segments) so a WalAppender resumed at the recovered
+// index extends the chain instead of stranding records behind the tear.
 //
 // WalAppender hooks the StreamEngine observer path: attach it FIRST so
 // every accepted event is logged before any derived structure reacts to
@@ -121,6 +124,24 @@ struct WalRecovery {
   std::string detail;  // human-readable reason when !clean
 };
 WalRecovery scan_wal(const std::string& dir);
+
+/// What repair_wal healed on disk.
+struct WalRepair {
+  std::size_t segments_truncated = 0;  // torn tails cut to valid prefix
+  std::size_t segments_removed = 0;    // unreachable past the break point
+  std::uint64_t bytes_discarded = 0;   // total bytes dropped either way
+};
+
+/// Heals the WAL directory so the recovered prefix can be EXTENDED:
+/// truncates the first damaged segment back to its valid record prefix
+/// and deletes every segment past the break (bad headers, chain gaps,
+/// anything after a tear) — exactly the bytes a scan drops anyway.
+/// Without this, a WalAppender resumed after recovery opens a new
+/// segment BEHIND the damaged tail and the next scan stops at the old
+/// tear, silently orphaning fully-durable post-recovery records;
+/// recover() therefore repairs before it scans. Idempotent: a clean
+/// directory is untouched.
+WalRepair repair_wal(const std::string& dir);
 
 /// Deletes segments whose every record index is below `min_index`
 /// (covered by a durable checkpoint). The newest segment always stays.

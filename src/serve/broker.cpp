@@ -559,6 +559,11 @@ std::size_t QueryBroker::apply_events(std::span<const Event> events) {
       metrics_.update_failures.add();
       health_.on_failure(clock_now());
       // Wake the dispatcher: its watchdog owns the re-probe cadence.
+      // The empty critical section orders the health store against the
+      // dispatcher's predicate-check-then-block (both under queue_mu_):
+      // without it the store + notify could land between the check and
+      // the block and the wakeup would be lost.
+      { std::lock_guard<std::mutex> lk(queue_mu_); }
       queue_cv_.notify_all();
       return 0;
     }
@@ -586,6 +591,8 @@ std::size_t QueryBroker::apply_events(std::span<const Event> events) {
     // the failure, degrade, and keep serving the last good epoch.
     metrics_.update_failures.add();
     health_.on_failure(clock_now());
+    // Same store-then-notify fence as the retry-exhaustion path above.
+    { std::lock_guard<std::mutex> lk(queue_mu_); }
     queue_cv_.notify_all();
     return 0;
   }

@@ -6,6 +6,7 @@
 #include <stdlib.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -13,6 +14,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/generators.hpp"
@@ -739,6 +741,75 @@ TEST(WalTest, PruneDropsOnlyFullyCoveredSegments) {
   EXPECT_GE(scan_wal(tmp.path).segments, 1u);
 }
 
+TEST(WalTest, ConcurrentScansAreRaceFree) {
+  // Many threads scanning the same directory at once: the per-reason
+  // stop counters resolve through a shared pinned table that must be
+  // safe to read concurrently (this suite runs under TSan).
+  TempDir tmp;
+  WalConfig config;
+  config.dir = tmp.path;
+  config.fsync_on_flush = false;
+  {
+    WalAppender wal(config);
+    for (int i = 0; i < 8; ++i) {
+      wal.append(Event::edge_insert(static_cast<VertexId>(i),
+                                    static_cast<VertexId>(i + 1)));
+    }
+    wal.sync();
+  }
+  std::atomic<std::size_t> clean{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      const WalRecovery rec = scan_wal(tmp.path);
+      if (rec.clean && rec.events.size() == 8) clean.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(clean.load(), 8u);
+}
+
+TEST(WalTest, RepairHealsTornTailAndDropsUnreachableSegments) {
+  // Multi-segment log, torn in a MIDDLE segment: repair must truncate
+  // that segment to its valid record prefix and delete the segments
+  // after it (a scan can never reach past the tear), leaving a clean,
+  // extendable chain on disk.
+  TempDir tmp;
+  WalConfig config;
+  config.dir = tmp.path;
+  config.segment_bytes = kWalHeaderBytes + 4 * kWalRecordBytes;
+  config.fsync_on_flush = false;
+  {
+    WalAppender wal(config);
+    for (std::size_t i = 0; i < 20; ++i) {
+      wal.append(Event::edge_insert(static_cast<VertexId>(i),
+                                    static_cast<VertexId>(i + 1)));
+    }
+    wal.sync();
+  }
+  // Five 4-record segments (0, 4, 8, 12, 16); tear wal-8 mid-record.
+  ASSERT_EQ(scan_wal(tmp.path).segments, 5u);
+  const std::string torn = wal_segment_path(tmp.path, 8);
+  fs::resize_file(torn, kWalHeaderBytes + 2 * kWalRecordBytes + 5);
+
+  const WalRepair rep = repair_wal(tmp.path);
+  EXPECT_EQ(rep.segments_truncated, 1u);
+  EXPECT_EQ(rep.segments_removed, 2u);  // wal-12 and wal-16
+  EXPECT_GT(rep.bytes_discarded, 0u);
+  EXPECT_EQ(fs::file_size(torn), kWalHeaderBytes + 2 * kWalRecordBytes);
+
+  const WalRecovery rec = scan_wal(tmp.path);
+  EXPECT_TRUE(rec.clean) << rec.detail;
+  EXPECT_EQ(rec.first_index, 0u);
+  EXPECT_EQ(rec.events.size(), 10u);  // 4 + 4 + 2 survivors
+
+  // Idempotent: a healed directory is untouched.
+  const WalRepair again = repair_wal(tmp.path);
+  EXPECT_EQ(again.segments_truncated, 0u);
+  EXPECT_EQ(again.segments_removed, 0u);
+  EXPECT_EQ(again.bytes_discarded, 0u);
+}
+
 // ------------------------------------------------------ checkpoint files
 
 TEST(CheckpointFileTest, WriteReadRoundTrip) {
@@ -930,6 +1001,83 @@ TEST(WalCrashMatrixTest, CorruptNewestCheckpointFallsBack) {
                         << out.recovered;
   // The corrupt anchor was tried and skipped.
   EXPECT_GE(out.checkpoints_tried, 2u);
+}
+
+TEST(WalCrashMatrixTest, RecoverAppendRecoverKeepsResumedRecords) {
+  // The full production cycle: crash with a torn tail, recover (which
+  // repairs the log on disk), resume appending through a fresh
+  // WalAppender, crash again, recover again. The second recovery must
+  // see the durable prefix PLUS every flushed post-recovery record —
+  // without the repair step the old tear would strand the resumed
+  // segment behind a non-clean stop and silently drop it.
+  const std::size_t n = 16;
+  Rng rng(58);
+  const auto events = churn_stream(n, 60, rng);
+  const auto resume_events = churn_stream(n, 40, rng);
+
+  for (const std::size_t torn_records :
+       {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    TempDir tmp;
+    WalConfig config;
+    config.dir = tmp.path;
+    config.fsync_on_flush = false;
+    std::vector<Event> accepted;
+    {
+      WalAppender wal(config);
+      StreamEngine doomed{DynamicGraph(n)};
+      doomed.attach(&wal);
+      for (const Event& e : events) doomed.apply(e);
+      wal.sync();
+      const auto& log = doomed.graph().log();
+      accepted.assign(log.begin(), log.end());
+    }
+    ASSERT_GT(accepted.size(), torn_records);
+    // Tear mid-record so exactly `torn_records` full records survive.
+    const std::string seg = wal_segment_path(tmp.path);
+    fs::resize_file(seg,
+                    kWalHeaderBytes + torn_records * kWalRecordBytes + 9);
+
+    RecoverOutcome first = recover(tmp.path, n);
+    ASSERT_TRUE(first.ok()) << first.error;
+    EXPECT_EQ(first.engine->graph().epoch(), torn_records);
+    EXPECT_EQ(first.wal_repair.segments_truncated, 1u);
+    // The disk is healed: the segment now ends at the valid prefix.
+    EXPECT_EQ(fs::file_size(seg),
+              kWalHeaderBytes + torn_records * kWalRecordBytes);
+
+    // Resume: a fresh appender adopts the recovered epoch on attach,
+    // so its new segment's first_index extends the healed chain.
+    StreamEngine& engine = *first.engine;
+    {
+      WalAppender wal(config);
+      engine.attach(&wal);
+      EXPECT_EQ(wal.next_index(), torn_records);
+      for (const Event& e : resume_events) engine.apply(e);
+      wal.sync();
+      engine.detach(&wal);
+    }
+    ASSERT_GT(engine.graph().epoch(), torn_records);
+
+    RecoverOutcome second = recover(tmp.path, n);
+    ASSERT_TRUE(second.ok()) << second.error;
+    EXPECT_TRUE(second.wal.clean) << second.wal.detail;
+    EXPECT_EQ(second.engine->graph().epoch(), engine.graph().epoch())
+        << "torn at " << torn_records;
+    EXPECT_EQ(second.engine->graph().log(), engine.graph().log());
+    EXPECT_EQ(second.engine->graph().materialize(),
+              engine.graph().materialize());
+
+    // Tear the RESUMED segment too: repair heals generation after
+    // generation, keeping both the original and the resumed prefix.
+    const std::string resumed_seg =
+        wal_segment_path(tmp.path, torn_records);
+    const std::uint64_t resumed_size = fs::file_size(resumed_seg);
+    ASSERT_GE(resumed_size, kWalHeaderBytes + kWalRecordBytes);
+    fs::resize_file(resumed_seg, resumed_size - 4);
+    RecoverOutcome third = recover(tmp.path, n);
+    ASSERT_TRUE(third.ok()) << third.error;
+    EXPECT_EQ(third.engine->graph().epoch(), engine.graph().epoch() - 1);
+  }
 }
 
 TEST(WalCrashMatrixTest, RecoveryEmitsMetrics) {
