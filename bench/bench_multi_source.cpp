@@ -1,0 +1,138 @@
+// Lane-packed multi-source sweep benchmark (the PR-10 acceptance
+// experiment): all-pairs-style earliest-arrival work on synthetic
+// contact traces, scalar one-sweep-per-source vs. 64 sources sharing
+// one contact-stream pass (temporal/multi_source.hpp), single thread.
+// Per-lane results are asserted bit-identical (arrivals AND via-from)
+// before anything is timed — "results_match" in the JSON is that gate.
+//
+// Two instances: "smoke" (small, fast enough for check.sh's Release
+// bench gate, asserted >= 4x there) and "allpairs20k" (the 20k-vertex
+// instance bench_temporal_paths uses, acceptance target >= 8x).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "temporal/journeys.hpp"
+#include "temporal/multi_source.hpp"
+#include "temporal/temporal_csr.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace structnet {
+namespace {
+
+constexpr std::size_t kLanes = MultiSourceWorkspace::kMaxLanes;
+
+TemporalGraph make_trace(std::size_t n, TimeUnit horizon, std::size_t edges,
+                         std::size_t labels_per_edge, std::uint64_t seed) {
+  Rng rng(seed);
+  TemporalGraph eg(n, horizon);
+  for (std::size_t i = 0; i < edges; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(n));
+    const auto v = static_cast<VertexId>(rng.index(n));
+    if (u == v) continue;
+    for (std::size_t k = 0; k < labels_per_edge; ++k) {
+      eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(horizon)));
+    }
+  }
+  return eg;
+}
+
+void sweep_speedup(Table& t, const char* instance, std::size_t n,
+                   TimeUnit horizon, std::size_t edges,
+                   std::size_t labels_per_edge, std::size_t sample_blocks) {
+  const TemporalGraph eg = make_trace(n, horizon, edges, labels_per_edge, 101);
+  const TemporalCsr csr(eg);
+
+  // sample_blocks lane-blocks of 64 evenly spread sources — the same
+  // source set both implementations sweep.
+  std::vector<VertexId> sources;
+  const std::size_t total = sample_blocks * kLanes;
+  for (std::size_t i = 0; i < total; ++i) {
+    sources.push_back(static_cast<VertexId>((i * n) / total));
+  }
+
+  // Equivalence gate before timing: every lane bit-identical to the
+  // scalar kernel, arrivals and via-from alike.
+  bool match = true;
+  TemporalWorkspace scalar_ws;
+  MultiSourceWorkspace ws;
+  for (std::size_t b = 0; b < sample_blocks && match; ++b) {
+    const std::span<const VertexId> block(sources.data() + b * kLanes, kLanes);
+    csr_earliest_arrival_batch(csr, block, 0, ws, /*record_via=*/true);
+    for (std::size_t l = 0; l < kLanes && match; ++l) {
+      csr_earliest_arrival(csr, block[l], 0, scalar_ws);
+      for (std::size_t v = 0; v < n && match; ++v) {
+        const auto id = static_cast<VertexId>(v);
+        match = ws.arrival(l, id) == scalar_ws.arrival(id) &&
+                ws.via_from(l, id) == scalar_ws.via(id).from;
+      }
+    }
+  }
+
+  // Best-of-3 repetitions: the timed regions are milliseconds, so one
+  // scheduler preemption would otherwise dominate the ratio.
+  const auto best_of = [](int reps, auto&& measure) {
+    double best = measure();
+    for (int r = 1; r < reps; ++r) best = std::min(best, measure());
+    return best;
+  };
+  const double scalar_ns = best_of(3, [&] {
+    return time_ns_per_op(sources.size(), [&](std::size_t i) {
+      csr_earliest_arrival(csr, sources[i], 0, scalar_ws);
+      benchmark::DoNotOptimize(scalar_ws.reached_count());
+    });
+  });
+  const double batch_ns =
+      best_of(3, [&] {
+        return time_ns_per_op(sample_blocks, [&](std::size_t b) {
+          csr_earliest_arrival_batch(
+              csr, {sources.data() + b * kLanes, kLanes}, 0, ws);
+          benchmark::DoNotOptimize(ws.reached_count(0));
+        });
+      }) /
+      static_cast<double>(kLanes);
+  const double speedup = batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0;
+
+  t.add_row({instance, Table::num(std::uint64_t(n)),
+             Table::num(std::uint64_t(csr.contact_count())),
+             Table::num(scalar_ns / 1e3, 2), Table::num(batch_ns / 1e3, 2),
+             Table::num(speedup, 2), match ? "yes" : "NO"});
+
+  BenchJson("multi_source_sweep")
+      .field("instance", instance)
+      .field("n", std::uint64_t(n))
+      .field("contacts", std::uint64_t(csr.contact_count()))
+      .field("sources", std::uint64_t(sources.size()))
+      .threads(1)
+      .field("ns_per_source_scalar", scalar_ns)
+      .field("ns_per_source_batch", batch_ns)
+      .field("speedup_vs_scalar", speedup)
+      .field("results_match", match ? "yes" : "no")
+      .emit();
+}
+
+void multi_source_tables() {
+  Table t({"instance", "n", "contacts", "scalar_us_per_source",
+           "batch_us_per_source", "speedup_vs_scalar", "results_match"});
+  sweep_speedup(t, "smoke", 2000, 128, 15000, 4, /*sample_blocks=*/2);
+  sweep_speedup(t, "allpairs20k", 20000, 512, 150000, 8, /*sample_blocks=*/4);
+  t.print(std::cout,
+          "E-ms: lane-packed 64-source sweeps vs scalar "
+          "earliest-arrival (single thread)");
+}
+
+}  // namespace
+}  // namespace structnet
+
+int main(int argc, char** argv) {
+  structnet::multi_source_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  structnet::obs::emit_json(std::cout);
+  return 0;
+}

@@ -266,6 +266,72 @@ void churn_serving_table() {
   }
 }
 
+void lane_pack_table() {
+  // Batched TemporalDistances serving: the scalar planner (one sweep
+  // per query) vs the lane-packing planner (distinct (source, t_start)
+  // queries share 64-lane sweeps). Payloads are cross-checked
+  // bit-identical before timing; sweeps_saved must grow with depth.
+  Table t({"queued", "scalar_ns_per_q", "packed_ns_per_q", "speedup",
+           "lanes_packed", "sweeps_saved", "results_match"});
+  for (const std::size_t count :
+       {std::size_t{8}, std::size_t{64}, std::size_t{256}}) {
+    const std::vector<Query> queries = distinct_temporal_queries(count);
+
+    ServeFixture fx_scalar, fx_packed;
+    BrokerConfig scalar_cfg;
+    scalar_cfg.threads = 1;
+    scalar_cfg.deterministic = true;
+    scalar_cfg.cache_bytes = 0;  // every drive re-executes
+    scalar_cfg.lane_pack = false;
+    BrokerConfig packed_cfg = scalar_cfg;
+    packed_cfg.lane_pack = true;
+    QueryBroker scalar(fx_scalar.engine, &fx_scalar.view, scalar_cfg);
+    QueryBroker packed(fx_packed.engine, &fx_packed.view, packed_cfg);
+
+    // Bit-identity gate (also warms both brokers' contact indexes).
+    bool match = true;
+    {
+      std::vector<std::future<QueryResult>> fs, fp;
+      for (const Query& q : queries) {
+        fs.push_back(scalar.submit(q));
+        fp.push_back(packed.submit(q));
+      }
+      while (scalar.queue_depth() > 0) scalar.flush();
+      while (packed.queue_depth() > 0) packed.flush();
+      for (std::size_t i = 0; i < count; ++i) {
+        match = match &&
+                payload_equal(fs[i].get().payload, fp[i].get().payload);
+      }
+    }
+
+    const ServeStats before = packed.stats();
+    const double scalar_ns = drive(scalar, queries);
+    const double packed_ns = drive(packed, queries);
+    const ServeStats after = packed.stats();
+    const std::uint64_t lanes = after.lanes_packed - before.lanes_packed;
+    const std::uint64_t saved = after.sweeps_saved - before.sweeps_saved;
+    const double speedup = packed_ns > 0.0 ? scalar_ns / packed_ns : 0.0;
+
+    t.add_row({Table::num(std::uint64_t(count)), Table::num(scalar_ns, 0),
+               Table::num(packed_ns, 0), Table::num(speedup, 2),
+               Table::num(lanes), Table::num(saved),
+               match ? "yes" : "NO"});
+    BenchJson("serve_lane_pack")
+        .field("queued", std::uint64_t(count))
+        .field("scalar_ns_per_query", scalar_ns)
+        .field("packed_ns_per_query", packed_ns)
+        .field("speedup", speedup)
+        .field("lanes_packed", lanes)
+        .field("sweeps_saved", saved)
+        .field("results_match", match ? "yes" : "no")
+        .threads(1)
+        .emit();
+  }
+  t.print(std::cout,
+          "lane-packed planner: batched TemporalDistances, scalar vs "
+          "shared 64-lane sweeps");
+}
+
 void serve_stats_smoke() {
   // One mixed run whose ServeStats JSON line lands in the BENCH stream.
   ServeFixture fx;
@@ -417,6 +483,7 @@ int main(int argc, char** argv) {
   structnet::throughput_table();
   structnet::shed_rate_table();
   structnet::churn_serving_table();
+  structnet::lane_pack_table();
   structnet::serve_stats_smoke();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

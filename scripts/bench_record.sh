@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Record benchmark results: run the Release temporal + serving benches
-# and append their machine-readable JSON lines, stamped with the date
-# and commit, to BENCH_temporal.json and BENCH_serve.json at the repo
-# root (one JSON object per line, append-only history).
+# Record benchmark results: run the Release temporal + multi-source +
+# serving benches and append their machine-readable JSON lines, stamped
+# with the date and commit, to BENCH_temporal.json,
+# BENCH_multi_source.json and BENCH_serve.json at the repo root (one
+# JSON object per line, append-only history). Diff any two recordings
+# with scripts/bench_compare.py.
 #
 #   scripts/bench_record.sh            # build, run, append both files
 #   SKIP_BUILD=1 scripts/bench_record.sh   # reuse existing build-bench
@@ -14,7 +16,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 if [[ "${SKIP_BUILD:-0}" != "1" ]]; then
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j"$jobs" \
-    --target bench_temporal_paths bench_serve
+    --target bench_temporal_paths bench_multi_source bench_serve
 fi
 
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -47,5 +49,6 @@ lines from $bin to $out"
 }
 
 record bench_temporal_paths BENCH_temporal.json
+record bench_multi_source BENCH_multi_source.json
 record bench_serve BENCH_serve.json
 echo "bench_record: OK ($stamp, $commit)"

@@ -21,13 +21,13 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSTRUCTNET_SANITIZE=ON >/dev/null
   cmake --build build-asan -j"$jobs"
   ctest --test-dir build-asan --output-on-failure -j"$jobs" \
-    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|TemporalDelta|DeltaCsrObserver|Replay|FaultPlan|FaultRouting|Checkpoint|CheckpointFile|CrashRecovery|Wal|WalCrashMatrix|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|HealthMonitor|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry|ObsTrace'
+    -R 'DynamicGraph|StreamEngine|StreamChurn|CoreObserver|MisObserver|TemporalViewObserver|TemporalDelta|DeltaCsrObserver|MultiSource|Replay|FaultPlan|FaultRouting|Checkpoint|CheckpointFile|CrashRecovery|Wal|WalCrashMatrix|Percolation|ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|HealthMonitor|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry|ObsTrace'
 
   echo "== sanitizer pass (TSan): parallel + stream + serve + obs tests =="
   cmake -B build-tsan -S . -DSTRUCTNET_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$jobs"
   ctest --test-dir build-tsan --output-on-failure -j"$jobs" \
-    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|TemporalDelta|DeltaCsrObserver|FaultRouting|Wal|QueryBroker|ServeChurn|HealthMonitor|ObsCounter|ObsRegistry|ObsTrace'
+    -R 'ThreadPool|Parallel|DynamicGraph|StreamEngine|StreamChurn|TemporalDelta|DeltaCsrObserver|MultiSource|FaultRouting|Wal|QueryBroker|ServeChurn|HealthMonitor|ObsCounter|ObsRegistry|ObsTrace'
 fi
 
 if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then
@@ -35,14 +35,15 @@ if [[ "${SKIP_OBS_OFF:-0}" != "1" ]]; then
   cmake -B build-obs-off -S . -DSTRUCTNET_OBS=OFF >/dev/null
   cmake --build build-obs-off -j"$jobs"
   ctest --test-dir build-obs-off --output-on-failure -j"$jobs" \
-    -R 'ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|HealthMonitor|Wal|WalCrashMatrix|CheckpointFile|TemporalDelta|DeltaCsrObserver|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry'
+    -R 'ResultCache|QueryBroker|ServeChurn|ServeStats|LatencyHistogram|HealthMonitor|Wal|WalCrashMatrix|CheckpointFile|TemporalDelta|DeltaCsrObserver|MultiSource|ObsCounter|ObsGauge|ObsHistogram|ObsQuantile|ObsRegistry'
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   echo "== bench smoke (Release): every BENCH/METRICS JSON line must parse =="
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j"$jobs" \
-    --target bench_temporal_paths bench_small_world bench_faults bench_serve
+    --target bench_temporal_paths bench_small_world bench_faults bench_serve \
+             bench_multi_source
   # The '^$'-style no-match filter skips the registered google-benchmark
   # loops but still runs each binary's experiment tables, which is where
   # the machine-readable JSON lines come from.
@@ -53,7 +54,8 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   # throughput vs load, and shed-rate sweeps all run before the JSON
   # validation below sees their lines.
   bench_out="$(mktemp -d)"
-  for b in bench_temporal_paths bench_small_world bench_faults bench_serve; do
+  for b in bench_temporal_paths bench_small_world bench_faults bench_serve \
+           bench_multi_source; do
     extra=()
     [[ "$b" == bench_faults ]] && extra=(--smoke)
     ./build-bench/bench/"$b" "${extra[@]}" \
@@ -161,6 +163,52 @@ print("recovery gate: crash matrix %d/%d cuts, WAL grid %d rows, "
       "replay %d -> %d events with a checkpoint anchor"
       % (m["passed"], m["cuts"], len(wal),
          rec["wal_only"]["replayed"], rec["checkpointed"]["replayed"]))
+PYEOF
+
+  echo "== multi-source gate: lane-packed sweeps match scalar at >= 4x =="
+  # Every multi_source_sweep record must be bit-identical to the scalar
+  # kernel (results_match) and the smoke instance must clear 4x single
+  # thread; the serving-side lane packer must save sweeps that grow
+  # with queue depth while staying payload-identical to the scalar
+  # planner.
+  python3 - "$bench_out/bench_multi_source.out" "$bench_out/bench_serve.out" <<'PYEOF'
+import json, sys
+
+def recs(path):
+    with open(path) as f:
+        return [json.loads(l) for l in f if l.strip().startswith("{")]
+
+sweeps = {r["instance"]: r for r in recs(sys.argv[1])
+          if r.get("bench") == "multi_source_sweep"}
+if not {"smoke", "allpairs20k"} <= set(sweeps):
+    sys.exit("multi-source gate: missing sweep instances: %s"
+             % sorted(sweeps))
+for name, r in sweeps.items():
+    if r["results_match"] != "yes":
+        sys.exit("multi-source gate: %s lanes diverged from scalar" % name)
+if sweeps["smoke"]["speedup_vs_scalar"] < 4.0:
+    sys.exit("multi-source gate: smoke speedup %.2fx < 4x"
+             % sweeps["smoke"]["speedup_vs_scalar"])
+
+packs = sorted((r for r in recs(sys.argv[2])
+                if r.get("bench") == "serve_lane_pack"),
+               key=lambda r: r["queued"])
+if len(packs) < 2:
+    sys.exit("multi-source gate: fewer than 2 serve_lane_pack rows")
+for r in packs:
+    if r["results_match"] != "yes":
+        sys.exit("multi-source gate: packed serving payloads diverged "
+                 "at queued=%d" % r["queued"])
+    if r["sweeps_saved"] == 0:
+        sys.exit("multi-source gate: no sweeps saved at queued=%d"
+                 % r["queued"])
+saved = [r["sweeps_saved"] for r in packs]
+if saved != sorted(saved) or saved[0] == saved[-1]:
+    sys.exit("multi-source gate: sweeps_saved not growing with depth: %s"
+             % saved)
+print("multi-source gate: smoke %.1fx, 20k %.1fx, serve saves %s sweeps"
+      % (sweeps["smoke"]["speedup_vs_scalar"],
+         sweeps["allpairs20k"]["speedup_vs_scalar"], saved))
 PYEOF
   rm -rf "$bench_out"
 

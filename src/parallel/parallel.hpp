@@ -116,7 +116,11 @@ inline std::size_t shard_count(std::size_t range, std::size_t grain) {
 /// [lo, hi) is the shard's subrange of [begin, end). Shard boundaries
 /// depend only on (begin, end, grain); `threads` picks the schedule
 /// (resolved via resolve_threads). threads == 1, a single shard, or a
-/// nested call all run inline in shard order.
+/// nested call all run inline in shard order. `worker` is always in
+/// [0, resolve_threads(threads)) — the inline path has one executor
+/// and reports slot 0 (never the enclosing pool's slot, which could
+/// exceed a nested call's own thread count), so accumulators sized by
+/// the resolved count are safe at any nesting depth.
 template <typename Fn>
 void parallel_for_shards(std::size_t begin, std::size_t end, std::size_t grain,
                          std::size_t threads, Fn&& fn) {
@@ -131,8 +135,7 @@ void parallel_for_shards(std::size_t begin, std::size_t end, std::size_t grain,
   };
   const std::size_t t = resolve_threads(threads);
   if (t <= 1 || shards == 1 || ThreadPool::in_worker()) {
-    const std::size_t worker = ThreadPool::current_worker();
-    for (std::size_t s = 0; s < shards; ++s) body(s, worker);
+    for (std::size_t s = 0; s < shards; ++s) body(s, 0);
     return;
   }
   const std::function<void(std::size_t, std::size_t)> erased = body;

@@ -9,6 +9,7 @@
 #include "centrality/centrality.hpp"
 #include "layering/nsf.hpp"
 #include "parallel/parallel.hpp"
+#include "temporal/temporal_centrality.hpp"
 
 namespace structnet {
 
@@ -74,6 +75,8 @@ QueryBroker::Metrics::Metrics(obs::MetricsRegistry& r)
       timed_out(r.counter("serve.timed_out")),
       executed(r.counter("serve.executed")),
       batches(r.counter("serve.batches")),
+      lanes_packed(r.counter("serve.lanes_packed")),
+      sweeps_saved(r.counter("serve.sweeps_saved")),
       csr_builds(r.counter("serve.csr_builds")),
       csr_reuses(r.counter("serve.csr_reuses")),
       csr_delta_appends(r.counter("serve.csr_delta_appends")),
@@ -267,6 +270,14 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
           return QueryPayload(
               nsf_report(*graph_, q.stop_fraction, q.ks_threshold, 1));
         } else if constexpr (std::is_same_v<T, CentralityQuery>) {
+          if (q.measure == CentralityMeasure::kTemporalCloseness) {
+            // Reads the batch's contact index, not *graph_ (which the
+            // planner may not have materialized for a temporal-only
+            // batch). Internally an all-sources lane-packed sweep;
+            // serial like every per-query kernel.
+            return QueryPayload(on_index(
+                [&](const auto& index) { return temporal_closeness(index, 1); }));
+          }
           switch (q.measure) {
             case CentralityMeasure::kDegree:
               return QueryPayload(degree_centrality(*graph_));
@@ -276,6 +287,8 @@ QueryPayload QueryBroker::execute_payload(const Query& query,
               return QueryPayload(betweenness_centrality(*graph_));
             case CentralityMeasure::kClustering:
               return QueryPayload(clustering_coefficients(*graph_));
+            case CentralityMeasure::kTemporalCloseness:
+              break;  // handled above
           }
           return QueryPayload(degree_centrality(*graph_));
         } else {  // RoutingTrialsQuery
@@ -448,20 +461,127 @@ std::size_t QueryBroker::flush() {
     }
   }
 
-  // Phase 3 — execute the misses, one query per shard. Shard boundaries
-  // are a pure function of the batch, so any thread count computes the
-  // same per-query results (see parallel/parallel.hpp).
+  // Phase 2b — lane-pack plan (config.lane_pack): TemporalDistances
+  // misses sharing a t_start become lanes of ONE multi-source sweep
+  // (temporal/multi_source.hpp) instead of one scalar sweep each.
+  // Grouping follows exec order and duplicate (source, t_start) pairs
+  // share a lane, so the plan is a pure function of the batch — and
+  // each lane's payload is bit-identical to the scalar kernel's, so
+  // lane-packing never changes a result. Singleton groups stay scalar
+  // (a 1-lane sweep saves nothing). Journey queries always take the
+  // scalar path: they need the per-sweep hop reconstruction state.
+  struct LaneBlock {
+    TimeUnit t_start = 0;
+    std::vector<VertexId> sources;                // lane l's source
+    std::vector<std::vector<std::size_t>> fills;  // exec indices per lane
+  };
+  std::vector<LaneBlock> lane_blocks;
+  std::vector<char> lane_filled(exec.size(), 0);
+  if (config_.lane_pack && !exec.empty()) {
+    STRUCTNET_OBS_SPAN("serve.plan.lane_pack");
+    // t_start groups in first-appearance order (linear scans: both the
+    // group count and the lane count are small by construction).
+    std::vector<TimeUnit> group_key;
+    std::vector<std::vector<std::size_t>> group_exec;
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      const auto* q =
+          std::get_if<TemporalDistancesQuery>(&batch[exec[i]].query);
+      if (q == nullptr) continue;
+      std::size_t g = 0;
+      while (g < group_key.size() && group_key[g] != q->t_start) ++g;
+      if (g == group_key.size()) {
+        group_key.push_back(q->t_start);
+        group_exec.emplace_back();
+      }
+      group_exec[g].push_back(i);
+    }
+    std::size_t packed = 0;
+    for (std::size_t g = 0; g < group_key.size(); ++g) {
+      if (group_exec[g].size() < 2) continue;
+      LaneBlock* block = nullptr;
+      for (const std::size_t i : group_exec[g]) {
+        const auto& q =
+            std::get<TemporalDistancesQuery>(batch[exec[i]].query);
+        std::size_t lane = 0;
+        if (block != nullptr) {
+          while (lane < block->sources.size() &&
+                 block->sources[lane] != q.source) {
+            ++lane;
+          }
+        }
+        if (block == nullptr ||
+            (lane == block->sources.size() &&
+             lane == MultiSourceWorkspace::kMaxLanes)) {
+          lane_blocks.emplace_back();
+          block = &lane_blocks.back();
+          block->t_start = group_key[g];
+          lane = 0;
+        }
+        if (lane == block->sources.size()) {
+          block->sources.push_back(q.source);
+          block->fills.emplace_back();
+          metrics_.lanes_packed.add();
+        }
+        block->fills[lane].push_back(i);
+        lane_filled[i] = 1;
+        ++packed;
+      }
+    }
+    if (!lane_blocks.empty()) {
+      metrics_.sweeps_saved.add(packed - lane_blocks.size());
+    }
+  }
+
+  // Phase 3 — execute: lane blocks first (one sweep per shard), then
+  // the remaining misses one query per shard. Shard boundaries are a
+  // pure function of the batch, so any thread count computes the same
+  // per-query results (see parallel/parallel.hpp).
   std::vector<QueryPayload> payloads(exec.size());
   if (!exec.empty()) {
     STRUCTNET_OBS_SPAN("serve.execute");
     const std::size_t slots = resolve_threads(config_.threads);
     if (workspaces_.size() < slots) workspaces_.resize(slots);
+    if (!lane_blocks.empty()) {
+      if (ms_workspaces_.size() < slots) ms_workspaces_.resize(slots);
+      parallel_for_shards(
+          0, lane_blocks.size(), /*grain=*/1, config_.threads,
+          [&](std::size_t, std::size_t lo, std::size_t hi,
+              std::size_t worker) {
+            MultiSourceWorkspace& w = ms_workspaces_[worker];
+            for (std::size_t b = lo; b < hi; ++b) {
+              const LaneBlock& block = lane_blocks[b];
+              const std::span<const VertexId> sources(block.sources.data(),
+                                                      block.sources.size());
+              {
+                STRUCTNET_OBS_SPAN("serve.kernel.temporal_distances_batch");
+                if (delta_csr_ != nullptr) {
+                  csr_earliest_arrival_batch(*delta_csr_, sources,
+                                             block.t_start, w);
+                } else {
+                  csr_earliest_arrival_batch(*csr_, sources, block.t_start,
+                                             w);
+                }
+              }
+              for (std::size_t l = 0; l < block.sources.size(); ++l) {
+                // completion(l) is the exact bytes the scalar kernel's
+                // payload would carry; duplicates copy, the last moves.
+                std::vector<TimeUnit> row = w.completion(l);
+                const std::vector<std::size_t>& fills = block.fills[l];
+                for (std::size_t k = 0; k + 1 < fills.size(); ++k) {
+                  payloads[fills[k]] = QueryPayload(row);
+                }
+                payloads[fills.back()] = QueryPayload(std::move(row));
+              }
+            }
+          });
+    }
     parallel_for_shards(
         0, exec.size(), /*grain=*/1, config_.threads,
         [&](std::size_t shard, std::size_t lo, std::size_t hi,
             std::size_t worker) {
           (void)shard;
           for (std::size_t i = lo; i < hi; ++i) {
+            if (lane_filled[i]) continue;  // resolved by a lane block
             payloads[i] =
                 execute_payload(batch[exec[i]].query, workspaces_[worker]);
           }
@@ -679,6 +799,8 @@ ServeStats QueryBroker::stats() const {
   out.timed_out = metrics_.timed_out.value();
   out.executed = metrics_.executed.value();
   out.batches = metrics_.batches.value();
+  out.lanes_packed = metrics_.lanes_packed.value();
+  out.sweeps_saved = metrics_.sweeps_saved.value();
   out.csr_builds = metrics_.csr_builds.value();
   out.csr_reuses = metrics_.csr_reuses.value();
   out.csr_delta_appends = metrics_.csr_delta_appends.value();

@@ -68,6 +68,7 @@
 #include "stream/csr_observer.hpp"
 #include "stream/engine.hpp"
 #include "stream/observers.hpp"
+#include "temporal/multi_source.hpp"
 #include "temporal/temporal_csr.hpp"
 #include "temporal/temporal_delta.hpp"
 
@@ -96,6 +97,13 @@ struct BrokerConfig {
   /// Delta/base size ratio beyond which planning folds the overlay into
   /// a fresh base (see DeltaTemporalCsr::needs_compaction).
   double csr_compact_ratio = 0.25;
+  /// Lane-packed batch planning: TemporalDistances queries sharing a
+  /// t_start are grouped (up to 64 distinct sources each) into ONE
+  /// multi-source sweep per group instead of one scalar sweep per query
+  /// (temporal/multi_source.hpp). Payloads are bit-identical to the
+  /// scalar planner's; queries needing hop reconstruction (journeys)
+  /// always take the scalar path. Off = one sweep per query.
+  bool lane_pack = true;
   /// Clock seam: when set, every wall-clock read (submission stamps,
   /// deadline expiry, latency accounting) goes through this function
   /// instead of steady_clock::now(), so deadline classification is
@@ -227,6 +235,8 @@ class QueryBroker final : public StreamObserver {
     obs::Counter& timed_out;
     obs::Counter& executed;
     obs::Counter& batches;
+    obs::Counter& lanes_packed;
+    obs::Counter& sweeps_saved;
     obs::Counter& csr_builds;
     obs::Counter& csr_reuses;
     obs::Counter& csr_delta_appends;
@@ -284,6 +294,9 @@ class QueryBroker final : public StreamObserver {
   std::uint64_t graph_epoch_ = 0;
   bool graph_valid_ = false;
   std::vector<TemporalWorkspace> workspaces_;  // one per worker slot
+  /// Multi-source scratch for lane-packed plans, pooled per worker slot
+  /// exactly like workspaces_.
+  std::vector<MultiSourceWorkspace> ms_workspaces_;
 
   // -- metrics + cache. Counters/gauges/histograms are lock-free
   //    registry metrics; serve_mu_ only guards the cache *structure*

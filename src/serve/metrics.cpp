@@ -44,6 +44,8 @@ std::string ServeStats::json(std::string_view label) const {
       .field("timed_out", timed_out)
       .field("executed", executed)
       .field("batches", batches)
+      .field("lanes_packed", lanes_packed)
+      .field("sweeps_saved", sweeps_saved)
       .field("csr_builds", csr_builds)
       .field("csr_reuses", csr_reuses)
       .field("csr_delta_appends", csr_delta_appends)
@@ -93,7 +95,9 @@ void ServeStats::print(std::ostream& os) const {
      << " csr_delta_appends=" << csr_delta_appends
      << " csr_compactions=" << csr_compactions
      << " graph_builds=" << graph_builds
-     << " graph_reuses=" << graph_reuses << "\n"
+     << " graph_reuses=" << graph_reuses
+     << " lanes_packed=" << lanes_packed
+     << " sweeps_saved=" << sweeps_saved << "\n"
      << "health: state=" << to_string(health)
      << " transitions=" << health_transitions
      << " update_faults=" << update_faults

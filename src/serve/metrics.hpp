@@ -72,6 +72,11 @@ struct ServeStats {
   // Execution.
   std::uint64_t executed = 0;
   std::uint64_t batches = 0;
+  /// Lane-packed planning (BrokerConfig::lane_pack): TemporalDistances
+  /// queries executed as lanes of shared multi-source sweeps, and the
+  /// scalar sweeps those shared passes saved (packed queries - sweeps).
+  std::uint64_t lanes_packed = 0;
+  std::uint64_t sweeps_saved = 0;
   /// Per-epoch snapshot amortization: index/graph builds vs reuses.
   std::uint64_t csr_builds = 0;
   std::uint64_t csr_reuses = 0;

@@ -50,6 +50,8 @@ std::string_view to_string(CentralityMeasure measure) {
       return "betweenness";
     case CentralityMeasure::kClustering:
       return "clustering";
+    case CentralityMeasure::kTemporalCloseness:
+      return "temporal_closeness";
   }
   return "unknown";
 }
@@ -104,8 +106,12 @@ bool query_is_temporal(const Query& query) {
     case QueryKind::kRoutingTrials:
       return true;
     case QueryKind::kNsfReport:
-    case QueryKind::kCentrality:
       return false;
+    case QueryKind::kCentrality:
+      // Classical measures read the static graph; temporal closeness
+      // sweeps the contact index.
+      return std::get<CentralityQuery>(query).measure ==
+             CentralityMeasure::kTemporalCloseness;
   }
   return false;
 }

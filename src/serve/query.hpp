@@ -74,12 +74,17 @@ struct NsfReportQuery {
   double ks_threshold = 0.15;
 };
 
-/// Which classical centrality to compute. Payload: std::vector<double>.
+/// Which centrality to compute. Payload: std::vector<double>.
+/// The classical measures read the materialized static graph;
+/// kTemporalCloseness reads the temporal view (an all-sources
+/// lane-packed sweep over the batch's contact index, see
+/// temporal/multi_source.hpp).
 enum class CentralityMeasure : std::uint8_t {
   kDegree = 0,
   kCloseness,
   kBetweenness,
   kClustering,
+  kTemporalCloseness,
 };
 std::string_view to_string(CentralityMeasure measure);
 

@@ -1,17 +1,50 @@
 #include "temporal/journeys.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <deque>
 #include <limits>
 
 #include "parallel/parallel.hpp"
+#include "temporal/multi_source.hpp"
 #include "temporal/smallworld_metrics.hpp"
 #include "temporal/temporal_csr.hpp"
 
 namespace structnet {
 
 namespace {
+
+constexpr std::size_t kLanes = MultiSourceWorkspace::kMaxLanes;
+
+/// Shards the all-sources range [0, n) over kLanes-wide blocks (grain 1
+/// -> fixed block -> shard mapping) and runs one lane-packed sweep per
+/// block; fn(shard, lane, source, ws) is called per lane. Returning
+/// false from fn abandons the shard (early exit).
+template <class Fn>
+void for_each_source_lane(const TemporalCsr& csr, TimeUnit t_start,
+                          std::size_t threads, Fn&& fn) {
+  const std::size_t n = csr.vertex_count();
+  std::vector<MultiSourceWorkspace> ws(resolve_threads(threads));
+  parallel_for_shards(
+      0, lane_block_count(n), 1, threads,
+      [&](std::size_t shard, std::size_t lo, std::size_t hi,
+          std::size_t worker) {
+        MultiSourceWorkspace& w = ws[worker];
+        std::array<VertexId, kLanes> srcs;
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t s0 = b * kLanes;
+          const std::size_t lanes = std::min(kLanes, n - s0);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            srcs[l] = static_cast<VertexId>(s0 + l);
+          }
+          csr_earliest_arrival_batch(csr, {srcs.data(), lanes}, t_start, w);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            if (!fn(shard, l, static_cast<VertexId>(s0 + l), w)) return;
+          }
+        }
+      });
+}
 
 /// Contacts at or after t_start bucketed by time unit: bucket[t - t_start]
 /// lists edge ids active at t. Labels before t_start can never be taken
@@ -165,21 +198,19 @@ bool is_time_connected(const TemporalGraph& eg, TimeUnit t,
   const std::size_t n = eg.vertex_count();
   if (n == 0) return true;
   const TemporalCsr csr(eg);
-  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
-  const std::size_t shards = shard_count(n, kSourceGrain);
-  std::vector<char> shard_ok(shards, 1);
-  parallel_for_shards(
-      0, n, kSourceGrain, threads,
-      [&](std::size_t shard, std::size_t lo, std::size_t hi,
-          std::size_t worker) {
-        TemporalWorkspace& w = ws[worker];
-        for (std::size_t s = lo; s < hi; ++s) {
-          csr_earliest_arrival(csr, static_cast<VertexId>(s), t, w);
-          if (w.reached_count() != n) {
-            shard_ok[shard] = 0;
-            break;
-          }
+  // One lane-packed sweep per 64-source block; a shard abandons its
+  // remaining blocks as soon as any lane falls short (the answer is
+  // already "no").
+  std::vector<char> shard_ok(lane_block_count(n), 1);
+  for_each_source_lane(
+      csr, t, threads,
+      [&](std::size_t shard, std::size_t lane, VertexId,
+          const MultiSourceWorkspace& w) {
+        if (w.reached_count(lane) != n) {
+          shard_ok[shard] = 0;
+          return false;
         }
+        return true;
       });
   return std::all_of(shard_ok.begin(), shard_ok.end(),
                      [](char ok) { return ok != 0; });
@@ -197,37 +228,42 @@ TimeUnit flooding_time(const TemporalGraph& eg, VertexId source) {
   return worst;
 }
 
+std::vector<TimeUnit> flooding_times(const TemporalGraph& eg,
+                                     std::size_t threads) {
+  const std::size_t n = eg.vertex_count();
+  std::vector<TimeUnit> out(n, 0);
+  if (n == 0) return out;
+  const TemporalCsr csr(eg);
+  // Per-source slot writes need no ordering; each value is the exact
+  // scalar flooding_time(eg, s).
+  for_each_source_lane(
+      csr, 0, threads,
+      [&](std::size_t, std::size_t lane, VertexId s,
+          const MultiSourceWorkspace& w) {
+        if (w.reached_count(lane) != n) {
+          out[s] = kNeverTime;
+          return true;
+        }
+        TimeUnit worst = 0;
+        for (std::size_t v = 0; v < n; ++v) {
+          worst = std::max(worst, w.arrival(lane, static_cast<VertexId>(v)));
+        }
+        out[s] = worst;
+        return true;
+      });
+  return out;
+}
+
 TimeUnit dynamic_diameter(const TemporalGraph& eg, std::size_t threads) {
   const std::size_t n = eg.vertex_count();
   if (n == 0) return 0;
-  const TemporalCsr csr(eg);
-  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
-  const std::size_t shards = shard_count(n, kSourceGrain);
-  // Per-shard maxima folded afterwards: max is order-independent, so the
-  // result is bit-identical at any thread count. A source that cannot
-  // flood everywhere contributes kNeverTime, which dominates the fold —
-  // exactly the legacy early-return value.
-  std::vector<TimeUnit> shard_worst(shards, 0);
-  parallel_for_shards(
-      0, n, kSourceGrain, threads,
-      [&](std::size_t shard, std::size_t lo, std::size_t hi,
-          std::size_t worker) {
-        TemporalWorkspace& w = ws[worker];
-        TimeUnit worst = 0;
-        for (std::size_t s = lo; s < hi; ++s) {
-          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
-          if (w.reached_count() != n) {
-            worst = kNeverTime;
-            break;
-          }
-          for (std::size_t v = 0; v < n; ++v) {
-            worst = std::max(worst, w.arrival(static_cast<VertexId>(v)));
-          }
-        }
-        shard_worst[shard] = worst;
-      });
+  // Max is order-independent and a source that cannot flood everywhere
+  // contributes kNeverTime, which dominates the fold — exactly the
+  // legacy per-source result.
   TimeUnit worst = 0;
-  for (TimeUnit w : shard_worst) worst = std::max(worst, w);
+  for (const TimeUnit w : flooding_times(eg, threads)) {
+    worst = std::max(worst, w);
+  }
   return worst;
 }
 
@@ -241,6 +277,23 @@ std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
     out[v] = ws.arrival(static_cast<VertexId>(v));
   }
   return out;
+}
+
+std::vector<std::vector<TimeUnit>> temporal_distance_matrix(
+    const TemporalGraph& eg, TimeUnit t_start, std::size_t threads) {
+  const std::size_t n = eg.vertex_count();
+  std::vector<std::vector<TimeUnit>> rows(n);
+  if (n == 0) return rows;
+  const TemporalCsr csr(eg);
+  // Row s is byte-identical to temporal_distances(eg, s, t_start); each
+  // lane writes only its own row.
+  for_each_source_lane(csr, t_start, threads,
+                       [&](std::size_t, std::size_t lane, VertexId s,
+                           const MultiSourceWorkspace& w) {
+                         rows[s] = w.completion(lane);
+                         return true;
+                       });
+  return rows;
 }
 
 namespace legacy {

@@ -90,15 +90,26 @@ bool is_time_connected(const TemporalGraph& eg, TimeUnit t,
 /// never reached.
 TimeUnit flooding_time(const TemporalGraph& eg, VertexId source);
 
+/// Flooding time from EVERY source in one lane-packed all-pairs pass:
+/// out[s] == flooding_time(eg, s). `threads` as in is_time_connected.
+std::vector<TimeUnit> flooding_times(const TemporalGraph& eg,
+                                     std::size_t threads = 0);
+
 /// Dynamic diameter: max flooding time over all sources (kNeverTime if
-/// any vertex cannot flood everywhere). Sharded over sources; `threads`
-/// as in is_time_connected.
+/// any vertex cannot flood everywhere). Sharded over lane-packed source
+/// blocks; `threads` as in is_time_connected.
 TimeUnit dynamic_diameter(const TemporalGraph& eg, std::size_t threads = 0);
 
 /// Temporal distance matrix row: earliest completion from source at
 /// t_start for all targets (convenience wrapper).
 std::vector<TimeUnit> temporal_distances(const TemporalGraph& eg,
                                          VertexId source, TimeUnit t_start = 0);
+
+/// The full matrix in one lane-packed all-pairs pass: rows[s] is
+/// byte-identical to temporal_distances(eg, s, t_start). `threads` as
+/// in is_time_connected.
+std::vector<std::vector<TimeUnit>> temporal_distance_matrix(
+    const TemporalGraph& eg, TimeUnit t_start = 0, std::size_t threads = 0);
 
 // The original TemporalGraph-walking kernels, kept verbatim as the
 // reference oracle for the TemporalCsr equivalence tests. The public

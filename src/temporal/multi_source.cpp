@@ -1,0 +1,42 @@
+#include "temporal/multi_source.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "temporal/temporal_delta.hpp"
+#include "temporal/temporal_kernels.hpp"
+
+namespace structnet {
+
+namespace {
+
+template <class Index>
+void batch_sweep(const Index& csr, std::span<const VertexId> sources,
+                 TimeUnit t_start, MultiSourceWorkspace& ws, bool record_via) {
+  STRUCTNET_OBS_SPAN("temporal.csr_earliest_arrival_batch");
+  static obs::Counter& calls = obs::MetricsRegistry::global().counter(
+      "temporal.csr_earliest_arrival_batch_calls");
+  static obs::Counter& lanes = obs::MetricsRegistry::global().counter(
+      "temporal.csr_earliest_arrival_batch_lanes");
+  calls.add();
+  lanes.add(sources.size());
+  detail::WorkspaceOps::earliest_arrival_batch(csr, sources, t_start, ws,
+                                               record_via);
+}
+
+}  // namespace
+
+void csr_earliest_arrival_batch(const TemporalCsr& csr,
+                                std::span<const VertexId> sources,
+                                TimeUnit t_start, MultiSourceWorkspace& ws,
+                                bool record_via) {
+  batch_sweep(csr, sources, t_start, ws, record_via);
+}
+
+void csr_earliest_arrival_batch(const DeltaTemporalCsr& csr,
+                                std::span<const VertexId> sources,
+                                TimeUnit t_start, MultiSourceWorkspace& ws,
+                                bool record_via) {
+  batch_sweep(csr, sources, t_start, ws, record_via);
+}
+
+}  // namespace structnet

@@ -1,0 +1,184 @@
+// Lane-packed multi-source earliest-arrival sweeps: up to 64 sources
+// share ONE ascending pass over the contact index's per-unit edge
+// stream, amortizing the scan every all-pairs kernel used to repeat
+// once per source (MS-BFS applied to the temporal fixed point).
+//
+// Lane layout. Lane l of a batch is source sources[l]. Per vertex the
+// workspace keeps one 64-bit reached word (bit l set = lane l has
+// reached the vertex) plus a lanes-strided arrival row (and, when
+// requested, a strided via-from row for journey-tree walks). A unit's
+// closure fires word-wide: for an edge (u, v) with words mu / mv, the
+// lanes `mu & ~mv` fire u -> v and `mv & ~mu` fire v -> u — per lane at
+// most one direction can fire, so one OR per endpoint replays up to 64
+// scalar firings.
+//
+// Fixed-point identity. The batch kernel replays the legacy scalar
+// sequence (temporal_kernels.hpp) exactly, per lane:
+//   * pass 1 scans the whole unit in ascending edge id — per lane the
+//     same scan the scalar kernel makes, because a lane's firing
+//     decision reads only that lane's bits;
+//   * re-scan passes keep edges whose merged word `mu | mv` is not yet
+//     full — a per-lane superset of the scalar both-unreached list
+//     whose extra edges have both endpoints reached in that lane and so
+//     can never fire it;
+//   * arrivals are written only on a lane's FIRST fire at a vertex
+//     (bits enter the word exactly once), so every lane's arrival
+//     times and via hops are bit-identical to csr_earliest_arrival.
+// The unit-activity probe generalizes the scalar one: a unit can fire
+// iff some still-pending vertex w has a contact at t with a neighbor
+// whose word carries a bit w lacks (`word(nbr) & ~word(w) != 0`).
+//
+// Works on both index types (TemporalCsr and DeltaTemporalCsr) through
+// the shared kernel iteration contract; see csr_earliest_arrival_batch
+// below. Callers shard all-pairs loops over blocks of kMaxLanes sources
+// (fixed block -> shard mapping, so results stay bit-identical at any
+// thread count), and the QueryBroker lane-packs batched
+// TemporalDistances queries into these sweeps (serve/broker.cpp).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "temporal/temporal_csr.hpp"
+
+namespace structnet {
+
+class DeltaTemporalCsr;
+
+/// Reusable scratch for lane-packed sweeps: one reached word per vertex
+/// plus lanes-strided arrival / via-from rows, epoch-stamped so a new
+/// sweep invalidates everything without clearing (pooled per worker
+/// slot exactly like TemporalWorkspace).
+class MultiSourceWorkspace {
+ public:
+  /// Lanes per sweep: one bit of the per-vertex reached word each.
+  static constexpr std::size_t kMaxLanes = 64;
+
+  std::size_t lane_count() const { return lanes_; }
+  std::size_t vertex_count() const { return n_; }
+
+  /// Lane l reached v in the last sweep?
+  bool reached(std::size_t lane, VertexId v) const {
+    return stamp_[v] == epoch_ && ((mask_[v] >> lane) & 1u) != 0;
+  }
+  /// Completion time of v in lane l (kNeverTime when unreached) —
+  /// bit-identical to TemporalWorkspace::arrival after a scalar sweep
+  /// from the lane's source.
+  TimeUnit arrival(std::size_t lane, VertexId v) const {
+    return reached(lane, v)
+               ? arrival_[static_cast<std::size_t>(v) * lanes_ + lane]
+               : kNeverTime;
+  }
+  /// Predecessor of v on lane l's earliest-arrival tree (kInvalidVertex
+  /// for the source, unreached vertices, or sweeps without record_via)
+  /// — the `via(v).from` the betweenness chain walk needs.
+  VertexId via_from(std::size_t lane, VertexId v) const {
+    return record_via_ && reached(lane, v)
+               ? from_[static_cast<std::size_t>(v) * lanes_ + lane]
+               : kInvalidVertex;
+  }
+  /// Vertices lane l reached (including its source).
+  std::size_t reached_count(std::size_t lane) const { return reached_[lane]; }
+
+  /// Lane l's completion row for all vertices — the exact bytes
+  /// TemporalWorkspace::to_earliest_arrival().completion holds after
+  /// the scalar sweep (what the TemporalDistances payload carries).
+  std::vector<TimeUnit> completion(std::size_t lane) const {
+    std::vector<TimeUnit> out(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      out[v] = arrival(lane, static_cast<VertexId>(v));
+    }
+    return out;
+  }
+
+ private:
+  friend struct detail::WorkspaceOps;
+
+  void bind(std::size_t n, std::size_t lanes, bool record_via) {
+    if (n_ != n) {
+      n_ = n;
+      // epoch_ keeps counting: zeroed stamps are always stale.
+      stamp_.assign(n, 0);
+      mask_.assign(n, 0);
+    }
+    lanes_ = lanes;
+    record_via_ = record_via;
+    // Strided rows grow to the high-water lane count and are never
+    // cleared: reads are guarded by the epoch-stamped reached bits.
+    if (arrival_.size() < n * lanes) arrival_.resize(n * lanes);
+    if (record_via && from_.size() < n * lanes) from_.resize(n * lanes);
+  }
+  void begin_sweep() {
+    ++epoch_;
+    reached_.fill(0);
+  }
+  std::uint64_t word(VertexId v) const {
+    return stamp_[v] == epoch_ ? mask_[v] : 0;
+  }
+  /// ORs `bits` into v's reached word and stamps each newly set lane's
+  /// arrival (and via-from) — the word-wide set_arrival. Callers pass
+  /// only lanes not yet set (bits = other & ~word(v)), so every
+  /// (vertex, lane) arrival is written exactly once per sweep.
+  void fire(VertexId v, std::uint64_t bits, VertexId from, TimeUnit t) {
+    if (stamp_[v] != epoch_) {
+      stamp_[v] = epoch_;
+      mask_[v] = 0;
+    }
+    mask_[v] |= bits;
+    const std::size_t base = static_cast<std::size_t>(v) * lanes_;
+    while (bits != 0) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      arrival_[base + l] = t;
+      if (record_via_) from_[base + l] = from;
+      ++reached_[l];
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  bool record_via_ = false;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> stamp_;  // mask_ valid markers
+  std::vector<std::uint64_t> mask_;   // per-vertex reached word
+  std::vector<TimeUnit> arrival_;     // n * lanes_, stride lanes_
+  std::vector<VertexId> from_;        // n * lanes_, only when record_via
+  std::array<std::size_t, kMaxLanes> reached_{};
+  // pending_: contact-bearing vertices some lane has not reached;
+  // live_edges_: per-unit re-scan list (merged word not yet full).
+  std::vector<VertexId> pending_;
+  std::vector<EdgeId> live_edges_;
+  // Has-contacts vertex list cached per index state (see
+  // WorkspaceOps::refresh_contact_list).
+  std::uint64_t contact_state_ = 0;
+  std::vector<VertexId> contact_list_;
+};
+
+/// Number of kMaxLanes-sized source blocks covering an all-sources
+/// range [0, n) — what converted all-pairs callers shard over (grain 1,
+/// fixed block -> shard mapping).
+inline std::size_t lane_block_count(std::size_t n) {
+  return (n + MultiSourceWorkspace::kMaxLanes - 1) /
+         MultiSourceWorkspace::kMaxLanes;
+}
+
+/// Earliest arrival from up to kMaxLanes sources in ONE pass over the
+/// contact stream, departing at or after t_start; lane l's results are
+/// bit-identical to csr_earliest_arrival(csr, sources[l], t_start, ...)
+/// (arrivals always; via-from chains when record_via is set). Duplicate
+/// sources are allowed (their lanes evolve identically). Requires
+/// 1 <= sources.size() <= kMaxLanes.
+void csr_earliest_arrival_batch(const TemporalCsr& csr,
+                                std::span<const VertexId> sources,
+                                TimeUnit t_start, MultiSourceWorkspace& ws,
+                                bool record_via = false);
+void csr_earliest_arrival_batch(const DeltaTemporalCsr& csr,
+                                std::span<const VertexId> sources,
+                                TimeUnit t_start, MultiSourceWorkspace& ws,
+                                bool record_via = false);
+
+}  // namespace structnet

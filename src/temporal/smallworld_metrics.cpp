@@ -4,8 +4,11 @@
 #include <cmath>
 #include <set>
 
+#include <array>
+
 #include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/multi_source.hpp"
 #include "temporal/temporal_csr.hpp"
 
 namespace structnet {
@@ -55,29 +58,40 @@ TemporalPathLength characteristic_temporal_path_length(const TemporalGraph& eg,
     double delay = 0.0;
     std::size_t reachable = 0;
   };
-  // One CSR earliest-arrival sweep per source over the build-once
-  // contact index; sources are independent, so the all-sources loop
-  // shards cleanly with one reusable workspace per worker slot.
-  // kSourceGrain fixes the shard boundaries, and the per-shard partials
-  // are folded serially in shard order below — the same summation order
-  // parallel_reduce used, so results stay bit-identical at any thread
+  // One lane-packed sweep per 64-source block over the build-once
+  // contact index (temporal/multi_source.hpp); grain 1 pins the
+  // block -> shard mapping, and the per-shard partials are folded
+  // serially in shard order below. The delays summed are integer-valued
+  // doubles, so any regrouping of the partial sums is exact — the
+  // result is bit-identical to the legacy per-source loop at any thread
   // count.
+  constexpr std::size_t kLanes = MultiSourceWorkspace::kMaxLanes;
   const TemporalCsr csr(eg);
-  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
-  std::vector<Partial> partial(shard_count(n, kSourceGrain));
+  std::vector<MultiSourceWorkspace> ws(resolve_threads(threads));
+  const std::size_t blocks = lane_block_count(n);
+  std::vector<Partial> partial(blocks);
   parallel_for_shards(
-      0, n, kSourceGrain, threads,
+      0, blocks, 1, threads,
       [&](std::size_t shard, std::size_t lo, std::size_t hi,
           std::size_t worker) {
-        TemporalWorkspace& w = ws[worker];
+        MultiSourceWorkspace& w = ws[worker];
+        std::array<VertexId, kLanes> srcs;
         Partial p;
-        for (std::size_t s = lo; s < hi; ++s) {
-          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
-          for (VertexId v = 0; v < n; ++v) {
-            const TimeUnit c = w.arrival(v);
-            if (v == s || c == kNeverTime) continue;
-            p.delay += static_cast<double>(c);
-            ++p.reachable;
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t s0 = b * kLanes;
+          const std::size_t lanes = std::min(kLanes, n - s0);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            srcs[l] = static_cast<VertexId>(s0 + l);
+          }
+          csr_earliest_arrival_batch(csr, {srcs.data(), lanes}, 0, w);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const std::size_t s = s0 + l;
+            for (std::size_t v = 0; v < n; ++v) {
+              const TimeUnit c = w.arrival(l, static_cast<VertexId>(v));
+              if (v == s || c == kNeverTime) continue;
+              p.delay += static_cast<double>(c);
+              ++p.reachable;
+            }
           }
         }
         partial[shard] = p;

@@ -1,39 +1,78 @@
 #include "temporal/temporal_centrality.hpp"
 
+#include <array>
+
 #include "parallel/parallel.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/multi_source.hpp"
 #include "temporal/smallworld_metrics.hpp"
 #include "temporal/temporal_csr.hpp"
+#include "temporal/temporal_delta.hpp"
 
 namespace structnet {
 
-std::vector<double> temporal_closeness(const TemporalGraph& eg,
-                                       std::size_t threads) {
-  const std::size_t n = eg.vertex_count();
+namespace {
+
+constexpr std::size_t kLanes = MultiSourceWorkspace::kMaxLanes;
+
+// All-sources closeness over any contact index: shard the source range
+// over kLanes-wide blocks (grain 1 keeps the block -> shard mapping a
+// pure function of n, so results are bit-identical at any thread
+// count), one lane-packed sweep per block instead of kLanes scalar
+// sweeps. The per-lane reduction reads arrivals in the same ascending
+// vertex order the scalar loop used, so every sum is the exact same
+// float sequence.
+template <class Index>
+std::vector<double> closeness_over_index(const Index& csr,
+                                         std::size_t threads) {
+  const std::size_t n = csr.vertex_count();
   std::vector<double> closeness(n, 0.0);
   if (n < 2) return closeness;
-  // Build the contact index once; each worker slot owns one reusable
-  // workspace, so the all-sources sweep allocates nothing per source.
-  // Each source writes only its own slot, so the sweep parallelizes
-  // without any accumulation order concerns.
-  const TemporalCsr csr(eg);
-  std::vector<TemporalWorkspace> ws(resolve_threads(threads));
+  std::vector<MultiSourceWorkspace> ws(resolve_threads(threads));
   parallel_for_shards(
-      0, n, kSourceGrain, threads,
+      0, lane_block_count(n), 1, threads,
       [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
-        TemporalWorkspace& w = ws[worker];
-        for (std::size_t s = lo; s < hi; ++s) {
-          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
-          double sum = 0.0;
-          for (VertexId v = 0; v < n; ++v) {
-            const TimeUnit c = w.arrival(v);
-            if (v == s || c == kNeverTime) continue;
-            sum += 1.0 / (1.0 + static_cast<double>(c));
+        MultiSourceWorkspace& w = ws[worker];
+        std::array<VertexId, kLanes> srcs;
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t s0 = b * kLanes;
+          const std::size_t lanes = std::min(kLanes, n - s0);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            srcs[l] = static_cast<VertexId>(s0 + l);
           }
-          closeness[s] = sum / static_cast<double>(n - 1);
+          csr_earliest_arrival_batch(csr, {srcs.data(), lanes}, 0, w);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const std::size_t s = s0 + l;
+            double sum = 0.0;
+            for (std::size_t v = 0; v < n; ++v) {
+              const TimeUnit c = w.arrival(l, static_cast<VertexId>(v));
+              if (v == s || c == kNeverTime) continue;
+              sum += 1.0 / (1.0 + static_cast<double>(c));
+            }
+            closeness[s] = sum / static_cast<double>(n - 1);
+          }
         }
       });
   return closeness;
+}
+
+}  // namespace
+
+std::vector<double> temporal_closeness(const TemporalGraph& eg,
+                                       std::size_t threads) {
+  // Build the contact index once; the lane-packed sweep does the rest.
+  const TemporalCsr csr(eg);
+  return closeness_over_index(csr, threads);
+}
+
+std::vector<double> temporal_closeness(const TemporalCsr& csr,
+                                       std::size_t threads) {
+  return closeness_over_index(csr, threads);
+}
+
+std::vector<double> temporal_closeness(const DeltaTemporalCsr& csr,
+                                       std::size_t threads) {
+  return closeness_over_index(csr, threads);
 }
 
 std::vector<double> temporal_betweenness(const TemporalGraph& eg,
@@ -44,33 +83,43 @@ std::vector<double> temporal_betweenness(const TemporalGraph& eg,
   // Sources credit arbitrary interior vertices, so each worker slot
   // accumulates privately and the slots are folded in order afterwards.
   // Credits are +1.0 increments (exact in double), so the totals are
-  // identical no matter which worker counted them.
+  // identical no matter which worker counted them — which also makes
+  // the lane-block resharding below result-neutral.
   const std::size_t slots = resolve_threads(threads);
   std::vector<std::vector<double>> partial(
       slots, std::vector<double>(n, 0.0));
-  // The CSR earliest-arrival kernel reproduces the legacy via trees
-  // bit-for-bit, so the canonical journeys (and hence the credits) are
+  // The lane-packed kernel reproduces the legacy via trees bit-for-bit
+  // per lane, so the canonical journeys (and hence the credits) are
   // unchanged by the conversion.
   const TemporalCsr csr(eg);
-  std::vector<TemporalWorkspace> ws(slots);
+  std::vector<MultiSourceWorkspace> ws(slots);
   parallel_for_shards(
-      0, n, kSourceGrain, threads,
+      0, lane_block_count(n), 1, threads,
       [&](std::size_t, std::size_t lo, std::size_t hi, std::size_t worker) {
         std::vector<double>& acc = partial[worker];
-        TemporalWorkspace& w = ws[worker];
-        for (std::size_t s = lo; s < hi; ++s) {
-          csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, w);
-          for (VertexId d = 0; d < n; ++d) {
-            if (d == s || w.arrival(d) == kNeverTime) continue;
-            // Credit interior vertices of the canonical journey s -> d.
-            VertexId cur = d;
-            while (true) {
-              const VertexId prev = w.via(cur).from;
-              if (prev == kInvalidVertex || prev == static_cast<VertexId>(s)) {
-                break;
+        MultiSourceWorkspace& w = ws[worker];
+        std::array<VertexId, kLanes> srcs;
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t s0 = b * kLanes;
+          const std::size_t lanes = std::min(kLanes, n - s0);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            srcs[l] = static_cast<VertexId>(s0 + l);
+          }
+          csr_earliest_arrival_batch(csr, {srcs.data(), lanes}, 0, w,
+                                     /*record_via=*/true);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const auto s = static_cast<VertexId>(s0 + l);
+            for (std::size_t d = 0; d < n; ++d) {
+              const auto dst = static_cast<VertexId>(d);
+              if (dst == s || w.arrival(l, dst) == kNeverTime) continue;
+              // Credit interior vertices of the canonical journey s -> d.
+              VertexId cur = dst;
+              while (true) {
+                const VertexId prev = w.via_from(l, cur);
+                if (prev == kInvalidVertex || prev == s) break;
+                acc[prev] += 1.0;
+                cur = prev;
               }
-              acc[prev] += 1.0;
-              cur = prev;
             }
           }
         }

@@ -12,15 +12,25 @@
 
 namespace structnet {
 
-// The all-sources sweeps below shard the per-source earliest-arrival
-// loops over the parallel layer (parallel/parallel.hpp); `threads` is
-// 0 = default (STRUCTNET_THREADS / hardware), 1 = serial. Results are
-// bit-identical at any thread count.
+class TemporalCsr;
+class DeltaTemporalCsr;
+
+// The all-sources sweeps below shard lane-packed multi-source blocks
+// (temporal/multi_source.hpp: 64 sources per contact-stream pass) over
+// the parallel layer (parallel/parallel.hpp); `threads` is 0 = default
+// (STRUCTNET_THREADS / hardware), 1 = serial. Results are bit-identical
+// at any thread count and to the legacy one-sweep-per-source loops.
 
 /// Temporal closeness: for each vertex, the mean of
 /// 1 / (1 + earliest completion) over all other vertices starting at
 /// time 0 (unreachable contributes 0). Higher = reaches others sooner.
 std::vector<double> temporal_closeness(const TemporalGraph& eg,
+                                       std::size_t threads = 0);
+/// Same, over an already-built contact index (what the serving layer
+/// uses for CentralityMeasure::kTemporalCloseness).
+std::vector<double> temporal_closeness(const TemporalCsr& csr,
+                                       std::size_t threads = 0);
+std::vector<double> temporal_closeness(const DeltaTemporalCsr& csr,
                                        std::size_t threads = 0);
 
 /// Temporal betweenness: how often a vertex relays on the canonical

@@ -69,6 +69,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -83,6 +84,17 @@ namespace structnet {
 
 namespace detail {
 struct WorkspaceOps;
+
+/// Globally unique index-state token. Every index construction — and
+/// every mutation of a DeltaTemporalCsr — takes a fresh one, so a
+/// workspace can cache per-index derived state (the has-contacts vertex
+/// list) keyed by a single 64-bit compare instead of re-deriving it
+/// O(n) on every sweep. 0 is never returned (it marks "no cache").
+inline std::uint64_t next_index_state_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace detail
 
 /// Immutable cache-friendly index over a TemporalGraph's contacts.
@@ -98,6 +110,9 @@ class TemporalCsr {
   /// Total number of (edge, label) contacts.
   std::size_t contact_count() const { return contact_count_; }
   TimeUnit horizon() const { return horizon_; }
+  /// Unique token of this immutable snapshot (workspace cache key; see
+  /// detail::next_index_state_id).
+  std::uint64_t state_id() const { return state_id_; }
 
   VertexId edge_u(EdgeId e) const { return edge_u_[e]; }
   VertexId edge_v(EdgeId e) const { return edge_v_[e]; }
@@ -183,6 +198,7 @@ class TemporalCsr {
   std::size_t n_ = 0;
   TimeUnit horizon_ = 0;
   std::size_t contact_count_ = 0;
+  std::uint64_t state_id_ = detail::next_index_state_id();
   std::vector<VertexId> edge_u_, edge_v_;       // per edge record
   std::vector<std::size_t> vertex_offsets_;     // n + 1
   std::vector<TimeUnit> contact_time_;          // 2C, per-vertex regions
@@ -255,6 +271,11 @@ class TemporalWorkspace {
   // via_flat_[layer_off_[k] .. layer_off_[k + 1]), sorted by vertex.
   std::vector<std::pair<VertexId, JourneyHop>> via_flat_;
   std::vector<std::size_t> layer_off_;
+  // Has-contacts vertex list cached per index state: all-pairs sweeps
+  // rebuild seeds_ from this O(reachable) copy instead of re-testing
+  // has_contacts O(n) per source (WorkspaceOps::refresh_contact_list).
+  std::uint64_t contact_state_ = 0;
+  std::vector<VertexId> contact_list_;
 };
 
 /// Boundary-driven earliest arrival from `source` departing at or after

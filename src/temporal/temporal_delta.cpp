@@ -30,6 +30,7 @@ inline void prefetch(const void* p) {
 
 void DeltaTemporalCsr::rebase(const TemporalGraph& eg) {
   STRUCTNET_OBS_SPAN("temporal.delta_rebase");
+  state_id_ = detail::next_index_state_id();
   base_ = TemporalCsr(eg);
   base_n_ = base_.vertex_count();
   base_m_ = base_.edge_count();
@@ -65,6 +66,7 @@ void DeltaTemporalCsr::prefetch_contact(VertexId u, VertexId v,
 
 void DeltaTemporalCsr::grow_vertices(std::size_t n) {
   if (n <= n_) return;
+  state_id_ = detail::next_index_state_id();
   n_ = n;
   vadd_.resize(n_);
   vdel_.resize(n_);
@@ -110,6 +112,7 @@ bool DeltaTemporalCsr::add_contact(VertexId u, VertexId v, TimeUnit t) {
         removed.erase(rit);
         erase_tombstone(e, u, v, t);
         --tombs_;
+        state_id_ = detail::next_index_state_id();
         return true;
       }
     }
@@ -130,6 +133,7 @@ bool DeltaTemporalCsr::add_contact(VertexId u, VertexId v, TimeUnit t) {
   d.added.insert(d.added.begin() + apos, t);
   record_add(e, u, v, t, base_labeled);
   ++adds_;
+  state_id_ = detail::next_index_state_id();
   return true;
 }
 
@@ -151,6 +155,7 @@ bool DeltaTemporalCsr::remove_contact(VertexId u, VertexId v, TimeUnit t) {
       added.erase(ait);
       erase_add(e, u, v, t);
       --adds_;
+      state_id_ = detail::next_index_state_id();
       return true;
     }
   }
@@ -166,6 +171,7 @@ bool DeltaTemporalCsr::remove_contact(VertexId u, VertexId v, TimeUnit t) {
   d.removed.insert(d.removed.begin() + rpos, t);
   record_tombstone(e, u, v, t);
   ++tombs_;
+  state_id_ = detail::next_index_state_id();
   return true;
 }
 

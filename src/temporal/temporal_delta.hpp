@@ -104,6 +104,10 @@ class DeltaTemporalCsr {
   std::size_t contact_count() const {
     return base_.contact_count() - tombs_ + adds_;
   }
+  /// Unique token of the current merged state: refreshed by rebase()
+  /// and by every successful mutation, so workspaces can cache derived
+  /// per-state data (detail::next_index_state_id semantics).
+  std::uint64_t state_id() const { return state_id_; }
 
   VertexId edge_u(EdgeId e) const {
     return e < base_m_ ? base_.edge_u(e) : dedge_u_[e - base_m_];
@@ -322,6 +326,7 @@ class DeltaTemporalCsr {
   void erase_tombstone(EdgeId e, VertexId u, VertexId v, TimeUnit t);
 
   TemporalCsr base_;
+  std::uint64_t state_id_ = detail::next_index_state_id();
   std::size_t base_n_ = 0;  // base vertex count (n_ may outgrow it)
   std::size_t base_m_ = 0;  // base edge count (delta edge ids follow)
   std::size_t n_ = 0;

@@ -21,26 +21,34 @@
 // Ascending-edge-id iteration is the load-bearing requirement: it is
 // what makes the same-unit closure fire in the legacy sequence and the
 // min-hop (label, edge id) tie-breaks resolve identically on every
-// index. Included only by temporal_csr.cpp / temporal_delta.cpp.
+// index. Included only by temporal_csr.cpp / temporal_delta.cpp /
+// multi_source.cpp.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <optional>
+#include <span>
 #include <utility>
 
+#include "temporal/multi_source.hpp"
 #include "temporal/temporal_csr.hpp"
 
 namespace structnet::detail {
 
-// The single friend of TemporalWorkspace: every kernel body lives here
-// as a static member template so one friend declaration covers all
-// index instantiations.
+// The single friend of TemporalWorkspace / MultiSourceWorkspace: every
+// kernel body lives here as a static member template so one friend
+// declaration covers all index instantiations.
 struct WorkspaceOps {
   template <class Index>
   static void earliest_arrival(const Index& csr, VertexId source,
                                TimeUnit t_start, TemporalWorkspace& ws,
                                VertexId stop_at);
+  template <class Index>
+  static void earliest_arrival_batch(const Index& csr,
+                                     std::span<const VertexId> sources,
+                                     TimeUnit t_start, MultiSourceWorkspace& ws,
+                                     bool record_via);
   template <class Index>
   static std::optional<std::pair<TimeUnit, TimeUnit>> fastest_departure(
       const Index& csr, VertexId source, VertexId target, TimeUnit t_start,
@@ -49,6 +57,22 @@ struct WorkspaceOps {
   static std::optional<Journey> minimum_hop(const Index& csr, VertexId source,
                                             VertexId target, TimeUnit t_start,
                                             TemporalWorkspace& ws);
+
+  /// Refreshes a workspace's cached has-contacts vertex list (ascending
+  /// vertex id) for `csr`. Keyed on the index's unique state token, so
+  /// an all-pairs sweep pays the O(n) has_contacts scan once per index
+  /// state instead of once per source.
+  template <class Index, class Ws>
+  static void refresh_contact_list(const Index& csr, Ws& ws) {
+    if (ws.contact_state_ == csr.state_id()) return;
+    ws.contact_list_.clear();
+    const std::size_t n = csr.vertex_count();
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto id = static_cast<VertexId>(v);
+      if (csr.has_contacts(id)) ws.contact_list_.push_back(id);
+    }
+    ws.contact_state_ = csr.state_id();
+  }
 };
 
 template <class Index>
@@ -64,12 +88,13 @@ void WorkspaceOps::earliest_arrival(const Index& csr, VertexId source,
 
   // seeds_ holds the still-unreached vertices that can ever be reached
   // (vertices with no contacts stay at kNeverTime in the legacy kernel
-  // too); the sweep is done the moment it drains.
-  const std::size_t n = csr.vertex_count();
+  // too); the sweep is done the moment it drains. Rebuilt as a copy of
+  // the per-index-state cached contact list, not an O(n) has_contacts
+  // scan per source.
+  refresh_contact_list(csr, ws);
   ws.seeds_.clear();
-  for (std::size_t v = 0; v < n; ++v) {
-    const auto id = static_cast<VertexId>(v);
-    if (id != source && csr.has_contacts(id)) ws.seeds_.push_back(id);
+  for (const VertexId id : ws.contact_list_) {
+    if (id != source) ws.seeds_.push_back(id);
   }
 
   for (TimeUnit t = t_start; t < csr.horizon() && !ws.seeds_.empty(); ++t) {
@@ -148,6 +173,120 @@ void WorkspaceOps::earliest_arrival(const Index& csr, VertexId source,
       if (!ws.reached(w)) ws.seeds_[keep++] = w;
     }
     ws.seeds_.resize(keep);
+  }
+}
+
+// The lane-packed replay of earliest_arrival: every decision the scalar
+// kernel makes for lane l is a function of lane l's reached bits alone,
+// so evaluating all lanes word-wide walks each lane through the exact
+// scalar pass sequence (see multi_source.hpp for the full argument).
+template <class Index>
+void WorkspaceOps::earliest_arrival_batch(const Index& csr,
+                                          std::span<const VertexId> sources,
+                                          TimeUnit t_start,
+                                          MultiSourceWorkspace& ws,
+                                          bool record_via) {
+  const std::size_t lanes = sources.size();
+  assert(lanes >= 1 && lanes <= MultiSourceWorkspace::kMaxLanes);
+  ws.bind(csr.vertex_count(), lanes, record_via);
+  ws.begin_sweep();
+  const std::uint64_t full = lanes == MultiSourceWorkspace::kMaxLanes
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << lanes) - 1;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    assert(sources[l] < csr.vertex_count());
+    // Sources arrive at t_start with no via hop, exactly like the
+    // scalar set_arrival(source, t_start, JourneyHop{}). Duplicate
+    // sources just accumulate bits on the same vertex.
+    ws.fire(sources[l], std::uint64_t{1} << l, kInvalidVertex, t_start);
+  }
+
+  // pending_ = contact-bearing vertices some lane has yet to reach (the
+  // union of every lane's scalar seeds_); the sweep is done when it
+  // drains — each lane's state froze when its own seeds drained.
+  refresh_contact_list(csr, ws);
+  ws.pending_.clear();
+  for (const VertexId v : ws.contact_list_) {
+    if (ws.word(v) != full) ws.pending_.push_back(v);
+  }
+
+  for (TimeUnit t = t_start; t < csr.horizon() && !ws.pending_.empty(); ++t) {
+    const std::size_t unit_size = csr.unit_size(t);
+    if (unit_size == 0) continue;
+
+    // A unit can fire iff some pending vertex has a contact at t with a
+    // neighbor holding a bit it lacks — the word-wide generalization of
+    // the scalar activity probe (lanes that cannot fire are untouched
+    // by the passes below, so probing the union is exact per lane).
+    bool active = false;
+    if (ws.pending_.size() < unit_size) {
+      for (const VertexId w : ws.pending_) {
+        const std::uint64_t mw = ws.word(w);
+        if (csr.find_contact_at(w, t, [&](VertexId nbr) {
+              return (ws.word(nbr) & ~mw) != 0;
+            })) {
+          active = true;
+          break;
+        }
+      }
+    } else {
+      csr.for_each_edge_at(t, [&](EdgeId e) {
+        if (ws.word(csr.edge_u(e)) != ws.word(csr.edge_v(e))) {
+          active = true;
+          return false;
+        }
+        return true;
+      });
+    }
+    if (!active) continue;
+
+    // Same-unit closure, word-wide. Pass 1 covers the whole unit in
+    // ascending edge id (per lane: the scalar pass 1); re-scans keep
+    // the edges whose merged word is not yet full — per lane a superset
+    // of the scalar both-unreached list whose extras can never fire
+    // that lane (both endpoints already carry its bit).
+    ws.live_edges_.clear();
+    bool changed = false;
+    const auto relax = [&](EdgeId e, std::size_t* live) {
+      const VertexId u = csr.edge_u(e), v = csr.edge_v(e);
+      const std::uint64_t mu = ws.word(u), mv = ws.word(v);
+      if (mu != mv) {
+        const std::uint64_t to_v = mu & ~mv;
+        const std::uint64_t to_u = mv & ~mu;
+        if (to_v != 0) ws.fire(v, to_v, u, t);
+        if (to_u != 0) ws.fire(u, to_u, v, t);
+        changed = true;
+        if ((mu | mv) != full) {
+          if (live != nullptr) {
+            ws.live_edges_[(*live)++] = e;
+          } else {
+            ws.live_edges_.push_back(e);
+          }
+        }
+      } else if (mu != full) {
+        if (live != nullptr) {
+          ws.live_edges_[(*live)++] = e;
+        } else {
+          ws.live_edges_.push_back(e);
+        }
+      }
+    };
+    csr.for_each_edge_at(t, [&](EdgeId e) {
+      relax(e, nullptr);
+      return true;
+    });
+    while (changed) {
+      changed = false;
+      std::size_t live = 0;
+      for (const EdgeId e : ws.live_edges_) relax(e, &live);
+      ws.live_edges_.resize(live);
+    }
+
+    std::size_t keep = 0;
+    for (const VertexId w : ws.pending_) {
+      if (ws.word(w) != full) ws.pending_[keep++] = w;
+    }
+    ws.pending_.resize(keep);
   }
 }
 

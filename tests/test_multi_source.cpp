@@ -1,0 +1,296 @@
+// Lane-packed multi-source sweep equivalence: every lane of
+// csr_earliest_arrival_batch must be bit-identical to a scalar
+// csr_earliest_arrival from that lane's source — across ragged lane
+// counts, duplicate sources, late/beyond-horizon starts, isolated
+// vertices, the delta overlay (including across a compaction
+// boundary), and workspace reuse across indexes. The converted
+// all-pairs callers must be bit-identical at 1/2/8 threads and to
+// scalar reference loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "temporal/journeys.hpp"
+#include "temporal/multi_source.hpp"
+#include "temporal/smallworld_metrics.hpp"
+#include "temporal/temporal_centrality.hpp"
+#include "temporal/temporal_csr.hpp"
+#include "temporal/temporal_delta.hpp"
+#include "util/rng.hpp"
+
+namespace structnet {
+namespace {
+
+/// Random contact trace over vertices [0, n - isolated): the tail stays
+/// contact-free so sweeps must cope with vertices the seeds list skips.
+TemporalGraph random_trace(Rng& rng, std::size_t n, TimeUnit horizon,
+                           std::size_t contacts, std::size_t isolated = 0) {
+  TemporalGraph eg(n, horizon);
+  const std::size_t active = n - isolated;
+  for (std::size_t i = 0; i < contacts; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(active));
+    const auto v = static_cast<VertexId>(rng.index(active));
+    if (u == v) continue;
+    eg.add_contact(u, v, static_cast<TimeUnit>(rng.index(horizon)));
+  }
+  return eg;
+}
+
+/// The scalar payload bytes (what the broker's TemporalDistances path
+/// serves): arrival for every vertex after the last scalar sweep.
+std::vector<TimeUnit> scalar_row(std::size_t n, const TemporalWorkspace& ws) {
+  std::vector<TimeUnit> row(n);
+  for (std::size_t v = 0; v < row.size(); ++v) {
+    row[v] = ws.arrival(static_cast<VertexId>(v));
+  }
+  return row;
+}
+
+/// Asserts each lane of one batch sweep reproduces the scalar kernel
+/// bit-for-bit (arrivals always; via-from when record_via).
+template <class Index>
+void expect_lanes_match_scalar(const Index& csr,
+                               const std::vector<VertexId>& sources,
+                               TimeUnit t_start, MultiSourceWorkspace& ws,
+                               bool record_via) {
+  csr_earliest_arrival_batch(
+      csr, {sources.data(), sources.size()}, t_start, ws, record_via);
+  TemporalWorkspace scalar;
+  for (std::size_t l = 0; l < sources.size(); ++l) {
+    csr_earliest_arrival(csr, sources[l], t_start, scalar);
+    std::size_t reached = 0;
+    for (std::size_t v = 0; v < csr.vertex_count(); ++v) {
+      const auto id = static_cast<VertexId>(v);
+      ASSERT_EQ(ws.arrival(l, id), scalar.arrival(id))
+          << "lane=" << l << " source=" << sources[l] << " v=" << v;
+      if (record_via) {
+        ASSERT_EQ(ws.via_from(l, id), scalar.via(id).from)
+            << "lane=" << l << " source=" << sources[l] << " v=" << v;
+      }
+      if (scalar.arrival(id) != kNeverTime) ++reached;
+    }
+    ASSERT_EQ(ws.reached_count(l), reached) << "lane=" << l;
+    ASSERT_EQ(ws.completion(l), scalar_row(csr.vertex_count(), scalar));
+  }
+}
+
+TEST(MultiSourceEquivalence, RaggedLaneCountsMatchScalarWithReusedWorkspace) {
+  Rng rng(42);
+  const TemporalGraph eg = random_trace(rng, 90, 16, 260, /*isolated=*/4);
+  const TemporalCsr csr(eg);
+  MultiSourceWorkspace ws;  // deliberately reused across every shape
+  Rng pick(7);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{17}, std::size_t{64}}) {
+    std::vector<VertexId> sources;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sources.push_back(static_cast<VertexId>(pick.index(eg.vertex_count())));
+    }
+    expect_lanes_match_scalar(csr, sources, 0, ws, /*record_via=*/true);
+  }
+}
+
+TEST(MultiSourceEquivalence, DuplicateSourcesEvolveIdentically) {
+  Rng rng(5);
+  const TemporalGraph eg = random_trace(rng, 40, 10, 120);
+  const TemporalCsr csr(eg);
+  std::vector<VertexId> sources = {3, 9, 3, 3, 21, 9};
+  MultiSourceWorkspace ws;
+  expect_lanes_match_scalar(csr, sources, 0, ws, /*record_via=*/true);
+}
+
+TEST(MultiSourceEquivalence, LateAndBeyondHorizonStarts) {
+  Rng rng(11);
+  const TemporalGraph eg = random_trace(rng, 50, 14, 150, /*isolated=*/2);
+  const TemporalCsr csr(eg);
+  MultiSourceWorkspace ws;
+  std::vector<VertexId> sources;
+  for (std::size_t l = 0; l < 24; ++l) {
+    sources.push_back(static_cast<VertexId>((l * 7) % eg.vertex_count()));
+  }
+  for (const TimeUnit t_start : {TimeUnit{5}, TimeUnit{13},
+                                 eg.horizon(),  // no unit ever scanned
+                                 static_cast<TimeUnit>(eg.horizon() + 3)}) {
+    expect_lanes_match_scalar(csr, sources, t_start, ws, /*record_via=*/true);
+  }
+}
+
+TEST(MultiSourceEquivalence, RandomizedManySeeds) {
+  for (const std::uint64_t seed : {29ULL, 31ULL, 37ULL}) {
+    Rng rng(seed);
+    const std::size_t n = 30 + rng.index(60);
+    const TemporalGraph eg =
+        random_trace(rng, n, static_cast<TimeUnit>(6 + rng.index(12)),
+                     60 + rng.index(240), rng.index(5));
+    const TemporalCsr csr(eg);
+    MultiSourceWorkspace ws;
+    const std::size_t lanes = 1 + rng.index(MultiSourceWorkspace::kMaxLanes);
+    std::vector<VertexId> sources;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      sources.push_back(static_cast<VertexId>(rng.index(n)));
+    }
+    expect_lanes_match_scalar(csr, sources,
+                              static_cast<TimeUnit>(rng.index(4)), ws,
+                              /*record_via=*/true);
+  }
+}
+
+TEST(MultiSourceDelta, OverlayLanesMatchScalarAcrossCompaction) {
+  constexpr std::size_t kN = 36;
+  constexpr TimeUnit kHorizon = 12;
+  Rng rng(61);
+  // Canonical truth: the live contact set, mirrored into the delta.
+  std::set<std::array<std::uint32_t, 3>> live;
+  const auto key = [](VertexId u, VertexId v, TimeUnit t) {
+    return std::array<std::uint32_t, 3>{std::min(u, v), std::max(u, v), t};
+  };
+  const auto rebuild = [&] {
+    TemporalGraph eg(kN, kHorizon);
+    for (const auto& c : live) eg.add_contact(c[0], c[1], c[2]);
+    return eg;
+  };
+  for (int i = 0; i < 90; ++i) {
+    const auto u = static_cast<VertexId>(rng.index(kN));
+    const auto v = static_cast<VertexId>(rng.index(kN));
+    if (u == v) continue;
+    live.insert(key(u, v, static_cast<TimeUnit>(rng.index(kHorizon))));
+  }
+  DeltaTemporalCsr delta(rebuild());
+  MultiSourceWorkspace ws;
+  std::vector<VertexId> sources;
+  for (std::size_t l = 0; l < kN; ++l) {
+    sources.push_back(static_cast<VertexId>(l));
+  }
+  // Mutate the overlay, sweeping after each round against both the
+  // delta itself and a fresh index of the truth; then force the
+  // compaction boundary with a rebase and sweep again — the same
+  // workspace must refresh its cached contact list each time.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 25; ++i) {
+      const auto u = static_cast<VertexId>(rng.index(kN));
+      const auto v = static_cast<VertexId>(rng.index(kN));
+      if (u == v) continue;
+      const auto t = static_cast<TimeUnit>(rng.index(kHorizon));
+      if (rng.bernoulli(0.3)) {
+        live.erase(key(u, v, t));
+        delta.remove_contact(u, v, t);
+      } else {
+        live.insert(key(u, v, t));
+        delta.add_contact(u, v, t);
+      }
+    }
+    expect_lanes_match_scalar(delta, sources, 0, ws, /*record_via=*/true);
+    const TemporalCsr fresh(rebuild());
+    expect_lanes_match_scalar(fresh, sources, 0, ws, /*record_via=*/true);
+  }
+  delta.rebase(rebuild());  // compaction boundary: state id must move
+  expect_lanes_match_scalar(delta, sources, 0, ws, /*record_via=*/true);
+}
+
+TEST(MultiSourceWorkspaceTest, ContactCacheRefreshesAcrossIndexes) {
+  Rng rng(77);
+  const TemporalGraph a = random_trace(rng, 30, 8, 70, /*isolated=*/6);
+  const TemporalGraph b = random_trace(rng, 30, 8, 70);
+  const TemporalCsr csr_a(a);
+  const TemporalCsr csr_b(b);
+  MultiSourceWorkspace ws;
+  std::vector<VertexId> sources = {0, 5, 11, 29};
+  // Alternate indexes with one workspace: a stale cached has-contacts
+  // list from the other index would corrupt the pending set.
+  expect_lanes_match_scalar(csr_a, sources, 0, ws, /*record_via=*/false);
+  expect_lanes_match_scalar(csr_b, sources, 0, ws, /*record_via=*/false);
+  expect_lanes_match_scalar(csr_a, sources, 0, ws, /*record_via=*/true);
+}
+
+TEST(MultiSourceCallers, AllPairsKernelsThreadCountInvariant) {
+  Rng rng(19);
+  const TemporalGraph eg = random_trace(rng, 70, 12, 220, /*isolated=*/3);
+  const auto close1 = temporal_closeness(eg, 1);
+  const auto betw1 = temporal_betweenness(eg, 1);
+  const auto cpl1 = characteristic_temporal_path_length(eg, 1);
+  const auto flood1 = flooding_times(eg, 1);
+  const auto dia1 = dynamic_diameter(eg, 1);
+  const auto conn1 = is_time_connected(eg, 0, 1);
+  const auto mat1 = temporal_distance_matrix(eg, 0, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(temporal_closeness(eg, threads), close1);
+    EXPECT_EQ(temporal_betweenness(eg, threads), betw1);
+    const auto cpl = characteristic_temporal_path_length(eg, threads);
+    EXPECT_EQ(cpl.characteristic_length, cpl1.characteristic_length);
+    EXPECT_EQ(cpl.reachable_fraction, cpl1.reachable_fraction);
+    EXPECT_EQ(flooding_times(eg, threads), flood1);
+    EXPECT_EQ(dynamic_diameter(eg, threads), dia1);
+    EXPECT_EQ(is_time_connected(eg, 0, threads), conn1);
+    EXPECT_EQ(temporal_distance_matrix(eg, 0, threads), mat1);
+  }
+}
+
+TEST(MultiSourceCallers, MatchScalarReferenceLoops) {
+  Rng rng(23);
+  const TemporalGraph eg = random_trace(rng, 44, 10, 130, /*isolated=*/2);
+  const std::size_t n = eg.vertex_count();
+  const TemporalCsr csr(eg);
+  TemporalWorkspace ws;
+
+  // flooding_times / dynamic_diameter vs the scalar single-source API.
+  const auto floods = flooding_times(eg, 1);
+  ASSERT_EQ(floods.size(), n);
+  TimeUnit worst = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(floods[s], flooding_time(eg, static_cast<VertexId>(s)))
+        << "s=" << s;
+    worst = std::max(worst, floods[s]);
+  }
+  EXPECT_EQ(dynamic_diameter(eg, 1), worst);
+
+  // temporal_distance_matrix rows vs temporal_distances.
+  const auto mat = temporal_distance_matrix(eg, 2, 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(mat[s], temporal_distances(eg, static_cast<VertexId>(s), 2))
+        << "s=" << s;
+  }
+
+  // closeness vs a serial scalar-kernel recomputation (identical float
+  // summation order, so == is the right comparison).
+  const auto close = temporal_closeness(eg, 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    csr_earliest_arrival(csr, static_cast<VertexId>(s), 0, ws);
+    double sum = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const TimeUnit c = ws.arrival(static_cast<VertexId>(v));
+      if (v == s || c == kNeverTime) continue;
+      sum += 1.0 / (1.0 + static_cast<double>(c));
+    }
+    EXPECT_EQ(close[s], sum / static_cast<double>(n - 1)) << "s=" << s;
+  }
+
+  // is_time_connected vs exhaustive reached counts.
+  for (const TimeUnit t : {TimeUnit{0}, TimeUnit{4}}) {
+    bool all = true;
+    for (std::size_t s = 0; s < n && all; ++s) {
+      csr_earliest_arrival(csr, static_cast<VertexId>(s), t, ws);
+      all = ws.reached_count() == n;
+    }
+    EXPECT_EQ(is_time_connected(eg, t, 1), all) << "t=" << t;
+  }
+}
+
+TEST(MultiSourceCallers, EmptyAndTinyGraphs) {
+  const TemporalGraph empty(0, 4);
+  EXPECT_TRUE(flooding_times(empty, 1).empty());
+  EXPECT_EQ(dynamic_diameter(empty, 1), 0u);
+  EXPECT_TRUE(temporal_distance_matrix(empty, 0, 1).empty());
+  EXPECT_TRUE(is_time_connected(empty, 0, 1));
+
+  TemporalGraph one(1, 4);
+  EXPECT_EQ(flooding_times(one, 1), std::vector<TimeUnit>{0});
+  EXPECT_EQ(dynamic_diameter(one, 1), 0u);
+  EXPECT_TRUE(is_time_connected(one, 0, 1));
+  EXPECT_EQ(temporal_closeness(one, 1), std::vector<double>{0.0});
+}
+
+}  // namespace
+}  // namespace structnet

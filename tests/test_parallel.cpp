@@ -80,6 +80,25 @@ TEST(ThreadPoolTest, WorkerIndicesStayWithinThreadCount) {
   for (const std::size_t w : seen) EXPECT_LT(w, threads);
 }
 
+TEST(ThreadPoolTest, NestedWorkerIndicesStayWithinNestedThreadCount) {
+  // A nested loop runs inline on the enclosing pool's worker, whose
+  // slot can exceed the nested call's own thread count. The nested
+  // body must still see worker < resolve_threads(its threads), or
+  // worker-indexed workspace vectors sized by that count overflow.
+  std::atomic<bool> ok{true};
+  parallel_for(
+      0, 16, 1,
+      [&](std::size_t) {
+        parallel_for_shards(0, 8, 1, 1,
+                            [&](std::size_t, std::size_t, std::size_t,
+                                std::size_t worker) {
+                              if (worker != 0) ok = false;
+                            });
+      },
+      8);
+  EXPECT_TRUE(ok.load());
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCorrectly) {
   const std::size_t n = 16;
   std::vector<std::size_t> inner_sums(n, 0);

@@ -21,6 +21,7 @@
 #include "stream/engine.hpp"
 #include "stream/observers.hpp"
 #include "temporal/journeys.hpp"
+#include "temporal/temporal_centrality.hpp"
 #include "util/rng.hpp"
 
 namespace structnet {
@@ -1136,6 +1137,105 @@ TEST(QueryBrokerTest, StopRacingApplyEventsDrainsCleanly) {
        {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     run_stop_race(threads);
   }
+}
+
+/// One flush of the same mixed batch on a broker with the given
+/// lane-pack setting; cache off so duplicates stay in the execution
+/// list (exercising lane sharing instead of the cache dedup).
+std::vector<QueryResult> lane_pack_run(bool lane_pack, std::size_t threads,
+                                       ServeStats* stats_out = nullptr) {
+  ServeRig rig(404);
+  BrokerConfig cfg;
+  cfg.threads = threads;
+  cfg.deterministic = true;
+  cfg.cache_bytes = 0;
+  cfg.lane_pack = lane_pack;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  std::vector<std::future<QueryResult>> futures;
+  const auto submit = [&](Query q) {
+    futures.push_back(broker.submit(std::move(q)));
+  };
+  // Mixed kinds, duplicate (source, t_start) pairs, several t_starts —
+  // all in one batch so the lane-pack plan sees everything at once.
+  Rng rng(9);
+  for (std::size_t i = 0; i < 40; ++i) {
+    submit(TemporalDistancesQuery{
+        static_cast<VertexId>(rng.index(ServeRig::kNodes)),
+        static_cast<TimeUnit>(rng.index(3))});
+  }
+  submit(TemporalDistancesQuery{1, 0});
+  submit(TemporalDistancesQuery{1, 0});  // duplicate pair shares a lane
+  submit(FastestJourneyQuery{0, 5, 0});  // journeys stay scalar
+  submit(MinHopJourneyQuery{5, 0, 0});
+  submit(CentralityQuery{CentralityMeasure::kDegree});
+  submit(CentralityQuery{CentralityMeasure::kTemporalCloseness});
+  broker.flush();
+
+  std::vector<QueryResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  if (stats_out != nullptr) *stats_out = broker.stats();
+  return results;
+}
+
+TEST(QueryBrokerLanePack, PackedPayloadsByteIdenticalToScalarPlanner) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ServeStats packed_stats, scalar_stats;
+    const auto packed = lane_pack_run(true, threads, &packed_stats);
+    const auto scalar = lane_pack_run(false, threads, &scalar_stats);
+    ASSERT_EQ(packed.size(), scalar.size());
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      ASSERT_EQ(packed[i].status, QueryStatus::kOk) << "i=" << i;
+      ASSERT_EQ(scalar[i].status, QueryStatus::kOk) << "i=" << i;
+      EXPECT_TRUE(payload_equal(packed[i].payload, scalar[i].payload))
+          << "i=" << i << " threads=" << threads;
+    }
+    EXPECT_GT(packed_stats.lanes_packed, 0u);
+    EXPECT_GT(packed_stats.sweeps_saved, 0u);
+    EXPECT_EQ(scalar_stats.lanes_packed, 0u);
+    EXPECT_EQ(scalar_stats.sweeps_saved, 0u);
+  }
+}
+
+TEST(QueryBrokerLanePack, CountersReflectExactPlan) {
+  ServeRig rig(11);
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  cfg.deterministic = true;
+  cfg.cache_bytes = 0;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+
+  std::vector<std::future<QueryResult>> futures;
+  // Group t=0: sources {1, 2, 3, 1} -> 3 lanes, 4 packed queries.
+  for (const VertexId s : {1u, 2u, 3u, 1u}) {
+    futures.push_back(broker.submit(TemporalDistancesQuery{s, 0}));
+  }
+  // Group t=2: sources {4, 5} -> 2 lanes, 2 packed queries.
+  futures.push_back(broker.submit(TemporalDistancesQuery{4, 2}));
+  futures.push_back(broker.submit(TemporalDistancesQuery{5, 2}));
+  // Singleton group t=5: stays scalar (packing saves nothing).
+  futures.push_back(broker.submit(TemporalDistancesQuery{6, 5}));
+  broker.flush();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, QueryStatus::kOk);
+
+  const ServeStats stats = broker.stats();
+  EXPECT_EQ(stats.lanes_packed, 5u);   // 3 + 2 distinct (source, t) lanes
+  EXPECT_EQ(stats.sweeps_saved, 4u);   // 6 packed queries - 2 sweeps
+  EXPECT_EQ(stats.executed, 7u);
+}
+
+TEST(QueryBrokerLanePack, TemporalClosenessServedMatchesDirect) {
+  ServeRig rig(13);
+  BrokerConfig cfg;
+  cfg.threads = 1;
+  cfg.deterministic = true;
+  QueryBroker broker(rig.engine, &rig.view, cfg);
+  const QueryResult r =
+      run_one(broker, CentralityQuery{CentralityMeasure::kTemporalCloseness});
+  ASSERT_EQ(r.status, QueryStatus::kOk);
+  const QueryPayload want(temporal_closeness(rig.view.view(), 1));
+  EXPECT_TRUE(payload_equal(r.payload, want));
 }
 
 }  // namespace
